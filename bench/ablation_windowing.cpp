@@ -1,0 +1,116 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//  1. adaptive windowing vs basic full unrolling (paper §4.4/§6.3);
+//  2. the Add Guard comb-cycle legality rule: exact cycle check vs
+//     the paper's conservative dependency-subset rule;
+//  3. the candidate-sampling budget before a window advance.
+#include "bench_common.hpp"
+
+#include "elaborate/elaborate.hpp"
+#include "templates/add_guard.hpp"
+#include "util/strings.hpp"
+
+using rtlrepair::format;
+
+using namespace rtlrepair;
+using namespace rtlrepair::bench;
+
+namespace {
+
+void
+windowingAblation(const BenchArgs &args)
+{
+    std::printf("Ablation 1: adaptive windowing vs basic "
+                "unrolling\n");
+    std::printf("%-12s %9s | %-14s %-14s\n", "benchmark", "tb",
+                "adaptive", "basic");
+    const char *names[] = {"counter_k1", "flop_w1",  "shift_w2",
+                           "mux_w2",     "mux_w1",   "sha3_s1",
+                           "sdram_w2",   "oss_d12",  "oss_s2"};
+    for (const char *name : names) {
+        const auto *def = benchmarks::find(name);
+        if (!def || !selected(*def, args))
+            continue;
+        const auto &lb = benchmarks::load(*def);
+        auto run = [&](bool adaptive) {
+            repair::RepairConfig config;
+            config.timeout_seconds = args.rtl_timeout > 0
+                                         ? args.rtl_timeout
+                                         : def->timeout_seconds;
+            config.x_policy = def->x_policy;
+            config.engine.adaptive = adaptive;
+            repair::RepairOutcome o = repair::repairDesign(
+                *lb.buggy, lb.buggy_lib, lb.tb, config);
+            if (o.status == repair::RepairOutcome::Status::Repaired)
+                return format("ok %7.2fs", o.seconds);
+            if (o.status == repair::RepairOutcome::Status::Timeout)
+                return std::string("timeout");
+            return format("-  %7.2fs", o.seconds);
+        };
+        std::string adaptive = run(true);
+        std::string basic = run(false);
+        std::printf("%-12s %9zu | %-14s %-14s\n", name,
+                    lb.tb.length(), adaptive.c_str(), basic.c_str());
+    }
+    std::printf("\n");
+}
+
+void
+guardRuleAblation()
+{
+    std::printf("Ablation 2: Add Guard legality rule (guard "
+                "candidate counts)\n");
+    std::printf("%-12s %14s %14s\n", "benchmark", "cycle-check",
+                "subset-rule");
+    for (const char *name : {"flop_w1", "sha3_s1", "oss_c1",
+                             "oss_s1r"}) {
+        const auto *def = benchmarks::find(name);
+        if (!def)
+            continue;
+        const auto &lb = benchmarks::load(*def);
+        templates::AddGuardTemplate exact(false);
+        templates::AddGuardTemplate subset(true);
+        auto phis = [&](templates::RepairTemplate &tmpl) {
+            auto result = tmpl.apply(*lb.buggy, lb.buggy_lib);
+            return result.vars.vars().size();
+        };
+        std::printf("%-12s %14zu %14zu\n", name, phis(exact),
+                    phis(subset));
+    }
+    std::printf("\n");
+}
+
+void
+samplingAblation(const BenchArgs &args)
+{
+    std::printf("Ablation 3: candidate samples per window "
+                "(counter_k1)\n");
+    std::printf("%10s %12s %10s\n", "samples", "result", "time");
+    const auto &lb = benchmarks::load("counter_k1");
+    for (size_t samples : {1u, 2u, 4u, 8u}) {
+        repair::RepairConfig config;
+        config.timeout_seconds =
+            args.rtl_timeout > 0 ? args.rtl_timeout : 60.0;
+        config.x_policy = lb.def->x_policy;
+        config.engine.max_candidates = samples;
+        repair::RepairOutcome o = repair::repairDesign(
+            *lb.buggy, lb.buggy_lib, lb.tb, config);
+        std::printf(
+            "%10zu %12s %9.2fs\n", samples,
+            o.status == repair::RepairOutcome::Status::Repaired
+                ? "repaired"
+                : "failed",
+            o.seconds);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    windowingAblation(args);
+    guardRuleAblation();
+    samplingAblation(args);
+    return 0;
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Shared helpers for the table-regeneration harnesses.
+ *
+ * Each table binary runs the relevant tools over the benchmark
+ * registry and prints rows in the shape of the paper's table.  By
+ * default the >50k-cycle testbenches are skipped so a plain sweep
+ * finishes in minutes; `--full` reproduces the complete tables.
+ */
+#ifndef RTLREPAIR_BENCH_COMMON_HPP
+#define RTLREPAIR_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include "benchmarks/registry.hpp"
+#include "checks/correctness.hpp"
+#include "checks/quality.hpp"
+#include "cirfix/genetic.hpp"
+#include "repair/driver.hpp"
+#include "verilog/printer.hpp"
+
+namespace rtlrepair::bench {
+
+/** Parsed command line shared by the table binaries. */
+struct BenchArgs
+{
+    /** Skip the >50k-cycle testbenches.  This is the default so that
+     *  a plain `for b in build/bench/*; do $b; done` sweep completes
+     *  in minutes; pass `--full` to reproduce the complete tables
+     *  (the long-trace rows add roughly half an hour). */
+    bool fast = true;
+    bool fast_explicit = false;
+    double rtl_timeout = 0;   ///< override tool timeout (0 = default)
+    double cirfix_timeout = 20.0;  ///< scaled-down CirFix budget
+    std::string only;         ///< run a single benchmark by name
+
+    static BenchArgs
+    parse(int argc, char **argv)
+    {
+        BenchArgs args;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--fast") == 0) {
+                args.fast = true;
+                args.fast_explicit = true;
+            } else if (std::strcmp(argv[i], "--full") == 0) {
+                args.fast = false;
+                args.fast_explicit = true;
+            } else if (std::strcmp(argv[i], "--rtl-timeout") == 0 &&
+                       i + 1 < argc) {
+                args.rtl_timeout = std::atof(argv[++i]);
+            } else if (std::strcmp(argv[i], "--cirfix-timeout") == 0 &&
+                       i + 1 < argc) {
+                args.cirfix_timeout = std::atof(argv[++i]);
+            } else if (std::strcmp(argv[i], "--only") == 0 &&
+                       i + 1 < argc) {
+                args.only = argv[++i];
+            }
+        }
+        return args;
+    }
+};
+
+/** Flush-per-row progress marker (tables pipe through tee). */
+inline void
+progress(const std::string &name, const char *what)
+{
+    std::fflush(stdout);
+    std::fprintf(stderr, "[bench] %s: %s\n", name.c_str(), what);
+}
+
+/** Long-trace benchmarks skipped in --fast mode. */
+inline bool
+isLongTrace(const benchmarks::BenchmarkDef &def)
+{
+    return def.stimulus_id == "i2c_long" ||
+           def.stimulus_id == "pairing" || def.stimulus_id == "reed" ||
+           def.stimulus_id == "sdspi_long" ||
+           def.stimulus_id == "ptp_long";
+}
+
+inline bool
+selected(const benchmarks::BenchmarkDef &def, const BenchArgs &args)
+{
+    if (!args.only.empty())
+        return def.name == args.only;
+    if (args.fast && isLongTrace(def))
+        return false;
+    return true;
+}
+
+/** Run RTL-Repair on a loaded benchmark with its default config. */
+inline repair::RepairOutcome
+runRtlRepair(const benchmarks::LoadedBenchmark &lb,
+             double timeout_override = 0)
+{
+    repair::RepairConfig config;
+    config.timeout_seconds = timeout_override > 0
+                                 ? timeout_override
+                                 : lb.def->timeout_seconds;
+    config.x_policy = lb.def->x_policy;
+    return repair::repairDesign(*lb.buggy, lb.buggy_lib, lb.tb,
+                                config);
+}
+
+/** Run the scaled-down CirFix baseline. */
+inline cirfix::CirFixOutcome
+runCirFix(const benchmarks::LoadedBenchmark &lb, double timeout)
+{
+    cirfix::CirFixConfig config;
+    config.timeout_seconds = timeout;
+    config.seed = 7;
+    return cirfix::cirfixRepair(*lb.buggy, lb.buggy_lib,
+                                lb.def->clock, lb.tb, config);
+}
+
+/** Verify any repaired module with the Table 4 battery. */
+inline checks::CheckReport
+verifyRepair(const benchmarks::LoadedBenchmark &lb,
+             const verilog::Module *repaired)
+{
+    checks::CheckInputs in;
+    in.golden = lb.golden;
+    in.repaired = repaired;
+    in.library = lb.golden_lib;
+    in.clock = lb.def->clock;
+    in.tb = &lb.tb;
+    if (lb.extended_tb)
+        in.extended_tb = &*lb.extended_tb;
+    return checks::checkRepair(in);
+}
+
+inline const char *
+statusGlyph(repair::RepairOutcome::Status status)
+{
+    using Status = repair::RepairOutcome::Status;
+    switch (status) {
+      case Status::Repaired: return "repair";
+      case Status::NoRepair: return "none";
+      case Status::Timeout: return "timeout";
+      case Status::CannotSynthesize: return "no-synth";
+    }
+    return "?";
+}
+
+} // namespace rtlrepair::bench
+
+#endif // RTLREPAIR_BENCH_COMMON_HPP

@@ -1,0 +1,64 @@
+// Regenerates paper Fig. 8: qualitative repair diffs for the four
+// discussed benchmarks (decoder_w1, counter_w1, sha3_s1, sdram_w1),
+// for both tools.
+#include "bench_common.hpp"
+
+using namespace rtlrepair;
+using namespace rtlrepair::bench;
+
+namespace {
+
+void
+showBenchmark(const char *name, const BenchArgs &args)
+{
+    const auto *def = benchmarks::find(name);
+    if (!def)
+        return;
+    const auto &lb = benchmarks::load(*def);
+    std::printf("==== %s: %s ====\n", name, def->defect.c_str());
+    std::printf("-- diff original vs bug --\n%s\n",
+                checks::repairDiff(*lb.golden, *lb.buggy).c_str());
+
+    repair::RepairOutcome rtl = runRtlRepair(lb, args.rtl_timeout);
+    if (rtl.status == repair::RepairOutcome::Status::Repaired) {
+        std::printf("-- RTL-Repair (%.2fs, %s, %d changes): diff bug "
+                    "vs repair --\n%s\n",
+                    rtl.seconds, rtl.template_name.c_str(),
+                    rtl.changes + rtl.preprocess_changes,
+                    checks::repairDiff(*lb.buggy, *rtl.repaired)
+                        .c_str());
+    } else {
+        std::printf("-- RTL-Repair: %s (%.2fs)\n%s\n",
+                    statusGlyph(rtl.status), rtl.seconds,
+                    rtl.detail.c_str());
+    }
+
+    cirfix::CirFixOutcome cf = runCirFix(lb, args.cirfix_timeout);
+    if (cf.status == cirfix::CirFixOutcome::Status::Repaired) {
+        std::printf("-- CirFix (%.2fs, lineage: %s): diff bug vs "
+                    "repair --\n%s\n",
+                    cf.seconds, cf.description.c_str(),
+                    checks::repairDiff(*lb.buggy, *cf.repaired)
+                        .c_str());
+    } else {
+        std::printf("-- CirFix: no repair within %.0fs (best fitness "
+                    "%.3f)\n\n",
+                    args.cirfix_timeout, cf.best_fitness);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    std::printf("Figure 8: qualitative comparison of repairs\n\n");
+    for (const char *name :
+         {"decoder_w1", "counter_w1", "sha3_s1", "sdram_w1"}) {
+        if (!args.only.empty() && args.only != name)
+            continue;
+        showBenchmark(name, args);
+    }
+    return 0;
+}

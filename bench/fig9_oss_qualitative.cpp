@@ -1,0 +1,52 @@
+// Regenerates paper Fig. 9: qualitative RTL-Repair diffs for the
+// discussed open-source bugs (C1, D8, D11, D12, S1.R).
+#include "bench_common.hpp"
+
+using namespace rtlrepair;
+using namespace rtlrepair::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    if (!args.fast_explicit)
+        args.fast = false;  // the marquee rows here are long traces
+    std::printf("Figure 9: repairs for the open-source bugs\n\n");
+    for (const auto &def : benchmarks::all()) {
+        if (!def.oss)
+            continue;
+        bool featured = def.oss_id == "C1" || def.oss_id == "D8" ||
+                        def.oss_id == "D11" || def.oss_id == "D12" ||
+                        def.oss_id == "S1.R";
+        if (!featured)
+            continue;
+        if (args.fast && isLongTrace(def))
+            continue;
+        if (!args.only.empty() && args.only != def.name)
+            continue;
+        const auto &lb = benchmarks::load(def);
+        std::printf("==== %s (%s): %s ====\n", def.oss_id.c_str(),
+                    def.project.c_str(), def.defect.c_str());
+        std::printf("-- diff original vs bug --\n%s\n",
+                    checks::repairDiff(*lb.golden, *lb.buggy)
+                        .c_str());
+        repair::RepairOutcome rtl =
+            runRtlRepair(lb, args.rtl_timeout);
+        if (rtl.status == repair::RepairOutcome::Status::Repaired) {
+            checks::Quality q = checks::gradeRepair(
+                *lb.buggy, *rtl.repaired, *lb.golden);
+            std::printf(
+                "-- RTL-Repair (%.2fs, %s, %s-quality): diff bug vs "
+                "repair --\n%s\n",
+                rtl.seconds, rtl.template_name.c_str(),
+                checks::qualityName(q),
+                checks::repairDiff(*lb.buggy, *rtl.repaired)
+                    .c_str());
+        } else {
+            std::printf("-- RTL-Repair: %s after %.2fs\n%s\n",
+                        statusGlyph(rtl.status), rtl.seconds,
+                        rtl.detail.c_str());
+        }
+    }
+    return 0;
+}

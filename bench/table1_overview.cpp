@@ -1,0 +1,125 @@
+// Regenerates paper Table 1: RTL-Repair vs CirFix — number of
+// correct / wrong / missing repairs plus median and max runtimes over
+// the CirFix benchmark suite.
+//
+// The CirFix baseline runs with a scaled-down wall-clock budget
+// (default 20 s, --cirfix-timeout to change); the paper gave it 16 h
+// on a server.  The *shape* to reproduce: RTL-Repair produces more
+// correct repairs, orders of magnitude faster, and CirFix produces
+// many wrong (overfitting / mismatching) repairs.
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace rtlrepair;
+using namespace rtlrepair::bench;
+
+namespace {
+
+struct Bucket
+{
+    std::vector<double> seconds;
+
+    void
+    add(double s)
+    {
+        seconds.push_back(s);
+    }
+
+    double
+    median() const
+    {
+        if (seconds.empty())
+            return 0.0;
+        std::vector<double> sorted = seconds;
+        std::sort(sorted.begin(), sorted.end());
+        return sorted[sorted.size() / 2];
+    }
+
+    double
+    max() const
+    {
+        double m = 0.0;
+        for (double s : seconds)
+            m = std::max(m, s);
+        return m;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    if (args.fast && !args.fast_explicit) {
+        std::printf("(fast mode: long-trace benchmarks skipped; run "
+                    "with --full for the complete table)\n");
+    }
+    Bucket rtl_correct, rtl_wrong, rtl_none;
+    Bucket cf_correct, cf_wrong, cf_none;
+
+    std::printf("Table 1: RTL-Repair vs CirFix baseline "
+                "(CirFix budget %.0fs)\n",
+                args.cirfix_timeout);
+    std::printf("%-12s | %-8s %7s %-7s | %-8s %7s %-7s\n",
+                "benchmark", "rtl", "t[s]", "verdict", "cirfix",
+                "t[s]", "verdict");
+    std::printf("--------------------------------------------------"
+                "-------------\n");
+
+    for (const auto &def : benchmarks::all()) {
+        if (def.oss || !selected(def, args))
+            continue;
+        const auto &lb = benchmarks::load(def);
+
+        repair::RepairOutcome rtl =
+            runRtlRepair(lb, args.rtl_timeout);
+        const char *rtl_verdict = "none";
+        if (rtl.status == repair::RepairOutcome::Status::Repaired) {
+            checks::CheckReport report =
+                verifyRepair(lb, rtl.repaired.get());
+            rtl_verdict = report.overall ? "correct" : "wrong";
+            (report.overall ? rtl_correct : rtl_wrong)
+                .add(rtl.seconds);
+        } else {
+            rtl_none.add(rtl.seconds);
+        }
+
+        cirfix::CirFixOutcome cf = runCirFix(lb, args.cirfix_timeout);
+        const char *cf_verdict = "none";
+        if (cf.status == cirfix::CirFixOutcome::Status::Repaired) {
+            checks::CheckReport report =
+                verifyRepair(lb, cf.repaired.get());
+            cf_verdict = report.overall ? "correct" : "wrong";
+            (report.overall ? cf_correct : cf_wrong).add(cf.seconds);
+        } else {
+            cf_none.add(cf.seconds);
+        }
+
+        std::printf("%-12s | %-8s %7.2f %-7s | %-8s %7.2f %-7s\n",
+                    def.name.c_str(), statusGlyph(rtl.status),
+                    rtl.seconds, rtl_verdict,
+                    cf.status ==
+                            cirfix::CirFixOutcome::Status::Repaired
+                        ? "repair"
+                        : "timeout",
+                    cf.seconds, cf_verdict);
+    }
+
+    std::printf("\nSummary (paper Table 1 shape):\n");
+    std::printf("%-18s | %5s %9s %9s | %5s %9s %9s\n", "",
+                "#rtl", "median", "max", "#cf", "median", "max");
+    auto row = [](const char *label, const Bucket &a,
+                  const Bucket &b) {
+        std::printf("%-18s | %5zu %8.2fs %8.2fs | %5zu %8.2fs "
+                    "%8.2fs\n",
+                    label, a.seconds.size(), a.median(), a.max(),
+                    b.seconds.size(), b.median(), b.max());
+    };
+    row("correct repairs", rtl_correct, cf_correct);
+    row("wrong repairs", rtl_wrong, cf_wrong);
+    row("cannot repair", rtl_none, cf_none);
+    return 0;
+}

@@ -1,0 +1,37 @@
+// Regenerates paper Table 3: the benchmark overview (project, defect,
+// short name), straight from the registry metadata.
+#include "bench_common.hpp"
+
+using namespace rtlrepair;
+using namespace rtlrepair::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    (void)args;
+    std::printf("Table 3: benchmark overview\n");
+    std::printf("%-22s %-55s %-12s\n", "project", "defect",
+                "short name");
+    std::printf("----------------------------------------------------"
+                "--------------------------------------\n");
+    std::string last_project;
+    for (const auto &def : benchmarks::all()) {
+        if (def.oss)
+            continue;
+        std::string project =
+            def.project == last_project ? "" : def.project;
+        last_project = def.project;
+        std::printf("%-22s %-55s %-12s\n", project.c_str(),
+                    def.defect.c_str(), def.name.c_str());
+    }
+    std::printf("\nOpen-source bug set (paper Table 6 rows):\n");
+    for (const auto &def : benchmarks::all()) {
+        if (!def.oss)
+            continue;
+        std::printf("%-6s %-16s %-45s %s\n", def.oss_id.c_str(),
+                    def.project.c_str(), def.defect.c_str(),
+                    def.name.c_str());
+    }
+    return 0;
+}

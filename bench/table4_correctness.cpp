@@ -1,0 +1,73 @@
+// Regenerates paper Table 4: the repair-correctness battery for both
+// tools.  Columns: testbench / gate-level / second-simulator /
+// extended testbench, plus the change count and the overall verdict.
+#include "bench_common.hpp"
+
+using namespace rtlrepair;
+using namespace rtlrepair::bench;
+
+namespace {
+
+const char *
+cell(const std::optional<bool> &v)
+{
+    if (!v)
+        return " ";
+    return *v ? "+" : "X";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    if (args.fast && !args.fast_explicit) {
+        std::printf("(fast mode: long-trace benchmarks skipped; run "
+                    "with --full for the complete table)\n");
+    }
+    std::printf("Table 4: repair correctness evaluation\n");
+    std::printf("(+ check passed, X check failed, blank not "
+                "applicable, o no repair)\n\n");
+    std::printf("%-12s %-9s | %2s %4s %4s %3s | %7s %s\n",
+                "benchmark", "tool", "tb", "gate", "sim2", "ext",
+                "changes", "overall");
+    std::printf("----------------------------------------------------"
+                "-----------\n");
+
+    for (const auto &def : benchmarks::all()) {
+        if (def.oss || !selected(def, args))
+            continue;
+        const auto &lb = benchmarks::load(def);
+
+        auto report_row = [&](const char *tool,
+                              const verilog::Module *repaired,
+                              int changes, bool produced) {
+            if (!produced) {
+                std::printf("%-12s %-9s | %52s\n", def.name.c_str(),
+                            tool, "o (no repair)");
+                return;
+            }
+            checks::CheckReport report = verifyRepair(lb, repaired);
+            std::printf(
+                "%-12s %-9s | %2s %4s %4s %3s | %7d %s\n",
+                def.name.c_str(), tool, cell(report.testbench),
+                cell(report.gate_level),
+                cell(report.second_simulator), cell(report.extended),
+                changes, report.overall ? "PASS" : "FAIL");
+        };
+
+        repair::RepairOutcome rtl =
+            runRtlRepair(lb, args.rtl_timeout);
+        report_row("rtlrepair", rtl.repaired.get(),
+                   rtl.changes + rtl.preprocess_changes,
+                   rtl.status ==
+                       repair::RepairOutcome::Status::Repaired);
+
+        cirfix::CirFixOutcome cf = runCirFix(lb, args.cirfix_timeout);
+        report_row(
+            "cirfix", cf.repaired.get(), -1,
+            cf.status == cirfix::CirFixOutcome::Status::Repaired);
+    }
+    return 0;
+}

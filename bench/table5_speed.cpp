@@ -1,0 +1,111 @@
+// Regenerates paper Table 5: the repair-speed breakdown — the
+// preprocessing-only pass, each template in isolation (early exit
+// off), the basic full-unroll synthesizer, and the full tool, plus
+// the CirFix baseline time for the speedup column.
+#include "bench_common.hpp"
+
+#include "util/strings.hpp"
+
+using rtlrepair::format;
+
+using namespace rtlrepair;
+using namespace rtlrepair::bench;
+
+namespace {
+
+struct Cell
+{
+    std::string text;
+};
+
+Cell
+runVariant(const benchmarks::LoadedBenchmark &lb,
+           const std::string &only_template, bool adaptive,
+           bool preprocess_only, double timeout)
+{
+    repair::RepairConfig config;
+    config.timeout_seconds = timeout;
+    config.x_policy = lb.def->x_policy;
+    config.only_template = only_template;
+    config.engine.adaptive = adaptive;
+    config.preprocess_only = preprocess_only;
+    repair::RepairOutcome outcome = repair::repairDesign(
+        *lb.buggy, lb.buggy_lib, lb.tb, config);
+    using Status = repair::RepairOutcome::Status;
+    switch (outcome.status) {
+      case Status::Repaired: {
+        int changes = outcome.changes + outcome.preprocess_changes;
+        return {format("%dok %.2fs", changes, outcome.seconds)};
+      }
+      case Status::NoRepair:
+        return {format("-   %.2fs", outcome.seconds)};
+      case Status::Timeout:
+        return {"T/O"};
+      case Status::CannotSynthesize:
+        return {"nosyn"};
+    }
+    return {"?"};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    if (args.fast && !args.fast_explicit) {
+        std::printf("(fast mode: long-trace benchmarks skipped; run "
+                    "with --full for the complete table)\n");
+    }
+    std::printf("Table 5: repair speed evaluation\n");
+    std::printf("(NNok = repaired with NN changes; - = no repair; "
+                "T/O = timeout)\n\n");
+    std::printf("%-12s | %-11s %-12s %-12s %-12s | %-12s %-12s | "
+                "%-10s %8s\n",
+                "benchmark", "preprocess", "replace-lit", "add-guard",
+                "cond-ovw", "basic-synth", "rtl-repair", "cirfix",
+                "speedup");
+    std::printf("----------------------------------------------------"
+                "--------------------------------------------------"
+                "------------\n");
+
+    for (const auto &def : benchmarks::all()) {
+        if (def.oss || !selected(def, args))
+            continue;
+        const auto &lb = benchmarks::load(def);
+        double timeout = args.rtl_timeout > 0 ? args.rtl_timeout
+                                              : def.timeout_seconds;
+
+        Cell pre = runVariant(lb, "", true, true, timeout);
+        Cell rl = runVariant(lb, "replace-literals", true, false,
+                             timeout);
+        Cell ag = runVariant(lb, "add-guard", true, false, timeout);
+        Cell co = runVariant(lb, "conditional-overwrite", true, false,
+                             timeout);
+        Cell basic = runVariant(lb, "", false, false, timeout);
+
+        repair::RepairConfig full_cfg;
+        full_cfg.timeout_seconds = timeout;
+        full_cfg.x_policy = def.x_policy;
+        repair::RepairOutcome full = repair::repairDesign(
+            *lb.buggy, lb.buggy_lib, lb.tb, full_cfg);
+        Cell full_cell =
+            full.status == repair::RepairOutcome::Status::Repaired
+                ? Cell{format("%dok %.2fs",
+                              full.changes + full.preprocess_changes,
+                              full.seconds)}
+                : Cell{format("-   %.2fs", full.seconds)};
+
+        cirfix::CirFixOutcome cf = runCirFix(lb, args.cirfix_timeout);
+        double speedup =
+            full.seconds > 0 ? cf.seconds / full.seconds : 0.0;
+
+        std::printf("%-12s | %-11s %-12s %-12s %-12s | %-12s %-12s | "
+                    "%7.2fs %7.0fx\n",
+                    def.name.c_str(), pre.text.c_str(),
+                    rl.text.c_str(), ag.text.c_str(), co.text.c_str(),
+                    basic.text.c_str(), full_cell.text.c_str(),
+                    cf.seconds, speedup);
+    }
+    return 0;
+}

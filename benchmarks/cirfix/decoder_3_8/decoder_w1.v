@@ -1,0 +1,22 @@
+// decoder_w1: two separate numeric errors.
+//  1. the first select pattern reads 4'b1010 instead of 4'b1000
+//  2. the final default drives 8'b0111_1111 instead of 8'b1111_1111
+module decoder_3_8 (
+    input  wire       en,
+    input  wire       A,
+    input  wire       B,
+    input  wire       C,
+    output wire [7:0] Y
+);
+
+    assign Y = ({en, A, B, C} == 4'b1010) ? 8'b1111_1110 :
+               ({en, A, B, C} == 4'b1001) ? 8'b1111_1101 :
+               ({en, A, B, C} == 4'b1010) ? 8'b1111_1011 :
+               ({en, A, B, C} == 4'b1011) ? 8'b1111_0111 :
+               ({en, A, B, C} == 4'b1100) ? 8'b1110_1111 :
+               ({en, A, B, C} == 4'b1101) ? 8'b1101_1111 :
+               ({en, A, B, C} == 4'b1110) ? 8'b1011_1111 :
+               ({en, A, B, C} == 4'b1111) ? 8'b0111_1111 :
+                                            8'b0111_1111;
+
+endmodule

@@ -1,0 +1,21 @@
+// counter_k1: incorrect reset (count reset assignment missing).
+module first_counter (
+    input  wire       clock,
+    input  wire       reset,
+    input  wire       enable,
+    output reg  [3:0] count,
+    output reg        overflow
+);
+
+    always @(posedge clock) begin
+        if (reset == 1'b1) begin
+            overflow <= 1'b0;
+        end else if (enable == 1'b1) begin
+            count <= count + 1;
+        end
+        if (count == 4'b1111) begin
+            overflow <= 1'b1;
+        end
+    end
+
+endmodule

@@ -1,0 +1,68 @@
+// Two-requester arbiter FSM (re-authored fsm_full benchmark).
+// Combinational next-state logic, registered state and grants.
+module fsm_full (
+    input  wire clock,
+    input  wire reset,
+    input  wire req_0,
+    input  wire req_1,
+    output reg  gnt_0,
+    output reg  gnt_1
+);
+
+    localparam IDLE = 2'b00;
+    localparam GNT0 = 2'b01;
+    localparam GNT1 = 2'b10;
+
+    reg [1:0] state;
+    reg [1:0] next_state;
+
+    always @(posedge clock) begin
+        if (reset) begin
+            state <= IDLE;
+        end else begin
+            state <= next_state;
+        end
+    end
+
+    always @(*) begin
+        case (state)
+            IDLE: begin
+                if (req_0) begin
+                    next_state = GNT0;
+                end else if (req_1) begin
+                    next_state = GNT1;
+                end else begin
+                    next_state = IDLE;
+                end
+            end
+            GNT0: begin
+                if (!req_0) begin
+                    next_state = IDLE;
+                end else begin
+                    next_state = GNT0;
+                end
+            end
+            GNT1: begin
+                if (!req_1) begin
+                    next_state = IDLE;
+                end else begin
+                    next_state = GNT1;
+                end
+            end
+            default: begin
+                next_state = IDLE;
+            end
+        endcase
+    end
+
+    always @(posedge clock) begin
+        if (reset) begin
+            gnt_0 <= 1'b0;
+            gnt_1 <= 1'b0;
+        end else begin
+            gnt_0 <= (state == GNT0);
+            gnt_1 <= (state == GNT1);
+        end
+    end
+
+endmodule

@@ -1,0 +1,16 @@
+// Combinational I2C address decoder (companion module of the i2c
+// family; the paper's i2c_w1/i2c_w2 bugs live in unclocked logic,
+// which is why they are excluded from the OSDD table).
+module i2c_addr_dec (
+    input  wire [7:0] byte_in,
+    input  wire [6:0] my_addr,
+    output reg        addr_match,
+    output reg        is_read
+);
+
+    always @(byte_in or my_addr) begin
+        addr_match = (byte_in[7:1] == my_addr);
+        is_read = byte_in[0];
+    end
+
+endmodule

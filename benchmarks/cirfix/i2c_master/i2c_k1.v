@@ -1,0 +1,98 @@
+// i2c_k1: no command acknowledgement — the acknowledge-pending
+// flag is never raised in the ACKSLOT state, so ack_out stays low.
+// The register diverges several divided-clock ticks before the
+// output does (a non-trivial OSDD, as in the paper's i2c_k1 row).
+module i2c_master (
+    input  wire       clk,
+    input  wire       rst,
+    input  wire       start,
+    input  wire [7:0] cmd,
+    output reg        busy,
+    output reg        ack_out,
+    output reg        scl,
+    output reg        sda
+);
+
+    localparam IDLE    = 3'd0;
+    localparam STARTC  = 3'd1;
+    localparam BITS    = 3'd2;
+    localparam ACKSLOT = 3'd3;
+    localparam STOPC   = 3'd4;
+
+    reg [2:0] state;
+    reg [2:0] bitcnt;
+    reg [7:0] shifter;
+    reg [3:0] divcnt;
+    reg       ack_pending;
+
+    wire tick = (divcnt == 4'd9);
+
+    always @(posedge clk) begin
+        if (rst) begin
+            state <= IDLE;
+            busy <= 1'b0;
+            ack_out <= 1'b0;
+            ack_pending <= 1'b0;
+            scl <= 1'b1;
+            sda <= 1'b1;
+            bitcnt <= 3'd0;
+            shifter <= 8'd0;
+            divcnt <= 4'd0;
+        end else begin
+            if (tick) begin
+                divcnt <= 4'd0;
+            end else begin
+                divcnt <= divcnt + 1;
+            end
+            ack_out <= 1'b0;
+            case (state)
+                IDLE: begin
+                    if (start) begin
+                        busy <= 1'b1;
+                        shifter <= cmd;
+                        sda <= 1'b0;
+                        state <= STARTC;
+                    end
+                end
+                STARTC: begin
+                    if (tick) begin
+                        scl <= 1'b0;
+                        bitcnt <= 3'd7;
+                        state <= BITS;
+                    end
+                end
+                BITS: begin
+                    if (tick) begin
+                        sda <= shifter[7];
+                        shifter <= {shifter[6:0], 1'b0};
+                        if (bitcnt == 3'd0) begin
+                            state <= ACKSLOT;
+                        end else begin
+                            bitcnt <= bitcnt - 1;
+                        end
+                    end
+                end
+                ACKSLOT: begin
+                    if (tick) begin
+                        sda <= 1'b1;
+                        state <= STOPC;
+                    end
+                end
+                STOPC: begin
+                    if (tick) begin
+                        busy <= 1'b0;
+                        scl <= 1'b1;
+                        sda <= 1'b1;
+                        ack_out <= ack_pending;
+                        ack_pending <= 1'b0;
+                        state <= IDLE;
+                    end
+                end
+                default: begin
+                    state <= IDLE;
+                end
+            endcase
+        end
+    end
+
+endmodule

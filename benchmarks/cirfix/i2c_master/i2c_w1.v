@@ -1,0 +1,17 @@
+// i2c_w1: incorrect sensitivity list — my_addr is missing, so the
+// decoder holds a stale match when only the address register
+// changes.  The synthesized circuit is identical to the ground
+// truth, so symbolic repair sees nothing to fix.
+module i2c_addr_dec (
+    input  wire [7:0] byte_in,
+    input  wire [6:0] my_addr,
+    output reg        addr_match,
+    output reg        is_read
+);
+
+    always @(byte_in) begin
+        addr_match = (byte_in[7:1] == my_addr);
+        is_read = byte_in[0];
+    end
+
+endmodule

@@ -1,0 +1,15 @@
+// i2c_w2: incorrect address assignment — the comparison uses the
+// wrong bit slice of the incoming byte.
+module i2c_addr_dec (
+    input  wire [7:0] byte_in,
+    input  wire [6:0] my_addr,
+    output reg        addr_match,
+    output reg        is_read
+);
+
+    always @(byte_in or my_addr) begin
+        addr_match = (byte_in[6:0] == my_addr);
+        is_read = byte_in[0];
+    end
+
+endmodule

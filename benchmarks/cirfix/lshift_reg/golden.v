@@ -1,0 +1,32 @@
+// 8-bit left-rotating shift register with load, plus a registered
+// serial tap (re-authored lshift_reg benchmark).  The tap register
+// lives in a second process so that blocking-assignment races in the
+// shift process are observable in event-driven simulation.
+module lshift_reg (
+    input  wire       clk,
+    input  wire       rstn,
+    input  wire [7:0] load_val,
+    input  wire       load_en,
+    output reg  [7:0] op,
+    output reg        serial
+);
+
+    always @(posedge clk) begin
+        if (!rstn) begin
+            op <= 8'h01;
+        end else if (load_en) begin
+            op <= load_val;
+        end else begin
+            op <= {op[6:0], op[7]};
+        end
+    end
+
+    always @(posedge clk) begin
+        if (!rstn) begin
+            serial <= 1'b0;
+        end else begin
+            serial <= op[7];
+        end
+    end
+
+endmodule

@@ -1,0 +1,32 @@
+// shift_k1: incorrect sensitivity list — the shift process also
+// triggers on the falling clock edge.  Synthesis ignores the extra
+// edge (the netlist is identical to the ground truth) but
+// event-driven simulation shifts twice per clock period.
+module lshift_reg (
+    input  wire       clk,
+    input  wire       rstn,
+    input  wire [7:0] load_val,
+    input  wire       load_en,
+    output reg  [7:0] op,
+    output reg        serial
+);
+
+    always @(posedge clk or negedge clk) begin
+        if (!rstn) begin
+            op <= 8'h01;
+        end else if (load_en) begin
+            op <= load_val;
+        end else begin
+            op <= {op[6:0], op[7]};
+        end
+    end
+
+    always @(posedge clk) begin
+        if (!rstn) begin
+            serial <= 1'b0;
+        end else begin
+            serial <= op[7];
+        end
+    end
+
+endmodule

@@ -1,0 +1,17 @@
+// 4-to-1 multiplexer over 4-bit lanes (re-authored mux_4_1
+// benchmark; purely combinational).
+module mux_4_1 (
+    input  wire [3:0] a,
+    input  wire [3:0] b,
+    input  wire [3:0] c,
+    input  wire [3:0] d,
+    input  wire [1:0] sel,
+    output wire [3:0] out
+);
+
+    assign out = (sel == 2'b00) ? a :
+                 (sel == 2'b01) ? b :
+                 (sel == 2'b10) ? c :
+                                  d;
+
+endmodule

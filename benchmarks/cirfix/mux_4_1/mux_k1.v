@@ -1,0 +1,17 @@
+// mux_k1: the output is declared 1 bit wide instead of 4 bits, so
+// the upper lane bits are silently truncated.
+module mux_4_1 (
+    input  wire [3:0] a,
+    input  wire [3:0] b,
+    input  wire [3:0] c,
+    input  wire [3:0] d,
+    input  wire [1:0] sel,
+    output wire out
+);
+
+    assign out = (sel == 2'b00) ? a :
+                 (sel == 2'b01) ? b :
+                 (sel == 2'b10) ? c :
+                                  d;
+
+endmodule

@@ -1,0 +1,16 @@
+// mux_w1: three separate numeric errors in the select comparisons.
+module mux_4_1 (
+    input  wire [3:0] a,
+    input  wire [3:0] b,
+    input  wire [3:0] c,
+    input  wire [3:0] d,
+    input  wire [1:0] sel,
+    output wire [3:0] out
+);
+
+    assign out = (sel == 2'b01) ? a :
+                 (sel == 2'b11) ? b :
+                 (sel == 2'b00) ? c :
+                                  d;
+
+endmodule

@@ -1,0 +1,17 @@
+// mux_w2: hex instead of binary constants in the select
+// comparisons — 2'h10 truncates to 0, shadowing the first lane.
+module mux_4_1 (
+    input  wire [3:0] a,
+    input  wire [3:0] b,
+    input  wire [3:0] c,
+    input  wire [3:0] d,
+    input  wire [1:0] sel,
+    output wire [3:0] out
+);
+
+    assign out = (sel == 2'b00) ? a :
+                 (sel == 2'h01) ? b :
+                 (sel == 2'h10) ? c :
+                                  d;
+
+endmodule

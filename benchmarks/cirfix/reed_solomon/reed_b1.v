@@ -1,0 +1,45 @@
+// reed_b1: insufficient register size — the first syndrome
+// accumulator is four bits wide instead of eight, so the upper
+// nibble of every symbol is lost.  The corruption is only observable
+// at block_end, thousands of cycles after the state first diverges.
+module rs_decoder (
+    input  wire       clk,
+    input  wire       rst,
+    input  wire [7:0] sym_in,
+    input  wire       sym_valid,
+    input  wire       block_end,
+    output reg  [7:0] syn0,
+    output reg  [7:0] syn1,
+    output reg        err_detect
+);
+
+    reg [3:0] s0;
+    reg [7:0] s1;
+
+    // GF(2^8) multiply-by-x with the AES polynomial 0x1b.
+    wire [7:0] s1x = s1[7] ? ({s1[6:0], 1'b0} ^ 8'h1b)
+                           : {s1[6:0], 1'b0};
+
+    always @(posedge clk) begin
+        if (rst) begin
+            s0 <= 8'd0;
+            s1 <= 8'd0;
+            syn0 <= 8'd0;
+            syn1 <= 8'd0;
+            err_detect <= 1'b0;
+        end else begin
+            if (sym_valid) begin
+                s0 <= s0 ^ sym_in;
+                s1 <= s1x ^ sym_in;
+            end
+            if (block_end) begin
+                syn0 <= s0;
+                syn1 <= s1;
+                err_detect <= (s0 != 8'd0) | (s1 != 8'd0);
+                s0 <= 8'd0;
+                s1 <= 8'd0;
+            end
+        end
+    end
+
+endmodule

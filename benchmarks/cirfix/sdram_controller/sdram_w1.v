@@ -1,0 +1,103 @@
+// sdram_w1: incorrect assignments to registers during synchronous
+// reset — the data-path registers are not cleared and the read
+// register is instead loaded from the write-data input (Fig. 8).
+module sdram_ctrl (
+    input  wire        clk,
+    input  wire        rst_n,
+    input  wire        req,
+    input  wire        we,
+    input  wire [15:0] wdata,
+    output reg         ack,
+    output wire [15:0] rdata,
+    output reg  [3:0]  cmd,
+    output reg         ready
+);
+
+    localparam ST_INIT    = 3'd0;
+    localparam ST_IDLE    = 3'd1;
+    localparam ST_ACTIVE  = 3'd2;
+    localparam ST_RW      = 3'd3;
+    localparam ST_REFRESH = 3'd4;
+
+    localparam CMD_NOP      = 4'd0;
+    localparam CMD_ACTIVE   = 4'd3;
+    localparam CMD_READ     = 4'd5;
+    localparam CMD_WRITE    = 4'd4;
+    localparam CMD_REFRESH  = 4'd1;
+    localparam CMD_PRECHARGE = 4'd2;
+
+    reg [2:0]  state;
+    reg [7:0]  init_cnt;
+    reg [7:0]  refresh_cnt;
+    reg [15:0] wr_data_r;
+    reg [15:0] rd_data_r;
+    reg [15:0] row_buf;
+    reg        we_r;
+
+    assign rdata = rd_data_r;
+
+    always @(posedge clk) begin
+        if (!rst_n) begin
+            state <= ST_INIT;
+            init_cnt <= 8'd0;
+            refresh_cnt <= 8'd0;
+            rd_data_r <= wdata;
+            row_buf <= 16'd0;
+            we_r <= 1'b0;
+            ack <= 1'b0;
+            ready <= 1'b0;
+        end else begin
+            ack <= 1'b0;
+            refresh_cnt <= refresh_cnt + 1;
+            case (state)
+                ST_INIT: begin
+                    init_cnt <= init_cnt + 1;
+                    if (init_cnt == 8'd20) begin
+                        state <= ST_IDLE;
+                        ready <= 1'b1;
+                    end
+                end
+                ST_IDLE: begin
+                    if (refresh_cnt >= 8'd100) begin
+                        refresh_cnt <= 8'd0;
+                        state <= ST_REFRESH;
+                    end else if (req) begin
+                        wr_data_r <= wdata;
+                        we_r <= we;
+                        state <= ST_ACTIVE;
+                    end
+                end
+                ST_ACTIVE: begin
+                    state <= ST_RW;
+                end
+                ST_RW: begin
+                    if (we_r) begin
+                        row_buf <= wr_data_r;
+                    end else begin
+                        rd_data_r <= row_buf;
+                    end
+                    ack <= 1'b1;
+                    state <= ST_IDLE;
+                end
+                ST_REFRESH: begin
+                    state <= ST_IDLE;
+                end
+                default: begin
+                    state <= ST_IDLE;
+                end
+            endcase
+        end
+    end
+
+    always @(*) begin
+        case (state)
+            ST_INIT:    cmd = CMD_PRECHARGE;
+            ST_IDLE:    cmd = CMD_NOP;
+            ST_ACTIVE:  cmd = CMD_ACTIVE;
+            ST_RW:      cmd = we_r ? CMD_WRITE : CMD_READ;
+            ST_REFRESH: cmd = CMD_REFRESH;
+            default:    cmd = CMD_NOP;
+        endcase
+    end
+
+endmodule

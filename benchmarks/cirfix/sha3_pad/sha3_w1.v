@@ -1,0 +1,65 @@
+// sha3_w1: off-by-one error in the byte-swap loop — only three of
+// the four bytes are processed, so the top byte of each word is
+// dropped.  Loop bounds must stay compile-time constants, so no
+// repair template can express this fix.
+module sha3_pad (
+    input  wire         clk,
+    input  wire         reset,
+    input  wire [31:0]  in,
+    input  wire         in_ready,
+    input  wire         is_last,
+    output wire         buffer_full,
+    output reg  [127:0] out,
+    output reg          out_ready,
+    output wire [2:0]   fill_level,
+    input  wire         out_ack
+);
+
+    reg [127:0] buffer;
+    reg [2:0]   count;
+    reg         done;
+
+    assign fill_level = count;
+
+    assign buffer_full = (count == 3'd4);
+
+    wire accept = in_ready & (~buffer_full) & (~done);
+
+    // Byte-swap the incoming word (unrolled at elaboration).
+    reg [31:0] wswap;
+    integer i;
+    always @(*) begin
+        wswap = 32'd0;
+        for (i = 0; i < 3; i = i + 1) begin
+            wswap = wswap |
+                (((in >> (8 * i)) & 32'h000000ff) << (8 * (3 - i)));
+        end
+    end
+
+    always @(posedge clk) begin
+        if (reset) begin
+            buffer <= 128'd0;
+            count <= 3'd0;
+            done <= 1'b0;
+            out <= 128'd0;
+            out_ready <= 1'b0;
+        end else begin
+            if (accept) begin
+                buffer <= {buffer[95:0], wswap};
+                count <= count + 1;
+                if (is_last) begin
+                    done <= 1'b1;
+                end
+            end
+            if (buffer_full & (~out_ready)) begin
+                out <= buffer;
+                out_ready <= 1'b1;
+            end
+            if (out_ack) begin
+                out_ready <= 1'b0;
+                count <= 3'd0;
+            end
+        end
+    end
+
+endmodule

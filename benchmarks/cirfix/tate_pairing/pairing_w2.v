@@ -1,0 +1,83 @@
+// pairing_w2: incorrect instantiation of modules — the accumulator
+// and multiplicand ports of the step module are swapped.
+module gf2_step #(
+    parameter WIDTH = 64
+) (
+    input  wire [WIDTH-1:0] acc,
+    input  wire [WIDTH-1:0] multiplicand,
+    input  wire             bit_in,
+    output wire [WIDTH-1:0] acc_next
+);
+
+    wire [WIDTH-1:0] shifted = acc << 1;
+    wire [WIDTH-1:0] reduced =
+        acc[WIDTH-1] ? (shifted ^ 64'h000000000000001b) : shifted;
+    assign acc_next = bit_in ? (reduced ^ multiplicand) : reduced;
+
+endmodule
+
+module tate_pairing (
+    input  wire        clk,
+    input  wire        rst,
+    input  wire        start,
+    input  wire [63:0] a,
+    input  wire [63:0] b,
+    input  wire        report,
+    output reg  [63:0] result,
+    output reg         valid,
+    output reg         busy,
+    output wire [63:0] digest
+);
+
+    reg [63:0] acc;
+    reg [63:0] areg;
+    reg [63:0] breg;
+    reg [6:0]  cnt;
+    reg [63:0] chk;
+
+    wire [63:0] step_out;
+
+    gf2_step #(.WIDTH(64)) step_i (
+        .acc(breg),
+        .multiplicand(acc),
+        .bit_in(areg[63]),
+        .acc_next(step_out)
+    );
+
+    assign digest = report ? chk : 64'd0;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            acc <= 64'd0;
+            areg <= 64'd0;
+            breg <= 64'd0;
+            cnt <= 7'd0;
+            chk <= 64'd0;
+            result <= 64'd0;
+            valid <= 1'b0;
+            busy <= 1'b0;
+        end else begin
+            valid <= 1'b0;
+            if (!busy) begin
+                if (start) begin
+                    acc <= 64'd0;
+                    areg <= a;
+                    breg <= b;
+                    cnt <= 7'd64;
+                    busy <= 1'b1;
+                end
+            end else begin
+                acc <= step_out;
+                areg <= {areg[62:0], 1'b0};
+                cnt <= cnt - 1;
+                if (cnt == 7'd1) begin
+                    busy <= 1'b0;
+                    valid <= 1'b1;
+                    result <= step_out;
+                    chk <= {chk[62:0], chk[63]} ^ step_out;
+                end
+            end
+        end
+    end
+
+endmodule

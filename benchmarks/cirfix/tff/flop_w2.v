@@ -1,0 +1,21 @@
+// flop_w2: the two branches of the reset if-statement are swapped.
+module tff (
+    input  wire clk,
+    input  wire rstn,
+    input  wire t,
+    output reg  q
+);
+
+    always @(posedge clk) begin
+        if (!rstn) begin
+            if (t) begin
+                q <= ~q;
+            end else begin
+                q <= q;
+            end
+        end else begin
+            q <= 1'b0;
+        end
+    end
+
+endmodule

@@ -1,0 +1,21 @@
+// Toggle flip-flop with synchronous active-low reset.
+module tff (
+    input  wire clk,
+    input  wire rstn,
+    input  wire t,
+    output reg  q
+);
+
+    always @(posedge clk) begin
+        if (!rstn) begin
+            q <= 1'b0;
+        end else begin
+            if (t) begin
+                q <= ~q;
+            end else begin
+                q <= q;
+            end
+        end
+    end
+
+endmodule

@@ -1,0 +1,63 @@
+// S1.B: write-channel protocol violations — the address/data
+// handshake ignores pending write responses and the response is
+// raised without waiting for the data beat (two dropped conjuncts).
+module axilite (
+    input  wire       clk,
+    input  wire       rstn,
+    input  wire       arvalid,
+    input  wire       rready,
+    input  wire       awvalid,
+    input  wire       wvalid,
+    input  wire       bready,
+    output reg        arready,
+    output reg        rvalid,
+    output reg  [7:0] rdata,
+    output reg        awready,
+    output reg        wready,
+    output reg        bvalid
+);
+
+    always @(posedge clk) begin
+        if (!rstn) begin
+            arready <= 1'b0;
+            rvalid <= 1'b0;
+            rdata <= 8'd0;
+            awready <= 1'b0;
+            wready <= 1'b0;
+            bvalid <= 1'b0;
+        end else begin
+            // Read address channel: only accept a new address when
+            // the previous read data has been (or is being) drained.
+            if ((~arready) && arvalid && ((!rvalid) || rready)) begin
+                arready <= 1'b1;
+            end else begin
+                arready <= 1'b0;
+            end
+
+            // Read data channel.
+            if (arready && arvalid && (!rvalid)) begin
+                rvalid <= 1'b1;
+                rdata <= rdata + 8'd1;
+            end else if (rvalid && rready) begin
+                rvalid <= 1'b0;
+            end
+
+            // Write channel handshake.
+            if ((~awready) && awvalid && wvalid) begin
+                awready <= 1'b1;
+                wready <= 1'b1;
+            end else begin
+                awready <= 1'b0;
+                wready <= 1'b0;
+            end
+
+            // Write response channel.
+            if (awready && awvalid && wvalid && (!bvalid)) begin
+                bvalid <= 1'b1;
+            end else if (bvalid && bready) begin
+                bvalid <= 1'b0;
+            end
+        end
+    end
+
+endmodule

@@ -1,0 +1,38 @@
+// D12: failure-to-update — the combinational default of
+// drop_frame_next holds the previous registered value instead of
+// clearing, so a drop condition latches forever (Fig. 9).
+module axis_fifo (
+    input  wire       clk,
+    input  wire       rst,
+    input  wire       in_valid,
+    input  wire       in_last,
+    input  wire       out_ready,
+    output reg  [4:0] count,
+    output reg        drop_frame
+);
+
+    reg  drop_frame_next;
+    wire full = (count >= 5'd12);
+
+    always @(*) begin
+        drop_frame_next = drop_frame;
+        if (in_valid & full & (~in_last)) begin
+            drop_frame_next = 1'b1;
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            count <= 5'd0;
+            drop_frame <= 1'b0;
+        end else begin
+            drop_frame <= drop_frame_next;
+            if (in_valid & (~full)) begin
+                count <= count + 1;
+            end else if (out_ready & (count != 5'd0)) begin
+                count <= count - 1;
+            end
+        end
+    end
+
+endmodule

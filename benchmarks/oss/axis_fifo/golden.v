@@ -1,0 +1,37 @@
+// AXI-Stream FIFO occupancy/drop tracker (re-authored from the D12
+// "AXIS FIFO — Failure-to-Update" bug of Ma et al.'s bug set).
+module axis_fifo (
+    input  wire       clk,
+    input  wire       rst,
+    input  wire       in_valid,
+    input  wire       in_last,
+    input  wire       out_ready,
+    output reg  [4:0] count,
+    output reg        drop_frame
+);
+
+    reg  drop_frame_next;
+    wire full = (count >= 5'd12);
+
+    always @(*) begin
+        drop_frame_next = 1'b0;
+        if (in_valid & full & (~in_last)) begin
+            drop_frame_next = 1'b1;
+        end
+    end
+
+    always @(posedge clk) begin
+        if (rst) begin
+            count <= 5'd0;
+            drop_frame <= 1'b0;
+        end else begin
+            drop_frame <= drop_frame_next;
+            if (in_valid & (~full)) begin
+                count <= count + 1;
+            end else if (out_ready & (count != 5'd0)) begin
+                count <= count - 1;
+            end
+        end
+    end
+
+endmodule

@@ -1,0 +1,41 @@
+// D11: failure-to-update — the reset branch forgets to clear the
+// write pointer and the drop flag, so the FIFO can come up dropping
+// (Fig. 9: the repair re-inserts an assignment to drop_frame).
+module axis_frame_fifo (
+    input  wire       clk,
+    input  wire       rst,
+    input  wire       in_valid,
+    input  wire       in_last,
+    input  wire       frame_bad,
+    output reg        drop_frame,
+    output reg  [4:0] frames
+);
+
+    reg [4:0] wr_ptr;
+
+    wire full = (wr_ptr >= 5'd24);
+
+    always @(posedge clk) begin
+        if (rst) begin
+            frames <= 5'd0;
+        end else begin
+            if (in_valid) begin
+                if (drop_frame) begin
+                    if (in_last) begin
+                        drop_frame <= 1'b0;
+                    end
+                end else begin
+                    if (frame_bad | full) begin
+                        drop_frame <= 1'b1;
+                    end else begin
+                        wr_ptr <= wr_ptr + 1;
+                        if (in_last) begin
+                            frames <= frames + 1;
+                        end
+                    end
+                end
+            end
+        end
+    end
+
+endmodule

@@ -1,0 +1,26 @@
+// D8: misindexing — the stride constants of the two flattened
+// handshake matrices are swapped (S_COUNT where M_COUNT belongs and
+// vice versa), exactly the bug class of Fig. 9 in the paper.
+module axis_switch (
+    input  wire [5:0] int_tvalid,
+    input  wire [5:0] int_tready,
+    input  wire [1:0] select_0,
+    input  wire [1:0] select_1,
+    input  wire [1:0] route_0,
+    input  wire [1:0] route_1,
+    input  wire [1:0] route_2,
+    output wire       m_valid_0,
+    output wire       m_valid_1,
+    output wire       s_ready_0,
+    output wire       s_ready_1,
+    output wire       s_ready_2
+);
+
+    assign m_valid_0 = int_tvalid[select_0 * 3 + 0];
+    assign m_valid_1 = int_tvalid[select_1 * 3 + 1];
+
+    assign s_ready_0 = int_tready[route_0 * 2 + 0];
+    assign s_ready_1 = int_tready[route_1 * 3 + 1];
+    assign s_ready_2 = int_tready[route_2 * 3 + 2];
+
+endmodule

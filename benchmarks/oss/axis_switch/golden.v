@@ -1,0 +1,28 @@
+// AXI-Stream style 3x2 switch routing core (re-authored from the
+// D8 "AXI-Stream Switch — Misindexing" bug of Ma et al.'s bug set).
+// Flattened handshake matrices are indexed with explicit strides:
+//   int_tvalid is laid out [source*2 + output]   (stride M_COUNT = 2)
+//   int_tready is laid out [output*3 + source]   (stride S_COUNT = 3)
+module axis_switch (
+    input  wire [5:0] int_tvalid,
+    input  wire [5:0] int_tready,
+    input  wire [1:0] select_0,
+    input  wire [1:0] select_1,
+    input  wire [1:0] route_0,
+    input  wire [1:0] route_1,
+    input  wire [1:0] route_2,
+    output wire       m_valid_0,
+    output wire       m_valid_1,
+    output wire       s_ready_0,
+    output wire       s_ready_1,
+    output wire       s_ready_2
+);
+
+    assign m_valid_0 = int_tvalid[select_0 * 2 + 0];
+    assign m_valid_1 = int_tvalid[select_1 * 2 + 1];
+
+    assign s_ready_0 = int_tready[route_0 * 3 + 0];
+    assign s_ready_1 = int_tready[route_1 * 3 + 1];
+    assign s_ready_2 = int_tready[route_2 * 3 + 2];
+
+endmodule

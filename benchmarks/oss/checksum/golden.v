@@ -1,0 +1,36 @@
+// Streaming checksum unit (hosts the S3 bug of Ma et al.'s bug set).
+// Two-stage one's-complement style accumulate: stage one adds the
+// incoming byte, stage two folds the carry range back into 16 bits.
+module checksum (
+    input  wire        clk,
+    input  wire        rst,
+    input  wire        in_valid,
+    input  wire [7:0]  in_data,
+    output reg  [15:0] sum
+);
+
+    reg [15:0] partial;
+    reg        fold_pending;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            sum <= 16'd0;
+            partial <= 16'd0;
+            fold_pending <= 1'b0;
+        end else begin
+            if (in_valid) begin
+                partial <= sum + in_data;
+                fold_pending <= 1'b1;
+            end
+            if (fold_pending) begin
+                if (partial >= 16'd240) begin
+                    sum <= partial + 16'd1 - 16'd240;
+                end else begin
+                    sum <= partial;
+                end
+                fold_pending <= 1'b0;
+            end
+        end
+    end
+
+endmodule

@@ -1,0 +1,35 @@
+// S3: the fold stage uses wrong range and correction constants (the
+// original project's fix rewrote this whole block).
+module checksum (
+    input  wire        clk,
+    input  wire        rst,
+    input  wire        in_valid,
+    input  wire [7:0]  in_data,
+    output reg  [15:0] sum
+);
+
+    reg [15:0] partial;
+    reg        fold_pending;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            sum <= 16'd0;
+            partial <= 16'd0;
+            fold_pending <= 1'b0;
+        end else begin
+            if (in_valid) begin
+                partial <= sum + in_data;
+                fold_pending <= 1'b1;
+            end
+            if (fold_pending) begin
+                if (partial >= 16'd224) begin
+                    sum <= partial + 16'd2 - 16'd224;
+                end else begin
+                    sum <= partial;
+                end
+                fold_pending <= 1'b0;
+            end
+        end
+    end
+
+endmodule

@@ -1,0 +1,37 @@
+// D9: inverted drift correction — the periodic adjustment is
+// applied with the wrong sign, a divergence that only becomes
+// observable thousands of cycles into the half-million-cycle
+// testbench.
+module ptp_clock (
+    input  wire        clk,
+    input  wire        rst,
+    input  wire        drift_dir,
+    output reg  [31:0] ns_count,
+    output reg         pps
+);
+
+    reg [11:0] drift_cnt;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            ns_count <= 32'd0;
+            drift_cnt <= 12'd0;
+            pps <= 1'b0;
+        end else begin
+            drift_cnt <= drift_cnt + 1;
+            if (drift_cnt == 12'd4095) begin
+                // Periodic drift correction: one extra or one fewer
+                // nanosecond, depending on the measured direction.
+                if (drift_dir) begin
+                    ns_count <= ns_count + 32'd8 - 32'd1;
+                end else begin
+                    ns_count <= ns_count + 32'd8 + 32'd1;
+                end
+            end else begin
+                ns_count <= ns_count + 32'd8;
+            end
+            pps <= (ns_count[19:0] < 20'd8);
+        end
+    end
+
+endmodule

@@ -1,0 +1,29 @@
+// D13: failure-to-update — the trigger branch neither starts the
+// pulse nor loads the width counter (three lines collapsed into a
+// stale hold).
+module pulse_gen (
+    input  wire       clk,
+    input  wire       rst,
+    input  wire       trigger,
+    output reg        pulse,
+    output reg  [1:0] width_cnt
+);
+
+    always @(posedge clk) begin
+        if (rst) begin
+            pulse <= 1'b0;
+            width_cnt <= 2'd0;
+        end else begin
+            if (trigger && (!pulse)) begin
+                width_cnt <= width_cnt;
+            end else if (pulse) begin
+                if (width_cnt == 2'd0) begin
+                    pulse <= 1'b0;
+                end else begin
+                    width_cnt <= width_cnt - 1;
+                end
+            end
+        end
+    end
+
+endmodule

@@ -1,0 +1,30 @@
+// Triggered pulse generator (hosts the D13 bug of Ma et al.'s bug
+// set: a three-line failure-to-update defect in a tiny module with a
+// six-step testbench).
+module pulse_gen (
+    input  wire       clk,
+    input  wire       rst,
+    input  wire       trigger,
+    output reg        pulse,
+    output reg  [1:0] width_cnt
+);
+
+    always @(posedge clk) begin
+        if (rst) begin
+            pulse <= 1'b0;
+            width_cnt <= 2'd0;
+        end else begin
+            if (trigger && (!pulse)) begin
+                pulse <= 1'b1;
+                width_cnt <= 2'd2;
+            end else if (pulse) begin
+                if (width_cnt == 2'd0) begin
+                    pulse <= 1'b0;
+                end else begin
+                    width_cnt <= width_cnt - 1;
+                end
+            end
+        end
+    end
+
+endmodule

@@ -1,0 +1,71 @@
+// C1: deadlock — the byte shifter advances without waiting for the
+// rate-limiter strobe (the `&& r_z_counter` conjunct is missing), so
+// the bit counter runs off against the divided clock and the
+// transfer never completes cleanly (Fig. 9).
+module sdspi (
+    input  wire       clk,
+    input  wire       rst,
+    input  wire       request,
+    input  wire [7:0] tx_byte,
+    output reg        busy,
+    output reg        mosi,
+    output reg        byte_done
+);
+
+    reg       startup_hold;
+    reg [4:0] startup_cnt;
+    reg [2:0] bitpos;
+    reg [7:0] shifter;
+    reg       r_z_counter;
+    reg [3:0] z_cnt;
+    reg       byte_accepted;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            startup_hold <= 1'b1;
+            startup_cnt <= 5'd20;
+            bitpos <= 3'd0;
+            shifter <= 8'hff;
+            r_z_counter <= 1'b0;
+            z_cnt <= 4'd3;
+            busy <= 1'b0;
+            mosi <= 1'b1;
+            byte_done <= 1'b0;
+            byte_accepted <= 1'b0;
+        end else begin
+            // Rate limiter: one-cycle strobe every four cycles.
+            if (z_cnt == 4'd0) begin
+                r_z_counter <= 1'b1;
+                z_cnt <= 4'd3;
+            end else begin
+                r_z_counter <= 1'b0;
+                z_cnt <= z_cnt - 1;
+            end
+
+            byte_done <= 1'b0;
+            byte_accepted <= 1'b0;
+
+            if (startup_hold && r_z_counter) begin
+                startup_cnt <= startup_cnt - 1;
+                if (startup_cnt == 5'd1) begin
+                    startup_hold <= 1'b0;
+                end
+            end else if (request && (!busy) && (!startup_hold)) begin
+                busy <= 1'b1;
+                shifter <= tx_byte;
+                bitpos <= 3'd7;
+                byte_accepted <= 1'b1;
+            end else if (busy) begin
+                mosi <= shifter[7];
+                shifter <= {shifter[6:0], 1'b1};
+                if (bitpos == 3'd0) begin
+                    busy <= 1'b0;
+                    byte_done <= 1'b1;
+                end else begin
+                    bitpos <= bitpos - 1;
+                end
+            end
+        end
+    end
+
+endmodule

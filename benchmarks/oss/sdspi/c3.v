@@ -1,0 +1,67 @@
+// C3: the entire startup hold-off countdown is replaced by an
+// immediate release — a seven-line deletion no single-template
+// repair can reconstruct.
+module sdspi (
+    input  wire       clk,
+    input  wire       rst,
+    input  wire       request,
+    input  wire [7:0] tx_byte,
+    output reg        busy,
+    output reg        mosi,
+    output reg        byte_done
+);
+
+    reg       startup_hold;
+    reg [4:0] startup_cnt;
+    reg [2:0] bitpos;
+    reg [7:0] shifter;
+    reg       r_z_counter;
+    reg [3:0] z_cnt;
+    reg       byte_accepted;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            startup_hold <= 1'b1;
+            startup_cnt <= 5'd20;
+            bitpos <= 3'd0;
+            shifter <= 8'hff;
+            r_z_counter <= 1'b0;
+            z_cnt <= 4'd3;
+            busy <= 1'b0;
+            mosi <= 1'b1;
+            byte_done <= 1'b0;
+            byte_accepted <= 1'b0;
+        end else begin
+            // Rate limiter: one-cycle strobe every four cycles.
+            if (z_cnt == 4'd0) begin
+                r_z_counter <= 1'b1;
+                z_cnt <= 4'd3;
+            end else begin
+                r_z_counter <= 1'b0;
+                z_cnt <= z_cnt - 1;
+            end
+
+            byte_done <= 1'b0;
+            byte_accepted <= 1'b0;
+
+            if (startup_hold) begin
+                startup_hold <= 1'b0;
+            end else if (request && (!busy) && (!startup_hold)) begin
+                busy <= 1'b1;
+                shifter <= tx_byte;
+                bitpos <= 3'd7;
+                byte_accepted <= 1'b1;
+            end else if (busy && r_z_counter) begin
+                mosi <= shifter[7];
+                shifter <= {shifter[6:0], 1'b1};
+                if (bitpos == 3'd0) begin
+                    busy <= 1'b0;
+                    byte_done <= 1'b1;
+                end else begin
+                    bitpos <= bitpos - 1;
+                end
+            end
+        end
+    end
+
+endmodule

@@ -1,0 +1,75 @@
+// D4: a broad refactoring defect — the transmit engine was rewritten
+// with MSB-first ordering, inverted framing, a different baud
+// divider, and reshuffled state updates.  Dozens of lines differ
+// from the ground truth; no small set of template changes can
+// reconstruct the original behaviour.
+module uart_tx (
+    input  wire       clk,
+    input  wire       rst,
+    input  wire       send,
+    input  wire [7:0] data,
+    output reg        tx,
+    output reg        busy
+);
+
+    localparam ST_IDLE  = 2'd0;
+    localparam ST_START = 2'd1;
+    localparam ST_DATA  = 2'd2;
+    localparam ST_STOP  = 2'd3;
+
+    reg [1:0] state;
+    reg [2:0] bitpos;
+    reg [7:0] shifter;
+    reg [1:0] baud_cnt;
+
+    wire baud_tick = (baud_cnt == 2'd1);
+
+    always @(posedge clk) begin
+        if (rst) begin
+            state <= ST_IDLE;
+            bitpos <= 3'd7;
+            shifter <= 8'hff;
+            baud_cnt <= 2'd0;
+            tx <= 1'b0;
+            busy <= 1'b0;
+        end else begin
+            baud_cnt <= baud_cnt + 1;
+            case (state)
+                ST_IDLE: begin
+                    tx <= 1'b0;
+                    if (send) begin
+                        shifter <= ~data;
+                        busy <= 1'b1;
+                        state <= ST_START;
+                    end
+                end
+                ST_START: begin
+                    tx <= 1'b1;
+                    if (baud_tick) begin
+                        bitpos <= 3'd7;
+                        state <= ST_DATA;
+                    end
+                end
+                ST_DATA: begin
+                    tx <= shifter[7];
+                    if (baud_tick) begin
+                        shifter <= {shifter[6:0], 1'b1};
+                        if (bitpos == 3'd0) begin
+                            state <= ST_STOP;
+                        end else begin
+                            bitpos <= bitpos - 1;
+                        end
+                    end
+                end
+                ST_STOP: begin
+                    tx <= 1'b0;
+                    if (baud_tick) begin
+                        busy <= 1'b0;
+                        state <= ST_IDLE;
+                    end
+                end
+            endcase
+        end
+    end
+
+endmodule

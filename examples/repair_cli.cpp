@@ -1,0 +1,105 @@
+// repair_cli: the RTL-Repair tool as a command-line utility, the
+// shape a downstream user would integrate into a flow:
+//
+//   repair_cli <buggy.v> <trace.csv> [--timeout S] [--zero-x]
+//              [--out repaired.v]
+//
+// The trace CSV uses `in:`/`out:` prefixed column headers and binary
+// cell values with x for don't-cares (see trace/io_trace.hpp); it is
+// the same format the benchmark registry can export.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "repair/driver.hpp"
+#include "util/logging.hpp"
+#include "verilog/ast_util.hpp"
+#include "verilog/parser.hpp"
+#include "verilog/printer.hpp"
+
+using namespace rtlrepair;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: %s <buggy.v> <trace.csv> [--timeout S] "
+                     "[--zero-x] [--out repaired.v]\n",
+                     argv[0]);
+        return 2;
+    }
+    std::string verilog_path = argv[1];
+    std::string trace_path = argv[2];
+    repair::RepairConfig config;
+    std::string out_path;
+    for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
+            config.timeout_seconds = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--zero-x") == 0) {
+            config.x_policy = sim::XPolicy::Zero;
+        } else if (std::strcmp(argv[i], "--out") == 0 &&
+                   i + 1 < argc) {
+            out_path = argv[++i];
+        }
+    }
+
+    try {
+        verilog::SourceFile file =
+            verilog::parseFile(verilog_path);
+        std::ifstream trace_in(trace_path);
+        if (!trace_in) {
+            std::fprintf(stderr, "cannot open trace: %s\n",
+                         trace_path.c_str());
+            return 2;
+        }
+        std::ostringstream buf;
+        buf << trace_in.rdbuf();
+        trace::IoTrace io = trace::IoTrace::fromCsv(buf.str());
+
+        std::vector<const verilog::Module *> library;
+        for (const auto &m : file.modules) {
+            if (m.get() != &file.top())
+                library.push_back(m.get());
+        }
+        repair::RepairOutcome outcome = repair::repairDesign(
+            file.top(), library, io, config);
+
+        using Status = repair::RepairOutcome::Status;
+        switch (outcome.status) {
+          case Status::Repaired:
+            std::printf("status: repaired (%d changes, %.2fs, %s)\n",
+                        outcome.changes + outcome.preprocess_changes,
+                        outcome.seconds,
+                        outcome.template_name.c_str());
+            std::printf("%s", verilog::formatDiff(
+                                  verilog::diffLines(
+                                      print(file.top()),
+                                      print(*outcome.repaired)))
+                                  .c_str());
+            if (!out_path.empty()) {
+                std::ofstream out(out_path);
+                out << print(*outcome.repaired);
+                std::printf("wrote %s\n", out_path.c_str());
+            }
+            return 0;
+          case Status::NoRepair:
+            std::printf("status: cannot repair (%.2fs)\n%s",
+                        outcome.seconds, outcome.detail.c_str());
+            return 1;
+          case Status::Timeout:
+            std::printf("status: timeout after %.2fs\n",
+                        outcome.seconds);
+            return 1;
+          case Status::CannotSynthesize:
+            std::printf("status: design is not synthesizable\n%s",
+                        outcome.detail.c_str());
+            return 1;
+        }
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+    return 1;
+}

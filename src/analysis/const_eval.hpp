@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Compile-time constant evaluation of AST expressions.
+ *
+ * Used to resolve parameter values, declaration ranges, replication
+ * counts, and for-loop bounds during elaboration.
+ */
+#ifndef RTLREPAIR_ANALYSIS_CONST_EVAL_HPP
+#define RTLREPAIR_ANALYSIS_CONST_EVAL_HPP
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "bv/value.hpp"
+#include "verilog/ast.hpp"
+
+namespace rtlrepair::analysis {
+
+/** Environment of named compile-time constants (parameters, genvars). */
+using ConstEnv = std::map<std::string, bv::Value>;
+
+/**
+ * Evaluate @p expr as a constant under @p env.
+ * @return the value, or std::nullopt if the expression references
+ *         non-constant state.
+ * @throws FatalError on malformed constant arithmetic (e.g. a
+ *         replication with unknown count).
+ */
+std::optional<bv::Value> tryConstEval(const verilog::Expr &expr,
+                                      const ConstEnv &env);
+
+/** Like tryConstEval but throws FatalError if non-constant. */
+bv::Value constEval(const verilog::Expr &expr, const ConstEnv &env);
+
+/** Evaluate to a plain int64 (for ranges and loop bounds). */
+int64_t constEvalInt(const verilog::Expr &expr, const ConstEnv &env);
+
+} // namespace rtlrepair::analysis
+
+#endif // RTLREPAIR_ANALYSIS_CONST_EVAL_HPP

@@ -1,0 +1,165 @@
+#include "analysis/dependencies.hpp"
+
+#include <functional>
+
+#include "analysis/process_info.hpp"
+#include "verilog/ast_util.hpp"
+
+namespace rtlrepair::analysis {
+
+using namespace verilog;
+
+const std::set<std::string> DependencyGraph::_empty;
+
+DependencyGraph
+DependencyGraph::build(const Module &module)
+{
+    DependencyGraph graph;
+    for (const auto &item : module.items) {
+        if (item->kind == Item::Kind::ContAssign) {
+            const auto &a = static_cast<const ContAssign &>(*item);
+            std::string target = lhsBaseName(*a.lhs);
+            collectIdents(*a.rhs, graph._deps[target]);
+        } else if (item->kind == Item::Kind::Always) {
+            const auto &blk = static_cast<const AlwaysBlock &>(*item);
+            ProcessInfo info = analyzeProcess(blk);
+            if (info.kind != ProcessInfo::Kind::Combinational)
+                continue;
+            // Conservative: every assigned signal depends on every
+            // signal read anywhere in the process (control deps
+            // included), which over-approximates true dataflow.
+            for (const auto &target : info.assigned) {
+                auto &deps = graph._deps[target];
+                for (const auto &src : info.read) {
+                    if (src != target)
+                        deps.insert(src);
+                }
+            }
+        }
+    }
+    return graph;
+}
+
+const std::set<std::string> &
+DependencyGraph::directDeps(const std::string &name) const
+{
+    auto it = _deps.find(name);
+    return it == _deps.end() ? _empty : it->second;
+}
+
+std::set<std::string>
+DependencyGraph::transitiveDeps(const std::string &name) const
+{
+    std::set<std::string> seen;
+    std::vector<std::string> todo(directDeps(name).begin(),
+                                  directDeps(name).end());
+    while (!todo.empty()) {
+        std::string cur = todo.back();
+        todo.pop_back();
+        if (!seen.insert(cur).second)
+            continue;
+        for (const auto &next : directDeps(cur))
+            todo.push_back(next);
+    }
+    return seen;
+}
+
+bool
+DependencyGraph::isCombDriven(const std::string &name) const
+{
+    return _deps.count(name) > 0;
+}
+
+bool
+DependencyGraph::wouldCreateCycle(const std::string &target,
+                                  const std::string &candidate) const
+{
+    if (target == candidate)
+        return true;
+    if (!isCombDriven(target))
+        return false; // registers break the cycle
+    std::set<std::string> reach = transitiveDeps(candidate);
+    return reach.count(target) > 0;
+}
+
+bool
+DependencyGraph::subsetRuleAllows(const std::string &target,
+                                  const std::string &candidate) const
+{
+    if (!isCombDriven(target))
+        return true; // synchronous dependencies are ignored
+    std::set<std::string> target_deps = transitiveDeps(target);
+    if (candidate != target && !target_deps.count(candidate)) {
+        // Adding a brand-new leaf dependency is fine as long as the
+        // candidate itself has no further combinational fan-in that
+        // leaves the target's cone.
+        std::set<std::string> cand_deps = transitiveDeps(candidate);
+        for (const auto &dep : cand_deps) {
+            if (!target_deps.count(dep) && dep != candidate)
+                return false;
+        }
+        return !cand_deps.count(target) && candidate != target;
+    }
+    std::set<std::string> cand_deps = transitiveDeps(candidate);
+    for (const auto &dep : cand_deps) {
+        if (!target_deps.count(dep))
+            return false;
+    }
+    return !cand_deps.count(target);
+}
+
+void
+DependencyGraph::addDependency(const std::string &target,
+                               const std::string &dep)
+{
+    if (target != dep)
+        _deps[target].insert(dep);
+}
+
+std::optional<std::vector<std::string>>
+DependencyGraph::findCycle() const
+{
+    enum class Mark { White, Grey, Black };
+    std::map<std::string, Mark> marks;
+    std::vector<std::string> path;
+    std::optional<std::vector<std::string>> result;
+
+    std::function<bool(const std::string &)> visit =
+        [&](const std::string &node) -> bool {
+        Mark &mark = marks[node];
+        if (mark == Mark::Grey) {
+            // Extract the cycle from the current path.
+            std::vector<std::string> cycle;
+            bool in_cycle = false;
+            for (const auto &p : path) {
+                if (p == node)
+                    in_cycle = true;
+                if (in_cycle)
+                    cycle.push_back(p);
+            }
+            cycle.push_back(node);
+            result = cycle;
+            return true;
+        }
+        if (mark == Mark::Black)
+            return false;
+        mark = Mark::Grey;
+        path.push_back(node);
+        for (const auto &next : directDeps(node)) {
+            if (_deps.count(next) && visit(next))
+                return true;
+        }
+        path.pop_back();
+        marks[node] = Mark::Black;
+        return false;
+    };
+
+    for (const auto &[node, deps] : _deps) {
+        (void)deps;
+        if (visit(node))
+            return result;
+    }
+    return std::nullopt;
+}
+
+} // namespace rtlrepair::analysis

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Combinational dependency graph over module signals.
+ *
+ * The Add Guard repair template must not create combinational cycles
+ * (paper Fig. 5): a candidate guard signal is only legal for a
+ * combinationally-driven target if it does not close a cycle.
+ * Synchronous (register) dependencies are ignored, as in the paper.
+ */
+#ifndef RTLREPAIR_ANALYSIS_DEPENDENCIES_HPP
+#define RTLREPAIR_ANALYSIS_DEPENDENCIES_HPP
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "verilog/ast.hpp"
+
+namespace rtlrepair::analysis {
+
+/** Directed graph: signal -> signals it combinationally depends on. */
+class DependencyGraph
+{
+  public:
+    /** Build from continuous assigns and combinational processes. */
+    static DependencyGraph build(const verilog::Module &module);
+
+    /** Direct combinational dependencies of @p name (empty if none). */
+    const std::set<std::string> &directDeps(const std::string &name) const;
+
+    /** Transitive combinational dependencies of @p name. */
+    std::set<std::string> transitiveDeps(const std::string &name) const;
+
+    /** True if @p name is driven combinationally. */
+    bool isCombDriven(const std::string &name) const;
+
+    /**
+     * Would adding the edge @p target -> @p candidate close a
+     * combinational cycle?
+     */
+    bool wouldCreateCycle(const std::string &target,
+                          const std::string &candidate) const;
+
+    /**
+     * The paper's more conservative legality rule: the candidate's
+     * transitive dependencies must be a subset of the target's
+     * existing transitive dependencies.
+     */
+    bool subsetRuleAllows(const std::string &target,
+                          const std::string &candidate) const;
+
+    /** Any existing combinational cycle, as a signal list. */
+    std::optional<std::vector<std::string>> findCycle() const;
+
+    /**
+     * Record that @p target now combinationally reads @p dep (used by
+     * the Add Guard template, whose selector chains add real reads of
+     * every candidate — later legality checks must see those edges).
+     */
+    void addDependency(const std::string &target,
+                       const std::string &dep);
+
+  private:
+    std::map<std::string, std::set<std::string>> _deps;
+    static const std::set<std::string> _empty;
+};
+
+} // namespace rtlrepair::analysis
+
+#endif // RTLREPAIR_ANALYSIS_DEPENDENCIES_HPP

@@ -1,0 +1,236 @@
+#include "analysis/linter.hpp"
+
+#include <map>
+
+#include "analysis/process_info.hpp"
+#include "analysis/widths.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace rtlrepair::analysis {
+
+using namespace verilog;
+
+namespace {
+
+/** All signals assigned anywhere (after unrolling). */
+void
+collectMayAssign(const Stmt &stmt, std::set<std::string> &out)
+{
+    switch (stmt.kind) {
+      case Stmt::Kind::Block:
+        for (const auto &s : static_cast<const BlockStmt &>(stmt).stmts)
+            collectMayAssign(*s, out);
+        return;
+      case Stmt::Kind::If: {
+        const auto &i = static_cast<const IfStmt &>(stmt);
+        collectMayAssign(*i.then_stmt, out);
+        if (i.else_stmt)
+            collectMayAssign(*i.else_stmt, out);
+        return;
+      }
+      case Stmt::Kind::Case: {
+        const auto &c = static_cast<const CaseStmt &>(stmt);
+        for (const auto &item : c.items)
+            collectMayAssign(*item.body, out);
+        if (c.default_body)
+            collectMayAssign(*c.default_body, out);
+        return;
+      }
+      case Stmt::Kind::Assign: {
+        const auto &a = static_cast<const AssignStmt &>(stmt);
+        if (a.lhs->kind == Expr::Kind::Concat) {
+            for (const auto &part :
+                 static_cast<const ConcatExpr &>(*a.lhs).parts) {
+                out.insert(lhsBaseName(*part));
+            }
+        } else {
+            out.insert(lhsBaseName(*a.lhs));
+        }
+        return;
+      }
+      case Stmt::Kind::For:
+        collectMayAssign(*static_cast<const ForStmt &>(stmt).body,
+                         out);
+        return;
+      case Stmt::Kind::Empty:
+        return;
+    }
+}
+
+/** Signals assigned on *every* path through @p stmt. */
+std::set<std::string>
+mustAssign(const Stmt &stmt)
+{
+    switch (stmt.kind) {
+      case Stmt::Kind::Block: {
+        std::set<std::string> out;
+        for (const auto &s : static_cast<const BlockStmt &>(stmt).stmts) {
+            for (auto &name : mustAssign(*s))
+                out.insert(name);
+        }
+        return out;
+      }
+      case Stmt::Kind::If: {
+        const auto &i = static_cast<const IfStmt &>(stmt);
+        if (!i.else_stmt)
+            return {};
+        std::set<std::string> then_set = mustAssign(*i.then_stmt);
+        std::set<std::string> else_set = mustAssign(*i.else_stmt);
+        std::set<std::string> out;
+        for (const auto &name : then_set) {
+            if (else_set.count(name))
+                out.insert(name);
+        }
+        return out;
+      }
+      case Stmt::Kind::Case: {
+        const auto &c = static_cast<const CaseStmt &>(stmt);
+        if (!c.default_body || c.items.empty())
+            return {};  // conservatively treat as incomplete
+        std::set<std::string> out = mustAssign(*c.default_body);
+        for (const auto &item : c.items) {
+            std::set<std::string> arm = mustAssign(*item.body);
+            std::set<std::string> merged;
+            for (const auto &name : out) {
+                if (arm.count(name))
+                    merged.insert(name);
+            }
+            out = std::move(merged);
+        }
+        return out;
+      }
+      case Stmt::Kind::Assign: {
+        const auto &a = static_cast<const AssignStmt &>(stmt);
+        // Bit/part selects only cover part of the signal; treating
+        // them as full assignments here matches lint-tool behaviour.
+        return {lhsBaseName(*a.lhs)};
+      }
+      case Stmt::Kind::For:
+        // For-loops are unrolled before lint when bounds are static;
+        // a raw loop is treated conservatively.
+        return {};
+      case Stmt::Kind::Empty:
+        return {};
+    }
+    return {};
+}
+
+} // namespace
+
+std::vector<Lint>
+lint(const Module &module)
+{
+    std::vector<Lint> out;
+    std::map<std::string, int> driver_count;
+
+    SymbolTable table;
+    bool have_table = true;
+    try {
+        table = SymbolTable::build(module);
+    } catch (const FatalError &) {
+        have_table = false; // lint still works without widths
+    }
+    (void)have_table;
+
+    for (const auto &item : module.items) {
+        if (item->kind == Item::Kind::ContAssign) {
+            const auto &a = static_cast<const ContAssign &>(*item);
+            ++driver_count[lhsBaseName(*a.lhs)];
+            continue;
+        }
+        if (item->kind != Item::Kind::Always)
+            continue;
+        const auto &blk = static_cast<const AlwaysBlock &>(*item);
+        ProcessInfo info = analyzeProcess(blk);
+        for (const auto &name : info.assigned)
+            ++driver_count[name];
+
+        if (info.kind == ProcessInfo::Kind::Clocked) {
+            if (info.usesBlocking()) {
+                out.push_back(Lint{
+                    Lint::Kind::BlockingInClockedProcess, blk.id, "",
+                    format("process clocked by '%s' uses blocking "
+                           "assignments",
+                           info.clock.c_str())});
+            }
+        } else {
+            if (info.usesNonBlocking()) {
+                out.push_back(Lint{
+                    Lint::Kind::NonBlockingInCombProcess, blk.id, "",
+                    "combinational process uses non-blocking "
+                    "assignments"});
+            }
+            // Latch check: unroll loops on a clone, then compare
+            // may-assign against must-assign.
+            StmtPtr body = blk.body->clone();
+            try {
+                unrollFors(body, table.params());
+            } catch (const FatalError &) {
+                // leave as-is; mustAssign treats loops conservatively
+            }
+            std::set<std::string> must = mustAssign(*body);
+            std::set<std::string> may;
+            collectMayAssign(*body, may);
+            for (const auto &name : may) {
+                if (!must.count(name)) {
+                    out.push_back(Lint{Lint::Kind::InferredLatch, blk.id,
+                                       name,
+                                       format("latch inferred for '%s'",
+                                              name.c_str())});
+                }
+            }
+            // Incomplete sensitivity: only flagged for explicit
+            // level-sensitive lists (not @*).
+            if (!info.listed.empty()) {
+                for (const auto &name : info.read) {
+                    if (!info.listed.count(name) &&
+                        !info.assigned.count(name)) {
+                        out.push_back(Lint{
+                            Lint::Kind::IncompleteSensitivity, blk.id,
+                            name,
+                            format("signal '%s' read but not in "
+                                   "sensitivity list",
+                                   name.c_str())});
+                    }
+                }
+            }
+        }
+    }
+
+    for (const auto &[name, count] : driver_count) {
+        if (count > 1) {
+            out.push_back(Lint{Lint::Kind::MultipleDrivers,
+                               kInvalidNode, name,
+                               format("signal '%s' has %d drivers",
+                                      name.c_str(), count)});
+        }
+    }
+    return out;
+}
+
+std::string
+describe(const Lint &item)
+{
+    const char *kind = "?";
+    switch (item.kind) {
+      case Lint::Kind::BlockingInClockedProcess:
+        kind = "blocking-in-clocked";
+        break;
+      case Lint::Kind::NonBlockingInCombProcess:
+        kind = "nonblocking-in-comb";
+        break;
+      case Lint::Kind::InferredLatch:
+        kind = "latch";
+        break;
+      case Lint::Kind::IncompleteSensitivity:
+        kind = "incomplete-sensitivity";
+        break;
+      case Lint::Kind::MultipleDrivers:
+        kind = "multiple-drivers";
+        break;
+    }
+    return format("[%s] %s", kind, item.message.c_str());
+}
+
+} // namespace rtlrepair::analysis

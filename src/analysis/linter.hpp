@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Static-analysis linter standing in for the paper's use of Verilator
+ * as a lint tool (§4.1).  Detects the two issue classes that the
+ * preprocessing phase repairs — wrong assignment kinds and inferred
+ * latches — plus incomplete sensitivity lists and mixed assignment
+ * styles, which are reported for diagnostics.
+ */
+#ifndef RTLREPAIR_ANALYSIS_LINTER_HPP
+#define RTLREPAIR_ANALYSIS_LINTER_HPP
+
+#include <string>
+#include <vector>
+
+#include "verilog/ast.hpp"
+
+namespace rtlrepair::analysis {
+
+/** One lint finding. */
+struct Lint
+{
+    enum class Kind
+    {
+        /** Blocking `=` inside a clocked process. */
+        BlockingInClockedProcess,
+        /** Non-blocking `<=` inside a combinational process. */
+        NonBlockingInCombProcess,
+        /** Signal not assigned on all paths of a comb process. */
+        InferredLatch,
+        /** Level sensitivity list missing signals that are read. */
+        IncompleteSensitivity,
+        /** Signal assigned from more than one process. */
+        MultipleDrivers,
+    };
+
+    Kind kind;
+    verilog::NodeId process = verilog::kInvalidNode;
+    std::string signal;   ///< affected signal (if applicable)
+    std::string message;
+};
+
+/** Run all lint checks over @p module. */
+std::vector<Lint> lint(const verilog::Module &module);
+
+/** Human-readable one-line rendering. */
+std::string describe(const Lint &lint);
+
+} // namespace rtlrepair::analysis
+
+#endif // RTLREPAIR_ANALYSIS_LINTER_HPP

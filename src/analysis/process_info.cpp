@@ -1,0 +1,242 @@
+#include "analysis/process_info.hpp"
+
+#include "util/logging.hpp"
+#include "verilog/ast_util.hpp"
+
+namespace rtlrepair::analysis {
+
+using namespace verilog;
+
+std::string
+lhsBaseName(const Expr &lhs)
+{
+    switch (lhs.kind) {
+      case Expr::Kind::Ident:
+        return static_cast<const IdentExpr &>(lhs).name;
+      case Expr::Kind::Index:
+        return lhsBaseName(*static_cast<const IndexExpr &>(lhs).base);
+      case Expr::Kind::RangeSelect:
+        return lhsBaseName(
+            *static_cast<const RangeSelectExpr &>(lhs).base);
+      default:
+        fatal("unsupported assignment target expression");
+    }
+}
+
+namespace {
+
+void
+scanStmt(const Stmt &stmt, ProcessInfo &info)
+{
+    switch (stmt.kind) {
+      case Stmt::Kind::Block:
+        for (const auto &s : static_cast<const BlockStmt &>(stmt).stmts)
+            scanStmt(*s, info);
+        return;
+      case Stmt::Kind::If: {
+        const auto &i = static_cast<const IfStmt &>(stmt);
+        collectIdents(*i.cond, info.read);
+        scanStmt(*i.then_stmt, info);
+        if (i.else_stmt)
+            scanStmt(*i.else_stmt, info);
+        return;
+      }
+      case Stmt::Kind::Case: {
+        const auto &c = static_cast<const CaseStmt &>(stmt);
+        collectIdents(*c.subject, info.read);
+        for (const auto &item : c.items) {
+            for (const auto &label : item.labels)
+                collectIdents(*label, info.read);
+            scanStmt(*item.body, info);
+        }
+        if (c.default_body)
+            scanStmt(*c.default_body, info);
+        return;
+      }
+      case Stmt::Kind::Assign: {
+        const auto &a = static_cast<const AssignStmt &>(stmt);
+        if (a.lhs->kind == Expr::Kind::Concat) {
+            for (const auto &part :
+                 static_cast<const ConcatExpr &>(*a.lhs).parts) {
+                info.assigned.insert(lhsBaseName(*part));
+            }
+        } else {
+            info.assigned.insert(lhsBaseName(*a.lhs));
+        }
+        collectIdents(*a.rhs, info.read);
+        // Index expressions on the LHS also read their index.
+        if (a.lhs->kind == Expr::Kind::Index) {
+            collectIdents(
+                *static_cast<const IndexExpr &>(*a.lhs).index,
+                info.read);
+        }
+        if (a.blocking)
+            ++info.blocking_count;
+        else
+            ++info.nonblocking_count;
+        return;
+      }
+      case Stmt::Kind::For: {
+        const auto &f = static_cast<const ForStmt &>(stmt);
+        collectIdents(*f.cond, info.read);
+        scanStmt(*f.init, info);
+        scanStmt(*f.step, info);
+        scanStmt(*f.body, info);
+        return;
+      }
+      case Stmt::Kind::Empty:
+        return;
+    }
+}
+
+} // namespace
+
+ProcessInfo
+analyzeProcess(const AlwaysBlock &block)
+{
+    ProcessInfo info;
+    info.block = &block;
+    bool has_edge = false;
+    for (const auto &sens : block.sensitivity) {
+        switch (sens.edge) {
+          case SensItem::Edge::Posedge:
+            has_edge = true;
+            info.edge_signals.push_back(sens.signal);
+            if (info.clock.empty()) {
+                info.clock = sens.signal;
+                info.clock_negedge = false;
+            }
+            break;
+          case SensItem::Edge::Negedge:
+            has_edge = true;
+            info.edge_signals.push_back(sens.signal);
+            if (info.clock.empty()) {
+                info.clock = sens.signal;
+                info.clock_negedge = true;
+            }
+            break;
+          case SensItem::Edge::Level:
+            info.listed.insert(sens.signal);
+            break;
+          case SensItem::Edge::Star:
+            break;
+        }
+    }
+    info.kind = has_edge ? ProcessInfo::Kind::Clocked
+                         : ProcessInfo::Kind::Combinational;
+    scanStmt(*block.body, info);
+    return info;
+}
+
+std::vector<ProcessInfo>
+analyzeProcesses(const Module &module)
+{
+    std::vector<ProcessInfo> out;
+    for (const auto &item : module.items) {
+        if (item->kind == Item::Kind::Always) {
+            out.push_back(
+                analyzeProcess(static_cast<const AlwaysBlock &>(*item)));
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** Substitute loop-variable uses with a constant value. */
+void
+substituteVar(StmtPtr &stmt, const std::string &name,
+              const bv::Value &value)
+{
+    rewriteStmtExprs(stmt, [&](ExprPtr &e) {
+        if (e->kind != Expr::Kind::Ident)
+            return;
+        if (static_cast<IdentExpr &>(*e).name != name)
+            return;
+        auto *lit = new LiteralExpr(value, true);
+        lit->id = e->id;
+        lit->loc = e->loc;
+        e.reset(lit);
+    });
+}
+
+} // namespace
+
+namespace {
+
+/** Recursive worker with a *shared* iteration budget: nested or
+ *  duplicated loops must not multiply the cap. */
+void
+unrollForsBudgeted(StmtPtr &stmt, const ConstEnv &params,
+                   size_t &budget)
+{
+    switch (stmt->kind) {
+      case Stmt::Kind::Block: {
+        auto &b = static_cast<BlockStmt &>(*stmt);
+        for (auto &s : b.stmts)
+            unrollForsBudgeted(s, params, budget);
+        return;
+      }
+      case Stmt::Kind::If: {
+        auto &i = static_cast<IfStmt &>(*stmt);
+        unrollForsBudgeted(i.then_stmt, params, budget);
+        if (i.else_stmt)
+            unrollForsBudgeted(i.else_stmt, params, budget);
+        return;
+      }
+      case Stmt::Kind::Case: {
+        auto &c = static_cast<CaseStmt &>(*stmt);
+        for (auto &item : c.items)
+            unrollForsBudgeted(item.body, params, budget);
+        if (c.default_body)
+            unrollForsBudgeted(c.default_body, params, budget);
+        return;
+      }
+      case Stmt::Kind::For: {
+        auto &f = static_cast<ForStmt &>(*stmt);
+        const auto &init = static_cast<const AssignStmt &>(*f.init);
+        const auto &step = static_cast<const AssignStmt &>(*f.step);
+        std::string var = lhsBaseName(*init.lhs);
+        check(lhsBaseName(*step.lhs) == var,
+              "for-loop step must update the loop variable");
+
+        ConstEnv env = params;
+        env[var] = constEval(*init.rhs, params);
+
+        auto *unrolled = new BlockStmt({});
+        unrolled->id = stmt->id;
+        unrolled->loc = stmt->loc;
+        while (true) {
+            bv::Value cond = constEval(*f.cond, env);
+            if (cond.hasX())
+                fatal("for-loop condition evaluates to X");
+            if (cond.isZero())
+                break;
+            if (budget == 0)
+                fatal("for-loop exceeds unroll limit");
+            --budget;
+            StmtPtr body = f.body->clone();
+            substituteVar(body, var, env[var]);
+            unrollForsBudgeted(body, env, budget);
+            unrolled->stmts.push_back(std::move(body));
+            env[var] = constEval(*step.rhs, env);
+        }
+        stmt.reset(unrolled);
+        return;
+      }
+      case Stmt::Kind::Assign:
+      case Stmt::Kind::Empty:
+        return;
+    }
+}
+
+} // namespace
+
+void
+unrollFors(StmtPtr &stmt, const ConstEnv &params, size_t max_iterations)
+{
+    size_t budget = max_iterations;
+    unrollForsBudgeted(stmt, params, budget);
+}
+
+} // namespace rtlrepair::analysis

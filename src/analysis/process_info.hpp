@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Classification and dataflow summaries of always processes.
+ *
+ * The repair templates, the linter, and the elaborator all need to
+ * know: is a process clocked or combinational, which signals does it
+ * assign, which does it read, and which assignment kinds does it use.
+ * This header also provides for-loop unrolling, shared by the linter
+ * and the elaborator.
+ */
+#ifndef RTLREPAIR_ANALYSIS_PROCESS_INFO_HPP
+#define RTLREPAIR_ANALYSIS_PROCESS_INFO_HPP
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/const_eval.hpp"
+#include "verilog/ast.hpp"
+
+namespace rtlrepair::analysis {
+
+/** Summary of a single always block. */
+struct ProcessInfo
+{
+    enum class Kind { Clocked, Combinational };
+
+    const verilog::AlwaysBlock *block = nullptr;
+    Kind kind = Kind::Combinational;
+
+    /** Clock signal for clocked processes. */
+    std::string clock;
+    bool clock_negedge = false;
+    /** All edge-sensitive signals (clock plus async set/reset). */
+    std::vector<std::string> edge_signals;
+
+    /** Signals appearing on the LHS of assignments (base names). */
+    std::set<std::string> assigned;
+    /** Signals read anywhere in the process. */
+    std::set<std::string> read;
+    /** Level-sensitive signals listed in the sensitivity list. */
+    std::set<std::string> listed;
+
+    int blocking_count = 0;
+    int nonblocking_count = 0;
+
+    bool usesBlocking() const { return blocking_count > 0; }
+    bool usesNonBlocking() const { return nonblocking_count > 0; }
+};
+
+/** Analyze one always block. */
+ProcessInfo analyzeProcess(const verilog::AlwaysBlock &block);
+
+/** Analyze every always block of @p module. */
+std::vector<ProcessInfo> analyzeProcesses(const verilog::Module &module);
+
+/** Base signal name of an assignment LHS (through selects). */
+std::string lhsBaseName(const verilog::Expr &lhs);
+
+/**
+ * Replace every for-loop in @p stmt by its unrolled body.  Loop
+ * variables must be integers with compile-time-constant bounds; their
+ * uses are substituted with per-iteration constants.  Throws
+ * FatalError if a loop does not terminate within @p max_iterations.
+ */
+void unrollFors(verilog::StmtPtr &stmt, const ConstEnv &params,
+                size_t max_iterations = 4096);
+
+} // namespace rtlrepair::analysis
+
+#endif // RTLREPAIR_ANALYSIS_PROCESS_INFO_HPP

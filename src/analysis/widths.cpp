@@ -1,0 +1,141 @@
+#include "analysis/widths.hpp"
+
+#include <cstdlib>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace rtlrepair::analysis {
+
+using namespace verilog;
+
+SymbolTable
+SymbolTable::build(const Module &module, const ConstEnv &overrides)
+{
+    SymbolTable table;
+    for (const auto &item : module.items) {
+        if (item->kind == Item::Kind::Param) {
+            const auto &p = static_cast<const ParamDecl &>(*item);
+            auto ov = overrides.find(p.name);
+            if (ov != overrides.end() && !p.is_local) {
+                table._params[p.name] = ov->second;
+            } else {
+                table._params[p.name] = constEval(*p.value, table._params);
+            }
+        } else if (item->kind == Item::Kind::Net) {
+            const auto &n = static_cast<const NetDecl &>(*item);
+            NetRange range;
+            if (n.net == NetKind::Integer) {
+                range.width = 32;
+            } else if (n.msb) {
+                int64_t msb = constEvalInt(*n.msb, table._params);
+                int64_t lsb = constEvalInt(*n.lsb, table._params);
+                range.width =
+                    static_cast<uint32_t>(std::llabs(msb - lsb)) + 1u;
+                range.lsb = std::min(msb, lsb);
+            }
+            table._nets[n.name] = range;
+        }
+    }
+    return table;
+}
+
+uint32_t
+SymbolTable::widthOf(const std::string &name) const
+{
+    return rangeOf(name).width;
+}
+
+const NetRange &
+SymbolTable::rangeOf(const std::string &name) const
+{
+    auto it = _nets.find(name);
+    if (it == _nets.end())
+        fatal("reference to undeclared net: " + name);
+    return it->second;
+}
+
+bool
+SymbolTable::isNet(const std::string &name) const
+{
+    return _nets.count(name) > 0;
+}
+
+uint32_t
+exprWidth(const Expr &expr, const SymbolTable &table)
+{
+    switch (expr.kind) {
+      case Expr::Kind::Ident: {
+        const auto &name = static_cast<const IdentExpr &>(expr).name;
+        auto param = table.params().find(name);
+        if (param != table.params().end())
+            return param->second.width();
+        return table.widthOf(name);
+      }
+      case Expr::Kind::Literal:
+        return static_cast<const LiteralExpr &>(expr).value.width();
+      case Expr::Kind::Unary: {
+        const auto &u = static_cast<const UnaryExpr &>(expr);
+        switch (u.op) {
+          case UnaryOp::BitNot:
+          case UnaryOp::Minus:
+          case UnaryOp::Plus:
+            return exprWidth(*u.operand, table);
+          default:
+            return 1; // reductions and logical not
+        }
+      }
+      case Expr::Kind::Binary: {
+        const auto &b = static_cast<const BinaryExpr &>(expr);
+        switch (b.op) {
+          case BinaryOp::Add:
+          case BinaryOp::Sub:
+          case BinaryOp::Mul:
+          case BinaryOp::Div:
+          case BinaryOp::Mod:
+          case BinaryOp::BitAnd:
+          case BinaryOp::BitOr:
+          case BinaryOp::BitXor:
+          case BinaryOp::BitXnor:
+            return std::max(exprWidth(*b.lhs, table),
+                            exprWidth(*b.rhs, table));
+          case BinaryOp::Shl:
+          case BinaryOp::Shr:
+          case BinaryOp::AShr:
+            return exprWidth(*b.lhs, table);
+          default:
+            return 1; // comparisons, logic ops
+        }
+      }
+      case Expr::Kind::Ternary: {
+        const auto &t = static_cast<const TernaryExpr &>(expr);
+        return std::max(exprWidth(*t.then_expr, table),
+                        exprWidth(*t.else_expr, table));
+      }
+      case Expr::Kind::Concat: {
+        const auto &c = static_cast<const ConcatExpr &>(expr);
+        uint32_t total = 0;
+        for (const auto &part : c.parts)
+            total += exprWidth(*part, table);
+        return total;
+      }
+      case Expr::Kind::Repl: {
+        const auto &r = static_cast<const ReplExpr &>(expr);
+        int64_t count = constEvalInt(*r.count, table.params());
+        check(count > 0, "non-positive replication count");
+        return static_cast<uint32_t>(count) *
+               exprWidth(*r.inner, table);
+      }
+      case Expr::Kind::Index:
+        return 1;
+      case Expr::Kind::RangeSelect: {
+        const auto &r = static_cast<const RangeSelectExpr &>(expr);
+        int64_t msb = constEvalInt(*r.msb, table.params());
+        int64_t lsb = constEvalInt(*r.lsb, table.params());
+        return static_cast<uint32_t>(std::llabs(msb - lsb)) + 1u;
+      }
+    }
+    panic("unknown expression kind in exprWidth");
+}
+
+} // namespace rtlrepair::analysis

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Symbol table and expression width inference.
+ *
+ * Implements a pragmatic subset of the Verilog self-determined width
+ * rules: arithmetic/bitwise operators take the maximum operand width,
+ * shifts take the left operand's width, comparisons and reductions are
+ * one bit, concatenations sum their parts.  Context extension (e.g.
+ * widening the RHS of an assignment) is applied by the elaborator.
+ */
+#ifndef RTLREPAIR_ANALYSIS_WIDTHS_HPP
+#define RTLREPAIR_ANALYSIS_WIDTHS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "analysis/const_eval.hpp"
+#include "verilog/ast.hpp"
+
+namespace rtlrepair::analysis {
+
+/** Declared range of a net: width plus the LSB offset for indexing. */
+struct NetRange
+{
+    uint32_t width = 1;
+    int64_t lsb = 0;
+};
+
+/** Resolved parameters and net widths of one module. */
+class SymbolTable
+{
+  public:
+    /**
+     * Build the table for @p module, resolving parameters in
+     * declaration order.  @p overrides supplies instance parameter
+     * overrides by name.
+     */
+    static SymbolTable build(const verilog::Module &module,
+                             const ConstEnv &overrides = {});
+
+    /** Width of net @p name; throws FatalError if undeclared. */
+    uint32_t widthOf(const std::string &name) const;
+
+    /** Full range info for net @p name. */
+    const NetRange &rangeOf(const std::string &name) const;
+
+    /** True if @p name is a declared net (not a parameter). */
+    bool isNet(const std::string &name) const;
+
+    /** Resolved compile-time constants (parameters). */
+    const ConstEnv &params() const { return _params; }
+
+    /** All declared nets. */
+    const std::map<std::string, NetRange> &nets() const { return _nets; }
+
+    /** Register an extra net (used for synthesis variables). */
+    void
+    addNet(const std::string &name, NetRange range)
+    {
+        _nets[name] = range;
+    }
+
+  private:
+    ConstEnv _params;
+    std::map<std::string, NetRange> _nets;
+};
+
+/** Self-determined width of @p expr. */
+uint32_t exprWidth(const verilog::Expr &expr, const SymbolTable &table);
+
+} // namespace rtlrepair::analysis
+
+#endif // RTLREPAIR_ANALYSIS_WIDTHS_HPP

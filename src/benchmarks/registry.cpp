@@ -1,0 +1,350 @@
+#include "benchmarks/registry.hpp"
+
+#include <map>
+#include <memory>
+
+#include "elaborate/elaborate.hpp"
+#include "util/logging.hpp"
+#include "verilog/parser.hpp"
+
+#ifndef RTLREPAIR_BENCHMARK_DIR
+#define RTLREPAIR_BENCHMARK_DIR "benchmarks"
+#endif
+
+namespace rtlrepair::benchmarks {
+
+std::string
+benchmarkRoot()
+{
+    return RTLREPAIR_BENCHMARK_DIR;
+}
+
+const std::vector<BenchmarkDef> &
+all()
+{
+    static const std::vector<BenchmarkDef> defs = [] {
+        std::vector<BenchmarkDef> v;
+        auto cf = [&v](BenchmarkDef def) {
+            def.x_policy = sim::XPolicy::Random;
+            v.push_back(std::move(def));
+        };
+        auto oss = [&v](BenchmarkDef def) {
+            def.oss = true;
+            def.timeout_seconds = 120.0;
+            def.x_policy = sim::XPolicy::Zero;
+            v.push_back(std::move(def));
+        };
+
+        // ---- CirFix suite (paper Table 3) -------------------------
+        cf({.name = "decoder_w1", .project = "decoder 3-8",
+            .defect = "Two separate numeric errors",
+            .dir = "cirfix/decoder_3_8", .buggy_file = "decoder_w1.v",
+            .top = "decoder_3_8", .clock = "",
+            .stimulus_id = "decoder",
+            .extended_stimulus_id = "decoder_ext"});
+        cf({.name = "decoder_w2", .project = "decoder 3-8",
+            .defect = "Incorrect assignment",
+            .dir = "cirfix/decoder_3_8", .buggy_file = "decoder_w2.v",
+            .top = "decoder_3_8", .clock = "",
+            .stimulus_id = "decoder",
+            .extended_stimulus_id = "decoder_ext"});
+        cf({.name = "counter_w1", .project = "counter",
+            .defect = "Incorrect sensitivity list",
+            .dir = "cirfix/first_counter", .buggy_file = "counter_w1.v",
+            .top = "first_counter", .clock = "clock",
+            .stimulus_id = "counter"});
+        cf({.name = "counter_k1", .project = "counter",
+            .defect = "Incorrect reset",
+            .dir = "cirfix/first_counter", .buggy_file = "counter_k1.v",
+            .top = "first_counter", .clock = "clock",
+            .stimulus_id = "counter"});
+        cf({.name = "counter_w2", .project = "counter",
+            .defect = "Incorrect incremental of counter",
+            .dir = "cirfix/first_counter", .buggy_file = "counter_w2.v",
+            .top = "first_counter", .clock = "clock",
+            .stimulus_id = "counter"});
+        cf({.name = "flop_w1", .project = "flip flop",
+            .defect = "Incorrect conditional",
+            .dir = "cirfix/tff", .buggy_file = "flop_w1.v",
+            .top = "tff", .clock = "clk", .stimulus_id = "flop"});
+        cf({.name = "flop_w2", .project = "flip flop",
+            .defect = "Branches of if-statement swapped",
+            .dir = "cirfix/tff", .buggy_file = "flop_w2.v",
+            .top = "tff", .clock = "clk", .stimulus_id = "flop"});
+        cf({.name = "fsm_w1", .project = "fsm full",
+            .defect = "Incorrect case statement",
+            .dir = "cirfix/fsm_full", .buggy_file = "fsm_w1.v",
+            .top = "fsm_full", .clock = "clock", .stimulus_id = "fsm"});
+        cf({.name = "fsm_s2", .project = "fsm full",
+            .defect = "Incorrectly blocking assignments",
+            .dir = "cirfix/fsm_full", .buggy_file = "fsm_s2.v",
+            .top = "fsm_full", .clock = "clock", .stimulus_id = "fsm"});
+        cf({.name = "fsm_w2", .project = "fsm full",
+            .defect = "Assignment to next state and default in case "
+                      "statement omitted",
+            .dir = "cirfix/fsm_full", .buggy_file = "fsm_w2.v",
+            .top = "fsm_full", .clock = "clock", .stimulus_id = "fsm"});
+        cf({.name = "fsm_s1", .project = "fsm full",
+            .defect = "Assignment to next state omitted, incorrect "
+                      "sensitivity list",
+            .dir = "cirfix/fsm_full", .buggy_file = "fsm_s1.v",
+            .top = "fsm_full", .clock = "clock", .stimulus_id = "fsm"});
+        cf({.name = "shift_w1", .project = "lshift reg",
+            .defect = "Incorrect blocking assignment",
+            .dir = "cirfix/lshift_reg", .buggy_file = "shift_w1.v",
+            .top = "lshift_reg", .clock = "clk",
+            .stimulus_id = "shift"});
+        cf({.name = "shift_w2", .project = "lshift reg",
+            .defect = "Incorrect conditional",
+            .dir = "cirfix/lshift_reg", .buggy_file = "shift_w2.v",
+            .top = "lshift_reg", .clock = "clk",
+            .stimulus_id = "shift"});
+        cf({.name = "shift_k1", .project = "lshift reg",
+            .defect = "Incorrect sensitivity list",
+            .dir = "cirfix/lshift_reg", .buggy_file = "shift_k1.v",
+            .top = "lshift_reg", .clock = "clk",
+            .stimulus_id = "shift"});
+        cf({.name = "mux_k1", .project = "mux 4 1",
+            .defect = "1 bit instead of 4 bit output",
+            .dir = "cirfix/mux_4_1", .buggy_file = "mux_k1.v",
+            .top = "mux_4_1", .clock = "", .stimulus_id = "mux"});
+        cf({.name = "mux_w2", .project = "mux 4 1",
+            .defect = "Hex instead of binary constants",
+            .dir = "cirfix/mux_4_1", .buggy_file = "mux_w2.v",
+            .top = "mux_4_1", .clock = "", .stimulus_id = "mux"});
+        cf({.name = "mux_w1", .project = "mux 4 1",
+            .defect = "Three separate numeric errors",
+            .dir = "cirfix/mux_4_1", .buggy_file = "mux_w1.v",
+            .top = "mux_4_1", .clock = "", .stimulus_id = "mux"});
+        cf({.name = "i2c_w1", .project = "i2c",
+            .defect = "Incorrect sensitivity list",
+            .dir = "cirfix/i2c_master", .buggy_file = "i2c_w1.v",
+            .golden_file = "i2c_addr_dec.v", .top = "i2c_addr_dec",
+            .clock = "", .stimulus_id = "i2c_addr"});
+        cf({.name = "i2c_w2", .project = "i2c",
+            .defect = "Incorrect address assignment",
+            .dir = "cirfix/i2c_master", .buggy_file = "i2c_w2.v",
+            .golden_file = "i2c_addr_dec.v", .top = "i2c_addr_dec",
+            .clock = "", .stimulus_id = "i2c_addr"});
+        cf({.name = "i2c_k1", .project = "i2c",
+            .defect = "No command acknowledgement",
+            .dir = "cirfix/i2c_master", .buggy_file = "i2c_k1.v",
+            .top = "i2c_master", .clock = "clk",
+            .stimulus_id = "i2c_long"});
+        cf({.name = "sha3_w1", .project = "sha3",
+            .defect = "Off-by-one error in loop",
+            .dir = "cirfix/sha3_pad", .buggy_file = "sha3_w1.v",
+            .top = "sha3_pad", .clock = "clk", .stimulus_id = "sha3"});
+        cf({.name = "sha3_r1", .project = "sha3",
+            .defect = "Incorrect bitwise negation",
+            .dir = "cirfix/sha3_pad", .buggy_file = "sha3_r1.v",
+            .top = "sha3_pad", .clock = "clk", .stimulus_id = "sha3"});
+        cf({.name = "sha3_w2", .project = "sha3",
+            .defect = "Incorrect assignment to wires",
+            .dir = "cirfix/sha3_pad", .buggy_file = "sha3_w2.v",
+            .top = "sha3_pad", .clock = "clk", .stimulus_id = "sha3"});
+        cf({.name = "sha3_s1", .project = "sha3",
+            .defect = "Skipped buffer overflow check",
+            .dir = "cirfix/sha3_pad", .buggy_file = "sha3_s1.v",
+            .top = "sha3_pad", .clock = "clk",
+            .stimulus_id = "sha3_short"});
+        cf({.name = "pairing_w1", .project = "tate pairing",
+            .defect = "Incorrect logic for bitshifting",
+            .dir = "cirfix/tate_pairing", .buggy_file = "pairing_w1.v",
+            .top = "tate_pairing", .clock = "clk",
+            .stimulus_id = "pairing"});
+        cf({.name = "pairing_k1", .project = "tate pairing",
+            .defect = "Incorrect operator for bitshifting",
+            .dir = "cirfix/tate_pairing", .buggy_file = "pairing_k1.v",
+            .top = "tate_pairing", .clock = "clk",
+            .stimulus_id = "pairing"});
+        cf({.name = "pairing_w2", .project = "tate pairing",
+            .defect = "Incorrect instantiation of modules",
+            .dir = "cirfix/tate_pairing", .buggy_file = "pairing_w2.v",
+            .top = "tate_pairing", .clock = "clk",
+            .stimulus_id = "pairing"});
+        cf({.name = "reed_b1", .project = "reed-solomon decoder",
+            .defect = "Insufficient register size",
+            .dir = "cirfix/reed_solomon", .buggy_file = "reed_b1.v",
+            .top = "rs_decoder", .clock = "clk",
+            .stimulus_id = "reed"});
+        cf({.name = "reed_o1", .project = "reed-solomon decoder",
+            .defect = "Incorrect sensitivity list for reset",
+            .dir = "cirfix/reed_solomon", .buggy_file = "reed_o1.v",
+            .top = "rs_decoder", .clock = "clk",
+            .stimulus_id = "reed"});
+        cf({.name = "sdram_w2", .project = "sdram-controller",
+            .defect = "Numeric error in definitions",
+            .dir = "cirfix/sdram_controller", .buggy_file = "sdram_w2.v",
+            .top = "sdram_ctrl", .clock = "clk",
+            .stimulus_id = "sdram"});
+        cf({.name = "sdram_k2", .project = "sdram-controller",
+            .defect = "Incorrect case statement",
+            .dir = "cirfix/sdram_controller", .buggy_file = "sdram_k2.v",
+            .top = "sdram_ctrl", .clock = "clk",
+            .stimulus_id = "sdram"});
+        cf({.name = "sdram_w1", .project = "sdram-controller",
+            .defect = "Incorrect assignments to registers during "
+                      "synchronous reset",
+            .dir = "cirfix/sdram_controller", .buggy_file = "sdram_w1.v",
+            .top = "sdram_ctrl", .clock = "clk",
+            .stimulus_id = "sdram"});
+
+        // ---- Open-source bug set (paper Table 6) ------------------
+        oss({.name = "oss_d4", .project = "uart_tx",
+             .defect = "Broad refactoring defect",
+             .dir = "oss/uart_tx", .buggy_file = "d4.v",
+             .top = "uart_tx", .clock = "clk", .oss_id = "D4",
+             .stimulus_id = "uart"});
+        oss({.name = "oss_d8", .project = "axis_switch",
+             .defect = "Misindexing (swapped strides)",
+             .dir = "oss/axis_switch", .buggy_file = "d8.v",
+             .top = "axis_switch", .clock = "", .oss_id = "D8",
+             .stimulus_id = "axis_switch"});
+        oss({.name = "oss_d9", .project = "ptp_clock",
+             .defect = "Inverted drift correction",
+             .dir = "oss/ptp_clock", .buggy_file = "d9.v",
+             .top = "ptp_clock", .clock = "clk", .oss_id = "D9",
+             .stimulus_id = "ptp_long",
+             .hidden_outputs = {"ns_count"}});
+        oss({.name = "oss_d11", .project = "axis_frame_fifo",
+             .defect = "Failure-to-update (reset)",
+             .dir = "oss/axis_frame_fifo", .buggy_file = "d11.v",
+             .top = "axis_frame_fifo", .clock = "clk", .oss_id = "D11",
+             .stimulus_id = "frame_fifo"});
+        oss({.name = "oss_d12", .project = "axis_fifo",
+             .defect = "Failure-to-update (default)",
+             .dir = "oss/axis_fifo", .buggy_file = "d12.v",
+             .top = "axis_fifo", .clock = "clk", .oss_id = "D12",
+             .stimulus_id = "fifo"});
+        oss({.name = "oss_d13", .project = "pulse_gen",
+             .defect = "Failure-to-update (trigger)",
+             .dir = "oss/pulse_gen", .buggy_file = "d13.v",
+             .top = "pulse_gen", .clock = "clk", .oss_id = "D13",
+             .stimulus_id = "pulse"});
+        oss({.name = "oss_c1", .project = "sdspi",
+             .defect = "Deadlock (missing rate-limit conjunct)",
+             .dir = "oss/sdspi", .buggy_file = "c1.v",
+             .top = "sdspi", .clock = "clk", .oss_id = "C1",
+             .stimulus_id = "sdspi_long"});
+        oss({.name = "oss_c3", .project = "sdspi",
+             .defect = "Startup sequence replaced",
+             .dir = "oss/sdspi", .buggy_file = "c3.v",
+             .top = "sdspi", .clock = "clk", .oss_id = "C3",
+             .stimulus_id = "sdspi_long"});
+        oss({.name = "oss_c4", .project = "sdspi",
+             .defect = "Missing startup-hold conjunct",
+             .dir = "oss/sdspi", .buggy_file = "c4.v",
+             .top = "sdspi", .clock = "clk", .oss_id = "C4",
+             .stimulus_id = "sdspi_short"});
+        oss({.name = "oss_s1r", .project = "axilite",
+             .defect = "Protocol violation (read channel)",
+             .dir = "oss/axilite", .buggy_file = "s1r.v",
+             .top = "axilite", .clock = "clk", .oss_id = "S1.R",
+             .stimulus_id = "axilite"});
+        oss({.name = "oss_s1b", .project = "axilite",
+             .defect = "Protocol violation (write channel)",
+             .dir = "oss/axilite", .buggy_file = "s1b.v",
+             .top = "axilite", .clock = "clk", .oss_id = "S1.B",
+             .stimulus_id = "axilite"});
+        oss({.name = "oss_s2", .project = "ptp_clock",
+             .defect = "Wrong clock period constant",
+             .dir = "oss/ptp_clock", .buggy_file = "s2.v",
+             .top = "ptp_clock", .clock = "clk", .oss_id = "S2",
+             .stimulus_id = "ptp_short"});
+        oss({.name = "oss_s3", .project = "checksum",
+             .defect = "Wrong fold constants",
+             .dir = "oss/checksum", .buggy_file = "s3.v",
+             .top = "checksum", .clock = "clk", .oss_id = "S3",
+             .stimulus_id = "checksum"});
+        return v;
+    }();
+    return defs;
+}
+
+const BenchmarkDef *
+find(const std::string &name)
+{
+    for (const auto &def : all()) {
+        if (def.name == name)
+            return &def;
+    }
+    return nullptr;
+}
+
+namespace {
+
+verilog::Module *
+selectTop(verilog::SourceFile &file, const std::string &top,
+          std::vector<const verilog::Module *> &library)
+{
+    verilog::Module *selected = nullptr;
+    for (const auto &m : file.modules) {
+        if (m->name == top) {
+            selected = m.get();
+        } else {
+            library.push_back(m.get());
+        }
+    }
+    check(selected != nullptr, "top module not found: " + top);
+    return selected;
+}
+
+} // namespace
+
+const LoadedBenchmark &
+load(const BenchmarkDef &def)
+{
+    static std::map<std::string, std::unique_ptr<LoadedBenchmark>>
+        cache;
+    auto it = cache.find(def.name);
+    if (it != cache.end())
+        return *it->second;
+
+    auto loaded = std::make_unique<LoadedBenchmark>();
+    loaded->def = &def;
+    std::string base = benchmarkRoot() + "/" + def.dir + "/";
+    loaded->golden_src = verilog::parseFile(base + def.golden_file);
+    loaded->buggy_src = verilog::parseFile(base + def.buggy_file);
+    loaded->golden =
+        selectTop(loaded->golden_src, def.top, loaded->golden_lib);
+    loaded->buggy =
+        selectTop(loaded->buggy_src, def.top, loaded->buggy_lib);
+
+    // Record the golden trace with 4-state semantics (X = don't care).
+    elaborate::ElaborateOptions opts;
+    opts.library = loaded->golden_lib;
+    ir::TransitionSystem golden_sys =
+        elaborate::elaborate(*loaded->golden, opts);
+    trace::InputSequence stim = makeStimulus(def.stimulus_id);
+    sim::SimOptions sim_opts;
+    sim_opts.init_policy = sim::XPolicy::Keep;
+    sim_opts.input_policy = sim::XPolicy::Keep;
+    loaded->tb = sim::record(golden_sys, stim, sim_opts);
+    for (const auto &hidden : def.hidden_outputs) {
+        int idx = loaded->tb.outputIndex(hidden);
+        check(idx >= 0, "hidden output not found: " + hidden);
+        for (auto &row : loaded->tb.output_rows) {
+            row[idx] = bv::Value::allX(row[idx].width());
+        }
+    }
+    if (!def.extended_stimulus_id.empty()) {
+        trace::InputSequence ext =
+            makeStimulus(def.extended_stimulus_id);
+        loaded->extended_tb = sim::record(golden_sys, ext, sim_opts);
+    }
+
+    auto [slot, inserted] = cache.emplace(def.name, std::move(loaded));
+    (void)inserted;
+    return *slot->second;
+}
+
+const LoadedBenchmark &
+load(const std::string &name)
+{
+    const BenchmarkDef *def = find(name);
+    check(def != nullptr, "unknown benchmark: " + name);
+    return load(*def);
+}
+
+} // namespace rtlrepair::benchmarks

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Benchmark registry: the re-authored CirFix benchmark suite (paper
+ * Table 3) and the open-source bug set (paper Table 6), with their
+ * testbench stimuli, golden designs, and per-bug metadata.
+ *
+ * Golden traces are recorded by simulating the ground-truth design
+ * with 4-state semantics, so outputs that depend on uninitialized
+ * registers appear as X (don't-care) — the same convention the paper
+ * uses when it records I/O traces from concrete testbenches.
+ */
+#ifndef RTLREPAIR_BENCHMARKS_REGISTRY_HPP
+#define RTLREPAIR_BENCHMARKS_REGISTRY_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/interpreter.hpp"
+#include "trace/io_trace.hpp"
+#include "verilog/ast.hpp"
+
+namespace rtlrepair::benchmarks {
+
+/** Static description of one benchmark bug. */
+struct BenchmarkDef
+{
+    std::string name;           ///< short name, e.g. counter_k1
+    std::string project;        ///< Table 3 project column
+    std::string defect;         ///< Table 3 defect column
+    std::string dir;            ///< path below benchmarks/
+    std::string buggy_file;
+    std::string golden_file = "golden.v";
+    std::string top;            ///< top module name
+    std::string clock;          ///< empty for combinational designs
+    bool oss = false;           ///< part of the Table 6 set
+    std::string oss_id;         ///< D8, C1, ...
+    double timeout_seconds = 60.0;
+    std::string stimulus_id;
+    std::string extended_stimulus_id;  ///< optional
+    /** Outputs masked to don't-care in the recorded trace. */
+    std::vector<std::string> hidden_outputs;
+    /** X policy the tool should use (paper §4.3). */
+    sim::XPolicy x_policy = sim::XPolicy::Random;
+};
+
+/** All benchmarks, CirFix suite first, then the OSS set. */
+const std::vector<BenchmarkDef> &all();
+
+/** Find by short name; null if unknown. */
+const BenchmarkDef *find(const std::string &name);
+
+/** Absolute path of the benchmarks/ source directory. */
+std::string benchmarkRoot();
+
+/** A fully loaded benchmark: parsed designs plus recorded traces. */
+struct LoadedBenchmark
+{
+    const BenchmarkDef *def = nullptr;
+    verilog::SourceFile golden_src;
+    verilog::SourceFile buggy_src;
+    verilog::Module *golden = nullptr;
+    verilog::Module *buggy = nullptr;
+    std::vector<const verilog::Module *> golden_lib;
+    std::vector<const verilog::Module *> buggy_lib;
+    trace::IoTrace tb;
+    std::optional<trace::IoTrace> extended_tb;
+};
+
+/**
+ * Load and prepare a benchmark (parses the Verilog, simulates the
+ * ground truth to record the I/O trace).  Results are cached per
+ * process; the returned reference stays valid.
+ */
+const LoadedBenchmark &load(const BenchmarkDef &def);
+const LoadedBenchmark &load(const std::string &name);
+
+/** Build the stimulus sequence registered under @p id. */
+trace::InputSequence makeStimulus(const std::string &id);
+
+} // namespace rtlrepair::benchmarks
+
+#endif // RTLREPAIR_BENCHMARKS_REGISTRY_HPP

@@ -1,0 +1,517 @@
+#include "benchmarks/registry.hpp"
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace rtlrepair::benchmarks {
+
+using trace::Column;
+using trace::InputSequence;
+using trace::StimulusBuilder;
+
+namespace {
+
+InputSequence
+decoderStim(bool extended)
+{
+    StimulusBuilder sb({{"en", 1}, {"A", 1}, {"B", 1}, {"C", 1}});
+    auto row = [&sb](uint64_t en, uint64_t a, uint64_t b, uint64_t c,
+                     size_t n = 1) {
+        sb.set("en", en).set("A", a).set("B", b).set("C", c).step(n);
+    };
+    if (extended) {
+        // Every input combination, twice.
+        for (int rep = 0; rep < 2; ++rep) {
+            for (uint64_t v = 0; v < 16; ++v)
+                row((v >> 3) & 1, (v >> 2) & 1, (v >> 1) & 1, v & 1);
+        }
+        return sb.finish();
+    }
+    // The original testbench: all disabled combinations plus a subset
+    // of the enabled ones ({en,A,B,C} = 1101 and 1110 stay untested).
+    for (uint64_t v = 0; v < 8; ++v)
+        row(0, (v >> 2) & 1, (v >> 1) & 1, v & 1);
+    const uint64_t abc[6] = {0, 1, 2, 3, 4, 7};
+    for (int rep = 0; rep < 3; ++rep) {
+        for (uint64_t v : abc)
+            row(1, (v >> 2) & 1, (v >> 1) & 1, v & 1);
+    }
+    row(1, 0, 0, 0, 2);  // pad to 28 rows
+    return sb.finish();
+}
+
+InputSequence
+counterStim()
+{
+    StimulusBuilder sb({{"reset", 1}, {"enable", 1}});
+    sb.set("reset", 1).set("enable", 0).step(2);
+    sb.set("reset", 0).set("enable", 1).step(18);
+    sb.set("enable", 0).step(3);
+    sb.set("enable", 1).step(4);  // 27 cycles
+    return sb.finish();
+}
+
+InputSequence
+flopStim()
+{
+    StimulusBuilder sb({{"rstn", 1}, {"t", 1}});
+    sb.set("rstn", 0).set("t", 0).step(2);
+    const uint64_t pattern[9] = {1, 1, 0, 1, 0, 1, 1, 0, 1};
+    sb.set("rstn", 1);
+    for (uint64_t t : pattern)
+        sb.set("t", t).step();  // 11 cycles
+    return sb.finish();
+}
+
+InputSequence
+fsmStim()
+{
+    // req_1 only ever changes together with req_0, so the fsm_s1
+    // sensitivity-list bug does not manifest on this trace (matching
+    // the paper, where fsm_s1 is repaired by preprocessing alone).
+    StimulusBuilder sb({{"reset", 1}, {"req_0", 1}, {"req_1", 1}});
+    auto phase = [&sb](uint64_t r0, uint64_t r1, size_t n) {
+        sb.set("req_0", r0).set("req_1", r1).step(n);
+    };
+    sb.set("reset", 1).set("req_0", 0).set("req_1", 0).step(2);
+    sb.set("reset", 0);
+    phase(1, 0, 4);
+    phase(0, 0, 3);
+    phase(1, 1, 4);
+    phase(0, 1, 4);
+    phase(1, 0, 4);
+    phase(0, 0, 4);
+    phase(1, 1, 4);
+    phase(0, 0, 4);
+    phase(1, 0, 4);  // 37 cycles
+    return sb.finish();
+}
+
+InputSequence
+shiftStim()
+{
+    StimulusBuilder sb(
+        {{"rstn", 1}, {"load_val", 8}, {"load_en", 1}});
+    sb.set("rstn", 0).set("load_val", 0).set("load_en", 0).step(2);
+    sb.set("rstn", 1).set("load_val", 0x5a).set("load_en", 1).step();
+    sb.set("load_en", 0).step(10);
+    sb.set("load_val", 0x81).set("load_en", 1).step();
+    sb.set("load_en", 0).step(13);  // 27 cycles
+    return sb.finish();
+}
+
+InputSequence
+muxStim()
+{
+    Rng rng(0x4d55);
+    StimulusBuilder sb(
+        {{"a", 4}, {"b", 4}, {"c", 4}, {"d", 4}, {"sel", 2}});
+    for (int i = 0; i < 151; ++i) {
+        sb.set("a", rng.next()).set("b", rng.next());
+        sb.set("c", rng.next()).set("d", rng.next());
+        sb.set("sel", rng.next()).step();
+    }
+    return sb.finish();
+}
+
+InputSequence
+i2cAddrStim()
+{
+    Rng rng(0x12c0);
+    StimulusBuilder sb({{"byte_in", 8}, {"my_addr", 7}});
+    uint64_t addr = 0x2a;
+    sb.set("my_addr", addr);
+    for (int i = 0; i < 24; ++i) {
+        if (i % 6 == 5) {
+            // Change only the address register: this is the event the
+            // i2c_w1 sensitivity bug misses.
+            addr = rng.next() & 0x7f;
+            sb.set("my_addr", addr).step();
+            continue;
+        }
+        uint64_t byte =
+            rng.chance(0.5) ? ((addr << 1) | (rng.next() & 1))
+                            : (rng.next() & 0xff);
+        sb.set("byte_in", byte).step();
+    }
+    return sb.finish();
+}
+
+InputSequence
+i2cLongStim()
+{
+    Rng rng(0x12c1);
+    StimulusBuilder sb({{"rst", 1}, {"start", 1}, {"cmd", 8}});
+    sb.set("rst", 1).set("start", 0).set("cmd", 0).step(3);
+    sb.set("rst", 0);
+    // Each transaction occupies ~110 cycles of serial activity plus
+    // an idle gap; fill the paper's 171957-cycle testbench length.
+    const size_t total = 171957;
+    size_t used = 3;
+    while (used + 120 <= total) {
+        sb.set("start", 1).set("cmd", rng.next() & 0xff).step();
+        sb.set("start", 0).step(119);
+        used += 120;
+    }
+    while (used < total) {
+        sb.step();
+        ++used;
+    }
+    return sb.finish();
+}
+
+InputSequence
+sha3Stim(size_t cycles)
+{
+    Rng rng(0x5a3);
+    StimulusBuilder sb({{"reset", 1}, {"in", 32}, {"in_ready", 1},
+                        {"is_last", 1}, {"out_ack", 1}});
+    sb.set("reset", 1).set("in", 0).set("in_ready", 0);
+    sb.set("is_last", 0).set("out_ack", 0).step(2);
+    sb.set("reset", 0);
+    size_t used = 2;
+    bool burst = false;
+    while (used + 16 <= cycles) {
+        if (burst) {
+            // Burst block: five back-to-back words; the fifth is
+            // offered while the buffer is full, which only a correct
+            // accept guard rejects (the sha3_s1 bug).
+            for (int w = 0; w < 5; ++w) {
+                sb.set("in", rng.next()).set("in_ready", 1).step();
+                ++used;
+            }
+            sb.set("in_ready", 0).step(3);
+            used += 3;
+        } else {
+            // Gapped block: the buffer becomes full on an idle cycle,
+            // which exposes emission-timing bugs (sha3_w2).
+            for (int w = 0; w < 4; ++w) {
+                sb.set("in", rng.next()).set("in_ready", 1).step();
+                sb.set("in_ready", 0).step();
+                used += 2;
+            }
+        }
+        burst = !burst;
+        sb.step(4);
+        sb.set("out_ack", 1).step();
+        sb.set("out_ack", 0).step(3);
+        used += 8;
+    }
+    while (used < cycles) {
+        sb.step();
+        ++used;
+    }
+    return sb.finish();
+}
+
+InputSequence
+pairingStim()
+{
+    Rng rng(0x7a7e);
+    StimulusBuilder sb({{"rst", 1}, {"start", 1}, {"a", 64},
+                        {"b", 64}, {"report", 1}});
+    sb.set("rst", 1).set("start", 0).set("a", 0).set("b", 0);
+    sb.set("report", 0).step(3);
+    sb.set("rst", 0);
+    size_t used = 3;
+    const size_t total = 74149;
+    while (used + 80 <= total) {
+        sb.set("start", 1)
+            .setValue("a", bv::Value::random(64, rng))
+            .setValue("b", bv::Value::random(64, rng))
+            .step();
+        sb.set("start", 0).step(69);
+        used += 70;
+    }
+    // Final digest readout.
+    sb.set("report", 1).step(total - used);
+    return sb.finish();
+}
+
+InputSequence
+reedStim()
+{
+    Rng rng(0x4eed);
+    StimulusBuilder sb({{"rst", 1}, {"sym_in", 8}, {"sym_valid", 1},
+                        {"block_end", 1}});
+    sb.set("rst", 1).set("sym_in", 0).set("sym_valid", 0);
+    sb.set("block_end", 0).step(3);
+    sb.set("rst", 0);
+    size_t used = 3;
+    const size_t total = 166166;
+    const size_t block = 3300;
+    while (used + block + 2 <= total) {
+        for (size_t i = 0; i < block; ++i) {
+            sb.set("sym_in", rng.next() & 0xff)
+                .set("sym_valid", 1)
+                .step();
+        }
+        sb.set("sym_valid", 0).set("block_end", 1).step();
+        sb.set("block_end", 0).step();
+        used += block + 2;
+    }
+    while (used < total) {
+        sb.step();
+        ++used;
+    }
+    return sb.finish();
+}
+
+InputSequence
+sdramStim()
+{
+    Rng rng(0x5d4a);
+    StimulusBuilder sb(
+        {{"rst_n", 1}, {"req", 1}, {"we", 1}, {"wdata", 16}});
+    // Drive a nonzero write-data pattern during reset so the
+    // sdram_w1 bug (rd_data_r loaded from wdata instead of cleared)
+    // is observable.
+    sb.set("rst_n", 0).set("req", 0).set("we", 0)
+        .set("wdata", 0xbeef).step(3);
+    sb.set("rst_n", 1).step(25);  // init sequence
+    size_t used = 28;
+    while (used + 8 <= 636) {
+        bool write = rng.chance(0.6);
+        sb.set("req", 1)
+            .set("we", write ? 1 : 0)
+            .set("wdata", rng.next() & 0xffff)
+            .step();
+        sb.set("req", 0).step(7);
+        used += 8;
+    }
+    while (used < 636) {
+        sb.step();
+        ++used;
+    }
+    return sb.finish();
+}
+
+InputSequence
+uartStim()
+{
+    Rng rng(0xd4);
+    StimulusBuilder sb({{"rst", 1}, {"send", 1}, {"data", 8}});
+    sb.set("rst", 1).set("send", 0).set("data", 0).step(2);
+    sb.set("rst", 0);
+    size_t used = 2;
+    while (used + 46 <= 185) {
+        sb.set("send", 1).set("data", rng.next() & 0xff).step();
+        sb.set("send", 0).step(45);  // 10 baud periods of 4 + slack
+        used += 46;
+    }
+    while (used < 185) {
+        sb.step();
+        ++used;
+    }
+    return sb.finish();
+}
+
+InputSequence
+axisSwitchStim()
+{
+    Rng rng(0xa515);
+    StimulusBuilder sb({{"int_tvalid", 6}, {"int_tready", 6},
+                        {"select_0", 2}, {"select_1", 2},
+                        {"route_0", 2}, {"route_1", 2},
+                        {"route_2", 2}});
+    for (int i = 0; i < 14; ++i) {
+        sb.set("int_tvalid", rng.next());
+        sb.set("int_tready", rng.next());
+        sb.set("select_0", rng.below(3));
+        sb.set("select_1", rng.below(3));
+        sb.set("route_0", rng.below(2));
+        sb.set("route_1", rng.below(2));
+        sb.set("route_2", rng.below(2));
+        sb.step();
+    }
+    return sb.finish();
+}
+
+InputSequence
+fifoStim()
+{
+    StimulusBuilder sb({{"rst", 1}, {"in_valid", 1}, {"in_last", 1},
+                        {"out_ready", 1}});
+    sb.set("rst", 1).set("in_valid", 0).set("in_last", 0)
+        .set("out_ready", 0).step(1);
+    sb.set("rst", 0);
+    // Fill beyond full to trigger a drop, then drain.
+    sb.set("in_valid", 1).step(13);
+    sb.set("in_valid", 0).set("out_ready", 1).step(2);  // 16 cycles
+    return sb.finish();
+}
+
+InputSequence
+frameFifoStim()
+{
+    StimulusBuilder sb({{"rst", 1}, {"in_valid", 1}, {"in_last", 1},
+                        {"frame_bad", 1}});
+    sb.set("rst", 1).set("in_valid", 0).set("in_last", 0)
+        .set("frame_bad", 0).step(2);
+    sb.set("rst", 0);
+    // Good frame of 4 beats.
+    sb.set("in_valid", 1).step(3);
+    sb.set("in_last", 1).step();
+    sb.set("in_last", 0);
+    // Bad frame: drop_frame rises ...
+    sb.set("frame_bad", 1).step();
+    sb.set("frame_bad", 0).step(1);
+    // ... and a reset pulse arrives mid-drop.  The D11 bug leaves
+    // drop_frame (and the write pointer) uncleared here.
+    sb.set("in_valid", 0).set("rst", 1).step();
+    sb.set("rst", 0);
+    // Another good frame after the reset.
+    sb.set("in_valid", 1).step(3);
+    sb.set("in_last", 1).step();
+    sb.set("in_last", 0).set("in_valid", 0).step(2);  // 17 cycles
+    return sb.finish();
+}
+
+InputSequence
+pulseStim()
+{
+    StimulusBuilder sb({{"rst", 1}, {"trigger", 1}});
+    sb.set("rst", 1).set("trigger", 0).step(1);
+    sb.set("rst", 0).set("trigger", 1).step(1);
+    sb.set("trigger", 0).step(4);  // 6 cycles
+    return sb.finish();
+}
+
+InputSequence
+sdspiStim(size_t total)
+{
+    Rng rng(0x5d5);
+    StimulusBuilder sb(
+        {{"rst", 1}, {"request", 1}, {"tx_byte", 8}});
+    sb.set("rst", 1).set("request", 0).set("tx_byte", 0).step(2);
+    sb.set("rst", 0);
+    size_t used = 2;
+    // Startup takes ~84 cycles (21 strobes at 1/4 rate).  One request
+    // arrives *during* the hold-off: a correct controller ignores it,
+    // which is exactly what the C3/C4 startup bugs corrupt.
+    size_t startup_wait = total > 200 ? 100 : 2;
+    if (total > 200) {
+        sb.step(20);
+        sb.set("request", 1).set("tx_byte", 0x3c).step(2);
+        sb.set("request", 0).step(startup_wait - 22);
+    } else {
+        sb.step(startup_wait);
+    }
+    used += startup_wait;
+    while (used + 50 <= total) {
+        sb.set("request", 1).set("tx_byte", rng.next() & 0xff).step(2);
+        sb.set("request", 0).step(48);
+        used += 50;
+    }
+    while (used < total) {
+        sb.step();
+        ++used;
+    }
+    return sb.finish();
+}
+
+InputSequence
+axiliteStim()
+{
+    StimulusBuilder sb({{"rstn", 1}, {"arvalid", 1}, {"rready", 1},
+                        {"awvalid", 1}, {"wvalid", 1}, {"bready", 1}});
+    sb.set("rstn", 0).set("arvalid", 0).set("rready", 0);
+    sb.set("awvalid", 0).set("wvalid", 0).set("bready", 0).step(1);
+    sb.set("rstn", 1);
+    // Read with a slow master (rready low at first).
+    sb.set("arvalid", 1).step(3);
+    sb.set("rready", 1).step(2);
+    sb.set("arvalid", 0).set("rready", 0).step(1);
+    // Write transaction with a delayed response acknowledge and a
+    // second request held while bvalid is pending (this is where the
+    // S1.B protocol bugs become observable).
+    sb.set("awvalid", 1).set("wvalid", 1).step(3);
+    sb.step(2);
+    sb.set("bready", 1).step(1);  // 13 cycles
+    return sb.finish();
+}
+
+InputSequence
+ptpStim(size_t total)
+{
+    StimulusBuilder sb({{"rst", 1}, {"drift_dir", 1}});
+    sb.set("rst", 1).set("drift_dir", 0).step(2);
+    sb.set("rst", 0).set("drift_dir", 1).step(total - 2);
+    return sb.finish();
+}
+
+InputSequence
+checksumStim()
+{
+    Rng rng(0xc5);
+    StimulusBuilder sb(
+        {{"rst", 1}, {"in_valid", 1}, {"in_data", 8}});
+    sb.set("rst", 1).set("in_valid", 0).set("in_data", 0).step(1);
+    sb.set("rst", 0);
+    for (int i = 0; i < 6; ++i) {
+        sb.set("in_valid", 1).set("in_data", 0x80 + (rng.next() & 0x7f))
+            .step();
+        sb.set("in_valid", 0).step();
+    }
+    return sb.finish();  // 13 cycles
+}
+
+} // namespace
+
+InputSequence
+makeStimulus(const std::string &id)
+{
+    if (id == "decoder")
+        return decoderStim(false);
+    if (id == "decoder_ext")
+        return decoderStim(true);
+    if (id == "counter")
+        return counterStim();
+    if (id == "flop")
+        return flopStim();
+    if (id == "fsm")
+        return fsmStim();
+    if (id == "shift")
+        return shiftStim();
+    if (id == "mux")
+        return muxStim();
+    if (id == "i2c_addr")
+        return i2cAddrStim();
+    if (id == "i2c_long")
+        return i2cLongStim();
+    if (id == "sha3")
+        return sha3Stim(357);
+    if (id == "sha3_short")
+        return sha3Stim(129);
+    if (id == "pairing")
+        return pairingStim();
+    if (id == "reed")
+        return reedStim();
+    if (id == "sdram")
+        return sdramStim();
+    if (id == "uart")
+        return uartStim();
+    if (id == "axis_switch")
+        return axisSwitchStim();
+    if (id == "fifo")
+        return fifoStim();
+    if (id == "frame_fifo")
+        return frameFifoStim();
+    if (id == "pulse")
+        return pulseStim();
+    if (id == "sdspi_long")
+        return sdspiStim(523262);
+    if (id == "sdspi_short")
+        return sdspiStim(64);
+    if (id == "axilite")
+        return axiliteStim();
+    if (id == "ptp_long")
+        return ptpStim(523262);
+    if (id == "ptp_short")
+        return ptpStim(45);
+    if (id == "checksum")
+        return checksumStim();
+    fatal("unknown stimulus id: " + id);
+}
+
+} // namespace rtlrepair::benchmarks

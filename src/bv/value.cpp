@@ -1,0 +1,775 @@
+#include "bv/value.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace rtlrepair::bv {
+
+namespace {
+
+/** Bit mask covering the valid bits of the top word. */
+uint64_t
+topMask(uint32_t width)
+{
+    uint32_t rem = width % 64u;
+    return rem == 0 ? ~0ull : ((1ull << rem) - 1ull);
+}
+
+} // namespace
+
+void
+Value::normalize()
+{
+    check(_width > 0, "zero-width Value");
+    // A defensive cap: widths beyond this are always the result of a
+    // corrupted constant (e.g. a mutated part-select bound), and the
+    // bit-level algorithms would effectively hang on them.
+    if (_width > (1u << 22))
+        fatal("bit-vector width too large");
+    uint64_t mask = topMask(_width);
+    _bits.back() &= mask;
+    _xmask.back() &= mask;
+    for (size_t i = 0; i < _bits.size(); ++i)
+        _bits[i] &= ~_xmask[i];
+}
+
+Value
+Value::zeros(uint32_t width)
+{
+    check(width > 0, "zero-width Value");
+    return Value(width, nwords(width));
+}
+
+Value
+Value::ones(uint32_t width)
+{
+    Value v = zeros(width);
+    for (auto &w : v._bits)
+        w = ~0ull;
+    v.normalize();
+    return v;
+}
+
+Value
+Value::allX(uint32_t width)
+{
+    Value v = zeros(width);
+    for (auto &w : v._xmask)
+        w = ~0ull;
+    v.normalize();
+    return v;
+}
+
+Value
+Value::fromUint(uint32_t width, uint64_t value)
+{
+    Value v = zeros(width);
+    v._bits[0] = value;
+    v.normalize();
+    return v;
+}
+
+Value
+Value::fromWords(uint32_t width, std::vector<uint64_t> words)
+{
+    Value v = zeros(width);
+    for (size_t i = 0; i < v._bits.size() && i < words.size(); ++i)
+        v._bits[i] = words[i];
+    v.normalize();
+    return v;
+}
+
+Value
+Value::random(uint32_t width, Rng &rng)
+{
+    Value v = zeros(width);
+    for (auto &w : v._bits)
+        w = rng.next();
+    v.normalize();
+    return v;
+}
+
+Value
+Value::parseVerilog(std::string_view literal)
+{
+    std::string text;
+    for (char c : literal) {
+        if (c != '_' && !std::isspace(static_cast<unsigned char>(c)))
+            text += c;
+    }
+    size_t tick = text.find('\'');
+    if (tick == std::string::npos) {
+        // Bare decimal: 32 bits per the Verilog standard.
+        uint64_t value = 0;
+        if (text.empty())
+            fatal("empty integer literal");
+        for (char c : text) {
+            if (!std::isdigit(static_cast<unsigned char>(c)))
+                fatal("malformed integer literal: " + std::string(literal));
+            value = value * 10u + static_cast<uint64_t>(c - '0');
+        }
+        return fromUint(32, value);
+    }
+
+    uint32_t width = 32;
+    if (tick > 0) {
+        width = 0;
+        for (size_t i = 0; i < tick; ++i) {
+            char c = text[i];
+            if (!std::isdigit(static_cast<unsigned char>(c)))
+                fatal("malformed literal width: " + std::string(literal));
+            width = width * 10u + static_cast<uint32_t>(c - '0');
+        }
+        if (width == 0 || width > 1u << 20)
+            fatal("unsupported literal width: " + std::string(literal));
+    }
+
+    size_t pos = tick + 1;
+    if (pos < text.size() &&
+        (text[pos] == 's' || text[pos] == 'S')) {
+        ++pos; // signedness marker; value bits are the same
+    }
+    if (pos >= text.size())
+        fatal("malformed literal: " + std::string(literal));
+
+    char base = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(text[pos])));
+    ++pos;
+    std::string digits = text.substr(pos);
+    if (digits.empty())
+        fatal("literal has no digits: " + std::string(literal));
+
+    uint32_t bits_per_digit = 0;
+    switch (base) {
+      case 'b': bits_per_digit = 1; break;
+      case 'o': bits_per_digit = 3; break;
+      case 'h': bits_per_digit = 4; break;
+      case 'd': bits_per_digit = 0; break;
+      default:
+        fatal("unknown literal base: " + std::string(literal));
+    }
+
+    Value v = zeros(width);
+    if (bits_per_digit == 0) {
+        uint64_t value = 0;
+        for (char c : digits) {
+            if (c == 'x' || c == 'X')
+                return allX(width);
+            if (!std::isdigit(static_cast<unsigned char>(c)))
+                fatal("malformed decimal literal: " + std::string(literal));
+            value = value * 10u + static_cast<uint64_t>(c - '0');
+        }
+        return fromUint(width, value);
+    }
+
+    uint32_t bit_pos = 0;
+    for (size_t i = digits.size(); i-- > 0;) {
+        char c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(digits[i])));
+        uint32_t digit = 0;
+        bool is_x = false;
+        if (c == 'x' || c == 'z' || c == '?') {
+            is_x = true; // Z folds into X (tri-states are pre-removed)
+        } else if (c >= '0' && c <= '9') {
+            digit = static_cast<uint32_t>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+            digit = static_cast<uint32_t>(c - 'a') + 10u;
+        } else {
+            fatal("malformed literal digit: " + std::string(literal));
+        }
+        if (digit >= (1u << bits_per_digit) && !is_x)
+            fatal("digit out of range for base: " + std::string(literal));
+        for (uint32_t b = 0; b < bits_per_digit; ++b) {
+            if (bit_pos >= width)
+                break;
+            if (is_x) {
+                v.setBit(bit_pos, -1);
+            } else if ((digit >> b) & 1u) {
+                v.setBit(bit_pos, 1);
+            }
+            ++bit_pos;
+        }
+    }
+    // Verilog extends a leading x digit through the remaining bits.
+    if (bit_pos < width && !digits.empty()) {
+        char lead = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(digits.front())));
+        if (lead == 'x' || lead == 'z' || lead == '?') {
+            for (uint32_t b = bit_pos; b < width; ++b)
+                v.setBit(b, -1);
+        }
+    }
+    return v;
+}
+
+bool
+Value::hasX() const
+{
+    for (uint64_t w : _xmask) {
+        if (w != 0)
+            return true;
+    }
+    return false;
+}
+
+bool
+Value::isZero() const
+{
+    if (hasX())
+        return false;
+    for (uint64_t w : _bits) {
+        if (w != 0)
+            return false;
+    }
+    return true;
+}
+
+bool
+Value::isNonZero() const
+{
+    if (hasX())
+        return false;
+    for (uint64_t w : _bits) {
+        if (w != 0)
+            return true;
+    }
+    return false;
+}
+
+uint64_t
+Value::toUint64() const
+{
+    check(_xmask[0] == 0, "toUint64 on X value");
+    return _bits[0];
+}
+
+int
+Value::bit(uint32_t i) const
+{
+    check(i < _width, "bit index out of range");
+    size_t word = i / 64u;
+    uint64_t mask = 1ull << (i % 64u);
+    if (_xmask[word] & mask)
+        return -1;
+    return (_bits[word] & mask) ? 1 : 0;
+}
+
+void
+Value::setBit(uint32_t i, int v)
+{
+    check(i < _width, "bit index out of range");
+    size_t word = i / 64u;
+    uint64_t mask = 1ull << (i % 64u);
+    _bits[word] &= ~mask;
+    _xmask[word] &= ~mask;
+    if (v < 0) {
+        _xmask[word] |= mask;
+    } else if (v == 1) {
+        _bits[word] |= mask;
+    }
+}
+
+std::string
+Value::toBinaryString() const
+{
+    std::string out;
+    out.reserve(_width);
+    for (uint32_t i = _width; i-- > 0;) {
+        int b = bit(i);
+        out += b < 0 ? 'x' : static_cast<char>('0' + b);
+    }
+    return out;
+}
+
+std::string
+Value::toVerilogLiteral() const
+{
+    if (!hasX() && _width % 4u == 0 && _width >= 8) {
+        std::string digits;
+        for (uint32_t i = _width; i >= 4; i -= 4) {
+            uint32_t nibble = 0;
+            for (uint32_t b = 0; b < 4; ++b)
+                nibble |= static_cast<uint32_t>(bit(i - 4 + b)) << b;
+            digits += "0123456789abcdef"[nibble];
+        }
+        return format("%u'h%s", _width, digits.c_str());
+    }
+    return format("%u'b%s", _width, toBinaryString().c_str());
+}
+
+std::string
+Value::toDisplayString() const
+{
+    if (!hasX() && _width <= 64)
+        return format("%llu", static_cast<unsigned long long>(_bits[0]));
+    return toBinaryString();
+}
+
+bool
+Value::operator==(const Value &other) const
+{
+    return _width == other._width && _bits == other._bits &&
+           _xmask == other._xmask;
+}
+
+bool
+Value::matches(const Value &expected) const
+{
+    if (_width != expected._width) {
+        // Width mismatches happen when a bug changes a port width
+        // (e.g. the mux_k1 benchmark).  Compare zero-extended, the
+        // way a testbench comparison against a wider vector would.
+        uint32_t w = std::max(_width, expected._width);
+        return zext(w).matches(expected.zext(w));
+    }
+    for (size_t i = 0; i < _bits.size(); ++i) {
+        uint64_t care = ~expected._xmask[i];
+        if (i + 1 == _bits.size())
+            care &= topMask(_width);
+        if ((_xmask[i] & care) != 0)
+            return false; // our bit unknown where the trace checks
+        if (((_bits[i] ^ expected._bits[i]) & care) != 0)
+            return false;
+    }
+    return true;
+}
+
+Value
+Value::zext(uint32_t new_width) const
+{
+    check(new_width >= _width, "zext must not shrink");
+    Value v = zeros(new_width);
+    std::copy(_bits.begin(), _bits.end(), v._bits.begin());
+    std::copy(_xmask.begin(), _xmask.end(), v._xmask.begin());
+    v.normalize();
+    return v;
+}
+
+Value
+Value::sext(uint32_t new_width) const
+{
+    check(new_width >= _width, "sext must not shrink");
+    Value v = zext(new_width);
+    int msb = bit(_width - 1);
+    for (uint32_t i = _width; i < new_width; ++i)
+        v.setBit(i, msb);
+    return v;
+}
+
+Value
+Value::slice(uint32_t hi, uint32_t lo) const
+{
+    check(hi < _width && lo <= hi, "slice out of range");
+    Value v = zeros(hi - lo + 1);
+    for (uint32_t i = lo; i <= hi; ++i)
+        v.setBit(i - lo, bit(i));
+    return v;
+}
+
+Value
+Value::concat(const Value &low) const
+{
+    Value v = zeros(_width + low._width);
+    for (uint32_t i = 0; i < low._width; ++i)
+        v.setBit(i, low.bit(i));
+    for (uint32_t i = 0; i < _width; ++i)
+        v.setBit(low._width + i, bit(i));
+    return v;
+}
+
+Value
+Value::replicate(uint32_t n) const
+{
+    check(n > 0, "replicate zero times");
+    Value v = *this;
+    for (uint32_t i = 1; i < n; ++i)
+        v = v.concat(*this);
+    return v;
+}
+
+Value
+Value::operator~() const
+{
+    Value v = *this;
+    for (size_t i = 0; i < v._bits.size(); ++i)
+        v._bits[i] = ~v._bits[i];
+    v.normalize();
+    return v;
+}
+
+Value
+Value::operator&(const Value &rhs) const
+{
+    check(_width == rhs._width, "and: width mismatch");
+    Value v = zeros(_width);
+    for (size_t i = 0; i < _bits.size(); ++i) {
+        // Known one bits: both known one.  Unknown unless either is a
+        // known zero.
+        uint64_t known_a = ~_xmask[i];
+        uint64_t known_b = ~rhs._xmask[i];
+        uint64_t one = (_bits[i] & known_a) & (rhs._bits[i] & known_b);
+        uint64_t zero = (known_a & ~_bits[i]) | (known_b & ~rhs._bits[i]);
+        v._bits[i] = one;
+        v._xmask[i] = ~(one | zero);
+    }
+    v.normalize();
+    return v;
+}
+
+Value
+Value::operator|(const Value &rhs) const
+{
+    check(_width == rhs._width, "or: width mismatch");
+    Value v = zeros(_width);
+    for (size_t i = 0; i < _bits.size(); ++i) {
+        uint64_t known_a = ~_xmask[i];
+        uint64_t known_b = ~rhs._xmask[i];
+        uint64_t one = (_bits[i] & known_a) | (rhs._bits[i] & known_b);
+        uint64_t zero = (known_a & ~_bits[i]) & (known_b & ~rhs._bits[i]);
+        v._bits[i] = one;
+        v._xmask[i] = ~(one | zero);
+    }
+    v.normalize();
+    return v;
+}
+
+Value
+Value::operator^(const Value &rhs) const
+{
+    check(_width == rhs._width, "xor: width mismatch");
+    Value v = zeros(_width);
+    for (size_t i = 0; i < _bits.size(); ++i) {
+        v._xmask[i] = _xmask[i] | rhs._xmask[i];
+        v._bits[i] = _bits[i] ^ rhs._bits[i];
+    }
+    v.normalize();
+    return v;
+}
+
+Value
+Value::operator+(const Value &rhs) const
+{
+    check(_width == rhs._width, "add: width mismatch");
+    if (hasX() || rhs.hasX())
+        return allX(_width);
+    Value v = zeros(_width);
+    uint64_t carry = 0;
+    for (size_t i = 0; i < _bits.size(); ++i) {
+        uint64_t sum = _bits[i] + carry;
+        uint64_t carry1 = sum < _bits[i] ? 1u : 0u;
+        uint64_t total = sum + rhs._bits[i];
+        uint64_t carry2 = total < sum ? 1u : 0u;
+        v._bits[i] = total;
+        carry = carry1 | carry2;
+    }
+    v.normalize();
+    return v;
+}
+
+Value
+Value::negate() const
+{
+    if (hasX())
+        return allX(_width);
+    Value v = ~*this;
+    return v + fromUint(_width, 1);
+}
+
+Value
+Value::operator-(const Value &rhs) const
+{
+    check(_width == rhs._width, "sub: width mismatch");
+    if (hasX() || rhs.hasX())
+        return allX(_width);
+    return *this + rhs.negate();
+}
+
+Value
+Value::operator*(const Value &rhs) const
+{
+    check(_width == rhs._width, "mul: width mismatch");
+    if (hasX() || rhs.hasX())
+        return allX(_width);
+    size_t n = _bits.size();
+    std::vector<uint64_t> acc(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t carry = 0;
+        for (size_t j = 0; i + j < n; ++j) {
+            unsigned __int128 cur =
+                static_cast<unsigned __int128>(_bits[i]) * rhs._bits[j] +
+                acc[i + j] + carry;
+            acc[i + j] = static_cast<uint64_t>(cur);
+            carry = static_cast<uint64_t>(cur >> 64);
+        }
+    }
+    return fromWords(_width, std::move(acc));
+}
+
+Value
+Value::udiv(const Value &rhs) const
+{
+    check(_width == rhs._width, "udiv: width mismatch");
+    if (hasX() || rhs.hasX() || rhs.isZero())
+        return allX(_width);
+    // Simple restoring long division, MSB first.
+    Value quotient = zeros(_width);
+    Value remainder = zeros(_width);
+    for (uint32_t i = _width; i-- > 0;) {
+        remainder = remainder.shl(fromUint(_width, 1));
+        remainder.setBit(0, bit(i));
+        if (rhs.ule(remainder).isNonZero()) {
+            remainder = remainder - rhs;
+            quotient.setBit(i, 1);
+        }
+    }
+    return quotient;
+}
+
+Value
+Value::urem(const Value &rhs) const
+{
+    check(_width == rhs._width, "urem: width mismatch");
+    if (hasX() || rhs.hasX() || rhs.isZero())
+        return allX(_width);
+    Value quotient = udiv(rhs);
+    return *this - quotient * rhs;
+}
+
+Value
+Value::shl(const Value &amount) const
+{
+    if (hasX() || amount.hasX())
+        return allX(_width);
+    uint64_t by = amount._bits[0];
+    for (size_t i = 1; i < amount._bits.size(); ++i) {
+        if (amount._bits[i] != 0)
+            by = _width; // saturate
+    }
+    if (by >= _width)
+        return zeros(_width);
+    Value v = zeros(_width);
+    for (uint32_t i = static_cast<uint32_t>(by); i < _width; ++i)
+        v.setBit(i, bit(i - static_cast<uint32_t>(by)));
+    return v;
+}
+
+Value
+Value::lshr(const Value &amount) const
+{
+    if (hasX() || amount.hasX())
+        return allX(_width);
+    uint64_t by = amount._bits[0];
+    for (size_t i = 1; i < amount._bits.size(); ++i) {
+        if (amount._bits[i] != 0)
+            by = _width;
+    }
+    if (by >= _width)
+        return zeros(_width);
+    Value v = zeros(_width);
+    for (uint32_t i = 0; i + by < _width; ++i)
+        v.setBit(i, bit(i + static_cast<uint32_t>(by)));
+    return v;
+}
+
+Value
+Value::ashr(const Value &amount) const
+{
+    if (hasX() || amount.hasX())
+        return allX(_width);
+    uint64_t by = amount._bits[0];
+    for (size_t i = 1; i < amount._bits.size(); ++i) {
+        if (amount._bits[i] != 0)
+            by = _width;
+    }
+    int sign = bit(_width - 1);
+    if (by >= _width)
+        return sign == 1 ? ones(_width) : zeros(_width);
+    Value v = zeros(_width);
+    for (uint32_t i = 0; i < _width; ++i) {
+        uint64_t src = i + by;
+        v.setBit(i, src < _width ? bit(static_cast<uint32_t>(src)) : sign);
+    }
+    return v;
+}
+
+int
+Value::compareKnown(const Value &a, const Value &b)
+{
+    for (size_t i = a._bits.size(); i-- > 0;) {
+        if (a._bits[i] < b._bits[i])
+            return -1;
+        if (a._bits[i] > b._bits[i])
+            return 1;
+    }
+    return 0;
+}
+
+Value
+Value::eq(const Value &rhs) const
+{
+    check(_width == rhs._width, "eq: width mismatch");
+    if (hasX() || rhs.hasX())
+        return allX(1);
+    return fromUint(1, compareKnown(*this, rhs) == 0 ? 1u : 0u);
+}
+
+Value
+Value::ne(const Value &rhs) const
+{
+    Value e = eq(rhs);
+    return e.hasX() ? e : ~e;
+}
+
+Value
+Value::ult(const Value &rhs) const
+{
+    check(_width == rhs._width, "ult: width mismatch");
+    if (hasX() || rhs.hasX())
+        return allX(1);
+    return fromUint(1, compareKnown(*this, rhs) < 0 ? 1u : 0u);
+}
+
+Value
+Value::ule(const Value &rhs) const
+{
+    check(_width == rhs._width, "ule: width mismatch");
+    if (hasX() || rhs.hasX())
+        return allX(1);
+    return fromUint(1, compareKnown(*this, rhs) <= 0 ? 1u : 0u);
+}
+
+Value
+Value::slt(const Value &rhs) const
+{
+    check(_width == rhs._width, "slt: width mismatch");
+    if (hasX() || rhs.hasX())
+        return allX(1);
+    int sa = signBit(), sb = rhs.signBit();
+    if (sa != sb)
+        return fromUint(1, sa == 1 ? 1u : 0u);
+    return fromUint(1, compareKnown(*this, rhs) < 0 ? 1u : 0u);
+}
+
+Value
+Value::sle(const Value &rhs) const
+{
+    Value lt = slt(rhs);
+    if (lt.hasX())
+        return lt;
+    if (lt.isNonZero())
+        return lt;
+    return eq(rhs);
+}
+
+Value
+Value::caseEq(const Value &rhs) const
+{
+    check(_width == rhs._width, "caseEq: width mismatch");
+    bool equal = _bits == rhs._bits && _xmask == rhs._xmask;
+    return fromUint(1, equal ? 1u : 0u);
+}
+
+Value
+Value::redAnd() const
+{
+    bool any_x = false;
+    for (uint32_t i = 0; i < _width; ++i) {
+        int b = bit(i);
+        if (b == 0)
+            return fromUint(1, 0);
+        if (b < 0)
+            any_x = true;
+    }
+    return any_x ? allX(1) : fromUint(1, 1);
+}
+
+Value
+Value::redOr() const
+{
+    bool any_x = false;
+    for (uint32_t i = 0; i < _width; ++i) {
+        int b = bit(i);
+        if (b == 1)
+            return fromUint(1, 1);
+        if (b < 0)
+            any_x = true;
+    }
+    return any_x ? allX(1) : fromUint(1, 0);
+}
+
+Value
+Value::redXor() const
+{
+    if (hasX())
+        return allX(1);
+    uint64_t parity = 0;
+    for (uint64_t w : _bits)
+        parity ^= w;
+    parity ^= parity >> 32;
+    parity ^= parity >> 16;
+    parity ^= parity >> 8;
+    parity ^= parity >> 4;
+    parity ^= parity >> 2;
+    parity ^= parity >> 1;
+    return fromUint(1, parity & 1u);
+}
+
+Value
+Value::ite(const Value &cond, const Value &then_v, const Value &else_v)
+{
+    check(cond._width == 1, "ite: condition must be 1 bit");
+    check(then_v._width == else_v._width, "ite: arm width mismatch");
+    int c = cond.bit(0);
+    if (c == 1)
+        return then_v;
+    if (c == 0)
+        return else_v;
+    // X condition: merge arms bitwise.
+    Value v = zeros(then_v._width);
+    for (uint32_t i = 0; i < v._width; ++i) {
+        int a = then_v.bit(i);
+        int b = else_v.bit(i);
+        v.setBit(i, (a == b && a >= 0) ? a : -1);
+    }
+    return v;
+}
+
+Value
+Value::xToZero() const
+{
+    Value v = *this;
+    for (auto &w : v._xmask)
+        w = 0;
+    return v;
+}
+
+Value
+Value::xToRandom(Rng &rng) const
+{
+    Value v = *this;
+    for (size_t i = 0; i < v._bits.size(); ++i) {
+        v._bits[i] |= rng.next() & v._xmask[i];
+        v._xmask[i] = 0;
+    }
+    v.normalize();
+    return v;
+}
+
+size_t
+Value::hash() const
+{
+    size_t h = _width * 0x9e3779b97f4a7c15ull;
+    auto mix = [&h](uint64_t w) {
+        h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    };
+    for (uint64_t w : _bits)
+        mix(w);
+    for (uint64_t w : _xmask)
+        mix(w ^ 0x5555555555555555ull);
+    return h;
+}
+
+} // namespace rtlrepair::bv

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The automated repair-correctness battery of paper Table 4:
+ *
+ *  - Testbench: event-driven replay of the original I/O trace.
+ *  - Gate-Level: replay against the synthesized (AIG + DFF) netlist;
+ *    only applicable when the *ground truth* passes it too (the
+ *    paper's guard against benign X-propagation failures).
+ *  - Second simulator (iverilog in the paper): event-driven replay
+ *    with reversed process scheduling plus a synthesis-semantics
+ *    replay — catches repairs that rely on racy or ill-defined
+ *    behaviour.
+ *  - Extended testbench: a longer trace covering behaviour the
+ *    original testbench misses (where the benchmark provides one).
+ *
+ * Overall verdict: all applicable checks pass.
+ */
+#ifndef RTLREPAIR_CHECKS_CORRECTNESS_HPP
+#define RTLREPAIR_CHECKS_CORRECTNESS_HPP
+
+#include <optional>
+#include <string>
+
+#include "trace/io_trace.hpp"
+#include "verilog/ast.hpp"
+
+namespace rtlrepair::checks {
+
+/** Verdicts of the individual checks; nullopt = not applicable. */
+struct CheckReport
+{
+    std::optional<bool> testbench;
+    std::optional<bool> gate_level;
+    std::optional<bool> second_simulator;
+    std::optional<bool> extended;
+    bool overall = false;
+    std::string detail;
+
+    /** Render like the paper's Table 4 cells (pass/fail/blank). */
+    std::string cells() const;
+};
+
+/** Inputs to the battery. */
+struct CheckInputs
+{
+    const verilog::Module *golden = nullptr;
+    const verilog::Module *repaired = nullptr;
+    std::vector<const verilog::Module *> library;
+    std::string clock;
+    const trace::IoTrace *tb = nullptr;
+    const trace::IoTrace *extended_tb = nullptr;  ///< optional
+};
+
+/** Run all applicable checks. */
+CheckReport checkRepair(const CheckInputs &inputs);
+
+} // namespace rtlrepair::checks
+
+#endif // RTLREPAIR_CHECKS_CORRECTNESS_HPP

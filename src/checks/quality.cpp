@@ -1,0 +1,118 @@
+#include "checks/quality.hpp"
+
+#include <set>
+
+#include "util/strings.hpp"
+#include "verilog/ast_util.hpp"
+#include "verilog/printer.hpp"
+
+namespace rtlrepair::checks {
+
+using namespace verilog;
+
+const char *
+qualityName(Quality quality)
+{
+    switch (quality) {
+      case Quality::A: return "A";
+      case Quality::B: return "B";
+      case Quality::C: return "C";
+      case Quality::D: return "D";
+    }
+    return "?";
+}
+
+namespace {
+
+struct ChangeSet
+{
+    std::set<std::string> removed;  ///< lines of the buggy version
+    std::set<std::string> added;
+};
+
+ChangeSet
+changes(const std::string &before, const std::string &after)
+{
+    ChangeSet set;
+    for (const auto &line : diffLines(before, after)) {
+        std::string text{trim(line.text)};
+        if (text.empty())
+            continue;
+        if (line.tag == '-')
+            set.removed.insert(text);
+        else if (line.tag == '+')
+            set.added.insert(text);
+    }
+    return set;
+}
+
+bool
+isSubset(const std::set<std::string> &small,
+         const std::set<std::string> &big)
+{
+    for (const auto &x : small) {
+        if (!big.count(x))
+            return false;
+    }
+    return true;
+}
+
+bool
+intersects(const std::set<std::string> &a,
+           const std::set<std::string> &b)
+{
+    for (const auto &x : a) {
+        if (b.count(x))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+Quality
+gradeRepair(const Module &buggy, const Module &repaired,
+            const Module &golden)
+{
+    // A: structurally identical to the ground truth.
+    if (equal(repaired, golden))
+        return Quality::A;
+
+    std::string buggy_src = print(buggy);
+    std::string repaired_src = print(repaired);
+    std::string golden_src = print(golden);
+    if (repaired_src == golden_src)
+        return Quality::A;
+
+    ChangeSet repair_set = changes(buggy_src, repaired_src);
+    ChangeSet truth_set = changes(buggy_src, golden_src);
+
+    // B: the repair performs a subset of the ground-truth changes.
+    if (!repair_set.removed.empty() || !repair_set.added.empty()) {
+        if (isSubset(repair_set.removed, truth_set.removed) &&
+            isSubset(repair_set.added, truth_set.added)) {
+            return Quality::B;
+        }
+    }
+
+    // C: the repair touches the same lines/expressions the ground
+    // truth touches, but rewrites them differently.
+    if (intersects(repair_set.removed, truth_set.removed))
+        return Quality::C;
+
+    return Quality::D;
+}
+
+std::pair<int, int>
+bugDiff(const Module &golden, const Module &buggy)
+{
+    return countDiff(print(buggy), print(golden));
+}
+
+std::string
+repairDiff(const Module &buggy, const Module &repaired)
+{
+    return formatDiff(diffLines(print(buggy), print(repaired)));
+}
+
+} // namespace rtlrepair::checks

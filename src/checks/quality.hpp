@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Ground-truth quality grading on the Table 6 scale:
+ *  (A) repair matches the ground truth exactly,
+ *  (B) repair performs some of the ground-truth changes,
+ *  (C) repair changes the same expression differently,
+ *  (D) repair is very different from the ground truth.
+ *
+ * The paper grades by hand; we automate it with printed-source line
+ * diffs, which is deterministic and close to how a human eyeballs
+ * the patches.
+ */
+#ifndef RTLREPAIR_CHECKS_QUALITY_HPP
+#define RTLREPAIR_CHECKS_QUALITY_HPP
+
+#include <string>
+
+#include "verilog/ast.hpp"
+
+namespace rtlrepair::checks {
+
+enum class Quality { A, B, C, D };
+
+const char *qualityName(Quality quality);
+
+/** Grade @p repaired against @p golden, both derived from @p buggy. */
+Quality gradeRepair(const verilog::Module &buggy,
+                    const verilog::Module &repaired,
+                    const verilog::Module &golden);
+
+/** Lines added/removed going from @p golden to @p buggy ("Bug Diff"). */
+std::pair<int, int> bugDiff(const verilog::Module &golden,
+                            const verilog::Module &buggy);
+
+/** Unified-style diff of the repair (buggy -> repaired). */
+std::string repairDiff(const verilog::Module &buggy,
+                       const verilog::Module &repaired);
+
+} // namespace rtlrepair::checks
+
+#endif // RTLREPAIR_CHECKS_QUALITY_HPP

@@ -1,0 +1,69 @@
+#include "cirfix/fitness.hpp"
+
+#include "sim/event_sim.hpp"
+#include "util/logging.hpp"
+
+namespace rtlrepair::cirfix {
+
+using bv::Value;
+
+Fitness
+evaluateFitness(const verilog::Module &candidate,
+                const std::vector<const verilog::Module *> &library,
+                const std::string &clock, const trace::IoTrace &io,
+                size_t max_cycles)
+{
+    Fitness fitness;
+    size_t cycles = std::min(io.length(), max_cycles);
+    if (cycles == 0)
+        return fitness;
+
+    size_t checked = 0;
+    size_t matched = 0;
+    try {
+        sim::EventSimulator sim(candidate, library, clock);
+        for (size_t cycle = 0; cycle < cycles; ++cycle) {
+            for (size_t i = 0; i < io.inputs.size(); ++i) {
+                if (io.inputs[i].name == clock)
+                    continue;
+                sim.setInput(io.inputs[i].name,
+                             io.input_rows[cycle][i]);
+            }
+            if (clock.empty())
+                sim.settleOnly();
+            else
+                sim.step();
+            if (sim.unstable()) {
+                fitness.crashed = true;
+                fitness.score = 0.0;
+                return fitness;
+            }
+            for (size_t i = 0; i < io.outputs.size(); ++i) {
+                const Value &expected = io.output_rows[cycle][i];
+                if (expected.hasX() &&
+                    expected == Value::allX(expected.width())) {
+                    continue;  // fully unchecked value
+                }
+                ++checked;
+                Value got = sim.sampledOutput(io.outputs[i].name);
+                if (got.matches(expected))
+                    ++matched;
+            }
+        }
+    } catch (const FatalError &) {
+        fitness.crashed = true;
+        return fitness;
+    } catch (const PanicError &) {
+        fitness.crashed = true;
+        return fitness;
+    }
+
+    fitness.score = checked == 0
+                        ? 1.0
+                        : static_cast<double>(matched) /
+                              static_cast<double>(checked);
+    fitness.perfect = matched == checked;
+    return fitness;
+}
+
+} // namespace rtlrepair::cirfix

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * CirFix-style fitness: the fraction of expected output values a
+ * candidate matches over the testbench, computed with the
+ * event-driven simulator (CirFix repairs the *simulation* — the
+ * paper's critique in §6.2 — so the baseline's oracle is simulation
+ * semantics, not synthesis semantics).
+ */
+#ifndef RTLREPAIR_CIRFIX_FITNESS_HPP
+#define RTLREPAIR_CIRFIX_FITNESS_HPP
+
+#include "trace/io_trace.hpp"
+#include "verilog/ast.hpp"
+
+namespace rtlrepair::cirfix {
+
+/** Fitness in [0, 1]; 1.0 means every checked value matched. */
+struct Fitness
+{
+    double score = 0.0;
+    bool perfect = false;
+    bool crashed = false;  ///< candidate failed to simulate
+};
+
+/**
+ * Evaluate @p candidate against @p io.  At most @p max_cycles rows
+ * are simulated (a fitness cap keeps generations affordable on long
+ * testbenches); @c perfect is only set when the *full* prefix
+ * matched.
+ */
+Fitness evaluateFitness(const verilog::Module &candidate,
+                        const std::vector<const verilog::Module *>
+                            &library,
+                        const std::string &clock,
+                        const trace::IoTrace &io, size_t max_cycles);
+
+} // namespace rtlrepair::cirfix
+
+#endif // RTLREPAIR_CIRFIX_FITNESS_HPP

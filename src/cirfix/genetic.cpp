@@ -1,0 +1,177 @@
+#include "cirfix/genetic.hpp"
+
+#include <algorithm>
+
+#include "cirfix/mutations.hpp"
+#include "sim/event_sim.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+#include "verilog/printer.hpp"
+
+namespace rtlrepair::cirfix {
+
+using verilog::Module;
+
+namespace {
+
+struct Individual
+{
+    std::unique_ptr<Module> module;
+    double fitness = 0.0;
+    bool perfect = false;
+    std::string lineage;
+};
+
+/** Mutation lineages concatenate across generations; keep the tail. */
+std::string
+clampLineage(std::string lineage)
+{
+    constexpr size_t kMax = 160;
+    if (lineage.size() > kMax)
+        lineage = "..." + lineage.substr(lineage.size() - kMax);
+    return lineage;
+}
+
+} // namespace
+
+CirFixOutcome
+cirfixRepair(const Module &buggy,
+             const std::vector<const Module *> &library,
+             const std::string &clock, const trace::IoTrace &io,
+             const CirFixConfig &config)
+{
+    Stopwatch watch;
+    Deadline deadline(config.timeout_seconds);
+    Rng rng(config.seed);
+    CirFixOutcome outcome;
+
+    // Duplicate-statement mutations can snowball across generations;
+    // cap individuals at a few times the original source size so the
+    // population cannot grow without bound.
+    const size_t size_cap = verilog::print(buggy).size() * 4 + 4096;
+
+    auto evaluate = [&](Individual &ind) {
+        Fitness f = evaluateFitness(*ind.module, library, clock, io,
+                                    config.fitness_cycle_cap);
+        ind.fitness = f.crashed ? 0.0 : f.score;
+        ind.perfect = f.perfect && !f.crashed;
+        ++outcome.evaluations;
+    };
+
+    auto fullValidate = [&](const Individual &ind) {
+        return sim::eventReplay(*ind.module, library, clock, io)
+            .passed;
+    };
+
+    // Seed population: the buggy design plus single mutants.
+    std::vector<Individual> population;
+    {
+        Individual base;
+        base.module = buggy.clone();
+        base.lineage = "original";
+        evaluate(base);
+        population.push_back(std::move(base));
+    }
+    while (population.size() < config.population) {
+        Individual ind;
+        std::string desc;
+        ind.module = mutate(buggy, rng, &desc);
+        ind.lineage = desc;
+        evaluate(ind);
+        population.push_back(std::move(ind));
+    }
+
+    auto finish = [&](CirFixOutcome::Status status) {
+        outcome.status = status;
+        outcome.seconds = watch.seconds();
+        double best = 0.0;
+        for (const auto &ind : population)
+            best = std::max(best, ind.fitness);
+        outcome.best_fitness = std::max(outcome.best_fitness, best);
+        return std::move(outcome);
+    };
+
+    auto tournamentPick = [&]() -> const Individual & {
+        size_t best = rng.below(population.size());
+        for (size_t i = 1; i < config.tournament; ++i) {
+            size_t cand = rng.below(population.size());
+            if (population[cand].fitness > population[best].fitness)
+                best = cand;
+        }
+        return population[best];
+    };
+
+    while (!deadline.expired()) {
+        ++outcome.generations;
+
+        // Check for plausible repairs (perfect fitness on the capped
+        // prefix), then validate on the full testbench.
+        for (auto &ind : population) {
+            if (!ind.perfect || ind.lineage == "original")
+                continue;
+            if (deadline.expired())
+                return finish(CirFixOutcome::Status::Timeout);
+            if (fullValidate(ind)) {
+                outcome.repaired = ind.module->clone();
+                outcome.description = ind.lineage;
+                outcome.best_fitness = 1.0;
+                return finish(CirFixOutcome::Status::Repaired);
+            }
+            ind.perfect = false;  // overfit to the prefix
+            ind.fitness *= 0.99;
+        }
+
+        // Next generation.
+        std::sort(population.begin(), population.end(),
+                  [](const Individual &a, const Individual &b) {
+                      return a.fitness > b.fitness;
+                  });
+        std::vector<Individual> next;
+        for (size_t i = 0;
+             i < config.elitism && i < population.size(); ++i) {
+            Individual copy;
+            copy.module = population[i].module->clone();
+            copy.fitness = population[i].fitness;
+            copy.perfect = population[i].perfect;
+            copy.lineage = population[i].lineage;
+            next.push_back(std::move(copy));
+        }
+        while (next.size() < config.population &&
+               !deadline.expired()) {
+            Individual child;
+            std::string lineage;
+            if (rng.chance(config.crossover_rate)) {
+                const Individual &a = tournamentPick();
+                const Individual &b = tournamentPick();
+                child.module = crossover(*a.module, *b.module, rng);
+                lineage = format("cross(%s | %s)", a.lineage.c_str(),
+                                 b.lineage.c_str());
+            } else {
+                const Individual &parent = tournamentPick();
+                child.module = parent.module->clone();
+                lineage = parent.lineage;
+            }
+            std::string desc;
+            child.module = mutate(*child.module, rng, &desc);
+            lineage += "; " + desc;
+            while (rng.chance(config.extra_mutation_rate)) {
+                child.module = mutate(*child.module, rng, &desc);
+                lineage += "; " + desc;
+            }
+            if (verilog::print(*child.module).size() > size_cap) {
+                // Oversized individual: restart from the original.
+                child.module = buggy.clone();
+                lineage = "reset (size cap)";
+            }
+            child.lineage = clampLineage(std::move(lineage));
+            evaluate(child);
+            next.push_back(std::move(child));
+        }
+        if (next.empty())
+            break;
+        population = std::move(next);
+    }
+    return finish(CirFixOutcome::Status::Timeout);
+}
+
+} // namespace rtlrepair::cirfix

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The CirFix baseline: genetic generate-and-validate repair.
+ *
+ * Population of mutated design variants, simulation-based fitness,
+ * tournament selection with elitism, single-point crossover, and a
+ * wall-clock budget.  A candidate with perfect fitness on the capped
+ * prefix is validated against the full testbench before being
+ * declared a repair (plausibility in CirFix terms; correctness is
+ * judged separately by the checks module, where this baseline tends
+ * to lose — reproducing the paper's Table 4 pattern).
+ */
+#ifndef RTLREPAIR_CIRFIX_GENETIC_HPP
+#define RTLREPAIR_CIRFIX_GENETIC_HPP
+
+#include <memory>
+
+#include "cirfix/fitness.hpp"
+#include "util/rng.hpp"
+
+namespace rtlrepair::cirfix {
+
+struct CirFixConfig
+{
+    double timeout_seconds = 60.0;
+    size_t population = 16;
+    size_t tournament = 3;
+    size_t elitism = 2;
+    double crossover_rate = 0.4;
+    /** Extra mutations stacked on a child. */
+    double extra_mutation_rate = 0.3;
+    size_t fitness_cycle_cap = 2000;
+    uint64_t seed = 1;
+};
+
+struct CirFixOutcome
+{
+    enum class Status { Repaired, NoRepair, Timeout };
+    Status status = Status::Timeout;
+    std::unique_ptr<verilog::Module> repaired;
+    double seconds = 0.0;
+    int generations = 0;
+    size_t evaluations = 0;
+    double best_fitness = 0.0;
+    std::string description;  ///< mutation lineage of the repair
+};
+
+/** Run the baseline on @p buggy against @p io. */
+CirFixOutcome cirfixRepair(const verilog::Module &buggy,
+                           const std::vector<const verilog::Module *>
+                               &library,
+                           const std::string &clock,
+                           const trace::IoTrace &io,
+                           const CirFixConfig &config);
+
+} // namespace rtlrepair::cirfix
+
+#endif // RTLREPAIR_CIRFIX_GENETIC_HPP

@@ -1,0 +1,465 @@
+#include "cirfix/mutations.hpp"
+
+#include <vector>
+
+#include "analysis/widths.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+#include "verilog/ast_util.hpp"
+
+namespace rtlrepair::cirfix {
+
+using namespace verilog;
+using bv::Value;
+
+namespace {
+
+/** Collect pointers to statement slots for structural mutations. */
+void
+collectStmtSlots(StmtPtr &stmt, std::vector<StmtPtr *> &out)
+{
+    out.push_back(&stmt);
+    switch (stmt->kind) {
+      case Stmt::Kind::Block:
+        for (auto &s : static_cast<BlockStmt &>(*stmt).stmts)
+            collectStmtSlots(s, out);
+        return;
+      case Stmt::Kind::If: {
+        auto &i = static_cast<IfStmt &>(*stmt);
+        collectStmtSlots(i.then_stmt, out);
+        if (i.else_stmt)
+            collectStmtSlots(i.else_stmt, out);
+        return;
+      }
+      case Stmt::Kind::Case: {
+        auto &c = static_cast<CaseStmt &>(*stmt);
+        for (auto &item : c.items)
+            collectStmtSlots(item.body, out);
+        if (c.default_body)
+            collectStmtSlots(c.default_body, out);
+        return;
+      }
+      case Stmt::Kind::For:
+        collectStmtSlots(static_cast<ForStmt &>(*stmt).body, out);
+        return;
+      default:
+        return;
+    }
+}
+
+/** All expression slots in the module (r-values and conditions). */
+void
+collectExprSlots(Module &mod, std::vector<ExprPtr *> &out)
+{
+    for (auto &item : mod.items) {
+        if (item->kind == Item::Kind::ContAssign) {
+            out.push_back(&static_cast<ContAssign &>(*item).rhs);
+        } else if (item->kind == Item::Kind::Always) {
+            std::vector<StmtPtr *> stmts;
+            collectStmtSlots(static_cast<AlwaysBlock &>(*item).body,
+                             stmts);
+            for (StmtPtr *slot : stmts) {
+                Stmt &s = **slot;
+                if (s.kind == Stmt::Kind::If) {
+                    out.push_back(&static_cast<IfStmt &>(s).cond);
+                } else if (s.kind == Stmt::Kind::Assign) {
+                    out.push_back(&static_cast<AssignStmt &>(s).rhs);
+                } else if (s.kind == Stmt::Kind::Case) {
+                    out.push_back(&static_cast<CaseStmt &>(s).subject);
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Literal expressions reachable from an expression slot, excluding
+ * positions that must stay compile-time constants (part-select
+ * bounds, replication counts) — mutating those would not produce a
+ * legal Verilog change.
+ */
+void
+collectLiterals(ExprPtr &expr, std::vector<LiteralExpr *> &out)
+{
+    switch (expr->kind) {
+      case Expr::Kind::Literal:
+        out.push_back(static_cast<LiteralExpr *>(expr.get()));
+        return;
+      case Expr::Kind::Ident:
+        return;
+      case Expr::Kind::Unary:
+        collectLiterals(static_cast<UnaryExpr &>(*expr).operand, out);
+        return;
+      case Expr::Kind::Binary: {
+        auto &b = static_cast<BinaryExpr &>(*expr);
+        collectLiterals(b.lhs, out);
+        collectLiterals(b.rhs, out);
+        return;
+      }
+      case Expr::Kind::Ternary: {
+        auto &t = static_cast<TernaryExpr &>(*expr);
+        collectLiterals(t.cond, out);
+        collectLiterals(t.then_expr, out);
+        collectLiterals(t.else_expr, out);
+        return;
+      }
+      case Expr::Kind::Concat:
+        for (auto &p : static_cast<ConcatExpr &>(*expr).parts)
+            collectLiterals(p, out);
+        return;
+      case Expr::Kind::Repl:
+        collectLiterals(static_cast<ReplExpr &>(*expr).inner, out);
+        return;
+      case Expr::Kind::Index: {
+        auto &i = static_cast<IndexExpr &>(*expr);
+        collectLiterals(i.base, out);
+        collectLiterals(i.index, out);
+        return;
+      }
+      case Expr::Kind::RangeSelect:
+        collectLiterals(static_cast<RangeSelectExpr &>(*expr).base,
+                        out);
+        return;
+    }
+}
+
+void
+collectIdentSlots(ExprPtr &expr, std::vector<ExprPtr *> &out)
+{
+    switch (expr->kind) {
+      case Expr::Kind::Ident:
+        out.push_back(&expr);
+        return;
+      case Expr::Kind::Literal:
+        return;
+      case Expr::Kind::Unary:
+        collectIdentSlots(static_cast<UnaryExpr &>(*expr).operand, out);
+        return;
+      case Expr::Kind::Binary: {
+        auto &b = static_cast<BinaryExpr &>(*expr);
+        collectIdentSlots(b.lhs, out);
+        collectIdentSlots(b.rhs, out);
+        return;
+      }
+      case Expr::Kind::Ternary: {
+        auto &t = static_cast<TernaryExpr &>(*expr);
+        collectIdentSlots(t.cond, out);
+        collectIdentSlots(t.then_expr, out);
+        collectIdentSlots(t.else_expr, out);
+        return;
+      }
+      case Expr::Kind::Concat:
+        for (auto &p : static_cast<ConcatExpr &>(*expr).parts)
+            collectIdentSlots(p, out);
+        return;
+      case Expr::Kind::Repl:
+        collectIdentSlots(static_cast<ReplExpr &>(*expr).inner, out);
+        return;
+      case Expr::Kind::Index:
+        collectIdentSlots(static_cast<IndexExpr &>(*expr).base, out);
+        collectIdentSlots(static_cast<IndexExpr &>(*expr).index, out);
+        return;
+      case Expr::Kind::RangeSelect:
+        collectIdentSlots(static_cast<RangeSelectExpr &>(*expr).base,
+                          out);
+        return;
+    }
+}
+
+std::vector<AssignStmt *>
+collectAssigns(Module &mod)
+{
+    std::vector<AssignStmt *> out;
+    for (auto &item : mod.items) {
+        if (item->kind != Item::Kind::Always)
+            continue;
+        std::vector<StmtPtr *> stmts;
+        collectStmtSlots(static_cast<AlwaysBlock &>(*item).body, stmts);
+        for (StmtPtr *slot : stmts) {
+            if ((*slot)->kind == Stmt::Kind::Assign)
+                out.push_back(static_cast<AssignStmt *>(slot->get()));
+        }
+    }
+    return out;
+}
+
+BinaryOp
+randomCompatibleOp(BinaryOp op, Rng &rng)
+{
+    static const BinaryOp arith[] = {BinaryOp::Add, BinaryOp::Sub,
+                                     BinaryOp::Mul, BinaryOp::Shl,
+                                     BinaryOp::Shr};
+    static const BinaryOp bitwise[] = {BinaryOp::BitAnd,
+                                       BinaryOp::BitOr,
+                                       BinaryOp::BitXor};
+    static const BinaryOp cmp[] = {BinaryOp::Eq, BinaryOp::Ne,
+                                   BinaryOp::Lt, BinaryOp::Le,
+                                   BinaryOp::Gt, BinaryOp::Ge};
+    static const BinaryOp logic[] = {BinaryOp::LogicAnd,
+                                     BinaryOp::LogicOr};
+    auto pick = [&rng](const BinaryOp *set, size_t n) {
+        return set[rng.below(n)];
+    };
+    switch (op) {
+      case BinaryOp::Add:
+      case BinaryOp::Sub:
+      case BinaryOp::Mul:
+      case BinaryOp::Shl:
+      case BinaryOp::Shr:
+      case BinaryOp::AShr:
+        return pick(arith, 5);
+      case BinaryOp::BitAnd:
+      case BinaryOp::BitOr:
+      case BinaryOp::BitXor:
+      case BinaryOp::BitXnor:
+        return pick(bitwise, 3);
+      case BinaryOp::Eq:
+      case BinaryOp::Ne:
+      case BinaryOp::Lt:
+      case BinaryOp::Le:
+      case BinaryOp::Gt:
+      case BinaryOp::Ge:
+        return pick(cmp, 6);
+      case BinaryOp::LogicAnd:
+      case BinaryOp::LogicOr:
+        return pick(logic, 2);
+      default:
+        return op;
+    }
+}
+
+} // namespace
+
+std::unique_ptr<Module>
+mutate(const Module &original, Rng &rng, std::string *description)
+{
+    auto mod = original.clone();
+    std::string desc = "no-op";
+
+    // Try operators until one applies (bounded retries).
+    for (int attempt = 0; attempt < 12; ++attempt) {
+        switch (rng.below(8)) {
+          case 0: {  // invert a conditional
+            std::vector<ExprPtr *> conds;
+            for (auto &item : mod->items) {
+                if (item->kind != Item::Kind::Always)
+                    continue;
+                std::vector<StmtPtr *> stmts;
+                collectStmtSlots(
+                    static_cast<AlwaysBlock &>(*item).body, stmts);
+                for (StmtPtr *slot : stmts) {
+                    if ((*slot)->kind == Stmt::Kind::If) {
+                        conds.push_back(
+                            &static_cast<IfStmt &>(**slot).cond);
+                    }
+                }
+            }
+            if (conds.empty())
+                continue;
+            ExprPtr *slot = conds[rng.below(conds.size())];
+            auto *inverted = new UnaryExpr(UnaryOp::LogicNot,
+                                           std::move(*slot));
+            inverted->id = mod->newNodeId();
+            slot->reset(inverted);
+            desc = "invert conditional";
+            goto done;
+          }
+          case 1: {  // perturb a constant
+            std::vector<ExprPtr *> exprs;
+            collectExprSlots(*mod, exprs);
+            std::vector<LiteralExpr *> lits;
+            for (ExprPtr *slot : exprs)
+                collectLiterals(*slot, lits);
+            if (lits.empty())
+                continue;
+            LiteralExpr *lit = lits[rng.below(lits.size())];
+            Value v = lit->value;
+            uint32_t w = v.width();
+            switch (rng.below(3)) {
+              case 0: {  // flip one bit
+                uint32_t bit = static_cast<uint32_t>(rng.below(w));
+                int old = v.bit(bit);
+                v.setBit(bit, old == 1 ? 0 : 1);
+                break;
+              }
+              case 1:
+                v = v + Value::fromUint(w, 1);
+                break;
+              default:
+                v = Value::random(w, rng);
+                break;
+            }
+            lit->value = v;
+            desc = "perturb constant";
+            goto done;
+          }
+          case 2: {  // swap if branches
+            std::vector<IfStmt *> ifs;
+            for (auto &item : mod->items) {
+                if (item->kind != Item::Kind::Always)
+                    continue;
+                std::vector<StmtPtr *> stmts;
+                collectStmtSlots(
+                    static_cast<AlwaysBlock &>(*item).body, stmts);
+                for (StmtPtr *slot : stmts) {
+                    auto *s = slot->get();
+                    if (s->kind == Stmt::Kind::If &&
+                        static_cast<IfStmt *>(s)->else_stmt) {
+                        ifs.push_back(static_cast<IfStmt *>(s));
+                    }
+                }
+            }
+            if (ifs.empty())
+                continue;
+            IfStmt *target = ifs[rng.below(ifs.size())];
+            std::swap(target->then_stmt, target->else_stmt);
+            desc = "swap if branches";
+            goto done;
+          }
+          case 3: {  // flip assignment kind
+            auto assigns = collectAssigns(*mod);
+            if (assigns.empty())
+                continue;
+            AssignStmt *a = assigns[rng.below(assigns.size())];
+            a->blocking = !a->blocking;
+            desc = "flip assignment kind";
+            goto done;
+          }
+          case 4: {  // sensitivity-list edit
+            std::vector<AlwaysBlock *> blocks;
+            for (auto &item : mod->items) {
+                if (item->kind == Item::Kind::Always)
+                    blocks.push_back(
+                        static_cast<AlwaysBlock *>(item.get()));
+            }
+            if (blocks.empty())
+                continue;
+            AlwaysBlock *blk =
+                blocks[rng.below(blocks.size())];
+            if (blk->sensitivity.empty())
+                continue;
+            SensItem &sens =
+                blk->sensitivity[rng.below(blk->sensitivity.size())];
+            if (sens.edge == SensItem::Edge::Level &&
+                !sens.signal.empty()) {
+                sens.edge = SensItem::Edge::Posedge;
+            } else if (sens.edge == SensItem::Edge::Posedge) {
+                sens.edge = rng.chance(0.5) ? SensItem::Edge::Level
+                                            : SensItem::Edge::Negedge;
+            } else if (sens.edge == SensItem::Edge::Negedge) {
+                sens.edge = SensItem::Edge::Posedge;
+            } else {
+                continue;
+            }
+            desc = "edit sensitivity list";
+            goto done;
+          }
+          case 5: {  // replace a binary operator
+            std::vector<ExprPtr *> exprs;
+            collectExprSlots(*mod, exprs);
+            std::vector<BinaryExpr *> bins;
+            for (ExprPtr *slot : exprs) {
+                rewriteExprTree(*slot, [&bins](ExprPtr &e) {
+                    if (e->kind == Expr::Kind::Binary)
+                        bins.push_back(
+                            static_cast<BinaryExpr *>(e.get()));
+                });
+            }
+            if (bins.empty())
+                continue;
+            BinaryExpr *b = bins[rng.below(bins.size())];
+            BinaryOp next = randomCompatibleOp(b->op, rng);
+            if (next == b->op)
+                continue;
+            b->op = next;
+            desc = "replace operator";
+            goto done;
+          }
+          case 6: {  // replace an identifier use
+            analysis::SymbolTable table;
+            try {
+                table = analysis::SymbolTable::build(*mod);
+            } catch (const FatalError &) {
+                continue;
+            }
+            std::vector<ExprPtr *> exprs;
+            collectExprSlots(*mod, exprs);
+            std::vector<ExprPtr *> idents;
+            for (ExprPtr *slot : exprs)
+                collectIdentSlots(*slot, idents);
+            if (idents.empty())
+                continue;
+            ExprPtr *slot = idents[rng.below(idents.size())];
+            const auto &old_name =
+                static_cast<IdentExpr &>(**slot).name;
+            if (!table.isNet(old_name))
+                continue;
+            uint32_t w = table.widthOf(old_name);
+            std::vector<std::string> same_width;
+            for (const auto &[name, range] : table.nets()) {
+                if (range.width == w && name != old_name)
+                    same_width.push_back(name);
+            }
+            if (same_width.empty())
+                continue;
+            static_cast<IdentExpr &>(**slot).name =
+                same_width[rng.below(same_width.size())];
+            desc = "replace identifier";
+            goto done;
+          }
+          default: {  // delete or duplicate a statement
+            std::vector<StmtPtr *> slots;
+            for (auto &item : mod->items) {
+                if (item->kind != Item::Kind::Always)
+                    continue;
+                auto &blk = static_cast<AlwaysBlock &>(*item);
+                if (blk.body->kind != Stmt::Kind::Block)
+                    continue;
+                auto &body = static_cast<BlockStmt &>(*blk.body);
+                for (auto &s : body.stmts)
+                    slots.push_back(&s);
+            }
+            if (slots.empty())
+                continue;
+            StmtPtr *slot = slots[rng.below(slots.size())];
+            if (rng.chance(0.5)) {
+                auto *empty = new EmptyStmt();
+                empty->id = mod->newNodeId();
+                slot->reset(empty);
+                desc = "delete statement";
+            } else {
+                // Duplicate: wrap into a block with two copies.
+                std::vector<StmtPtr> two;
+                two.push_back((*slot)->clone());
+                two.push_back(std::move(*slot));
+                auto *pair = new BlockStmt(std::move(two));
+                pair->id = mod->newNodeId();
+                slot->reset(pair);
+                desc = "duplicate statement";
+            }
+            goto done;
+          }
+        }
+    }
+done:
+    if (description)
+        *description = desc;
+    return mod;
+}
+
+std::unique_ptr<Module>
+crossover(const Module &a, const Module &b, Rng &rng)
+{
+    auto child = a.clone();
+    if (child->items.empty() || b.items.size() != child->items.size())
+        return child;
+    size_t cut = rng.below(child->items.size());
+    for (size_t i = cut; i < child->items.size(); ++i) {
+        // Only swap structurally compatible item kinds.
+        if (child->items[i]->kind == b.items[i]->kind)
+            child->items[i] = b.items[i]->clone();
+    }
+    return child;
+}
+
+} // namespace rtlrepair::cirfix

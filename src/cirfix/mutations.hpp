@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Concrete AST mutation operators for the CirFix baseline.
+ *
+ * CirFix [Ahmad et al., ASPLOS'22] is a generate-and-validate tool:
+ * each template application produces a single concrete change (the
+ * paper contrasts this with RTL-Repair's symbolic templates).  The
+ * operator set mirrors CirFix's repair templates: invert a
+ * conditional, perturb a constant, swap if-branches, flip an
+ * assignment kind, edit a sensitivity list, replace an operator or an
+ * identifier, and delete/duplicate a statement.
+ */
+#ifndef RTLREPAIR_CIRFIX_MUTATIONS_HPP
+#define RTLREPAIR_CIRFIX_MUTATIONS_HPP
+
+#include <memory>
+#include <string>
+
+#include "util/rng.hpp"
+#include "verilog/ast.hpp"
+
+namespace rtlrepair::cirfix {
+
+/** Apply one random mutation to a clone of @p mod. */
+std::unique_ptr<verilog::Module> mutate(const verilog::Module &mod,
+                                        Rng &rng,
+                                        std::string *description);
+
+/**
+ * Single-point crossover: child takes item-level bodies from @p a up
+ * to a random cut and from @p b afterwards.  Parents must stem from
+ * the same original design.
+ */
+std::unique_ptr<verilog::Module> crossover(const verilog::Module &a,
+                                           const verilog::Module &b,
+                                           Rng &rng);
+
+} // namespace rtlrepair::cirfix
+
+#endif // RTLREPAIR_CIRFIX_MUTATIONS_HPP

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Elaboration: synthesizable Verilog AST -> word-level transition
+ * system.  This plays the role of `yosys` in the paper's flow
+ * (Verilog -> btor2).
+ *
+ * Supported semantics:
+ *  - a single clock domain; every edge-triggered process must use the
+ *    same clock (resolved through wire aliases).  `posedge clk or
+ *    posedge rst` style async resets are converted to synchronous
+ *    resets with a warning, matching the paper's manual benchmark
+ *    preparation (§6.1).
+ *  - non-blocking assignments read stale register values; blocking
+ *    assignments are visible to later reads in the same process.
+ *    Mixing both kinds on one signal in one process is rejected.
+ *  - level-sensitive processes elaborate as full combinational logic
+ *    regardless of their sensitivity list — exactly what a synthesis
+ *    tool does.  (This is the root of the synthesis–simulation
+ *    mismatch the paper's gate-level checks catch.)
+ *  - module instances are flattened; parameters are resolved at
+ *    flatten time.
+ *  - `initial` blocks consisting of constant register assignments
+ *    become state init values; anything else in them is rejected.
+ *  - latch-inferring code (a comb signal unassigned on some path) is
+ *    rejected unless ElaborateOptions::allow_latches is set, in which
+ *    case the unassigned paths read as X.  Reading a comb signal
+ *    before assigning it (a combinational self-loop) is always
+ *    rejected — this is why the paper's counter_w1 benchmark cannot
+ *    be repaired symbolically.
+ */
+#ifndef RTLREPAIR_ELABORATE_ELABORATE_HPP
+#define RTLREPAIR_ELABORATE_ELABORATE_HPP
+
+#include <string>
+#include <vector>
+
+#include "analysis/const_eval.hpp"
+#include "ir/transition_system.hpp"
+#include "verilog/ast.hpp"
+
+namespace rtlrepair::elaborate {
+
+/** A free synthesis variable injected by a repair template. */
+struct SynthVarSpec
+{
+    std::string name;
+    uint32_t width = 1;
+    bool is_phi = false;
+};
+
+/** Options controlling elaboration. */
+struct ElaborateOptions
+{
+    /** Top-level parameter overrides. */
+    analysis::ConstEnv param_overrides;
+    /** Synthesis variables to resolve as free symbolic constants. */
+    std::vector<SynthVarSpec> synth_vars;
+    /** Library modules available for instance resolution. */
+    std::vector<const verilog::Module *> library;
+    /** Tolerate latches (unassigned paths read X) instead of failing. */
+    bool allow_latches = false;
+};
+
+/**
+ * Elaborate @p top into a transition system.
+ * @throws FatalError when the design is not synthesizable under the
+ *         supported subset (latches, comb loops, multiple drivers,
+ *         several clocks, ...).
+ */
+ir::TransitionSystem elaborate(const verilog::Module &top,
+                               const ElaborateOptions &opts = {});
+
+/** Convenience: elaborate the first module of a parsed file. */
+ir::TransitionSystem elaborate(const verilog::SourceFile &file,
+                               const ElaborateOptions &opts = {});
+
+/**
+ * Flatten a module hierarchy into a single module (instances inlined
+ * with renamed nets, parameters substituted).  Exposed for the
+ * event-driven simulator, which interprets flat ASTs.
+ */
+std::unique_ptr<verilog::Module>
+flattenHierarchy(const verilog::Module &top,
+                 const ElaborateOptions &opts = {});
+
+} // namespace rtlrepair::elaborate
+
+#endif // RTLREPAIR_ELABORATE_ELABORATE_HPP

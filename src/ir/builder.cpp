@@ -1,0 +1,393 @@
+#include "ir/builder.hpp"
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace rtlrepair::ir {
+
+using bv::Value;
+
+namespace {
+
+/** Structural hash of a node (for hash-consing). */
+uint64_t
+nodeHash(const Node &node)
+{
+    uint64_t h = static_cast<uint64_t>(node.kind) * 0x9e3779b97f4a7c15ull;
+    auto mix = [&h](uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    };
+    mix(node.width);
+    mix(node.args[0]);
+    mix(node.args[1]);
+    mix(node.args[2]);
+    mix(node.a);
+    mix(node.b);
+    mix(node.index);
+    return h;
+}
+
+bool
+sameNode(const Node &x, const Node &y)
+{
+    return x.kind == y.kind && x.width == y.width &&
+           x.args[0] == y.args[0] && x.args[1] == y.args[1] &&
+           x.args[2] == y.args[2] && x.a == y.a && x.b == y.b &&
+           x.index == y.index;
+}
+
+} // namespace
+
+Builder::Builder(std::string name)
+{
+    _sys.name = std::move(name);
+}
+
+NodeRef
+Builder::append(Node node)
+{
+    uint64_t h = nodeHash(node);
+    auto &bucket = _dedup[h];
+    for (NodeRef ref : bucket) {
+        if (sameNode(_sys.nodes[ref], node))
+            return ref;
+    }
+    NodeRef ref = static_cast<NodeRef>(_sys.nodes.size());
+    _sys.nodes.push_back(node);
+    bucket.push_back(ref);
+    return ref;
+}
+
+const Value *
+Builder::asConst(NodeRef ref) const
+{
+    const Node &n = _sys.nodes[ref];
+    return n.kind == NodeKind::Const ? &_sys.consts[n.index] : nullptr;
+}
+
+NodeRef
+Builder::constant(const Value &value)
+{
+    size_t h = value.hash();
+    auto &bucket = _const_dedup[h];
+    for (uint32_t idx : bucket) {
+        if (_sys.consts[idx] == value) {
+            Node node;
+            node.kind = NodeKind::Const;
+            node.width = value.width();
+            node.index = idx;
+            return append(node);
+        }
+    }
+    uint32_t idx = static_cast<uint32_t>(_sys.consts.size());
+    _sys.consts.push_back(value);
+    bucket.push_back(idx);
+    Node node;
+    node.kind = NodeKind::Const;
+    node.width = value.width();
+    node.index = idx;
+    return append(node);
+}
+
+NodeRef
+Builder::constantUint(uint32_t width, uint64_t value)
+{
+    return constant(Value::fromUint(width, value));
+}
+
+NodeRef
+Builder::input(const std::string &name, uint32_t width)
+{
+    check(_sys.inputIndex(name) < 0, "duplicate input: " + name);
+    Node node;
+    node.kind = NodeKind::Input;
+    node.width = width;
+    node.index = static_cast<uint32_t>(_sys.inputs.size());
+    NodeRef ref = append(node);
+    _sys.inputs.push_back(InputInfo{name, width, ref});
+    return ref;
+}
+
+NodeRef
+Builder::synthVar(const std::string &name, uint32_t width, bool is_phi)
+{
+    check(_sys.synthVarIndex(name) < 0, "duplicate synth var: " + name);
+    Node node;
+    node.kind = NodeKind::SynthVar;
+    node.width = width;
+    node.index = static_cast<uint32_t>(_sys.synth_vars.size());
+    NodeRef ref = append(node);
+    _sys.synth_vars.push_back(SynthVarInfo{name, width, is_phi, ref});
+    return ref;
+}
+
+NodeRef
+Builder::state(const std::string &name, uint32_t width)
+{
+    check(_sys.stateIndex(name) < 0, "duplicate state: " + name);
+    Node node;
+    node.kind = NodeKind::State;
+    node.width = width;
+    node.index = static_cast<uint32_t>(_sys.states.size());
+    NodeRef ref = append(node);
+    StateInfo info;
+    info.name = name;
+    info.width = width;
+    info.ref = ref;
+    _sys.states.push_back(std::move(info));
+    return ref;
+}
+
+void
+Builder::setNext(NodeRef state_ref, NodeRef next)
+{
+    const Node &n = _sys.nodes[state_ref];
+    check(n.kind == NodeKind::State, "setNext on non-state");
+    _sys.states[n.index].next = next;
+}
+
+void
+Builder::setInit(NodeRef state_ref, const Value &value)
+{
+    const Node &n = _sys.nodes[state_ref];
+    check(n.kind == NodeKind::State, "setInit on non-state");
+    _sys.states[n.index].init = value;
+}
+
+NodeRef
+Builder::tryFold(const Node &node)
+{
+    int arity = nodeArity(node.kind);
+    const Value *vals[3] = {nullptr, nullptr, nullptr};
+    for (int i = 0; i < arity; ++i) {
+        vals[i] = asConst(node.args[i]);
+        if (!vals[i])
+            return kNullRef;
+    }
+    return constant(evalOp(node, vals[0], vals[1], vals[2]));
+}
+
+NodeRef
+Builder::unary(NodeKind kind, NodeRef a)
+{
+    Node node;
+    node.kind = kind;
+    node.args[0] = a;
+    switch (kind) {
+      case NodeKind::Not:
+      case NodeKind::Neg:
+        node.width = widthOf(a);
+        break;
+      case NodeKind::RedAnd:
+      case NodeKind::RedOr:
+      case NodeKind::RedXor:
+        node.width = 1;
+        break;
+      default:
+        panic("unary: bad kind");
+    }
+    // not(not(x)) == x
+    if (kind == NodeKind::Not &&
+        _sys.nodes[a].kind == NodeKind::Not) {
+        return _sys.nodes[a].args[0];
+    }
+    if (widthOf(a) == 1 &&
+        (kind == NodeKind::RedAnd || kind == NodeKind::RedOr)) {
+        return a;
+    }
+    NodeRef folded = tryFold(node);
+    return folded != kNullRef ? folded : append(node);
+}
+
+NodeRef
+Builder::binary(NodeKind kind, NodeRef a, NodeRef b)
+{
+    check(widthOf(a) == widthOf(b),
+          format("binary %s: operand width mismatch (%u vs %u)",
+                 nodeKindName(kind), widthOf(a), widthOf(b)));
+    Node node;
+    node.kind = kind;
+    node.args[0] = a;
+    node.args[1] = b;
+    switch (kind) {
+      case NodeKind::Eq:
+      case NodeKind::Ult:
+      case NodeKind::Ule:
+      case NodeKind::Slt:
+      case NodeKind::Sle:
+        node.width = 1;
+        break;
+      case NodeKind::Concat:
+        panic("use concat()");
+      default:
+        node.width = widthOf(a);
+        break;
+    }
+
+    // Identity folds that matter for template machinery.
+    const Value *ca = asConst(a);
+    const Value *cb = asConst(b);
+    switch (kind) {
+      case NodeKind::And:
+        if (ca && ca->isZero())
+            return a;
+        if (cb && cb->isZero())
+            return b;
+        if (ca && !ca->hasX() && (~*ca).isZero())
+            return b;
+        if (cb && !cb->hasX() && (~*cb).isZero())
+            return a;
+        if (a == b)
+            return a;
+        break;
+      case NodeKind::Or:
+        if (ca && ca->isZero())
+            return b;
+        if (cb && cb->isZero())
+            return a;
+        if (ca && !ca->hasX() && (~*ca).isZero())
+            return a;
+        if (cb && !cb->hasX() && (~*cb).isZero())
+            return b;
+        if (a == b)
+            return a;
+        break;
+      case NodeKind::Xor:
+        if (ca && ca->isZero())
+            return b;
+        if (cb && cb->isZero())
+            return a;
+        break;
+      case NodeKind::Add:
+        if (ca && ca->isZero())
+            return b;
+        if (cb && cb->isZero())
+            return a;
+        break;
+      case NodeKind::Sub:
+        if (cb && cb->isZero())
+            return a;
+        break;
+      default:
+        break;
+    }
+
+    NodeRef folded = tryFold(node);
+    return folded != kNullRef ? folded : append(node);
+}
+
+NodeRef
+Builder::ite(NodeRef cond, NodeRef then_ref, NodeRef else_ref)
+{
+    check(widthOf(cond) == 1, "ite condition must be 1 bit");
+    check(widthOf(then_ref) == widthOf(else_ref),
+          "ite arm width mismatch");
+    const Value *cv = asConst(cond);
+    if (cv && !cv->hasX())
+        return cv->isNonZero() ? then_ref : else_ref;
+    if (then_ref == else_ref)
+        return then_ref;
+    Node node;
+    node.kind = NodeKind::Ite;
+    node.width = widthOf(then_ref);
+    node.args[0] = cond;
+    node.args[1] = then_ref;
+    node.args[2] = else_ref;
+    return append(node);
+}
+
+NodeRef
+Builder::slice(NodeRef a, uint32_t hi, uint32_t lo)
+{
+    check(hi >= lo && hi < widthOf(a), "slice out of bounds");
+    if (lo == 0 && hi == widthOf(a) - 1)
+        return a;
+    Node node;
+    node.kind = NodeKind::Slice;
+    node.width = hi - lo + 1;
+    node.args[0] = a;
+    node.a = hi;
+    node.b = lo;
+    NodeRef folded = tryFold(node);
+    return folded != kNullRef ? folded : append(node);
+}
+
+NodeRef
+Builder::concat(NodeRef high, NodeRef low)
+{
+    Node node;
+    node.kind = NodeKind::Concat;
+    node.width = widthOf(high) + widthOf(low);
+    node.args[0] = high;
+    node.args[1] = low;
+    NodeRef folded = tryFold(node);
+    return folded != kNullRef ? folded : append(node);
+}
+
+NodeRef
+Builder::zext(NodeRef a, uint32_t width)
+{
+    if (width == widthOf(a))
+        return a;
+    check(width > widthOf(a), "zext must widen");
+    Node node;
+    node.kind = NodeKind::ZExt;
+    node.width = width;
+    node.args[0] = a;
+    NodeRef folded = tryFold(node);
+    return folded != kNullRef ? folded : append(node);
+}
+
+NodeRef
+Builder::sext(NodeRef a, uint32_t width)
+{
+    if (width == widthOf(a))
+        return a;
+    check(width > widthOf(a), "sext must widen");
+    Node node;
+    node.kind = NodeKind::SExt;
+    node.width = width;
+    node.args[0] = a;
+    NodeRef folded = tryFold(node);
+    return folded != kNullRef ? folded : append(node);
+}
+
+NodeRef
+Builder::resize(NodeRef a, uint32_t width)
+{
+    if (widthOf(a) == width)
+        return a;
+    if (widthOf(a) < width)
+        return zext(a, width);
+    return slice(a, width - 1, 0);
+}
+
+NodeRef
+Builder::truthy(NodeRef a)
+{
+    if (widthOf(a) == 1)
+        return a;
+    return unary(NodeKind::RedOr, a);
+}
+
+void
+Builder::addOutput(const std::string &name, NodeRef ref)
+{
+    check(_sys.outputIndex(name) < 0, "duplicate output: " + name);
+    _sys.outputs.push_back(OutputInfo{name, ref});
+}
+
+void
+Builder::nameSignal(const std::string &name, NodeRef ref)
+{
+    _sys.signals[name] = ref;
+}
+
+TransitionSystem
+Builder::finish()
+{
+    _sys.typeCheck();
+    return std::move(_sys);
+}
+
+} // namespace rtlrepair::ir

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Hash-consing builder for transition systems.
+ *
+ * All expression constructors deduplicate structurally identical nodes
+ * and apply light constant folding, which keeps the unrolled SMT
+ * queries small (the paper's yosys flow gets the same effect from its
+ * `opt` passes).
+ */
+#ifndef RTLREPAIR_IR_BUILDER_HPP
+#define RTLREPAIR_IR_BUILDER_HPP
+
+#include <unordered_map>
+
+#include "ir/transition_system.hpp"
+
+namespace rtlrepair::ir {
+
+/** Incrementally builds a TransitionSystem. */
+class Builder
+{
+  public:
+    explicit Builder(std::string name);
+
+    /** @name Leaves @{ */
+    NodeRef constant(const bv::Value &value);
+    NodeRef constantUint(uint32_t width, uint64_t value);
+    NodeRef input(const std::string &name, uint32_t width);
+    NodeRef synthVar(const std::string &name, uint32_t width,
+                     bool is_phi);
+    NodeRef state(const std::string &name, uint32_t width);
+    /** @} */
+
+    /** Set the next-state function of @p state_ref. */
+    void setNext(NodeRef state_ref, NodeRef next);
+    /** Set the reset/init value of @p state_ref. */
+    void setInit(NodeRef state_ref, const bv::Value &value);
+
+    /** @name Operators (with folding) @{ */
+    NodeRef unary(NodeKind kind, NodeRef a);
+    NodeRef binary(NodeKind kind, NodeRef a, NodeRef b);
+    NodeRef ite(NodeRef cond, NodeRef then_ref, NodeRef else_ref);
+    NodeRef slice(NodeRef a, uint32_t hi, uint32_t lo);
+    NodeRef concat(NodeRef high, NodeRef low);
+    NodeRef zext(NodeRef a, uint32_t width);
+    NodeRef sext(NodeRef a, uint32_t width);
+    /** Zero-extend or truncate to @p width. */
+    NodeRef resize(NodeRef a, uint32_t width);
+    /** Reduce to a 1-bit truth value (redor), unless already 1 bit. */
+    NodeRef truthy(NodeRef a);
+    NodeRef notOf(NodeRef a) { return unary(NodeKind::Not, a); }
+    /** @} */
+
+    void addOutput(const std::string &name, NodeRef ref);
+    void nameSignal(const std::string &name, NodeRef ref);
+
+    uint32_t widthOf(NodeRef ref) const { return _sys.nodes[ref].width; }
+
+    /** Finish: type-check and return the system. */
+    TransitionSystem finish();
+
+    /** Access while building (e.g. for templates). */
+    TransitionSystem &system() { return _sys; }
+
+  private:
+    NodeRef append(Node node);
+    /** Fold if all operands are constants; kNullRef otherwise. */
+    NodeRef tryFold(const Node &node);
+    const bv::Value *asConst(NodeRef ref) const;
+
+    TransitionSystem _sys;
+    std::unordered_map<uint64_t, std::vector<NodeRef>> _dedup;
+    std::unordered_map<size_t, std::vector<uint32_t>> _const_dedup;
+};
+
+} // namespace rtlrepair::ir
+
+#endif // RTLREPAIR_IR_BUILDER_HPP

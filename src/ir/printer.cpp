@@ -1,0 +1,53 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace rtlrepair::ir {
+
+std::string
+print(const TransitionSystem &sys)
+{
+    std::ostringstream out;
+    out << "; transition system " << sys.name << "\n";
+    for (NodeRef ref = 0; ref < sys.nodes.size(); ++ref) {
+        const Node &n = sys.nodes[ref];
+        out << ref << " " << nodeKindName(n.kind) << " " << n.width;
+        switch (n.kind) {
+          case NodeKind::Const:
+            out << " " << sys.consts[n.index].toVerilogLiteral();
+            break;
+          case NodeKind::Input:
+            out << " " << sys.inputs[n.index].name;
+            break;
+          case NodeKind::SynthVar:
+            out << " " << sys.synth_vars[n.index].name;
+            break;
+          case NodeKind::State:
+            out << " " << sys.states[n.index].name;
+            break;
+          case NodeKind::Slice:
+            out << " " << n.args[0] << " " << n.a << " " << n.b;
+            break;
+          default: {
+            int arity = nodeArity(n.kind);
+            for (int i = 0; i < arity; ++i)
+                out << " " << n.args[i];
+            break;
+          }
+        }
+        out << "\n";
+    }
+    for (const auto &s : sys.states) {
+        out << "; state " << s.name << " next=" << s.next;
+        if (s.init)
+            out << " init=" << s.init->toVerilogLiteral();
+        out << "\n";
+    }
+    for (const auto &o : sys.outputs)
+        out << "; output " << o.name << " = " << o.ref << "\n";
+    return out.str();
+}
+
+} // namespace rtlrepair::ir

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Debug printer producing a btor2-flavoured text rendering of a
+ * transition system.
+ */
+#ifndef RTLREPAIR_IR_PRINTER_HPP
+#define RTLREPAIR_IR_PRINTER_HPP
+
+#include <string>
+
+#include "ir/transition_system.hpp"
+
+namespace rtlrepair::ir {
+
+/** Render @p sys as one line per node plus state/output sections. */
+std::string print(const TransitionSystem &sys);
+
+} // namespace rtlrepair::ir
+
+#endif // RTLREPAIR_IR_PRINTER_HPP

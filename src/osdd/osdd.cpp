@@ -1,0 +1,139 @@
+#include "osdd/osdd.hpp"
+
+#include <algorithm>
+
+#include "sim/interpreter.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace rtlrepair::osdd {
+
+using bv::Value;
+
+OsddResult
+compute(const ir::TransitionSystem &golden,
+        const ir::TransitionSystem &buggy,
+        const trace::InputSequence &stim)
+{
+    OsddResult result;
+    result.first_output_divergence = stim.length();
+    result.first_state_divergence = stim.length();
+
+    // The metric requires matching state and output variables.
+    bool comparable = golden.states.size() == buggy.states.size() &&
+                      golden.outputs.size() == buggy.outputs.size();
+    if (comparable) {
+        for (size_t i = 0; i < golden.states.size(); ++i) {
+            if (buggy.stateIndex(golden.states[i].name) < 0)
+                comparable = false;
+        }
+        for (size_t i = 0; i < golden.outputs.size(); ++i) {
+            if (buggy.outputIndex(golden.outputs[i].name) < 0)
+                comparable = false;
+        }
+    }
+    if (!comparable)
+        return result;
+
+    sim::SimOptions options;
+    options.init_policy = sim::XPolicy::Zero;
+    options.input_policy = sim::XPolicy::Zero;
+    sim::Interpreter gsim(golden, options);
+    sim::Interpreter bsim(buggy, options);
+
+    std::vector<int> ginput(stim.inputs.size());
+    std::vector<int> binput(stim.inputs.size());
+    for (size_t i = 0; i < stim.inputs.size(); ++i) {
+        ginput[i] = golden.inputIndex(stim.inputs[i].name);
+        binput[i] = buggy.inputIndex(stim.inputs[i].name);
+        check(ginput[i] >= 0 && binput[i] >= 0,
+              "stimulus input missing: " + stim.inputs[i].name);
+    }
+
+    // Start both from the same arbitrary (seeded random) state: a
+    // shared nonzero start makes missing-reset bugs diverge, matching
+    // the paper's "starting assignment to all state variables".
+    Rng rng(0x05dd);
+    gsim.reset();
+    bsim.reset();
+    auto resized = [](const Value &v, uint32_t w) {
+        if (v.width() < w)
+            return v.zext(w);
+        if (v.width() > w)
+            return v.slice(w - 1, 0);
+        return v;
+    };
+    for (size_t i = 0; i < golden.states.size(); ++i) {
+        Value start = Value::random(golden.states[i].width, rng);
+        gsim.setState(i, start);
+        int bi = buggy.stateIndex(golden.states[i].name);
+        // A bug may shrink or widen a register ("insufficient
+        // register size"); seed the overlapping bits identically.
+        bsim.setState(static_cast<size_t>(bi),
+                      resized(start,
+                              buggy.states[static_cast<size_t>(bi)]
+                                  .width));
+    }
+
+    for (size_t cycle = 0; cycle < stim.length(); ++cycle) {
+        for (size_t i = 0; i < stim.inputs.size(); ++i) {
+            gsim.setInput(static_cast<size_t>(ginput[i]),
+                          stim.rows[cycle][i]);
+            bsim.setInput(static_cast<size_t>(binput[i]),
+                          stim.rows[cycle][i]);
+        }
+        gsim.evalCycle();
+        bsim.evalCycle();
+
+        // State comparison happens on entry to the cycle.
+        auto differs = [&resized](const Value &a, const Value &b) {
+            uint32_t w = std::max(a.width(), b.width());
+            return resized(a, w) != resized(b, w);
+        };
+        if (!result.state_diverged) {
+            for (size_t i = 0; i < golden.states.size(); ++i) {
+                int bi = buggy.stateIndex(golden.states[i].name);
+                if (differs(gsim.stateValue(i),
+                            bsim.stateValue(
+                                static_cast<size_t>(bi)))) {
+                    result.state_diverged = true;
+                    result.first_state_divergence = cycle;
+                    break;
+                }
+            }
+        }
+        if (!result.output_diverged) {
+            for (size_t i = 0; i < golden.outputs.size(); ++i) {
+                int bi = buggy.outputIndex(golden.outputs[i].name);
+                if (differs(gsim.output(i),
+                            bsim.output(static_cast<size_t>(bi)))) {
+                    result.output_diverged = true;
+                    result.first_output_divergence = cycle;
+                    break;
+                }
+            }
+        }
+        if (result.output_diverged)
+            break;
+        gsim.step();
+        bsim.step();
+    }
+
+    if (!result.output_diverged) {
+        // No observable bug on this stimulus; OSDD undefined-as-zero.
+        result.osdd = 0;
+        return result;
+    }
+    if (!result.state_diverged ||
+        result.first_state_divergence >
+            result.first_output_divergence) {
+        result.osdd = 0;  // outputs diverged first: output function bug
+        return result;
+    }
+    result.osdd = static_cast<int>(result.first_output_divergence -
+                                   result.first_state_divergence) +
+                  1;
+    return result;
+}
+
+} // namespace rtlrepair::osdd

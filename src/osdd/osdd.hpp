@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Output/State Divergence Delta (paper §5).
+ *
+ * Run the ground-truth and buggy circuits from the same initial state
+ * with the same inputs.  Note the first cycle where any state
+ * (register) value diverges and the first cycle where any checked
+ * output diverges.  OSDD = 0 if the state never diverges before the
+ * output does; otherwise it is the distance from the first state
+ * divergence to the first output divergence, plus one.
+ *
+ * The metric requires both designs to have the same state and output
+ * variables; otherwise it is undefined (n/a in Table 2).
+ */
+#ifndef RTLREPAIR_OSDD_OSDD_HPP
+#define RTLREPAIR_OSDD_OSDD_HPP
+
+#include <optional>
+
+#include "ir/transition_system.hpp"
+#include "trace/io_trace.hpp"
+
+namespace rtlrepair::osdd {
+
+/** Result of the OSDD computation. */
+struct OsddResult
+{
+    /** Defined only when state/output variables match up. */
+    std::optional<int> osdd;
+    /** First output divergence (trace length if none). */
+    size_t first_output_divergence = 0;
+    /** First state divergence (trace length if none). */
+    size_t first_state_divergence = 0;
+    bool output_diverged = false;
+    bool state_diverged = false;
+};
+
+/**
+ * Compute the OSDD of @p buggy against @p golden over @p stim.  Both
+ * systems start from zeroed state (the "same starting assignment").
+ */
+OsddResult compute(const ir::TransitionSystem &golden,
+                   const ir::TransitionSystem &buggy,
+                   const trace::InputSequence &stim);
+
+} // namespace rtlrepair::osdd
+
+#endif // RTLREPAIR_OSDD_OSDD_HPP

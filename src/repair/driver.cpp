@@ -1,0 +1,189 @@
+#include "repair/driver.hpp"
+
+#include "repair/patcher.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+namespace rtlrepair::repair {
+
+using bv::Value;
+using sim::XPolicy;
+
+trace::IoTrace
+resolveTraceInputs(const trace::IoTrace &io, XPolicy policy,
+                   uint64_t seed)
+{
+    Rng rng(seed);
+    trace::IoTrace out = io;
+    for (auto &row : out.input_rows) {
+        for (auto &v : row) {
+            if (!v.hasX())
+                continue;
+            v = policy == XPolicy::Random ? v.xToRandom(rng)
+                                          : v.xToZero();
+        }
+    }
+    return out;
+}
+
+std::vector<Value>
+resolveInitState(const ir::TransitionSystem &sys, XPolicy policy,
+                 uint64_t seed)
+{
+    Rng rng(seed ^ 0x5eedf00dull);
+    std::vector<Value> out;
+    out.reserve(sys.states.size());
+    for (const auto &st : sys.states) {
+        Value v = st.init ? *st.init : Value::allX(st.width);
+        if (v.hasX()) {
+            v = policy == XPolicy::Random ? v.xToRandom(rng)
+                                          : v.xToZero();
+        }
+        out.push_back(v);
+    }
+    return out;
+}
+
+RepairOutcome
+repairDesign(const verilog::Module &buggy,
+             const std::vector<const verilog::Module *> &library,
+             const trace::IoTrace &io, const RepairConfig &config)
+{
+    Stopwatch watch;
+    Deadline deadline(config.timeout_seconds);
+    RepairOutcome outcome;
+
+    auto finish = [&](RepairOutcome::Status status) {
+        outcome.status = status;
+        outcome.seconds = watch.seconds();
+        return std::move(outcome);
+    };
+
+    // 1. Static-analysis preprocessing (paper §4.1).
+    templates::PreprocessResult pre = templates::preprocess(buggy);
+    outcome.preprocess_changes = pre.changes;
+    for (const auto &note : pre.notes)
+        outcome.detail += note + "\n";
+
+    // 2. Elaborate the preprocessed design.
+    elaborate::ElaborateOptions elab_opts;
+    elab_opts.library = library;
+    ir::TransitionSystem base_sys;
+    try {
+        base_sys = elaborate::elaborate(*pre.module, elab_opts);
+    } catch (const FatalError &e) {
+        outcome.detail += format("not synthesizable: %s\n", e.what());
+        return finish(RepairOutcome::Status::CannotSynthesize);
+    }
+
+    // 3. Resolve unknowns once, shared by every query and replay.
+    trace::IoTrace resolved =
+        resolveTraceInputs(io, config.x_policy, config.seed);
+    std::vector<Value> init =
+        resolveInitState(base_sys, config.x_policy, config.seed);
+
+    // 4. Does the preprocessed design already pass?
+    {
+        ConcreteRunner runner(base_sys, resolved, init);
+        sim::ReplayResult r = runner.run(templates::SynthAssignment{});
+        if (r.passed) {
+            outcome.repaired = pre.module->clone();
+            outcome.changes = 0;
+            outcome.by_preprocessing = pre.changes > 0;
+            outcome.no_repair_needed = pre.changes == 0;
+            outcome.template_name =
+                pre.changes > 0 ? "preprocessing" : "none-needed";
+            return finish(RepairOutcome::Status::Repaired);
+        }
+        outcome.first_failure = r.first_failure;
+    }
+
+    if (config.preprocess_only)
+        return finish(RepairOutcome::Status::NoRepair);
+
+    // 5. Template cascade.
+    struct Best
+    {
+        std::unique_ptr<verilog::Module> repaired;
+        int changes = 0;
+        std::string template_name;
+        int window_past = 0;
+        int window_future = 0;
+    };
+    std::optional<Best> best;
+    bool timed_out = false;
+
+    for (auto &tmpl : templates::standardTemplates()) {
+        if (!config.only_template.empty() &&
+            tmpl->name() != config.only_template) {
+            continue;
+        }
+        if (deadline.expired()) {
+            timed_out = true;
+            break;
+        }
+
+        templates::TemplateResult inst =
+            tmpl->apply(*pre.module, library);
+        if (inst.vars.empty())
+            continue;  // template found no change sites
+
+        elaborate::ElaborateOptions opts;
+        opts.library = library;
+        opts.synth_vars = inst.vars.specs();
+        ir::TransitionSystem sys;
+        try {
+            sys = elaborate::elaborate(*inst.instrumented, opts);
+        } catch (const FatalError &e) {
+            outcome.detail += format(
+                "template %s: instrumented design not synthesizable "
+                "(%s)\n",
+                tmpl->name().c_str(), e.what());
+            continue;
+        }
+
+        EngineResult engine = runEngine(sys, inst.vars, resolved, init,
+                                        config.engine, &deadline);
+        switch (engine.status) {
+          case EngineResult::Status::Timeout:
+            timed_out = true;
+            outcome.detail +=
+                format("template %s: timeout\n", tmpl->name().c_str());
+            continue;
+          case EngineResult::Status::NoRepair:
+            outcome.detail += format("template %s: no repair found\n",
+                                     tmpl->name().c_str());
+            continue;
+          case EngineResult::Status::Repaired:
+            break;
+        }
+
+        auto repaired =
+            patch(*inst.instrumented, inst.vars, engine.assignment);
+        if (!best || engine.changes < best->changes) {
+            best = Best{std::move(repaired), engine.changes,
+                        tmpl->name(), engine.window_past,
+                        engine.window_future};
+        }
+        if (engine.changes <= config.change_threshold)
+            break;  // small enough: stop the cascade (paper Fig. 3)
+        outcome.detail += format(
+            "template %s: repair with %d changes exceeds threshold, "
+            "trying further templates\n",
+            tmpl->name().c_str(), engine.changes);
+    }
+
+    if (best) {
+        outcome.repaired = std::move(best->repaired);
+        outcome.changes = best->changes;
+        outcome.template_name = best->template_name;
+        outcome.window_past = best->window_past;
+        outcome.window_future = best->window_future;
+        return finish(RepairOutcome::Status::Repaired);
+    }
+    return finish(timed_out ? RepairOutcome::Status::Timeout
+                            : RepairOutcome::Status::NoRepair);
+}
+
+} // namespace rtlrepair::repair

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * End-to-end RTL-Repair driver (paper Fig. 3): preprocessing, the
+ * template cascade, synthesis with adaptive windowing, patch-back,
+ * and the "keep looking if the repair is large" rule (Σφ > 3 tries
+ * the remaining templates for something smaller).
+ */
+#ifndef RTLREPAIR_REPAIR_DRIVER_HPP
+#define RTLREPAIR_REPAIR_DRIVER_HPP
+
+#include <memory>
+#include <string>
+
+#include "repair/windowing.hpp"
+#include "templates/preprocess.hpp"
+#include "verilog/ast.hpp"
+
+namespace rtlrepair::repair {
+
+/** Tool configuration. */
+struct RepairConfig
+{
+    double timeout_seconds = 60.0;  ///< paper: 60 s for RTL-Repair
+    /** Policy for unknown inputs/state: Random matches 4-state
+     *  event-driven testbenches, Zero matches Verilator (§4.3). */
+    sim::XPolicy x_policy = sim::XPolicy::Random;
+    uint64_t seed = 1;
+    EngineConfig engine;
+    /** Repairs larger than this keep the template cascade going. */
+    int change_threshold = 3;
+    /** Restrict the run to a single template (Table 5 breakdown). */
+    std::string only_template;
+    /** Skip templates entirely (preprocessing-only runs). */
+    bool preprocess_only = false;
+};
+
+/** Outcome of one tool run. */
+struct RepairOutcome
+{
+    enum class Status { Repaired, NoRepair, Timeout, CannotSynthesize };
+    Status status = Status::NoRepair;
+
+    std::unique_ptr<verilog::Module> repaired;  ///< patched source
+    int changes = 0;                 ///< Σφ of the accepted repair
+    int preprocess_changes = 0;      ///< lint fixes applied
+    bool by_preprocessing = false;   ///< trace passed after lint fixes
+    bool no_repair_needed = false;   ///< passed with zero changes
+    std::string template_name;       ///< winning template
+    double seconds = 0.0;
+    size_t first_failure = 0;
+    int window_past = 0;
+    int window_future = 0;
+    std::string detail;  ///< human-readable notes / failure reason
+};
+
+/**
+ * Run the full tool: repair @p buggy (with optional submodule
+ * @p library) against @p io.
+ */
+RepairOutcome repairDesign(const verilog::Module &buggy,
+                           const std::vector<const verilog::Module *>
+                               &library,
+                           const trace::IoTrace &io,
+                           const RepairConfig &config);
+
+/**
+ * Resolve all X input bits of @p io (and nothing else) using
+ * @p policy/@p seed, so the symbolic query and the concrete replays
+ * see identical stimulus.
+ */
+trace::IoTrace resolveTraceInputs(const trace::IoTrace &io,
+                                  sim::XPolicy policy, uint64_t seed);
+
+/** Resolve the initial state of @p sys under @p policy/@p seed. */
+std::vector<bv::Value> resolveInitState(const ir::TransitionSystem &sys,
+                                        sim::XPolicy policy,
+                                        uint64_t seed);
+
+} // namespace rtlrepair::repair
+
+#endif // RTLREPAIR_REPAIR_DRIVER_HPP

@@ -1,0 +1,44 @@
+#include "repair/patcher.hpp"
+
+#include "util/logging.hpp"
+#include "verilog/ast_util.hpp"
+
+namespace rtlrepair::repair {
+
+using namespace verilog;
+
+std::unique_ptr<Module>
+patch(const Module &instrumented, const templates::SynthVarTable &vars,
+      const templates::SynthAssignment &assignment)
+{
+    auto repaired = instrumented.clone();
+
+    // Substitute every synthesis variable with its model value (φs
+    // default to zero if absent from the assignment).
+    std::map<std::string, bv::Value> values;
+    for (const auto &v : vars.vars()) {
+        auto it = assignment.values.find(v.name);
+        values[v.name] = it != assignment.values.end()
+                             ? it->second
+                             : bv::Value::zeros(v.width);
+    }
+    rewriteModuleExprs(*repaired, [&values](ExprPtr &e) {
+        if (e->kind != Expr::Kind::Ident)
+            return;
+        auto it = values.find(static_cast<IdentExpr &>(*e).name);
+        if (it == values.end())
+            return;
+        auto *lit = new LiteralExpr(it->second, true);
+        lit->id = e->id;
+        lit->loc = e->loc;
+        e.reset(lit);
+    });
+
+    // Fold the template scaffolding away.
+    simplifyModule(*repaired);
+    // A second pass catches statements exposed by the first.
+    simplifyModule(*repaired);
+    return repaired;
+}
+
+} // namespace rtlrepair::repair

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Patch-back: substitute a synthesis-variable model into the
+ * instrumented AST and fold the template machinery away, producing
+ * repaired Verilog source (paper §3, "Repairing the Verilog Code").
+ */
+#ifndef RTLREPAIR_REPAIR_PATCHER_HPP
+#define RTLREPAIR_REPAIR_PATCHER_HPP
+
+#include <memory>
+
+#include "templates/synth_vars.hpp"
+
+namespace rtlrepair::repair {
+
+/**
+ * Apply @p assignment to a clone of @p instrumented: synthesis
+ * variables become literals, dead change sites fold away
+ * (φ=0 → original code), live sites inline their α constants.
+ */
+std::unique_ptr<verilog::Module>
+patch(const verilog::Module &instrumented,
+      const templates::SynthVarTable &vars,
+      const templates::SynthAssignment &assignment);
+
+} // namespace rtlrepair::repair
+
+#endif // RTLREPAIR_REPAIR_PATCHER_HPP

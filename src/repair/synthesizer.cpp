@@ -1,0 +1,62 @@
+#include "repair/synthesizer.hpp"
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace rtlrepair::repair {
+
+SynthesisResult
+synthesizeMinimalRepairs(RepairQuery &query,
+                         const templates::SynthVarTable &vars,
+                         size_t max_samples, const Deadline *deadline)
+{
+    SynthesisResult result;
+
+    // 1. Feasibility: any number of changes.
+    smt::Result feasible = query.checkFeasible(deadline);
+    if (feasible == smt::Result::Timeout) {
+        result.status = SynthesisResult::Status::Timeout;
+        return result;
+    }
+    if (feasible == smt::Result::Unsat) {
+        result.status = SynthesisResult::Status::NoRepair;
+        return result;
+    }
+
+    // 2. Linear minimality search on Σφ, starting at zero changes
+    //    (the instrumented circuit with all φ off may already pass).
+    size_t num_phis = vars.phiNames().size();
+    std::optional<templates::SynthAssignment> minimal;
+    size_t k = 0;
+    for (; k <= num_phis; ++k) {
+        if (deadline && deadline->expired()) {
+            result.status = SynthesisResult::Status::Timeout;
+            return result;
+        }
+        minimal = query.solveWithBound(k, deadline);
+        if (query.lastResult() == smt::Result::Timeout) {
+            result.status = SynthesisResult::Status::Timeout;
+            return result;
+        }
+        if (minimal)
+            break;
+    }
+    check(minimal.has_value(),
+          "feasible query has no minimal solution");
+
+    result.status = SynthesisResult::Status::Found;
+    result.changes = static_cast<int>(k);
+    result.repairs.push_back(*minimal);
+
+    // 3. Sample further distinct minimal repairs.
+    while (result.repairs.size() < max_samples) {
+        query.blockAssignment(result.repairs.back());
+        auto next = query.solveWithBound(k, deadline);
+        if (!next)
+            break;  // exhausted or timeout; either way stop sampling
+        result.repairs.push_back(*next);
+    }
+    return result;
+}
+
+} // namespace rtlrepair::repair

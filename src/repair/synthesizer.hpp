@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Minimal-repair synthesis over a RepairQuery (paper §4.3):
+ * feasibility check first, then a linear search on the number of
+ * changes Σφ (our stand-in for Max-SMT), then sampling of multiple
+ * distinct minimal repairs for concrete validation.
+ */
+#ifndef RTLREPAIR_REPAIR_SYNTHESIZER_HPP
+#define RTLREPAIR_REPAIR_SYNTHESIZER_HPP
+
+#include "repair/unroller.hpp"
+
+namespace rtlrepair::repair {
+
+/** Result of a synthesis run on one window. */
+struct SynthesisResult
+{
+    enum class Status { Found, NoRepair, Timeout };
+    Status status = Status::NoRepair;
+    /** Distinct minimal repairs (all with the same change count). */
+    std::vector<templates::SynthAssignment> repairs;
+    int changes = 0;
+};
+
+/**
+ * Find up to @p max_samples distinct minimal repairs in @p query.
+ * @p max_changes bounds the linear search (the number of φ vars).
+ */
+SynthesisResult synthesizeMinimalRepairs(
+    RepairQuery &query, const templates::SynthVarTable &vars,
+    size_t max_samples, const Deadline *deadline);
+
+} // namespace rtlrepair::repair
+
+#endif // RTLREPAIR_REPAIR_SYNTHESIZER_HPP

@@ -1,0 +1,205 @@
+#include "repair/unroller.hpp"
+
+#include <map>
+
+#include "util/logging.hpp"
+
+namespace rtlrepair::repair {
+
+using bv::Value;
+using smt::AigLit;
+using smt::CycleBindings;
+using smt::CycleWords;
+using smt::Result;
+using smt::Word;
+
+RepairQuery::RepairQuery(const ir::TransitionSystem &sys,
+                         const templates::SynthVarTable &vars,
+                         const trace::IoTrace &io, size_t first,
+                         size_t count,
+                         const std::vector<Value> &start_state,
+                         const Deadline *deadline)
+    : _sys(sys), _vars(vars)
+{
+    // Unrolling hundreds of thousands of cycles would exhaust memory
+    // long before the SAT solver gets a chance; cap the formula size
+    // (the paper's basic synthesizer simply times out there).
+    constexpr size_t kMaxAigNodes = 20u * 1000 * 1000;
+    check(first + count <= io.length(), "window exceeds trace");
+    check(start_state.size() == sys.states.size(),
+          "start state size mismatch");
+
+    smt::Aig &aig = _solver.aig();
+
+    // Allocate the synthesis variables once; they are shared by every
+    // unrolled cycle (design-time constants).
+    _synth_words.resize(sys.synth_vars.size());
+    for (size_t i = 0; i < sys.synth_vars.size(); ++i) {
+        _synth_words[i] =
+            smt::freshWord(aig, sys.synth_vars[i].width);
+        if (sys.synth_vars[i].is_phi)
+            _phi_lits.push_back(_synth_words[i][0]);
+    }
+
+    // Map trace columns to system inputs/outputs.
+    std::vector<int> input_of_column(io.inputs.size());
+    for (size_t i = 0; i < io.inputs.size(); ++i) {
+        input_of_column[i] = sys.inputIndex(io.inputs[i].name);
+        check(input_of_column[i] >= 0,
+              "trace input not in design: " + io.inputs[i].name);
+    }
+    std::vector<int> output_of_column(io.outputs.size());
+    for (size_t i = 0; i < io.outputs.size(); ++i) {
+        output_of_column[i] = sys.outputIndex(io.outputs[i].name);
+        check(output_of_column[i] >= 0,
+              "trace output not in design: " + io.outputs[i].name);
+    }
+
+    // Initial window state: concrete constants.
+    CycleBindings bindings;
+    bindings.synth = _synth_words;
+    bindings.states.resize(sys.states.size());
+    for (size_t i = 0; i < sys.states.size(); ++i) {
+        // Residual X bits (e.g. from explicit X literals in the
+        // design) read as zero, matching the 2-state circuit.
+        bindings.states[i] =
+            smt::wordOfValue(start_state[i].xToZero());
+    }
+
+    for (size_t cycle = first; cycle < first + count; ++cycle) {
+        if (aig.numNodes() > kMaxAigNodes ||
+            (deadline && deadline->expired())) {
+            _aborted = true;
+            _last = smt::Result::Timeout;
+            break;
+        }
+        // Inputs: constants from the resolved trace.
+        bindings.inputs.assign(sys.inputs.size(), Word{});
+        for (size_t i = 0; i < sys.inputs.size(); ++i) {
+            bindings.inputs[i] = smt::freshWord(
+                aig, sys.inputs[i].width);
+        }
+        for (size_t col = 0; col < input_of_column.size(); ++col) {
+            Value v = io.input_rows[cycle][col];
+            check(!v.hasX(),
+                  "trace inputs must be X-resolved before encoding");
+            uint32_t want =
+                sys.inputs[input_of_column[col]].width;
+            if (v.width() < want)
+                v = v.zext(want);
+            else if (v.width() > want)
+                v = v.slice(want - 1, 0);
+            bindings.inputs[input_of_column[col]] =
+                smt::wordOfValue(v);
+        }
+
+        CycleWords words = smt::blastCycle(aig, _sys, bindings);
+
+        // Output assertions (X bits unchecked).
+        for (size_t col = 0; col < output_of_column.size(); ++col) {
+            const Value &expected = io.output_rows[cycle][col];
+            _solver.assertWordEquals(
+                words.outputs[output_of_column[col]], expected);
+        }
+
+        bindings.states = std::move(words.next_states);
+    }
+
+    _solver_aig_nodes = aig.numNodes();
+    _card.emplace(_solver, _phi_lits);
+}
+
+Result
+RepairQuery::checkFeasible(const Deadline *deadline)
+{
+    if (_aborted)
+        return Result::Timeout;
+    _last = _solver.solve({}, deadline);
+    return _last;
+}
+
+std::optional<templates::SynthAssignment>
+RepairQuery::solveWithBound(size_t max_changes,
+                            const Deadline *deadline)
+{
+    if (_aborted) {
+        _last = Result::Timeout;
+        return std::nullopt;
+    }
+    // Assumption-based: learnt clauses persist across bounds.
+    sat::Lit bound = _card->atMost(max_changes);
+    sat::LBool res =
+        _solver.satCore().solve({bound}, deadline);
+    _last = res == sat::LBool::True    ? Result::Sat
+            : res == sat::LBool::False ? Result::Unsat
+                                       : Result::Timeout;
+    if (_last != Result::Sat)
+        return std::nullopt;
+    return extractModel();
+}
+
+templates::SynthAssignment
+RepairQuery::extractModel()
+{
+    templates::SynthAssignment out;
+    for (size_t i = 0; i < _sys.synth_vars.size(); ++i) {
+        out.values[_sys.synth_vars[i].name] =
+            _solver.modelWord(_synth_words[i]);
+    }
+    return out;
+}
+
+void
+RepairQuery::blockAssignment(
+    const templates::SynthAssignment &assignment)
+{
+    // Group synthesis variables by AST site; a blocked repair is the
+    // combination of the φ pattern plus the α values of *active*
+    // sites (inactive-α differences do not make a repair distinct).
+    std::map<verilog::NodeId, bool> site_active;
+    for (const auto &v : _vars.vars()) {
+        if (!v.is_phi)
+            continue;
+        auto it = assignment.values.find(v.name);
+        bool active = it != assignment.values.end() &&
+                      it->second.isNonZero();
+        auto [slot, inserted] = site_active.emplace(v.site, active);
+        if (!inserted)
+            slot->second = slot->second || active;
+    }
+
+    std::vector<sat::Lit> clause;
+    for (size_t i = 0; i < _sys.synth_vars.size(); ++i) {
+        const auto &sv = _sys.synth_vars[i];
+        auto it = assignment.values.find(sv.name);
+        if (it == assignment.values.end())
+            continue;
+        // Find the template var entry for the site lookup.
+        const templates::SynthVar *tv = nullptr;
+        for (const auto &cand : _vars.vars()) {
+            if (cand.name == sv.name) {
+                tv = &cand;
+                break;
+            }
+        }
+        bool include = sv.is_phi;
+        if (!include && tv) {
+            auto site = site_active.find(tv->site);
+            include = site != site_active.end() && site->second;
+        }
+        if (!include)
+            continue;
+        const Value &v = it->second;
+        for (uint32_t b = 0; b < sv.width; ++b) {
+            AigLit bit_lit = _synth_words[i][b];
+            bool bit = v.bit(b) == 1;
+            // Clause: at least one bit differs.
+            clause.push_back(bit ? ~_solver.satLitOf(bit_lit)
+                                 : _solver.satLitOf(bit_lit));
+        }
+    }
+    if (!clause.empty())
+        _solver.satCore().addClause(std::move(clause));
+}
+
+} // namespace rtlrepair::repair

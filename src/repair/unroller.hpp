@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The repair query: a BMC-style unrolling of the instrumented
+ * transition system over a window of the I/O trace, with the
+ * synthesis variables kept symbolic (paper §3, "The Basic Repair
+ * Synthesizer", and §4.3).
+ *
+ * For each cycle in [first, first + count):
+ *  - inputs are constrained to the (X-resolved) trace values,
+ *  - outputs are asserted equal to the expected values wherever the
+ *    trace checks them (X bits are don't-cares),
+ *  - next-state words feed the following cycle.
+ * The window starts from a concrete state vector obtained by
+ * simulating the unmodified circuit up to the window start.
+ */
+#ifndef RTLREPAIR_REPAIR_UNROLLER_HPP
+#define RTLREPAIR_REPAIR_UNROLLER_HPP
+
+#include <optional>
+
+#include "ir/transition_system.hpp"
+#include "smt/bitblast.hpp"
+#include "smt/bv_solver.hpp"
+#include "templates/synth_vars.hpp"
+#include "trace/io_trace.hpp"
+
+namespace rtlrepair::repair {
+
+/** One incremental SMT instance for a fixed repair window. */
+class RepairQuery
+{
+  public:
+    /**
+     * Encode the window.  @p start_state holds one fully-known value
+     * per system state.  The trace's input X bits must already be
+     * resolved (randomize/zero per §4.3).
+     */
+    RepairQuery(const ir::TransitionSystem &sys,
+                const templates::SynthVarTable &vars,
+                const trace::IoTrace &io, size_t first, size_t count,
+                const std::vector<bv::Value> &start_state,
+                const Deadline *deadline = nullptr);
+
+    /**
+     * True if encoding was aborted (deadline expired or the unrolled
+     * AIG exceeded the size cap); solving then reports Timeout.  The
+     * basic synthesizer hits this on the paper's very long
+     * testbenches, just as the original tool times out there.
+     */
+    bool aborted() const { return _aborted; }
+
+    /** Is any repair (any number of changes) possible? */
+    smt::Result checkFeasible(const Deadline *deadline);
+
+    /**
+     * Find a model with at most @p max_changes φs enabled.  Returns
+     * nullopt on UNSAT; throws nothing on timeout — check
+     * lastResult().
+     */
+    std::optional<templates::SynthAssignment>
+    solveWithBound(size_t max_changes, const Deadline *deadline);
+
+    /** Exclude @p assignment (and its α values at active sites). */
+    void blockAssignment(const templates::SynthAssignment &assignment);
+
+    smt::Result lastResult() const { return _last; }
+
+    /** Statistics: number of AIG nodes in the encoded window. */
+    size_t aigNodes() const { return _solver_aig_nodes; }
+
+  private:
+    templates::SynthAssignment extractModel();
+
+    const ir::TransitionSystem &_sys;
+    const templates::SynthVarTable &_vars;
+    smt::BvSolver _solver;
+    std::optional<smt::Totalizer> _card;
+    std::vector<smt::Word> _synth_words;  ///< indexed like sys.synth_vars
+    std::vector<smt::AigLit> _phi_lits;
+    smt::Result _last = smt::Result::Unsat;
+    size_t _solver_aig_nodes = 0;
+    bool _aborted = false;
+};
+
+} // namespace rtlrepair::repair
+
+#endif // RTLREPAIR_REPAIR_UNROLLER_HPP

@@ -1,0 +1,251 @@
+#include "repair/windowing.hpp"
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace rtlrepair::repair {
+
+using bv::Value;
+using templates::SynthAssignment;
+
+ConcreteRunner::ConcreteRunner(const ir::TransitionSystem &sys,
+                               const trace::IoTrace &resolved,
+                               std::vector<Value> init)
+    : _sys(sys), _io(resolved), _init(std::move(init)),
+      _interp(sys, sim::SimOptions{sim::XPolicy::Keep,
+                                   sim::XPolicy::Keep, 1})
+{
+    check(_init.size() == sys.states.size(), "init size mismatch");
+    _input_map.resize(_io.inputs.size());
+    for (size_t i = 0; i < _io.inputs.size(); ++i) {
+        _input_map[i] = sys.inputIndex(_io.inputs[i].name);
+        check(_input_map[i] >= 0,
+              "trace input not in design: " + _io.inputs[i].name);
+    }
+    _output_map.resize(_io.outputs.size());
+    for (size_t i = 0; i < _io.outputs.size(); ++i) {
+        _output_map[i] = sys.outputIndex(_io.outputs[i].name);
+        check(_output_map[i] >= 0,
+              "trace output not in design: " + _io.outputs[i].name);
+    }
+}
+
+void
+ConcreteRunner::seedStates(const std::vector<Value> &states)
+{
+    for (size_t i = 0; i < states.size(); ++i)
+        _interp.setState(i, states[i]);
+}
+
+void
+ConcreteRunner::applyAssignment(const SynthAssignment &assignment)
+{
+    for (size_t i = 0; i < _sys.synth_vars.size(); ++i) {
+        auto it = assignment.values.find(_sys.synth_vars[i].name);
+        Value v = it != assignment.values.end()
+                      ? it->second
+                      : Value::zeros(_sys.synth_vars[i].width);
+        _interp.setSynthVar(i, v);
+    }
+}
+
+void
+ConcreteRunner::applyInputs(size_t cycle)
+{
+    for (size_t i = 0; i < _input_map.size(); ++i) {
+        _interp.setInput(static_cast<size_t>(_input_map[i]),
+                         _io.input_rows[cycle][i]);
+    }
+}
+
+sim::ReplayResult
+ConcreteRunner::run(const SynthAssignment &assignment)
+{
+    applyAssignment(assignment);
+    seedStates(_init);
+    sim::ReplayResult result;
+    for (size_t cycle = 0; cycle < _io.length(); ++cycle) {
+        applyInputs(cycle);
+        _interp.evalCycle();
+        for (size_t i = 0; i < _output_map.size(); ++i) {
+            const Value &expected = _io.output_rows[cycle][i];
+            const Value &got = _interp.output(
+                static_cast<size_t>(_output_map[i]));
+            if (!got.matches(expected)) {
+                result.passed = false;
+                result.first_failure = cycle;
+                result.failed_output = _io.outputs[i].name;
+                return result;
+            }
+        }
+        _interp.step();
+    }
+    result.first_failure = _io.length();
+    return result;
+}
+
+std::vector<Value>
+ConcreteRunner::statesAt(size_t cycle)
+{
+    return statesFrom(0, _init, cycle);
+}
+
+std::vector<Value>
+ConcreteRunner::statesFrom(size_t snapshot_cycle,
+                           const std::vector<Value> &snapshot,
+                           size_t cycle)
+{
+    check(snapshot_cycle <= cycle, "snapshot is after target cycle");
+    applyAssignment(SynthAssignment{});  // all φ off
+    seedStates(snapshot);
+    for (size_t c = snapshot_cycle; c < cycle; ++c) {
+        applyInputs(c);
+        _interp.step();
+    }
+    std::vector<Value> out;
+    out.reserve(_sys.states.size());
+    for (size_t i = 0; i < _sys.states.size(); ++i)
+        out.push_back(_interp.stateValue(i));
+    return out;
+}
+
+namespace {
+
+EngineResult
+runBasic(const ir::TransitionSystem &sys,
+         const templates::SynthVarTable &vars,
+         const trace::IoTrace &resolved, const std::vector<Value> &init,
+         ConcreteRunner &runner, const EngineConfig &config,
+         const Deadline *deadline, size_t first_failure)
+{
+    EngineResult result;
+    result.first_failure = first_failure;
+
+    RepairQuery query(sys, vars, resolved, 0, resolved.length(),
+                      init, deadline);
+    SynthesisResult synth = synthesizeMinimalRepairs(
+        query, vars, config.basic_max_candidates, deadline);
+    switch (synth.status) {
+      case SynthesisResult::Status::Timeout:
+        result.status = EngineResult::Status::Timeout;
+        return result;
+      case SynthesisResult::Status::NoRepair:
+        result.status = EngineResult::Status::NoRepair;
+        return result;
+      case SynthesisResult::Status::Found:
+        break;
+    }
+    for (const auto &candidate : synth.repairs) {
+        sim::ReplayResult r = runner.run(candidate);
+        if (r.passed) {
+            result.status = EngineResult::Status::Repaired;
+            result.assignment = candidate;
+            result.changes = synth.changes;
+            return result;
+        }
+    }
+    // All sampled solutions satisfy the symbolic query but fail the
+    // 4-state replay (an X-semantics corner); report no repair.
+    result.status = EngineResult::Status::NoRepair;
+    return result;
+}
+
+} // namespace
+
+EngineResult
+runEngine(const ir::TransitionSystem &sys,
+          const templates::SynthVarTable &vars,
+          const trace::IoTrace &resolved,
+          const std::vector<Value> &init, const EngineConfig &config,
+          const Deadline *deadline)
+{
+    EngineResult result;
+    ConcreteRunner runner(sys, resolved, init);
+
+    // Baseline run: the unmodified circuit (all φ off).
+    sim::ReplayResult base = runner.run(SynthAssignment{});
+    if (base.passed) {
+        result.status = EngineResult::Status::Repaired;
+        result.assignment = SynthAssignment::allOff(vars);
+        result.changes = 0;
+        result.failure_free = true;
+        return result;
+    }
+    size_t f = base.first_failure;
+    result.first_failure = f;
+
+    if (!config.adaptive) {
+        return runBasic(sys, vars, resolved, init, runner, config,
+                        deadline, f);
+    }
+
+    // Snapshot for fast window-start state computation.
+    size_t snap_cycle =
+        f > config.max_window + 8 ? f - config.max_window - 8 : 0;
+    std::vector<Value> snap = runner.statesAt(snap_cycle);
+
+    size_t k_past = 0;
+    size_t k_future = 0;
+    while (true) {
+        if (deadline && deadline->expired()) {
+            result.status = EngineResult::Status::Timeout;
+            return result;
+        }
+        if (k_past + k_future > config.max_window) {
+            result.status = EngineResult::Status::NoRepair;
+            return result;
+        }
+        size_t ws = f >= k_past ? f - k_past : 0;
+        size_t we = std::min(resolved.length(), f + k_future + 1);
+        logMessage(LogLevel::Info,
+                   format("repair window [%zd .. %zd] (failure at %zu)",
+                          static_cast<ssize_t>(ws),
+                          static_cast<ssize_t>(we) - 1, f));
+
+        std::vector<Value> start_state =
+            ws >= snap_cycle ? runner.statesFrom(snap_cycle, snap, ws)
+                             : runner.statesAt(ws);
+
+        RepairQuery query(sys, vars, resolved, ws, we - ws,
+                          start_state, deadline);
+        SynthesisResult synth = synthesizeMinimalRepairs(
+            query, vars, config.max_candidates, deadline);
+        if (synth.status == SynthesisResult::Status::Timeout) {
+            result.status = EngineResult::Status::Timeout;
+            return result;
+        }
+        if (synth.status == SynthesisResult::Status::NoRepair) {
+            // No repair exists in this window: more past context.
+            k_past += config.past_step;
+            continue;
+        }
+
+        bool any_later = false;
+        size_t latest_failure = f;
+        for (const auto &candidate : synth.repairs) {
+            sim::ReplayResult r = runner.run(candidate);
+            if (r.passed) {
+                result.status = EngineResult::Status::Repaired;
+                result.assignment = candidate;
+                result.changes = synth.changes;
+                result.window_past = static_cast<int>(k_past);
+                result.window_future = static_cast<int>(k_future);
+                return result;
+            }
+            if (r.first_failure > f) {
+                any_later = true;
+                latest_failure =
+                    std::max(latest_failure, r.first_failure);
+            }
+        }
+        if (any_later) {
+            // Missing future context: include the new failure cycle.
+            size_t needed = latest_failure - f;
+            k_future = std::max(k_future + 1, needed);
+        } else {
+            k_past += config.past_step;
+        }
+    }
+}
+
+} // namespace rtlrepair::repair

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The repair engine: basic full-unroll synthesis and the adaptive
+ * windowing strategy of paper §4.4.
+ *
+ * Adaptive windowing concretely executes the unmodified circuit to
+ * the first output divergence, then unrolls only a window
+ * [f - k_past, f + k_future] around it.  Candidate minimal repairs
+ * are validated by full concrete simulation; their failure pattern
+ * steers window growth:
+ *  - all candidates fail at or before the original failure -> a past
+ *    state update must be wrong -> k_past += 2;
+ *  - some candidate fails strictly later -> future context is
+ *    missing -> k_future grows to include the new failure;
+ *  - window size is capped at 32, after which the engine gives up;
+ *  - after 4 failing candidates the engine advances to the next
+ *    window immediately.
+ */
+#ifndef RTLREPAIR_REPAIR_WINDOWING_HPP
+#define RTLREPAIR_REPAIR_WINDOWING_HPP
+
+#include "repair/synthesizer.hpp"
+#include "sim/interpreter.hpp"
+
+namespace rtlrepair::repair {
+
+/** Strategy configuration. */
+struct EngineConfig
+{
+    bool adaptive = true;       ///< false = basic full unrolling
+    size_t max_window = 32;     ///< paper: give up beyond 32 cycles
+    size_t past_step = 2;       ///< paper: k_past increments of two
+    size_t max_candidates = 4;  ///< paper: next window after 4 failures
+    size_t basic_max_candidates = 16;
+};
+
+/** Outcome of one engine run on one instrumented system. */
+struct EngineResult
+{
+    enum class Status { Repaired, NoRepair, Timeout };
+    Status status = Status::NoRepair;
+    templates::SynthAssignment assignment;
+    int changes = 0;
+    /** Final window, relative to the first failure (for Table 2). */
+    int window_past = 0;
+    int window_future = 0;
+    /** First failing cycle of the unmodified circuit. */
+    size_t first_failure = 0;
+    bool failure_free = false;  ///< circuit already passed the trace
+};
+
+/**
+ * Validates candidate assignments by concrete simulation of the
+ * instrumented system over the resolved trace.
+ */
+class ConcreteRunner
+{
+  public:
+    /** @p init one fully-known value per state. */
+    ConcreteRunner(const ir::TransitionSystem &sys,
+                   const trace::IoTrace &resolved,
+                   std::vector<bv::Value> init);
+
+    /** Replay with @p assignment; stops at the first mismatch. */
+    sim::ReplayResult run(const templates::SynthAssignment &assignment);
+
+    /** State vector at entry of @p cycle under the all-off circuit. */
+    std::vector<bv::Value> statesAt(size_t cycle);
+
+    /** Like statesAt but starting from a snapshot. */
+    std::vector<bv::Value>
+    statesFrom(size_t snapshot_cycle,
+               const std::vector<bv::Value> &snapshot, size_t cycle);
+
+  private:
+    void seedStates(const std::vector<bv::Value> &states);
+    void applyAssignment(const templates::SynthAssignment &assignment);
+    void applyInputs(size_t cycle);
+
+    const ir::TransitionSystem &_sys;
+    const trace::IoTrace &_io;
+    std::vector<bv::Value> _init;
+    sim::Interpreter _interp;
+    std::vector<int> _input_map;   ///< trace col -> input index
+    std::vector<int> _output_map;  ///< trace col -> output index
+};
+
+/** Run the repair engine on one instrumented system. */
+EngineResult runEngine(const ir::TransitionSystem &sys,
+                       const templates::SynthVarTable &vars,
+                       const trace::IoTrace &resolved,
+                       const std::vector<bv::Value> &init,
+                       const EngineConfig &config,
+                       const Deadline *deadline);
+
+} // namespace rtlrepair::repair
+
+#endif // RTLREPAIR_REPAIR_WINDOWING_HPP

@@ -1,0 +1,560 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace rtlrepair::sat {
+
+Solver::Solver() = default;
+
+Var
+Solver::newVar()
+{
+    Var v = static_cast<Var>(_assigns.size());
+    _assigns.push_back(LBool::Undef);
+    _polarity.push_back(true);  // default phase: false (sign=true)
+    _activity.push_back(0.0);
+    _level.push_back(0);
+    _reason.push_back(kNoReason);
+    _seen.push_back(false);
+    _watches.emplace_back();
+    _watches.emplace_back();
+    _heap_index.push_back(-1);
+    _model.push_back(false);
+    insertVarOrder(v);
+    return v;
+}
+
+LBool
+Solver::value(Lit l) const
+{
+    LBool v = _assigns[var(l)];
+    if (v == LBool::Undef)
+        return LBool::Undef;
+    bool b = v == LBool::True;
+    return fromBool(sign(l) ? !b : b);
+}
+
+bool
+Solver::addClause(std::vector<Lit> lits)
+{
+    if (!_ok)
+        return false;
+    check(_trail_lim.empty(), "addClause above decision level 0");
+
+    // Normalize: sort, dedup, drop false lits, detect tautology.
+    std::sort(lits.begin(), lits.end(),
+              [](Lit a, Lit b) { return a.x < b.x; });
+    std::vector<Lit> out;
+    Lit prev = kUndefLit;
+    for (Lit l : lits) {
+        check(var(l) >= 0 && var(l) < numVars(),
+              "literal references unknown variable");
+        if (value(l) == LBool::True || l == ~prev)
+            return true;  // satisfied or tautological
+        if (value(l) == LBool::False || l == prev)
+            continue;
+        out.push_back(l);
+        prev = l;
+    }
+
+    if (out.empty()) {
+        _ok = false;
+        return false;
+    }
+    if (out.size() == 1) {
+        uncheckedEnqueue(out[0], kNoReason);
+        _ok = propagate() == kNoReason;
+        return _ok;
+    }
+
+    ClauseRef cref = static_cast<ClauseRef>(_clauses.size());
+    Clause clause;
+    clause.lits = std::move(out);
+    _clauses.push_back(std::move(clause));
+    attachClause(cref);
+    return true;
+}
+
+void
+Solver::attachClause(ClauseRef cref)
+{
+    const Clause &c = _clauses[cref];
+    _watches[(~c.lits[0]).x].push_back(Watcher{cref, c.lits[1]});
+    _watches[(~c.lits[1]).x].push_back(Watcher{cref, c.lits[0]});
+}
+
+void
+Solver::uncheckedEnqueue(Lit l, ClauseRef reason)
+{
+    Var v = var(l);
+    _assigns[v] = fromBool(!sign(l));
+    _level[v] = static_cast<int>(_trail_lim.size());
+    _reason[v] = reason;
+    _trail.push_back(l);
+}
+
+Solver::ClauseRef
+Solver::propagate()
+{
+    while (_qhead < _trail.size()) {
+        Lit p = _trail[_qhead++];
+        ++propagations;
+        auto &watchers = _watches[p.x];
+        size_t keep = 0;
+        for (size_t wi = 0; wi < watchers.size(); ++wi) {
+            Watcher w = watchers[wi];
+            if (value(w.blocker) == LBool::True) {
+                watchers[keep++] = w;
+                continue;
+            }
+            Clause &c = _clauses[w.clause];
+            if (c.removed)
+                continue;  // lazily dropped
+            // Ensure the false literal is lits[1].
+            Lit false_lit = ~p;
+            if (c.lits[0] == false_lit)
+                std::swap(c.lits[0], c.lits[1]);
+            // First watch true?
+            if (value(c.lits[0]) == LBool::True) {
+                watchers[keep++] = Watcher{w.clause, c.lits[0]};
+                continue;
+            }
+            // Look for a new watch.
+            bool found = false;
+            for (size_t k = 2; k < c.lits.size(); ++k) {
+                if (value(c.lits[k]) != LBool::False) {
+                    std::swap(c.lits[1], c.lits[k]);
+                    _watches[(~c.lits[1]).x].push_back(
+                        Watcher{w.clause, c.lits[0]});
+                    found = true;
+                    break;
+                }
+            }
+            if (found)
+                continue;
+            // Unit or conflicting.
+            watchers[keep++] = Watcher{w.clause, c.lits[0]};
+            if (value(c.lits[0]) == LBool::False) {
+                // Conflict: keep remaining watchers, then report.
+                for (size_t rest = wi + 1; rest < watchers.size();
+                     ++rest) {
+                    watchers[keep++] = watchers[rest];
+                }
+                watchers.resize(keep);
+                _qhead = _trail.size();
+                return w.clause;
+            }
+            uncheckedEnqueue(c.lits[0], w.clause);
+        }
+        watchers.resize(keep);
+    }
+    return kNoReason;
+}
+
+void
+Solver::analyze(ClauseRef confl, std::vector<Lit> &out_learnt,
+                int &out_btlevel)
+{
+    int path_count = 0;
+    Lit p = kUndefLit;
+    out_learnt.clear();
+    out_learnt.push_back(kUndefLit);  // placeholder for the UIP
+    size_t index = _trail.size();
+
+    ClauseRef reason = confl;
+    do {
+        check(reason != kNoReason, "conflict analysis hit a decision");
+        Clause &c = _clauses[reason];
+        if (c.learnt)
+            claBumpActivity(c);
+        size_t start = (p == kUndefLit) ? 0 : 1;
+        for (size_t i = start; i < c.lits.size(); ++i) {
+            Lit q = c.lits[i];
+            Var v = var(q);
+            if (_seen[v] || _level[v] == 0)
+                continue;
+            _seen[v] = true;
+            varBumpActivity(v);
+            if (_level[v] >= static_cast<int>(_trail_lim.size())) {
+                ++path_count;
+            } else {
+                out_learnt.push_back(q);
+            }
+        }
+        // Pick the next literal to expand.
+        while (!_seen[var(_trail[--index])]) {}
+        p = _trail[index];
+        _seen[var(p)] = false;
+        reason = _reason[var(p)];
+        --path_count;
+    } while (path_count > 0);
+    out_learnt[0] = ~p;
+
+    // Clause minimization: drop literals implied by the rest.
+    _analyze_toclear.assign(out_learnt.begin(), out_learnt.end());
+    uint32_t abstract_levels = 0;
+    for (size_t i = 1; i < out_learnt.size(); ++i) {
+        abstract_levels |=
+            1u << (_level[var(out_learnt[i])] & 31);
+    }
+    size_t keep = 1;
+    for (size_t i = 1; i < out_learnt.size(); ++i) {
+        Var v = var(out_learnt[i]);
+        if (_reason[v] == kNoReason ||
+            !litRedundant(out_learnt[i], abstract_levels)) {
+            out_learnt[keep++] = out_learnt[i];
+        }
+    }
+    out_learnt.resize(keep);
+    for (Lit l : _analyze_toclear)
+        _seen[var(l)] = false;
+
+    // Compute the backtrack level (second-highest level).
+    if (out_learnt.size() == 1) {
+        out_btlevel = 0;
+    } else {
+        size_t max_i = 1;
+        for (size_t i = 2; i < out_learnt.size(); ++i) {
+            if (_level[var(out_learnt[i])] >
+                _level[var(out_learnt[max_i])]) {
+                max_i = i;
+            }
+        }
+        std::swap(out_learnt[1], out_learnt[max_i]);
+        out_btlevel = _level[var(out_learnt[1])];
+    }
+}
+
+bool
+Solver::litRedundant(Lit l, uint32_t abstract_levels)
+{
+    _analyze_stack.clear();
+    _analyze_stack.push_back(l);
+    size_t top = _analyze_toclear.size();
+    while (!_analyze_stack.empty()) {
+        Lit cur = _analyze_stack.back();
+        _analyze_stack.pop_back();
+        check(_reason[var(cur)] != kNoReason, "redundancy on decision");
+        const Clause &c = _clauses[_reason[var(cur)]];
+        for (size_t i = 1; i < c.lits.size(); ++i) {
+            Lit q = c.lits[i];
+            Var v = var(q);
+            if (_seen[v] || _level[v] == 0)
+                continue;
+            if (_reason[v] != kNoReason &&
+                ((1u << (_level[v] & 31)) & abstract_levels) != 0) {
+                _seen[v] = true;
+                _analyze_stack.push_back(q);
+                _analyze_toclear.push_back(q);
+            } else {
+                // Not redundant; undo marks made in this call.
+                for (size_t j = top; j < _analyze_toclear.size(); ++j)
+                    _seen[var(_analyze_toclear[j])] = false;
+                _analyze_toclear.resize(top);
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+void
+Solver::cancelUntil(int level)
+{
+    if (static_cast<int>(_trail_lim.size()) <= level)
+        return;
+    for (size_t i = _trail.size();
+         i-- > static_cast<size_t>(_trail_lim[level]);) {
+        Var v = var(_trail[i]);
+        _assigns[v] = LBool::Undef;
+        _polarity[v] = sign(_trail[i]);
+        _reason[v] = kNoReason;
+        if (_heap_index[v] < 0)
+            insertVarOrder(v);
+    }
+    _trail.resize(_trail_lim[level]);
+    _trail_lim.resize(level);
+    _qhead = _trail.size();
+}
+
+void
+Solver::insertVarOrder(Var v)
+{
+    if (_heap_index[v] >= 0)
+        return;
+    _heap_index[v] = static_cast<int>(_heap.size());
+    _heap.push_back(v);
+    heapPercolateUp(_heap_index[v]);
+}
+
+void
+Solver::heapPercolateUp(int pos)
+{
+    Var v = _heap[pos];
+    while (pos > 0) {
+        int parent = (pos - 1) >> 1;
+        if (_activity[_heap[parent]] >= _activity[v])
+            break;
+        _heap[pos] = _heap[parent];
+        _heap_index[_heap[pos]] = pos;
+        pos = parent;
+    }
+    _heap[pos] = v;
+    _heap_index[v] = pos;
+}
+
+void
+Solver::heapPercolateDown(int pos)
+{
+    Var v = _heap[pos];
+    int size = static_cast<int>(_heap.size());
+    while (true) {
+        int child = 2 * pos + 1;
+        if (child >= size)
+            break;
+        if (child + 1 < size &&
+            _activity[_heap[child + 1]] > _activity[_heap[child]]) {
+            ++child;
+        }
+        if (_activity[_heap[child]] <= _activity[v])
+            break;
+        _heap[pos] = _heap[child];
+        _heap_index[_heap[pos]] = pos;
+        pos = child;
+    }
+    _heap[pos] = v;
+    _heap_index[v] = pos;
+}
+
+Var
+Solver::heapPop()
+{
+    Var top = _heap[0];
+    _heap_index[top] = -1;
+    _heap[0] = _heap.back();
+    _heap.pop_back();
+    if (!_heap.empty()) {
+        _heap_index[_heap[0]] = 0;
+        heapPercolateDown(0);
+    }
+    return top;
+}
+
+Lit
+Solver::pickBranchLit()
+{
+    while (!heapEmpty()) {
+        Var v = heapPop();
+        if (_assigns[v] == LBool::Undef)
+            return mkLit(v, _polarity[v]);
+    }
+    return kUndefLit;
+}
+
+void
+Solver::varBumpActivity(Var v)
+{
+    _activity[v] += _var_inc;
+    if (_activity[v] > 1e100) {
+        for (auto &a : _activity)
+            a *= 1e-100;
+        _var_inc *= 1e-100;
+    }
+    if (_heap_index[v] >= 0)
+        heapPercolateUp(_heap_index[v]);
+}
+
+void
+Solver::varDecayActivity()
+{
+    _var_inc /= _var_decay;
+}
+
+void
+Solver::claBumpActivity(Clause &c)
+{
+    c.activity += _cla_inc;
+    if (c.activity > 1e20f) {
+        for (auto &cl : _clauses) {
+            if (cl.learnt)
+                cl.activity *= 1e-20f;
+        }
+        _cla_inc *= 1e-20f;
+    }
+}
+
+void
+Solver::claDecayActivity()
+{
+    _cla_inc /= _cla_decay;
+}
+
+void
+Solver::reduceDB()
+{
+    // Remove the less active half of the learnt clauses (keeping
+    // binary clauses and current reasons).
+    std::vector<float> acts;
+    for (const auto &c : _clauses) {
+        if (c.learnt && !c.removed && c.lits.size() > 2)
+            acts.push_back(c.activity);
+    }
+    if (acts.size() < 2)
+        return;
+    std::nth_element(acts.begin(), acts.begin() + acts.size() / 2,
+                     acts.end());
+    float median = acts[acts.size() / 2];
+
+    std::vector<bool> is_reason(_clauses.size(), false);
+    for (Lit l : _trail) {
+        if (_reason[var(l)] != kNoReason)
+            is_reason[_reason[var(l)]] = true;
+    }
+    for (size_t i = 0; i < _clauses.size(); ++i) {
+        Clause &c = _clauses[i];
+        if (c.learnt && !c.removed && c.lits.size() > 2 &&
+            !is_reason[i] && c.activity < median) {
+            c.removed = true;
+        }
+    }
+    _num_learnt = 0;
+    for (const auto &c : _clauses) {
+        if (c.learnt && !c.removed)
+            ++_num_learnt;
+    }
+    rebuildWatches();
+}
+
+void
+Solver::rebuildWatches()
+{
+    for (auto &w : _watches)
+        w.clear();
+    for (size_t i = 0; i < _clauses.size(); ++i) {
+        if (!_clauses[i].removed)
+            attachClause(static_cast<ClauseRef>(i));
+    }
+}
+
+double
+Solver::luby(double y, int i)
+{
+    int size = 1, seq = 0;
+    while (size < i + 1) {
+        ++seq;
+        size = 2 * size + 1;
+    }
+    while (size - 1 != i) {
+        size = (size - 1) >> 1;
+        --seq;
+        i = i % size;
+    }
+    return std::pow(y, seq);
+}
+
+LBool
+Solver::solve(const std::vector<Lit> &assumptions,
+              const Deadline *deadline)
+{
+    if (!_ok)
+        return LBool::False;
+    check(_trail_lim.empty(), "solve() while not at level 0");
+
+    int restart_count = 0;
+    uint64_t conflict_budget =
+        static_cast<uint64_t>(luby(2.0, restart_count) * 100.0);
+    uint64_t conflicts_here = 0;
+    std::vector<Lit> learnt;
+    int btlevel = 0;
+
+    while (true) {
+        ClauseRef confl = propagate();
+        if (confl != kNoReason) {
+            ++conflicts;
+            ++conflicts_here;
+            if (_trail_lim.empty()) {
+                _ok = false;
+                return LBool::False;
+            }
+            analyze(confl, learnt, btlevel);
+            cancelUntil(btlevel);
+            if (learnt.size() == 1) {
+                uncheckedEnqueue(learnt[0], kNoReason);
+            } else {
+                ClauseRef cref =
+                    static_cast<ClauseRef>(_clauses.size());
+                Clause clause;
+                clause.learnt = true;
+                clause.lits = learnt;
+                _clauses.push_back(std::move(clause));
+                claBumpActivity(_clauses.back());
+                attachClause(cref);
+                uncheckedEnqueue(learnt[0], cref);
+                ++_num_learnt;
+            }
+            varDecayActivity();
+            claDecayActivity();
+            continue;
+        }
+
+        if (deadline && deadline->expired()) {
+            cancelUntil(0);
+            return LBool::Undef;
+        }
+        if (conflicts_here >= conflict_budget) {
+            // Restart.
+            ++restarts;
+            ++restart_count;
+            conflicts_here = 0;
+            conflict_budget = static_cast<uint64_t>(
+                luby(2.0, restart_count) * 100.0);
+            cancelUntil(0);
+            continue;
+        }
+        if (_num_learnt > _learnt_limit) {
+            reduceDB();
+            _learnt_limit = _learnt_limit * 11 / 10;
+        }
+
+        // Assumptions, then a decision.
+        Lit next = kUndefLit;
+        while (_trail_lim.size() < assumptions.size()) {
+            Lit a = assumptions[_trail_lim.size()];
+            if (value(a) == LBool::True) {
+                // Already satisfied; open an empty decision level.
+                _trail_lim.push_back(static_cast<int>(_trail.size()));
+            } else if (value(a) == LBool::False) {
+                // Conflicting assumptions: UNSAT under assumptions.
+                cancelUntil(0);
+                return LBool::False;
+            } else {
+                next = a;
+                break;
+            }
+        }
+        if (next == kUndefLit) {
+            ++decisions;
+            next = pickBranchLit();
+            if (next == kUndefLit) {
+                // Model found.
+                for (Var v = 0; v < numVars(); ++v)
+                    _model[v] = _assigns[v] == LBool::True;
+                cancelUntil(0);
+                return LBool::True;
+            }
+        }
+        _trail_lim.push_back(static_cast<int>(_trail.size()));
+        uncheckedEnqueue(next, kNoReason);
+    }
+}
+
+bool
+Solver::modelValue(Var v) const
+{
+    return _model[v];
+}
+
+} // namespace rtlrepair::sat

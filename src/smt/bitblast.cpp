@@ -1,0 +1,164 @@
+#include "smt/bitblast.hpp"
+
+#include "util/logging.hpp"
+
+namespace rtlrepair::smt {
+
+using ir::Node;
+using ir::NodeKind;
+using ir::NodeRef;
+
+Word
+wordOfValue(const bv::Value &value)
+{
+    Word out(value.width());
+    for (uint32_t i = 0; i < value.width(); ++i) {
+        // X bits read as zero in the 2-state circuit.
+        out[i] = value.bit(i) == 1 ? kAigTrue : kAigFalse;
+    }
+    return out;
+}
+
+Word
+freshWord(Aig &aig, uint32_t width)
+{
+    Word out(width);
+    for (uint32_t i = 0; i < width; ++i)
+        out[i] = aig.newVar();
+    return out;
+}
+
+CycleWords
+blastCycle(Aig &aig, const ir::TransitionSystem &sys,
+           const CycleBindings &bindings)
+{
+    check(bindings.states.size() == sys.states.size(),
+          "state binding count mismatch");
+    check(bindings.inputs.size() == sys.inputs.size(),
+          "input binding count mismatch");
+    check(bindings.synth.size() == sys.synth_vars.size(),
+          "synth binding count mismatch");
+
+    CycleWords result;
+    result.node_bits.resize(sys.nodes.size());
+
+    for (NodeRef ref = 0; ref < sys.nodes.size(); ++ref) {
+        const Node &n = sys.nodes[ref];
+        auto arg = [&](int i) -> const Word & {
+            return result.node_bits[n.args[i]];
+        };
+        Word &out = result.node_bits[ref];
+        switch (n.kind) {
+          case NodeKind::Const:
+            out = wordOfValue(sys.consts[n.index]);
+            break;
+          case NodeKind::Input:
+            out = bindings.inputs[n.index];
+            break;
+          case NodeKind::SynthVar:
+            out = bindings.synth[n.index];
+            break;
+          case NodeKind::State:
+            out = bindings.states[n.index];
+            break;
+          case NodeKind::Not:
+            out = wordNot(aig, arg(0));
+            break;
+          case NodeKind::Neg:
+            out = wordNeg(aig, arg(0));
+            break;
+          case NodeKind::RedAnd:
+            out = Word{wordRedAnd(aig, arg(0))};
+            break;
+          case NodeKind::RedOr:
+            out = Word{wordRedOr(aig, arg(0))};
+            break;
+          case NodeKind::RedXor:
+            out = Word{wordRedXor(aig, arg(0))};
+            break;
+          case NodeKind::And:
+            out = wordAnd(aig, arg(0), arg(1));
+            break;
+          case NodeKind::Or:
+            out = wordOr(aig, arg(0), arg(1));
+            break;
+          case NodeKind::Xor:
+            out = wordXor(aig, arg(0), arg(1));
+            break;
+          case NodeKind::Add:
+            out = wordAdd(aig, arg(0), arg(1));
+            break;
+          case NodeKind::Sub:
+            out = wordSub(aig, arg(0), arg(1));
+            break;
+          case NodeKind::Mul:
+            out = wordMul(aig, arg(0), arg(1));
+            break;
+          case NodeKind::UDiv:
+            out = wordUDiv(aig, arg(0), arg(1));
+            break;
+          case NodeKind::URem:
+            out = wordURem(aig, arg(0), arg(1));
+            break;
+          case NodeKind::Shl:
+            out = wordShl(aig, arg(0), arg(1));
+            break;
+          case NodeKind::LShr:
+            out = wordLShr(aig, arg(0), arg(1));
+            break;
+          case NodeKind::AShr:
+            out = wordAShr(aig, arg(0), arg(1));
+            break;
+          case NodeKind::Eq:
+            out = Word{wordEq(aig, arg(0), arg(1))};
+            break;
+          case NodeKind::Ult:
+            out = Word{wordULt(aig, arg(0), arg(1))};
+            break;
+          case NodeKind::Ule:
+            out = Word{wordULe(aig, arg(0), arg(1))};
+            break;
+          case NodeKind::Slt:
+            out = Word{wordSLt(aig, arg(0), arg(1))};
+            break;
+          case NodeKind::Sle:
+            out = Word{wordSLe(aig, arg(0), arg(1))};
+            break;
+          case NodeKind::Concat: {
+            const Word &high = arg(0);
+            const Word &low = arg(1);
+            out = low;
+            out.insert(out.end(), high.begin(), high.end());
+            break;
+          }
+          case NodeKind::Slice: {
+            const Word &base = arg(0);
+            out.assign(base.begin() + n.b, base.begin() + n.a + 1);
+            break;
+          }
+          case NodeKind::Ite:
+            out = wordMux(aig, arg(0)[0], arg(1), arg(2));
+            break;
+          case NodeKind::ZExt: {
+            out = arg(0);
+            out.resize(n.width, kAigFalse);
+            break;
+          }
+          case NodeKind::SExt: {
+            out = arg(0);
+            AigLit msb = out.back();
+            out.resize(n.width, msb);
+            break;
+          }
+        }
+        check(out.size() == n.width, "blast width mismatch");
+    }
+
+    for (const auto &st : sys.states)
+        result.next_states.push_back(result.node_bits[st.next]);
+    for (const auto &o : sys.outputs)
+        result.outputs.push_back(result.node_bits[o.ref]);
+    return result;
+}
+
+} // namespace rtlrepair::smt

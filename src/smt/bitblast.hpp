@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Word-level bit-blaster: evaluates one transition-system cycle onto
+ * an AIG, given literal bindings for states, inputs, and synthesis
+ * variables.  The unroller calls this once per cycle of the repair
+ * window, feeding each cycle's next-state words into the next.
+ */
+#ifndef RTLREPAIR_SMT_BITBLAST_HPP
+#define RTLREPAIR_SMT_BITBLAST_HPP
+
+#include "bv/value.hpp"
+#include "ir/transition_system.hpp"
+#include "smt/aig.hpp"
+
+namespace rtlrepair::smt {
+
+/** Leaf bindings for one unrolled cycle. */
+struct CycleBindings
+{
+    std::vector<Word> states;   ///< indexed like sys.states
+    std::vector<Word> inputs;   ///< indexed like sys.inputs
+    std::vector<Word> synth;    ///< indexed like sys.synth_vars
+};
+
+/** Result of blasting one cycle. */
+struct CycleWords
+{
+    std::vector<Word> node_bits;   ///< per NodeRef
+    std::vector<Word> next_states; ///< indexed like sys.states
+    std::vector<Word> outputs;     ///< indexed like sys.outputs
+};
+
+/** Convert a fully known (or policy-resolved) value to literals. */
+Word wordOfValue(const bv::Value &value);
+
+/**
+ * Blast one cycle of @p sys.  X bits inside design constants read as
+ * zero (the 2-state synthesized circuit).
+ */
+CycleWords blastCycle(Aig &aig, const ir::TransitionSystem &sys,
+                      const CycleBindings &bindings);
+
+/** Allocate fresh AIG variables for a word of @p width bits. */
+Word freshWord(Aig &aig, uint32_t width);
+
+} // namespace rtlrepair::smt
+
+#endif // RTLREPAIR_SMT_BITBLAST_HPP

@@ -1,0 +1,245 @@
+#include "templates/add_guard.hpp"
+
+#include <set>
+
+#include "analysis/dependencies.hpp"
+#include "analysis/process_info.hpp"
+#include "analysis/widths.hpp"
+#include "templates/ast_build.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace rtlrepair::templates {
+
+using namespace verilog;
+using analysis::DependencyGraph;
+using analysis::ProcessInfo;
+using analysis::SymbolTable;
+
+namespace {
+
+uint32_t
+selectorWidth(size_t n)
+{
+    uint32_t w = 1;
+    while ((1ull << w) < n)
+        ++w;
+    return w;
+}
+
+class Instrumenter
+{
+  public:
+    Instrumenter(Module &mod, SynthVarTable &vars, bool subset_rule)
+        : _mod(mod), _vars(vars), _build(mod),
+          _subset_rule(subset_rule)
+    {
+        _table = SymbolTable::build(mod);
+        _deps = DependencyGraph::build(mod);
+
+        // Clocks must not become guards.
+        std::set<std::string> clocks;
+        for (const auto &proc : analysis::analyzeProcesses(mod)) {
+            for (const auto &e : proc.edge_signals)
+                clocks.insert(e);
+        }
+        for (const auto &[name, range] : _table.nets()) {
+            if (range.width == 1 && !clocks.count(name))
+                _one_bit_signals.push_back(name);
+        }
+    }
+
+    void
+    run()
+    {
+        for (auto &item : _mod.items) {
+            if (item->kind == Item::Kind::ContAssign) {
+                auto &a = static_cast<ContAssign &>(*item);
+                std::string target = analysis::lhsBaseName(*a.lhs);
+                if (_table.isNet(target) &&
+                    _table.widthOf(target) == 1) {
+                    instrumentSite(a.rhs, {target}, /*comb=*/true);
+                }
+            } else if (item->kind == Item::Kind::Always) {
+                auto &blk = static_cast<AlwaysBlock &>(*item);
+                ProcessInfo info = analysis::analyzeProcess(blk);
+                bool comb =
+                    info.kind == ProcessInfo::Kind::Combinational;
+                std::vector<std::string> targets(
+                    info.assigned.begin(), info.assigned.end());
+                instrumentStmt(blk.body, targets, comb);
+            }
+        }
+    }
+
+  private:
+    void
+    instrumentStmt(StmtPtr &stmt,
+                   const std::vector<std::string> &targets, bool comb)
+    {
+        switch (stmt->kind) {
+          case Stmt::Kind::Block:
+            for (auto &s : static_cast<BlockStmt &>(*stmt).stmts)
+                instrumentStmt(s, targets, comb);
+            return;
+          case Stmt::Kind::If: {
+            auto &i = static_cast<IfStmt &>(*stmt);
+            instrumentSite(i.cond, targets, comb);
+            instrumentStmt(i.then_stmt, targets, comb);
+            if (i.else_stmt)
+                instrumentStmt(i.else_stmt, targets, comb);
+            return;
+          }
+          case Stmt::Kind::Case: {
+            auto &c = static_cast<CaseStmt &>(*stmt);
+            for (auto &item : c.items)
+                instrumentStmt(item.body, targets, comb);
+            if (c.default_body)
+                instrumentStmt(c.default_body, targets, comb);
+            return;
+          }
+          case Stmt::Kind::Assign: {
+            auto &a = static_cast<AssignStmt &>(*stmt);
+            if (a.lhs->kind == Expr::Kind::Ident) {
+                const auto &name =
+                    static_cast<const IdentExpr &>(*a.lhs).name;
+                if (_table.isNet(name) && _table.widthOf(name) == 1)
+                    instrumentSite(a.rhs, {name}, comb);
+            }
+            return;
+          }
+          case Stmt::Kind::For:
+            instrumentStmt(static_cast<ForStmt &>(*stmt).body,
+                           targets, comb);
+            return;
+          case Stmt::Kind::Empty:
+            return;
+        }
+    }
+
+    /** Guard candidates legal for all @p targets. */
+    std::vector<std::string>
+    candidatesFor(const std::vector<std::string> &targets, bool comb)
+    {
+        std::vector<std::string> out;
+        for (const auto &cand : _one_bit_signals) {
+            bool ok = true;
+            if (comb) {
+                for (const auto &target : targets) {
+                    bool legal =
+                        _subset_rule
+                            ? _deps.subsetRuleAllows(target, cand)
+                            : !_deps.wouldCreateCycle(target, cand);
+                    if (!legal) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if (ok)
+                out.push_back(cand);
+        }
+        return out;
+    }
+
+    /** Build the α-selected, optionally negated guard literal. */
+    ExprPtr
+    buildGuardPick(const std::vector<std::string> &candidates,
+                   NodeId site, const char *which)
+    {
+        uint32_t sel_w = selectorWidth(candidates.size());
+        std::string sel = _vars.freshAlpha(
+            site, sel_w, format("guard %s selector", which));
+        std::string neg = _vars.freshAlpha(
+            site, 1, format("guard %s polarity", which));
+
+        // Nested ternary over the candidate list.
+        ExprPtr pick = _build.ident(candidates.back());
+        for (size_t i = candidates.size() - 1; i-- > 0;) {
+            pick = _build.ternary(
+                _build.eqConst(
+                    _build.ident(sel),
+                    bv::Value::fromUint(sel_w,
+                                        static_cast<uint64_t>(i))),
+                _build.ident(candidates[i]), std::move(pick));
+        }
+        // α_neg ? pick : !pick
+        ExprPtr inverted = _build.logicNot(
+            pick->clone());
+        return _build.ternary(_build.ident(neg), std::move(pick),
+                              std::move(inverted));
+    }
+
+    void
+    instrumentSite(ExprPtr &expr,
+                   const std::vector<std::string> &targets, bool comb)
+    {
+        NodeId site = expr->id;
+        std::vector<std::string> candidates =
+            candidatesFor(targets, comb);
+        // The selector chains below read every candidate: record the
+        // new combinational edges so later sites stay acyclic.
+        if (comb) {
+            for (const auto &target : targets) {
+                for (const auto &cand : candidates)
+                    _deps.addDependency(target, cand);
+            }
+        }
+
+        // (φ_inv ? !e : e)
+        std::string phi_inv =
+            _vars.freshPhi(site, "invert condition");
+        ExprPtr original = std::move(expr);
+        ExprPtr not_e = _build.logicNot(original->clone());
+        ExprPtr inverted =
+            _build.ternary(_build.ident(phi_inv), std::move(not_e),
+                           std::move(original));
+
+        if (candidates.empty()) {
+            expr = std::move(inverted);
+            return;
+        }
+
+        // guard = φ_b ? (ga || gb) : ga
+        std::string phi_g = _vars.freshPhi(site, "add guard");
+        std::string phi_b =
+            _vars.freshPhi(site, "add second guard disjunct");
+        ExprPtr ga = buildGuardPick(candidates, site, "a");
+        ExprPtr gb = buildGuardPick(candidates, site, "b");
+        ExprPtr both =
+            _build.logicOr(ga->clone(), std::move(gb));
+        ExprPtr guard = _build.ternary(_build.ident(phi_b),
+                                       std::move(both), std::move(ga));
+
+        // e' && (φ_g ? guard : 1'b1)
+        ExprPtr gate = _build.ternary(_build.ident(phi_g),
+                                      std::move(guard),
+                                      _build.boolLit(true));
+        expr = _build.logicAnd(std::move(inverted), std::move(gate));
+    }
+
+    Module &_mod;
+    SynthVarTable &_vars;
+    AstBuild _build;
+    bool _subset_rule;
+    SymbolTable _table;
+    DependencyGraph _deps;
+    std::vector<std::string> _one_bit_signals;
+};
+
+} // namespace
+
+TemplateResult
+AddGuardTemplate::apply(const Module &buggy,
+                        const std::vector<const Module *> &library)
+{
+    (void)library;
+    TemplateResult result;
+    result.instrumented = buggy.clone();
+    Instrumenter inst(*result.instrumented, result.vars,
+                      _use_subset_rule);
+    inst.run();
+    return result;
+}
+
+} // namespace rtlrepair::templates

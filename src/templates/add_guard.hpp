@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Add Guard repair template (paper §4.2, Fig. 5).
+ *
+ * Any if-condition or 1-bit assignment RHS `e` may be rewritten to
+ * `(¬?)e ∧ ((¬?)a (∨ (¬?)b)?)`.  Costs: inversion 1, simple guard 1,
+ * a second disjunct 1 more.  Guard variables a/b are picked from the
+ * module's 1-bit signals; candidates are filtered so that no new
+ * combinational cycle can arise (synchronous dependencies are
+ * ignored, as in the paper).
+ */
+#ifndef RTLREPAIR_TEMPLATES_ADD_GUARD_HPP
+#define RTLREPAIR_TEMPLATES_ADD_GUARD_HPP
+
+#include "templates/synth_vars.hpp"
+
+namespace rtlrepair::templates {
+
+class AddGuardTemplate : public RepairTemplate
+{
+  public:
+    /**
+     * @param use_subset_rule use the paper's more conservative
+     *        dependency-subset legality rule instead of the exact
+     *        cycle check (exposed for the ablation benchmark).
+     */
+    explicit AddGuardTemplate(bool use_subset_rule = false)
+        : _use_subset_rule(use_subset_rule)
+    {}
+
+    std::string name() const override { return "add-guard"; }
+    TemplateResult
+    apply(const verilog::Module &buggy,
+          const std::vector<const verilog::Module *> &library) override;
+
+  private:
+    bool _use_subset_rule;
+};
+
+} // namespace rtlrepair::templates
+
+#endif // RTLREPAIR_TEMPLATES_ADD_GUARD_HPP

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Internal helpers for templates that synthesize AST fragments.
+ * Every created node receives a fresh NodeId from the target module.
+ */
+#ifndef RTLREPAIR_TEMPLATES_AST_BUILD_HPP
+#define RTLREPAIR_TEMPLATES_AST_BUILD_HPP
+
+#include "verilog/ast.hpp"
+
+namespace rtlrepair::templates {
+
+/** Fluent AST factory bound to one module's NodeId space. */
+class AstBuild
+{
+  public:
+    explicit AstBuild(verilog::Module &mod) : _mod(mod) {}
+
+    verilog::ExprPtr
+    ident(const std::string &name)
+    {
+        auto *e = new verilog::IdentExpr(name);
+        e->id = _mod.newNodeId();
+        return verilog::ExprPtr(e);
+    }
+
+    verilog::ExprPtr
+    literal(const bv::Value &value)
+    {
+        auto *e = new verilog::LiteralExpr(value, true);
+        e->id = _mod.newNodeId();
+        return verilog::ExprPtr(e);
+    }
+
+    verilog::ExprPtr
+    boolLit(bool value)
+    {
+        return literal(bv::Value::fromUint(1, value ? 1 : 0));
+    }
+
+    verilog::ExprPtr
+    ternary(verilog::ExprPtr cond, verilog::ExprPtr t,
+            verilog::ExprPtr e)
+    {
+        auto *x = new verilog::TernaryExpr(std::move(cond), std::move(t),
+                                           std::move(e));
+        x->id = _mod.newNodeId();
+        return verilog::ExprPtr(x);
+    }
+
+    verilog::ExprPtr
+    binary(verilog::BinaryOp op, verilog::ExprPtr l, verilog::ExprPtr r)
+    {
+        auto *x =
+            new verilog::BinaryExpr(op, std::move(l), std::move(r));
+        x->id = _mod.newNodeId();
+        return verilog::ExprPtr(x);
+    }
+
+    verilog::ExprPtr
+    logicAnd(verilog::ExprPtr l, verilog::ExprPtr r)
+    {
+        return binary(verilog::BinaryOp::LogicAnd, std::move(l),
+                      std::move(r));
+    }
+
+    verilog::ExprPtr
+    logicOr(verilog::ExprPtr l, verilog::ExprPtr r)
+    {
+        return binary(verilog::BinaryOp::LogicOr, std::move(l),
+                      std::move(r));
+    }
+
+    verilog::ExprPtr
+    logicNot(verilog::ExprPtr e)
+    {
+        auto *x = new verilog::UnaryExpr(verilog::UnaryOp::LogicNot,
+                                         std::move(e));
+        x->id = _mod.newNodeId();
+        return verilog::ExprPtr(x);
+    }
+
+    verilog::ExprPtr
+    eqConst(verilog::ExprPtr l, const bv::Value &value)
+    {
+        return binary(verilog::BinaryOp::Eq, std::move(l),
+                      literal(value));
+    }
+
+    verilog::StmtPtr
+    assign(verilog::ExprPtr lhs, verilog::ExprPtr rhs, bool blocking)
+    {
+        auto *s = new verilog::AssignStmt(std::move(lhs), std::move(rhs),
+                                          blocking);
+        s->id = _mod.newNodeId();
+        return verilog::StmtPtr(s);
+    }
+
+    verilog::StmtPtr
+    ifThen(verilog::ExprPtr cond, verilog::StmtPtr then_stmt)
+    {
+        auto *s = new verilog::IfStmt(std::move(cond),
+                                      std::move(then_stmt), nullptr);
+        s->id = _mod.newNodeId();
+        return verilog::StmtPtr(s);
+    }
+
+    verilog::StmtPtr
+    block(std::vector<verilog::StmtPtr> stmts)
+    {
+        auto *s = new verilog::BlockStmt(std::move(stmts));
+        s->id = _mod.newNodeId();
+        return verilog::StmtPtr(s);
+    }
+
+  private:
+    verilog::Module &_mod;
+};
+
+} // namespace rtlrepair::templates
+
+#endif // RTLREPAIR_TEMPLATES_AST_BUILD_HPP

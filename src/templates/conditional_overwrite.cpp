@@ -1,0 +1,203 @@
+#include "templates/conditional_overwrite.hpp"
+
+#include <set>
+
+#include "analysis/process_info.hpp"
+#include "analysis/widths.hpp"
+#include "templates/ast_build.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace rtlrepair::templates {
+
+using namespace verilog;
+using analysis::ProcessInfo;
+using analysis::SymbolTable;
+
+namespace {
+
+/** Assigned base names of a statement tree. */
+void
+collectAssignedNames(const Stmt &stmt, std::set<std::string> &out)
+{
+    switch (stmt.kind) {
+      case Stmt::Kind::Block:
+        for (const auto &s : static_cast<const BlockStmt &>(stmt).stmts)
+            collectAssignedNames(*s, out);
+        return;
+      case Stmt::Kind::If: {
+        const auto &i = static_cast<const IfStmt &>(stmt);
+        collectAssignedNames(*i.then_stmt, out);
+        if (i.else_stmt)
+            collectAssignedNames(*i.else_stmt, out);
+        return;
+      }
+      case Stmt::Kind::Case: {
+        const auto &c = static_cast<const CaseStmt &>(stmt);
+        for (const auto &item : c.items)
+            collectAssignedNames(*item.body, out);
+        if (c.default_body)
+            collectAssignedNames(*c.default_body, out);
+        return;
+      }
+      case Stmt::Kind::Assign: {
+        const auto &a = static_cast<const AssignStmt &>(stmt);
+        if (a.lhs->kind == verilog::Expr::Kind::Concat) {
+            for (const auto &part :
+                 static_cast<const verilog::ConcatExpr &>(*a.lhs)
+                     .parts) {
+                out.insert(analysis::lhsBaseName(*part));
+            }
+        } else {
+            out.insert(analysis::lhsBaseName(*a.lhs));
+        }
+        return;
+      }
+      case Stmt::Kind::For:
+        collectAssignedNames(
+            *static_cast<const ForStmt &>(stmt).body, out);
+        return;
+      case Stmt::Kind::Empty:
+        return;
+    }
+}
+
+/** Collect up to @p limit if-conditions from a statement tree. */
+void
+collectConditions(const Stmt &stmt, std::vector<const Expr *> &out,
+                  size_t limit)
+{
+    if (out.size() >= limit)
+        return;
+    switch (stmt.kind) {
+      case Stmt::Kind::Block:
+        for (const auto &s : static_cast<const BlockStmt &>(stmt).stmts)
+            collectConditions(*s, out, limit);
+        return;
+      case Stmt::Kind::If: {
+        const auto &i = static_cast<const IfStmt &>(stmt);
+        if (out.size() < limit)
+            out.push_back(i.cond.get());
+        collectConditions(*i.then_stmt, out, limit);
+        if (i.else_stmt)
+            collectConditions(*i.else_stmt, out, limit);
+        return;
+      }
+      case Stmt::Kind::Case: {
+        const auto &c = static_cast<const CaseStmt &>(stmt);
+        for (const auto &item : c.items)
+            collectConditions(*item.body, out, limit);
+        if (c.default_body)
+            collectConditions(*c.default_body, out, limit);
+        return;
+      }
+      case Stmt::Kind::For:
+        collectConditions(*static_cast<const ForStmt &>(stmt).body,
+                          out, limit);
+        return;
+      default:
+        return;
+    }
+}
+
+} // namespace
+
+TemplateResult
+ConditionalOverwriteTemplate::apply(
+    const Module &buggy, const std::vector<const Module *> &library)
+{
+    (void)library;
+    TemplateResult result;
+    result.instrumented = buggy.clone();
+    Module &mod = *result.instrumented;
+    AstBuild build(mod);
+    SynthVarTable &vars = result.vars;
+    SymbolTable table = SymbolTable::build(mod);
+
+    for (auto &item : mod.items) {
+        if (item->kind != Item::Kind::Always)
+            continue;
+        auto &blk = static_cast<AlwaysBlock &>(*item);
+        ProcessInfo info = analysis::analyzeProcess(blk);
+        bool clocked = info.kind == ProcessInfo::Kind::Clocked;
+        bool blocking_style = !clocked;
+
+        std::vector<const Expr *> conditions;
+        collectConditions(*blk.body, conditions, _max_conditions);
+
+        // Loop variables vanish when for-loops unroll at elaboration:
+        // derive the overwritable signal set from an unrolled view.
+        std::set<std::string> signals;
+        {
+            StmtPtr unrolled = blk.body->clone();
+            try {
+                analysis::unrollFors(unrolled, table.params());
+            } catch (const FatalError &) {
+                // fall back to the raw body below
+            }
+            collectAssignedNames(*unrolled, signals);
+        }
+
+        // One insertion builder per (signal, position).
+        auto makeOverwrite = [&](const std::string &signal,
+                                 const char *where) -> StmtPtr {
+            uint32_t width =
+                table.isNet(signal) ? table.widthOf(signal) : 1;
+            NodeId site = blk.id;
+            std::string phi_en = vars.freshPhi(
+                site, format("overwrite %s at %s of process",
+                             signal.c_str(), where));
+            std::string alpha_val = vars.freshAlpha(
+                site, width,
+                format("overwrite value for %s", signal.c_str()));
+
+            // Guard: conjunction of optional mined conditions.
+            ExprPtr guard;
+            for (const Expr *cond : conditions) {
+                std::string phi_c = vars.freshPhi(
+                    site, format("guard overwrite of %s", signal.c_str()));
+                std::string alpha_p = vars.freshAlpha(
+                    site, 1, "guard polarity");
+                ExprPtr pos = cond->clone();
+                ExprPtr neg = build.logicNot(cond->clone());
+                ExprPtr picked =
+                    build.ternary(build.ident(alpha_p), std::move(pos),
+                                  std::move(neg));
+                ExprPtr term = build.ternary(build.ident(phi_c),
+                                             std::move(picked),
+                                             build.boolLit(true));
+                guard = guard ? build.logicAnd(std::move(guard),
+                                               std::move(term))
+                              : std::move(term);
+            }
+
+            StmtPtr assign =
+                build.assign(build.ident(signal),
+                             build.ident(alpha_val), blocking_style);
+            StmtPtr inner =
+                guard ? build.ifThen(std::move(guard), std::move(assign))
+                      : std::move(assign);
+            return build.ifThen(build.ident(phi_en), std::move(inner));
+        };
+
+        std::vector<StmtPtr> prologue;
+        std::vector<StmtPtr> epilogue;
+        for (const auto &signal : signals) {
+            if (clocked)
+                prologue.push_back(makeOverwrite(signal, "start"));
+            epilogue.push_back(makeOverwrite(signal, "end"));
+        }
+
+        std::vector<StmtPtr> stmts;
+        for (auto &s : prologue)
+            stmts.push_back(std::move(s));
+        stmts.push_back(std::move(blk.body));
+        for (auto &s : epilogue)
+            stmts.push_back(std::move(s));
+        blk.body = build.block(std::move(stmts));
+    }
+
+    return result;
+}
+
+} // namespace rtlrepair::templates

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Conditional Overwrite repair template (paper §4.2, Fig. 4).
+ *
+ * For every process and every signal it assigns, the template inserts
+ * a new optionally-guarded constant assignment:
+ *
+ *     if (φ_en)
+ *         if ((φ_c1 ? (α_p1 ? c1 : !c1) : 1'b1) && ...)
+ *             sig <= α_val;
+ *
+ * at the start and end of clocked processes, and at the end of
+ * combinational processes (a start insertion in a comb process would
+ * infer a latch on the φ=0 path).  Guard conditions c_i are mined
+ * from the if-conditions of the same process.  Costs: enabling the
+ * assignment is 1, each enabled guard term adds 1.
+ */
+#ifndef RTLREPAIR_TEMPLATES_CONDITIONAL_OVERWRITE_HPP
+#define RTLREPAIR_TEMPLATES_CONDITIONAL_OVERWRITE_HPP
+
+#include "templates/synth_vars.hpp"
+
+namespace rtlrepair::templates {
+
+class ConditionalOverwriteTemplate : public RepairTemplate
+{
+  public:
+    /** @param max_conditions guard terms mined per process. */
+    explicit ConditionalOverwriteTemplate(size_t max_conditions = 3)
+        : _max_conditions(max_conditions)
+    {}
+
+    std::string name() const override { return "conditional-overwrite"; }
+    TemplateResult
+    apply(const verilog::Module &buggy,
+          const std::vector<const verilog::Module *> &library) override;
+
+  private:
+    size_t _max_conditions;
+};
+
+} // namespace rtlrepair::templates
+
+#endif // RTLREPAIR_TEMPLATES_CONDITIONAL_OVERWRITE_HPP

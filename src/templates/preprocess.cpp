@@ -1,0 +1,240 @@
+#include "templates/preprocess.hpp"
+
+#include <set>
+
+#include "analysis/process_info.hpp"
+#include "analysis/widths.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+#include "verilog/ast_util.hpp"
+
+namespace rtlrepair::templates {
+
+using namespace verilog;
+using analysis::ProcessInfo;
+
+namespace {
+
+/** Flip assignment kinds in @p stmt to @p blocking; count changes. */
+int
+normalizeAssignKinds(Stmt &stmt, bool blocking)
+{
+    int changes = 0;
+    switch (stmt.kind) {
+      case Stmt::Kind::Block:
+        for (auto &s : static_cast<BlockStmt &>(stmt).stmts)
+            changes += normalizeAssignKinds(*s, blocking);
+        return changes;
+      case Stmt::Kind::If: {
+        auto &i = static_cast<IfStmt &>(stmt);
+        changes += normalizeAssignKinds(*i.then_stmt, blocking);
+        if (i.else_stmt)
+            changes += normalizeAssignKinds(*i.else_stmt, blocking);
+        return changes;
+      }
+      case Stmt::Kind::Case: {
+        auto &c = static_cast<CaseStmt &>(stmt);
+        for (auto &item : c.items)
+            changes += normalizeAssignKinds(*item.body, blocking);
+        if (c.default_body)
+            changes += normalizeAssignKinds(*c.default_body, blocking);
+        return changes;
+      }
+      case Stmt::Kind::Assign: {
+        auto &a = static_cast<AssignStmt &>(stmt);
+        if (a.blocking != blocking) {
+            a.blocking = blocking;
+            return 1;
+        }
+        return 0;
+      }
+      case Stmt::Kind::For:
+        return normalizeAssignKinds(*static_cast<ForStmt &>(stmt).body,
+                                    blocking);
+      case Stmt::Kind::Empty:
+        return 0;
+    }
+    return 0;
+}
+
+/** All signals assigned anywhere in a statement tree. */
+void
+collectMayAssign(const Stmt &stmt, std::set<std::string> &out)
+{
+    switch (stmt.kind) {
+      case Stmt::Kind::Block:
+        for (const auto &s : static_cast<const BlockStmt &>(stmt).stmts)
+            collectMayAssign(*s, out);
+        return;
+      case Stmt::Kind::If: {
+        const auto &i = static_cast<const IfStmt &>(stmt);
+        collectMayAssign(*i.then_stmt, out);
+        if (i.else_stmt)
+            collectMayAssign(*i.else_stmt, out);
+        return;
+      }
+      case Stmt::Kind::Case: {
+        const auto &c = static_cast<const CaseStmt &>(stmt);
+        for (const auto &item : c.items)
+            collectMayAssign(*item.body, out);
+        if (c.default_body)
+            collectMayAssign(*c.default_body, out);
+        return;
+      }
+      case Stmt::Kind::Assign: {
+        const auto &a = static_cast<const AssignStmt &>(stmt);
+        if (a.lhs->kind == verilog::Expr::Kind::Concat) {
+            for (const auto &part :
+                 static_cast<const verilog::ConcatExpr &>(*a.lhs)
+                     .parts) {
+                out.insert(analysis::lhsBaseName(*part));
+            }
+        } else {
+            out.insert(analysis::lhsBaseName(*a.lhs));
+        }
+        return;
+      }
+      case Stmt::Kind::For:
+        collectMayAssign(*static_cast<const ForStmt &>(stmt).body,
+                         out);
+        return;
+      case Stmt::Kind::Empty:
+        return;
+    }
+}
+
+/** Signals assigned on every path (mirrors the linter's analysis). */
+std::set<std::string>
+mustAssign(const Stmt &stmt)
+{
+    switch (stmt.kind) {
+      case Stmt::Kind::Block: {
+        std::set<std::string> out;
+        for (const auto &s : static_cast<const BlockStmt &>(stmt).stmts) {
+            for (auto &name : mustAssign(*s))
+                out.insert(name);
+        }
+        return out;
+      }
+      case Stmt::Kind::If: {
+        const auto &i = static_cast<const IfStmt &>(stmt);
+        if (!i.else_stmt)
+            return {};
+        std::set<std::string> then_set = mustAssign(*i.then_stmt);
+        std::set<std::string> else_set = mustAssign(*i.else_stmt);
+        std::set<std::string> out;
+        for (const auto &name : then_set) {
+            if (else_set.count(name))
+                out.insert(name);
+        }
+        return out;
+      }
+      case Stmt::Kind::Case: {
+        const auto &c = static_cast<const CaseStmt &>(stmt);
+        if (!c.default_body || c.items.empty())
+            return {};
+        std::set<std::string> out = mustAssign(*c.default_body);
+        for (const auto &item : c.items) {
+            std::set<std::string> arm = mustAssign(*item.body);
+            std::set<std::string> merged;
+            for (const auto &name : out) {
+                if (arm.count(name))
+                    merged.insert(name);
+            }
+            out = std::move(merged);
+        }
+        return out;
+      }
+      case Stmt::Kind::Assign:
+        return {analysis::lhsBaseName(
+            *static_cast<const AssignStmt &>(stmt).lhs)};
+      default:
+        return {};
+    }
+}
+
+} // namespace
+
+PreprocessResult
+preprocess(const Module &buggy)
+{
+    PreprocessResult result;
+    result.module = buggy.clone();
+    Module &mod = *result.module;
+
+    analysis::SymbolTable table;
+    bool have_table = true;
+    try {
+        table = analysis::SymbolTable::build(mod);
+    } catch (const FatalError &) {
+        have_table = false;
+    }
+
+    for (auto &item : mod.items) {
+        if (item->kind != Item::Kind::Always)
+            continue;
+        auto &blk = static_cast<AlwaysBlock &>(*item);
+        ProcessInfo info = analysis::analyzeProcess(blk);
+        bool clocked = info.kind == ProcessInfo::Kind::Clocked;
+
+        // 1. Assignment kinds.
+        int flips = normalizeAssignKinds(*blk.body, !clocked);
+        if (flips > 0) {
+            result.changes += flips;
+            result.notes.push_back(format(
+                "normalized %d assignment(s) to %s style in process",
+                flips, clocked ? "non-blocking" : "blocking"));
+        }
+
+        // 2. Latch defaults for combinational processes.
+        if (clocked || !have_table)
+            continue;
+        StmtPtr unrolled = blk.body->clone();
+        try {
+            analysis::unrollFors(unrolled, table.params());
+        } catch (const FatalError &) {
+            continue;
+        }
+        std::set<std::string> must = mustAssign(*unrolled);
+        // Loop variables vanish during unrolling; derive the
+        // may-assign set from the unrolled body too.
+        std::set<std::string> may;
+        collectMayAssign(*unrolled, may);
+        std::vector<std::string> latchy;
+        for (const auto &name : may) {
+            if (!must.count(name))
+                latchy.push_back(name);
+        }
+        if (latchy.empty())
+            continue;
+
+        // Wrap the body in a block with zero defaults up front.
+        auto *wrapper = new BlockStmt({});
+        wrapper->id = mod.newNodeId();
+        wrapper->loc = blk.body->loc;
+        for (const auto &name : latchy) {
+            uint32_t width = 1;
+            if (table.isNet(name))
+                width = table.widthOf(name);
+            auto *lhs = new IdentExpr(name);
+            lhs->id = mod.newNodeId();
+            auto *rhs =
+                new LiteralExpr(bv::Value::zeros(width), true);
+            rhs->id = mod.newNodeId();
+            auto *assign =
+                new AssignStmt(ExprPtr(lhs), ExprPtr(rhs), true);
+            assign->id = mod.newNodeId();
+            wrapper->stmts.emplace_back(assign);
+            ++result.changes;
+            result.notes.push_back(
+                format("inserted zero default for latch signal '%s'",
+                       name.c_str()));
+        }
+        wrapper->stmts.push_back(std::move(blk.body));
+        blk.body.reset(wrapper);
+    }
+
+    return result;
+}
+
+} // namespace rtlrepair::templates

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Static-analysis preprocessing (paper §4.1).
+ *
+ * Two fix classes, mirroring how the paper drives Verilator-as-linter:
+ *  1. wrong assignment kinds: clocked processes are rewritten to use
+ *     non-blocking assignments, combinational processes to blocking;
+ *  2. inferred latches: a zero default assignment is inserted at the
+ *     start of the offending combinational process (zero is always
+ *     width-valid; the Replace Literals template can overwrite it).
+ *
+ * The number of changes is reported so Table 5's "Preprocessing"
+ * column can be regenerated, and so preprocessing-only repairs are
+ * recognized.
+ */
+#ifndef RTLREPAIR_TEMPLATES_PREPROCESS_HPP
+#define RTLREPAIR_TEMPLATES_PREPROCESS_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "verilog/ast.hpp"
+
+namespace rtlrepair::templates {
+
+/** Outcome of preprocessing. */
+struct PreprocessResult
+{
+    std::unique_ptr<verilog::Module> module;
+    int changes = 0;
+    std::vector<std::string> notes;
+};
+
+/** Run the preprocessing fixes on a clone of @p buggy. */
+PreprocessResult preprocess(const verilog::Module &buggy);
+
+} // namespace rtlrepair::templates
+
+#endif // RTLREPAIR_TEMPLATES_PREPROCESS_HPP

@@ -1,0 +1,157 @@
+#include "templates/replace_literals.hpp"
+
+#include "templates/ast_build.hpp"
+#include "util/strings.hpp"
+
+namespace rtlrepair::templates {
+
+using namespace verilog;
+
+namespace {
+
+/** Instruments literals in r-value positions. */
+class Instrumenter
+{
+  public:
+    Instrumenter(Module &mod, SynthVarTable &vars)
+        : _mod(mod), _vars(vars), _build(mod) {}
+
+    void
+    run()
+    {
+        for (auto &item : _mod.items) {
+            switch (item->kind) {
+              case Item::Kind::ContAssign:
+                instrumentExpr(static_cast<ContAssign &>(*item).rhs);
+                break;
+              case Item::Kind::Always:
+                instrumentStmt(
+                    static_cast<AlwaysBlock &>(*item).body);
+                break;
+              default:
+                break;
+            }
+        }
+    }
+
+  private:
+    void
+    instrumentStmt(StmtPtr &stmt)
+    {
+        switch (stmt->kind) {
+          case Stmt::Kind::Block:
+            for (auto &s : static_cast<BlockStmt &>(*stmt).stmts)
+                instrumentStmt(s);
+            return;
+          case Stmt::Kind::If: {
+            auto &i = static_cast<IfStmt &>(*stmt);
+            instrumentExpr(i.cond);
+            instrumentStmt(i.then_stmt);
+            if (i.else_stmt)
+                instrumentStmt(i.else_stmt);
+            return;
+          }
+          case Stmt::Kind::Case: {
+            auto &c = static_cast<CaseStmt &>(*stmt);
+            instrumentExpr(c.subject);
+            // Labels must stay constant (Fig. 6).
+            for (auto &item : c.items)
+                instrumentStmt(item.body);
+            if (c.default_body)
+                instrumentStmt(c.default_body);
+            return;
+          }
+          case Stmt::Kind::Assign: {
+            auto &a = static_cast<AssignStmt &>(*stmt);
+            instrumentExpr(a.rhs);
+            // LHS selects stay untouched to preserve
+            // synthesizability of the write port.
+            return;
+          }
+          case Stmt::Kind::For:
+            // Bounds must stay constant; body literals are fair game.
+            instrumentStmt(static_cast<ForStmt &>(*stmt).body);
+            return;
+          case Stmt::Kind::Empty:
+            return;
+        }
+    }
+
+    void
+    instrumentExpr(ExprPtr &expr)
+    {
+        switch (expr->kind) {
+          case Expr::Kind::Literal: {
+            const auto &lit = static_cast<const LiteralExpr &>(*expr);
+            uint32_t width = lit.value.width();
+            std::string phi = _vars.freshPhi(
+                expr->id, format("replace literal %s",
+                                 lit.value.toVerilogLiteral().c_str()));
+            std::string alpha = _vars.freshAlpha(
+                expr->id, width, "replacement constant");
+            ExprPtr original = std::move(expr);
+            expr = _build.ternary(_build.ident(phi),
+                                  _build.ident(alpha),
+                                  std::move(original));
+            return;
+          }
+          case Expr::Kind::Ident:
+            return;
+          case Expr::Kind::Unary:
+            instrumentExpr(static_cast<UnaryExpr &>(*expr).operand);
+            return;
+          case Expr::Kind::Binary: {
+            auto &b = static_cast<BinaryExpr &>(*expr);
+            instrumentExpr(b.lhs);
+            instrumentExpr(b.rhs);
+            return;
+          }
+          case Expr::Kind::Ternary: {
+            auto &t = static_cast<TernaryExpr &>(*expr);
+            instrumentExpr(t.cond);
+            instrumentExpr(t.then_expr);
+            instrumentExpr(t.else_expr);
+            return;
+          }
+          case Expr::Kind::Concat:
+            for (auto &p : static_cast<ConcatExpr &>(*expr).parts)
+                instrumentExpr(p);
+            return;
+          case Expr::Kind::Repl:
+            // Count must stay constant.
+            instrumentExpr(static_cast<ReplExpr &>(*expr).inner);
+            return;
+          case Expr::Kind::Index: {
+            auto &i = static_cast<IndexExpr &>(*expr);
+            instrumentExpr(i.base);
+            instrumentExpr(i.index);
+            return;
+          }
+          case Expr::Kind::RangeSelect:
+            // Bounds must stay constant.
+            instrumentExpr(
+                static_cast<RangeSelectExpr &>(*expr).base);
+            return;
+        }
+    }
+
+    Module &_mod;
+    SynthVarTable &_vars;
+    AstBuild _build;
+};
+
+} // namespace
+
+TemplateResult
+ReplaceLiteralsTemplate::apply(
+    const Module &buggy, const std::vector<const Module *> &library)
+{
+    (void)library;
+    TemplateResult result;
+    result.instrumented = buggy.clone();
+    Instrumenter inst(*result.instrumented, result.vars);
+    inst.run();
+    return result;
+}
+
+} // namespace rtlrepair::templates

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Replace Literals repair template (paper §4.2, Fig. 6).
+ *
+ * Every integer literal in an r-value position may be replaced by a
+ * freely chosen constant: literal L becomes `φᵢ ? αᵢ : L`.  Literals
+ * that must remain compile-time constants are excluded: declaration
+ * ranges, parameter values, case labels, replication counts,
+ * part-select bounds, and for-loop bounds.
+ */
+#ifndef RTLREPAIR_TEMPLATES_REPLACE_LITERALS_HPP
+#define RTLREPAIR_TEMPLATES_REPLACE_LITERALS_HPP
+
+#include "templates/synth_vars.hpp"
+
+namespace rtlrepair::templates {
+
+class ReplaceLiteralsTemplate : public RepairTemplate
+{
+  public:
+    std::string name() const override { return "replace-literals"; }
+    TemplateResult
+    apply(const verilog::Module &buggy,
+          const std::vector<const verilog::Module *> &library) override;
+};
+
+} // namespace rtlrepair::templates
+
+#endif // RTLREPAIR_TEMPLATES_REPLACE_LITERALS_HPP

@@ -1,0 +1,80 @@
+#include "templates/synth_vars.hpp"
+
+#include "templates/add_guard.hpp"
+#include "templates/conditional_overwrite.hpp"
+#include "templates/replace_literals.hpp"
+#include "util/strings.hpp"
+
+namespace rtlrepair::templates {
+
+std::string
+SynthVarTable::freshPhi(verilog::NodeId site, const std::string &note)
+{
+    std::string name = format("__synth_phi_%d", _next++);
+    _vars.push_back(SynthVar{name, 1, true, site, note});
+    return name;
+}
+
+std::string
+SynthVarTable::freshAlpha(verilog::NodeId site, uint32_t width,
+                          const std::string &note)
+{
+    std::string name = format("__synth_alpha_%d", _next++);
+    _vars.push_back(SynthVar{name, width, false, site, note});
+    return name;
+}
+
+std::vector<std::string>
+SynthVarTable::phiNames() const
+{
+    std::vector<std::string> out;
+    for (const auto &v : _vars) {
+        if (v.is_phi)
+            out.push_back(v.name);
+    }
+    return out;
+}
+
+std::vector<elaborate::SynthVarSpec>
+SynthVarTable::specs() const
+{
+    std::vector<elaborate::SynthVarSpec> out;
+    for (const auto &v : _vars)
+        out.push_back(elaborate::SynthVarSpec{v.name, v.width, v.is_phi});
+    return out;
+}
+
+int
+SynthAssignment::changeCount(const SynthVarTable &table) const
+{
+    int count = 0;
+    for (const auto &v : table.vars()) {
+        if (!v.is_phi)
+            continue;
+        auto it = values.find(v.name);
+        if (it != values.end() && it->second.isNonZero())
+            ++count;
+    }
+    return count;
+}
+
+SynthAssignment
+SynthAssignment::allOff(const SynthVarTable &table)
+{
+    SynthAssignment out;
+    for (const auto &v : table.vars())
+        out.values[v.name] = bv::Value::zeros(v.width);
+    return out;
+}
+
+std::vector<std::unique_ptr<RepairTemplate>>
+standardTemplates()
+{
+    std::vector<std::unique_ptr<RepairTemplate>> out;
+    out.push_back(std::make_unique<ReplaceLiteralsTemplate>());
+    out.push_back(std::make_unique<AddGuardTemplate>());
+    out.push_back(std::make_unique<ConditionalOverwriteTemplate>());
+    return out;
+}
+
+} // namespace rtlrepair::templates

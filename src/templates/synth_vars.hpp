@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Synthesis-variable bookkeeping shared by all repair templates.
+ *
+ * A template instruments the AST with references to fresh free
+ * variables: φᵢ (1-bit change indicators, each contributing one unit
+ * of repair cost) and αᵢ (free constants).  The table maps variable
+ * names to widths/kinds for the elaborator and records which AST site
+ * each variable belongs to for diagnostics.
+ */
+#ifndef RTLREPAIR_TEMPLATES_SYNTH_VARS_HPP
+#define RTLREPAIR_TEMPLATES_SYNTH_VARS_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bv/value.hpp"
+#include "elaborate/elaborate.hpp"
+#include "verilog/ast.hpp"
+
+namespace rtlrepair::templates {
+
+/** One synthesis variable. */
+struct SynthVar
+{
+    std::string name;
+    uint32_t width = 1;
+    bool is_phi = false;
+    verilog::NodeId site = verilog::kInvalidNode;
+    std::string note;
+};
+
+/** Collection of synthesis variables created by a template. */
+class SynthVarTable
+{
+  public:
+    /** Create a fresh φ variable (cost 1 when assigned true). */
+    std::string freshPhi(verilog::NodeId site, const std::string &note);
+
+    /** Create a fresh α constant of @p width bits. */
+    std::string freshAlpha(verilog::NodeId site, uint32_t width,
+                           const std::string &note);
+
+    const std::vector<SynthVar> &vars() const { return _vars; }
+    bool empty() const { return _vars.empty(); }
+
+    /** Names of all φ variables, in creation order. */
+    std::vector<std::string> phiNames() const;
+
+    /** Specs to hand to the elaborator. */
+    std::vector<elaborate::SynthVarSpec> specs() const;
+
+  private:
+    std::vector<SynthVar> _vars;
+    int _next = 0;
+};
+
+/** A model: concrete values for every synthesis variable. */
+struct SynthAssignment
+{
+    std::map<std::string, bv::Value> values;
+
+    /** Number of φ variables set to one. */
+    int changeCount(const SynthVarTable &table) const;
+
+    /** All-φ-zero assignment (the unmodified circuit). */
+    static SynthAssignment allOff(const SynthVarTable &table);
+
+    bool operator==(const SynthAssignment &other) const
+    {
+        return values == other.values;
+    }
+};
+
+/** Result of applying a repair template. */
+struct TemplateResult
+{
+    std::unique_ptr<verilog::Module> instrumented;
+    SynthVarTable vars;
+};
+
+/** Interface implemented by each repair template. */
+class RepairTemplate
+{
+  public:
+    virtual ~RepairTemplate() = default;
+    virtual std::string name() const = 0;
+    /**
+     * Instrument a clone of @p buggy.  @p library provides submodule
+     * definitions for analyses that need them.
+     */
+    virtual TemplateResult
+    apply(const verilog::Module &buggy,
+          const std::vector<const verilog::Module *> &library) = 0;
+};
+
+/** The paper's three templates, in the order the tool tries them. */
+std::vector<std::unique_ptr<RepairTemplate>> standardTemplates();
+
+} // namespace rtlrepair::templates
+
+#endif // RTLREPAIR_TEMPLATES_SYNTH_VARS_HPP

@@ -1,0 +1,204 @@
+#include "trace/io_trace.hpp"
+
+#include <sstream>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace rtlrepair::trace {
+
+using bv::Value;
+
+namespace {
+
+int
+findColumn(const std::vector<Column> &cols, const std::string &name)
+{
+    for (size_t i = 0; i < cols.size(); ++i) {
+        if (cols[i].name == name)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+} // namespace
+
+int
+InputSequence::columnIndex(const std::string &name) const
+{
+    return findColumn(inputs, name);
+}
+
+int
+IoTrace::inputIndex(const std::string &name) const
+{
+    return findColumn(inputs, name);
+}
+
+int
+IoTrace::outputIndex(const std::string &name) const
+{
+    return findColumn(outputs, name);
+}
+
+InputSequence
+IoTrace::stimulus() const
+{
+    InputSequence seq;
+    seq.inputs = inputs;
+    seq.rows = input_rows;
+    return seq;
+}
+
+std::string
+IoTrace::toCsv() const
+{
+    std::ostringstream out;
+    bool first = true;
+    for (const auto &col : inputs) {
+        if (!first)
+            out << ",";
+        out << "in:" << col.name;
+        first = false;
+    }
+    for (const auto &col : outputs) {
+        if (!first)
+            out << ",";
+        out << "out:" << col.name;
+        first = false;
+    }
+    out << "\n";
+    for (size_t row = 0; row < length(); ++row) {
+        first = true;
+        for (const auto &v : input_rows[row]) {
+            if (!first)
+                out << ",";
+            out << "b" << v.toBinaryString();
+            first = false;
+        }
+        for (const auto &v : output_rows[row]) {
+            if (!first)
+                out << ",";
+            out << "b" << v.toBinaryString();
+            first = false;
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+IoTrace
+IoTrace::fromCsv(const std::string &text)
+{
+    IoTrace trace;
+    std::vector<std::string> lines = split(text, '\n');
+    if (lines.empty())
+        fatal("empty trace CSV");
+
+    std::vector<bool> is_input;
+    for (const auto &cell : split(lines[0], ',')) {
+        std::string_view name = trim(cell);
+        if (startsWith(name, "in:")) {
+            trace.inputs.push_back(
+                Column{std::string(name.substr(3)), 1});
+            is_input.push_back(true);
+        } else if (startsWith(name, "out:")) {
+            trace.outputs.push_back(
+                Column{std::string(name.substr(4)), 1});
+            is_input.push_back(false);
+        } else {
+            fatal("trace column must be prefixed in:/out:: " +
+                  std::string(name));
+        }
+    }
+
+    for (size_t li = 1; li < lines.size(); ++li) {
+        if (trim(lines[li]).empty())
+            continue;
+        std::vector<std::string> cells = split(lines[li], ',');
+        if (cells.size() != is_input.size())
+            fatal(format("trace row %zu has %zu cells, expected %zu",
+                         li, cells.size(), is_input.size()));
+        std::vector<Value> in_row, out_row;
+        for (size_t ci = 0; ci < cells.size(); ++ci) {
+            std::string cell(trim(cells[ci]));
+            Value v;
+            if (!cell.empty() && (cell[0] == 'b' || cell[0] == 'B')) {
+                std::string bits = cell.substr(1);
+                v = Value::parseVerilog(
+                    format("%zu'b%s", bits.size(), bits.c_str()));
+            } else if (cell == "x" || cell == "X" || cell == "-") {
+                v = Value::allX(1);
+            } else {
+                v = Value::parseVerilog(cell);
+            }
+            if (is_input[ci])
+                in_row.push_back(std::move(v));
+            else
+                out_row.push_back(std::move(v));
+        }
+        trace.input_rows.push_back(std::move(in_row));
+        trace.output_rows.push_back(std::move(out_row));
+    }
+
+    // Infer column widths from the first row.
+    if (!trace.input_rows.empty()) {
+        for (size_t i = 0; i < trace.inputs.size(); ++i)
+            trace.inputs[i].width = trace.input_rows[0][i].width();
+        for (size_t i = 0; i < trace.outputs.size(); ++i)
+            trace.outputs[i].width = trace.output_rows[0][i].width();
+    }
+    return trace;
+}
+
+StimulusBuilder::StimulusBuilder(std::vector<Column> inputs)
+{
+    _seq.inputs = std::move(inputs);
+    for (const auto &col : _seq.inputs)
+        _pending.push_back(Value::allX(col.width));
+}
+
+StimulusBuilder &
+StimulusBuilder::set(const std::string &name, uint64_t value)
+{
+    int idx = _seq.columnIndex(name);
+    check(idx >= 0, "unknown stimulus input: " + name);
+    _pending[idx] = Value::fromUint(_seq.inputs[idx].width, value);
+    return *this;
+}
+
+StimulusBuilder &
+StimulusBuilder::setValue(const std::string &name, const Value &value)
+{
+    int idx = _seq.columnIndex(name);
+    check(idx >= 0, "unknown stimulus input: " + name);
+    check(value.width() == _seq.inputs[idx].width,
+          "stimulus width mismatch for " + name);
+    _pending[idx] = value;
+    return *this;
+}
+
+StimulusBuilder &
+StimulusBuilder::unset(const std::string &name)
+{
+    int idx = _seq.columnIndex(name);
+    check(idx >= 0, "unknown stimulus input: " + name);
+    _pending[idx] = Value::allX(_seq.inputs[idx].width);
+    return *this;
+}
+
+StimulusBuilder &
+StimulusBuilder::step(size_t repeat)
+{
+    for (size_t i = 0; i < repeat; ++i)
+        _seq.rows.push_back(_pending);
+    return *this;
+}
+
+InputSequence
+StimulusBuilder::finish()
+{
+    return std::move(_seq);
+}
+
+} // namespace rtlrepair::trace

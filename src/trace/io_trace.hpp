@@ -1,0 +1,87 @@
+/**
+ * @file
+ * I/O traces — the testbench format RTL-Repair consumes (paper §3).
+ *
+ * An IoTrace is a table with one row per clock cycle and one column
+ * per input and expected output.  An X bit means:
+ *  - for inputs: the testbench did not constrain this value,
+ *  - for outputs: the value is not checked at this cycle.
+ */
+#ifndef RTLREPAIR_TRACE_IO_TRACE_HPP
+#define RTLREPAIR_TRACE_IO_TRACE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bv/value.hpp"
+
+namespace rtlrepair::trace {
+
+/** Column description. */
+struct Column
+{
+    std::string name;
+    uint32_t width = 1;
+};
+
+/** Input-only stimulus: what the testbench drives. */
+struct InputSequence
+{
+    std::vector<Column> inputs;
+    /** rows[cycle][input]; X bits are unconstrained. */
+    std::vector<std::vector<bv::Value>> rows;
+
+    size_t length() const { return rows.size(); }
+    int columnIndex(const std::string &name) const;
+};
+
+/** Full I/O trace: stimulus plus expected outputs. */
+struct IoTrace
+{
+    std::vector<Column> inputs;
+    std::vector<Column> outputs;
+    std::vector<std::vector<bv::Value>> input_rows;
+    std::vector<std::vector<bv::Value>> output_rows;
+
+    size_t length() const { return input_rows.size(); }
+    int inputIndex(const std::string &name) const;
+    int outputIndex(const std::string &name) const;
+
+    /** The stimulus part of this trace. */
+    InputSequence stimulus() const;
+
+    /** Serialize to CSV (`in:name` / `out:name` header). */
+    std::string toCsv() const;
+    /** Parse the CSV form; throws FatalError on malformed input. */
+    static IoTrace fromCsv(const std::string &text);
+};
+
+/**
+ * Convenient incremental construction of an input sequence.  Values
+ * not set in a row default to the previous row's value (X on row 0).
+ */
+class StimulusBuilder
+{
+  public:
+    explicit StimulusBuilder(std::vector<Column> inputs);
+
+    /** Set a named input for the pending row. */
+    StimulusBuilder &set(const std::string &name, uint64_t value);
+    StimulusBuilder &setValue(const std::string &name,
+                              const bv::Value &value);
+    /** Leave a named input unconstrained (X) in the pending row. */
+    StimulusBuilder &unset(const std::string &name);
+    /** Commit the pending row @p repeat times. */
+    StimulusBuilder &step(size_t repeat = 1);
+
+    InputSequence finish();
+
+  private:
+    InputSequence _seq;
+    std::vector<bv::Value> _pending;
+};
+
+} // namespace rtlrepair::trace
+
+#endif // RTLREPAIR_TRACE_IO_TRACE_HPP

@@ -1,0 +1,41 @@
+#include "trace/stimulus.hpp"
+
+#include "util/logging.hpp"
+
+namespace rtlrepair::trace {
+
+using bv::Value;
+
+void
+randomRows(StimulusBuilder &builder,
+           const std::vector<std::string> &names, size_t cycles,
+           Rng &rng)
+{
+    // Widths are validated inside setValue; look them up via a dry
+    // build of one row at a time.
+    for (size_t c = 0; c < cycles; ++c) {
+        for (const auto &name : names) {
+            // Width is unknown here; rely on 64-bit random and let
+            // setValue's width check guide usage: fetch via finish()
+            // would consume the builder, so widths must be <= 64.
+            builder.set(name, rng.next());
+        }
+        builder.step();
+    }
+}
+
+void
+exhaustiveSweep(StimulusBuilder &builder,
+                const std::vector<std::string> &names)
+{
+    check(names.size() <= 16, "sweep over too many inputs");
+    // All swept inputs are treated as 1-bit unless set() truncates.
+    size_t total = names.size();
+    for (uint64_t v = 0; v < (1ull << total); ++v) {
+        for (size_t i = 0; i < names.size(); ++i)
+            builder.set(names[i], (v >> i) & 1u);
+        builder.step();
+    }
+}
+
+} // namespace rtlrepair::trace

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Reusable stimulus generators for benchmark testbenches: reset
+ * pulses, random vectors, and exhaustive sweeps.
+ */
+#ifndef RTLREPAIR_TRACE_STIMULUS_HPP
+#define RTLREPAIR_TRACE_STIMULUS_HPP
+
+#include "trace/io_trace.hpp"
+#include "util/rng.hpp"
+
+namespace rtlrepair::trace {
+
+/**
+ * Append @p cycles rows of uniformly random values for the listed
+ * inputs (others keep their pending value).
+ */
+void randomRows(StimulusBuilder &builder,
+                const std::vector<std::string> &names, size_t cycles,
+                Rng &rng);
+
+/**
+ * Append one row per value in [0, 2^total_width) distributing the
+ * counter bits across @p names (LSB-first), i.e. an exhaustive sweep.
+ */
+void exhaustiveSweep(StimulusBuilder &builder,
+                     const std::vector<std::string> &names);
+
+} // namespace rtlrepair::trace
+
+#endif // RTLREPAIR_TRACE_STIMULUS_HPP

@@ -1,0 +1,55 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace rtlrepair {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info:  return "info";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(g_level))
+        return;
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError(msg);
+}
+
+} // namespace rtlrepair

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Lightweight logging and error-reporting helpers.
+ *
+ * Modeled on the gem5 split between @c panic (internal invariant
+ * violations) and @c fatal (user-facing errors such as malformed input
+ * Verilog); both throw typed exceptions so library users can recover.
+ */
+#ifndef RTLREPAIR_UTIL_LOGGING_HPP
+#define RTLREPAIR_UTIL_LOGGING_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rtlrepair {
+
+/** Error caused by invalid user input (unparseable Verilog, bad trace…). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Error caused by an internal invariant violation (a tool bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Severity for diagnostic messages. */
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/** Global minimum level below which log messages are dropped. */
+LogLevel logLevel();
+
+/** Set the global minimum log level. */
+void setLogLevel(LogLevel level);
+
+/** Emit a diagnostic line to stderr if @p level passes the filter. */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Throw a FatalError with the given message. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Throw a PanicError with the given message. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Panic unless @p cond holds. */
+inline void
+check(bool cond, const std::string &msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
+} // namespace rtlrepair
+
+#endif // RTLREPAIR_UTIL_LOGGING_HPP

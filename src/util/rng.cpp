@@ -1,0 +1,67 @@
+#include "util/rng.hpp"
+
+namespace rtlrepair {
+
+namespace {
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+} // namespace
+
+void
+Rng::reseed(uint64_t seed)
+{
+    for (auto &word : _s)
+        word = splitmix64(seed);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(_s[1] * 5, 7) * 9;
+    const uint64_t t = _s[1] << 17;
+    _s[2] ^= _s[0];
+    _s[3] ^= _s[1];
+    _s[1] ^= _s[2];
+    _s[0] ^= _s[3];
+    _s[2] ^= t;
+    _s[3] = rotl(_s[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -bound % bound;
+    while (true) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return static_cast<double>(next() >> 11) *
+               (1.0 / 9007199254740992.0) < p;
+}
+
+} // namespace rtlrepair

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * All randomized components (X-value randomization per paper §4.3,
+ * stimulus generation, the genetic baseline) draw from an explicitly
+ * seeded Rng so that every experiment in this repository is exactly
+ * reproducible.
+ */
+#ifndef RTLREPAIR_UTIL_RNG_HPP
+#define RTLREPAIR_UTIL_RNG_HPP
+
+#include <cstdint>
+
+namespace rtlrepair {
+
+/** xoshiro256** PRNG; small, fast, and good enough for simulation. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x243f6a8885a308d3ull) { reseed(seed); }
+
+    /** Re-initialize the state from @p seed via splitmix64. */
+    void reseed(uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform value in [0, bound). @p bound must be non-zero. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform boolean with probability @p p of being true. */
+    bool chance(double p);
+
+  private:
+    uint64_t _s[4];
+};
+
+} // namespace rtlrepair
+
+#endif // RTLREPAIR_UTIL_RNG_HPP

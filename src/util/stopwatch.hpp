@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Wall-clock stopwatch used to enforce repair timeouts (§6.3 of the
+ * paper uses 60 s for RTL-Repair and 16 h for CirFix).
+ */
+#ifndef RTLREPAIR_UTIL_STOPWATCH_HPP
+#define RTLREPAIR_UTIL_STOPWATCH_HPP
+
+#include <chrono>
+
+namespace rtlrepair {
+
+/** Monotonic stopwatch with second-granularity helpers. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : _start(Clock::now()) {}
+
+    /** Restart timing from now. */
+    void reset() { _start = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - _start).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point _start;
+};
+
+/** Budget that components poll to honour a global timeout. */
+class Deadline
+{
+  public:
+    /** A deadline @p seconds from now; non-positive means unlimited. */
+    explicit Deadline(double seconds = 0.0) : _limit(seconds) {}
+
+    /** True once the budget has been used up. */
+    bool
+    expired() const
+    {
+        return _limit > 0.0 && _watch.seconds() >= _limit;
+    }
+
+    /** Seconds remaining (unlimited deadlines report a large value). */
+    double
+    remaining() const
+    {
+        if (_limit <= 0.0)
+            return 1e18;
+        double left = _limit - _watch.seconds();
+        return left > 0.0 ? left : 0.0;
+    }
+
+    double elapsed() const { return _watch.seconds(); }
+
+  private:
+    Stopwatch _watch;
+    double _limit;
+};
+
+} // namespace rtlrepair
+
+#endif // RTLREPAIR_UTIL_STOPWATCH_HPP

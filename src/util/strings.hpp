@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Small string helpers shared across the tool.
+ */
+#ifndef RTLREPAIR_UTIL_STRINGS_HPP
+#define RTLREPAIR_UTIL_STRINGS_HPP
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtlrepair {
+
+/** Split @p text on @p sep, keeping empty fields. */
+std::vector<std::string> split(std::string_view text, char sep);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string_view trim(std::string_view text);
+
+/** True if @p text starts with @p prefix. */
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/** Join @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 std::string_view sep);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace rtlrepair
+
+#endif // RTLREPAIR_UTIL_STRINGS_HPP

@@ -1,0 +1,316 @@
+#include "verilog/ast.hpp"
+
+#include "util/logging.hpp"
+
+namespace rtlrepair::verilog {
+
+namespace {
+
+/** Copy the base-class fields shared by all node categories. */
+template <typename T>
+T *
+withMeta(T *node, const Expr &src)
+{
+    node->id = src.id;
+    node->loc = src.loc;
+    return node;
+}
+
+template <typename T>
+T *
+withMeta(T *node, const Stmt &src)
+{
+    node->id = src.id;
+    node->loc = src.loc;
+    return node;
+}
+
+template <typename T>
+T *
+withMeta(T *node, const Item &src)
+{
+    node->id = src.id;
+    node->loc = src.loc;
+    return node;
+}
+
+ExprPtr
+cloneOrNull(const ExprPtr &e)
+{
+    return e ? e->clone() : nullptr;
+}
+
+StmtPtr
+cloneOrNull(const StmtPtr &s)
+{
+    return s ? s->clone() : nullptr;
+}
+
+} // namespace
+
+ExprPtr
+IdentExpr::clone() const
+{
+    return ExprPtr(withMeta(new IdentExpr(name), *this));
+}
+
+ExprPtr
+LiteralExpr::clone() const
+{
+    return ExprPtr(withMeta(new LiteralExpr(value, is_sized), *this));
+}
+
+ExprPtr
+UnaryExpr::clone() const
+{
+    return ExprPtr(withMeta(new UnaryExpr(op, operand->clone()), *this));
+}
+
+ExprPtr
+BinaryExpr::clone() const
+{
+    return ExprPtr(
+        withMeta(new BinaryExpr(op, lhs->clone(), rhs->clone()), *this));
+}
+
+ExprPtr
+TernaryExpr::clone() const
+{
+    return ExprPtr(withMeta(
+        new TernaryExpr(cond->clone(), then_expr->clone(),
+                        else_expr->clone()),
+        *this));
+}
+
+ExprPtr
+ConcatExpr::clone() const
+{
+    std::vector<ExprPtr> copy;
+    copy.reserve(parts.size());
+    for (const auto &p : parts)
+        copy.push_back(p->clone());
+    return ExprPtr(withMeta(new ConcatExpr(std::move(copy)), *this));
+}
+
+ExprPtr
+ReplExpr::clone() const
+{
+    return ExprPtr(
+        withMeta(new ReplExpr(count->clone(), inner->clone()), *this));
+}
+
+ExprPtr
+IndexExpr::clone() const
+{
+    return ExprPtr(
+        withMeta(new IndexExpr(base->clone(), index->clone()), *this));
+}
+
+ExprPtr
+RangeSelectExpr::clone() const
+{
+    return ExprPtr(withMeta(
+        new RangeSelectExpr(base->clone(), msb->clone(), lsb->clone()),
+        *this));
+}
+
+StmtPtr
+BlockStmt::clone() const
+{
+    std::vector<StmtPtr> copy;
+    copy.reserve(stmts.size());
+    for (const auto &s : stmts)
+        copy.push_back(s->clone());
+    auto *node = withMeta(new BlockStmt(std::move(copy)), *this);
+    node->label = label;
+    return StmtPtr(node);
+}
+
+StmtPtr
+IfStmt::clone() const
+{
+    return StmtPtr(withMeta(
+        new IfStmt(cond->clone(), then_stmt->clone(),
+                   cloneOrNull(else_stmt)),
+        *this));
+}
+
+StmtPtr
+CaseStmt::clone() const
+{
+    std::vector<CaseItem> copy;
+    copy.reserve(items.size());
+    for (const auto &item : items) {
+        CaseItem ci;
+        for (const auto &label : item.labels)
+            ci.labels.push_back(label->clone());
+        ci.body = cloneOrNull(item.body);
+        copy.push_back(std::move(ci));
+    }
+    return StmtPtr(withMeta(
+        new CaseStmt(subject->clone(), std::move(copy),
+                     cloneOrNull(default_body), mode),
+        *this));
+}
+
+StmtPtr
+AssignStmt::clone() const
+{
+    auto *node =
+        withMeta(new AssignStmt(lhs->clone(), rhs->clone(), blocking),
+                 *this);
+    node->has_delay = has_delay;
+    return StmtPtr(node);
+}
+
+StmtPtr
+ForStmt::clone() const
+{
+    return StmtPtr(withMeta(
+        new ForStmt(init->clone(), cond->clone(), step->clone(),
+                    body->clone()),
+        *this));
+}
+
+StmtPtr
+EmptyStmt::clone() const
+{
+    return StmtPtr(withMeta(new EmptyStmt(), *this));
+}
+
+ItemPtr
+NetDecl::clone() const
+{
+    auto *node = withMeta(new NetDecl(), *this);
+    node->name = name;
+    node->net = net;
+    node->is_signed = is_signed;
+    node->dir = dir;
+    node->msb = cloneOrNull(msb);
+    node->lsb = cloneOrNull(lsb);
+    return ItemPtr(node);
+}
+
+ItemPtr
+ParamDecl::clone() const
+{
+    auto *node = withMeta(new ParamDecl(), *this);
+    node->name = name;
+    node->value = value->clone();
+    node->is_local = is_local;
+    return ItemPtr(node);
+}
+
+ItemPtr
+ContAssign::clone() const
+{
+    auto *node = withMeta(new ContAssign(), *this);
+    node->lhs = lhs->clone();
+    node->rhs = rhs->clone();
+    return ItemPtr(node);
+}
+
+ItemPtr
+AlwaysBlock::clone() const
+{
+    auto *node = withMeta(new AlwaysBlock(), *this);
+    node->sensitivity = sensitivity;
+    node->body = body->clone();
+    return ItemPtr(node);
+}
+
+ItemPtr
+InitialBlock::clone() const
+{
+    auto *node = withMeta(new InitialBlock(), *this);
+    node->body = body->clone();
+    return ItemPtr(node);
+}
+
+ItemPtr
+Instance::clone() const
+{
+    auto *node = withMeta(new Instance(), *this);
+    node->module_name = module_name;
+    node->instance_name = instance_name;
+    for (const auto &c : params)
+        node->params.push_back(Connection{c.port, cloneOrNull(c.expr)});
+    for (const auto &c : ports)
+        node->ports.push_back(Connection{c.port, cloneOrNull(c.expr)});
+    return ItemPtr(node);
+}
+
+std::unique_ptr<Module>
+Module::clone() const
+{
+    auto copy = std::make_unique<Module>();
+    copy->name = name;
+    copy->ports = ports;
+    copy->next_node_id = next_node_id;
+    copy->items.reserve(items.size());
+    for (const auto &item : items)
+        copy->items.push_back(item->clone());
+    return copy;
+}
+
+const NetDecl *
+Module::findNet(const std::string &net_name) const
+{
+    for (const auto &item : items) {
+        if (item->kind != Item::Kind::Net)
+            continue;
+        const auto *decl = static_cast<const NetDecl *>(item.get());
+        if (decl->name == net_name)
+            return decl;
+    }
+    return nullptr;
+}
+
+NetDecl *
+Module::findNet(const std::string &net_name)
+{
+    return const_cast<NetDecl *>(
+        static_cast<const Module *>(this)->findNet(net_name));
+}
+
+const ParamDecl *
+Module::findParam(const std::string &param_name) const
+{
+    for (const auto &item : items) {
+        if (item->kind != Item::Kind::Param)
+            continue;
+        const auto *decl = static_cast<const ParamDecl *>(item.get());
+        if (decl->name == param_name)
+            return decl;
+    }
+    return nullptr;
+}
+
+PortDir
+Module::portDir(const std::string &port_name) const
+{
+    for (const auto &port : ports) {
+        if (port.name == port_name)
+            return port.dir;
+    }
+    return PortDir::Unknown;
+}
+
+Module &
+SourceFile::top() const
+{
+    check(!modules.empty(), "source file has no modules");
+    return *modules.front();
+}
+
+Module *
+SourceFile::find(const std::string &name) const
+{
+    for (const auto &m : modules) {
+        if (m->name == name)
+            return m.get();
+    }
+    return nullptr;
+}
+
+} // namespace rtlrepair::verilog

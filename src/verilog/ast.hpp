@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Abstract syntax tree for the synthesizable Verilog subset.
+ *
+ * Every node carries a NodeId that is unique within its module and is
+ * preserved by clone().  Repair templates key their bookkeeping (which
+ * φ/α synthesis variable belongs to which change site) off these ids,
+ * and the patcher uses them to map solver results back to source.
+ */
+#ifndef RTLREPAIR_VERILOG_AST_HPP
+#define RTLREPAIR_VERILOG_AST_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bv/value.hpp"
+#include "verilog/token.hpp"
+
+namespace rtlrepair::verilog {
+
+using NodeId = uint32_t;
+constexpr NodeId kInvalidNode = 0;
+
+// ---------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------
+
+enum class UnaryOp
+{
+    BitNot,     ///< ~a
+    LogicNot,   ///< !a
+    Minus,      ///< -a
+    Plus,       ///< +a
+    RedAnd,     ///< &a
+    RedOr,      ///< |a
+    RedXor,     ///< ^a
+    RedNand,    ///< ~&a
+    RedNor,     ///< ~|a
+    RedXnor,    ///< ~^a
+};
+
+enum class BinaryOp
+{
+    Add, Sub, Mul, Div, Mod,
+    BitAnd, BitOr, BitXor, BitXnor,
+    LogicAnd, LogicOr,
+    Shl, Shr, AShr,
+    Lt, Le, Gt, Ge,
+    Eq, Ne, CaseEq, CaseNe,
+};
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** Base class for all expressions. */
+class Expr
+{
+  public:
+    enum class Kind
+    {
+        Ident, Literal, Unary, Binary, Ternary,
+        Concat, Repl, Index, RangeSelect,
+    };
+
+    virtual ~Expr() = default;
+    virtual ExprPtr clone() const = 0;
+
+    Kind kind;
+    NodeId id = kInvalidNode;
+    SourceLoc loc;
+
+  protected:
+    explicit Expr(Kind k) : kind(k) {}
+};
+
+/** Signal, parameter, or genvar reference. */
+class IdentExpr : public Expr
+{
+  public:
+    explicit IdentExpr(std::string n)
+        : Expr(Kind::Ident), name(std::move(n)) {}
+    ExprPtr clone() const override;
+
+    std::string name;
+};
+
+/** Integer literal; @c value holds the parsed 4-state bits. */
+class LiteralExpr : public Expr
+{
+  public:
+    LiteralExpr(bv::Value v, bool sized)
+        : Expr(Kind::Literal), value(std::move(v)), is_sized(sized) {}
+    ExprPtr clone() const override;
+
+    bv::Value value;
+    bool is_sized;  ///< carried an explicit width prefix
+};
+
+class UnaryExpr : public Expr
+{
+  public:
+    UnaryExpr(UnaryOp o, ExprPtr e)
+        : Expr(Kind::Unary), op(o), operand(std::move(e)) {}
+    ExprPtr clone() const override;
+
+    UnaryOp op;
+    ExprPtr operand;
+};
+
+class BinaryExpr : public Expr
+{
+  public:
+    BinaryExpr(BinaryOp o, ExprPtr l, ExprPtr r)
+        : Expr(Kind::Binary), op(o), lhs(std::move(l)), rhs(std::move(r)) {}
+    ExprPtr clone() const override;
+
+    BinaryOp op;
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+class TernaryExpr : public Expr
+{
+  public:
+    TernaryExpr(ExprPtr c, ExprPtr t, ExprPtr e)
+        : Expr(Kind::Ternary), cond(std::move(c)), then_expr(std::move(t)),
+          else_expr(std::move(e)) {}
+    ExprPtr clone() const override;
+
+    ExprPtr cond;
+    ExprPtr then_expr;
+    ExprPtr else_expr;
+};
+
+/** {a, b, c} — parts[0] is the most significant. */
+class ConcatExpr : public Expr
+{
+  public:
+    explicit ConcatExpr(std::vector<ExprPtr> p)
+        : Expr(Kind::Concat), parts(std::move(p)) {}
+    ExprPtr clone() const override;
+
+    std::vector<ExprPtr> parts;
+};
+
+/** {n{inner}} — @c count must be constant. */
+class ReplExpr : public Expr
+{
+  public:
+    ReplExpr(ExprPtr c, ExprPtr i)
+        : Expr(Kind::Repl), count(std::move(c)), inner(std::move(i)) {}
+    ExprPtr clone() const override;
+
+    ExprPtr count;
+    ExprPtr inner;
+};
+
+/** base[index] — single-bit (or memory word) select. */
+class IndexExpr : public Expr
+{
+  public:
+    IndexExpr(ExprPtr b, ExprPtr i)
+        : Expr(Kind::Index), base(std::move(b)), index(std::move(i)) {}
+    ExprPtr clone() const override;
+
+    ExprPtr base;
+    ExprPtr index;
+};
+
+/** base[msb:lsb] — constant part select. */
+class RangeSelectExpr : public Expr
+{
+  public:
+    RangeSelectExpr(ExprPtr b, ExprPtr m, ExprPtr l)
+        : Expr(Kind::RangeSelect), base(std::move(b)), msb(std::move(m)),
+          lsb(std::move(l)) {}
+    ExprPtr clone() const override;
+
+    ExprPtr base;
+    ExprPtr msb;
+    ExprPtr lsb;
+};
+
+// ---------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------
+
+class Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+class Stmt
+{
+  public:
+    enum class Kind { Block, If, Case, Assign, For, Empty };
+
+    virtual ~Stmt() = default;
+    virtual StmtPtr clone() const = 0;
+
+    Kind kind;
+    NodeId id = kInvalidNode;
+    SourceLoc loc;
+
+  protected:
+    explicit Stmt(Kind k) : kind(k) {}
+};
+
+class BlockStmt : public Stmt
+{
+  public:
+    explicit BlockStmt(std::vector<StmtPtr> s)
+        : Stmt(Kind::Block), stmts(std::move(s)) {}
+    StmtPtr clone() const override;
+
+    std::vector<StmtPtr> stmts;
+    std::string label;  ///< optional `begin : label`
+};
+
+class IfStmt : public Stmt
+{
+  public:
+    IfStmt(ExprPtr c, StmtPtr t, StmtPtr e)
+        : Stmt(Kind::If), cond(std::move(c)), then_stmt(std::move(t)),
+          else_stmt(std::move(e)) {}
+    StmtPtr clone() const override;
+
+    ExprPtr cond;
+    StmtPtr then_stmt;
+    StmtPtr else_stmt;  ///< may be null
+};
+
+/** One `label[, label]: stmt` arm of a case statement. */
+struct CaseItem
+{
+    std::vector<ExprPtr> labels;
+    StmtPtr body;
+};
+
+class CaseStmt : public Stmt
+{
+  public:
+    enum class Mode { Plain, CaseZ, CaseX };
+
+    CaseStmt(ExprPtr s, std::vector<CaseItem> i, StmtPtr d, Mode m)
+        : Stmt(Kind::Case), subject(std::move(s)), items(std::move(i)),
+          default_body(std::move(d)), mode(m) {}
+    StmtPtr clone() const override;
+
+    ExprPtr subject;
+    std::vector<CaseItem> items;
+    StmtPtr default_body;  ///< may be null
+    Mode mode;
+};
+
+/** Procedural assignment; @c blocking selects `=` vs `<=`. */
+class AssignStmt : public Stmt
+{
+  public:
+    AssignStmt(ExprPtr l, ExprPtr r, bool b)
+        : Stmt(Kind::Assign), lhs(std::move(l)), rhs(std::move(r)),
+          blocking(b) {}
+    StmtPtr clone() const override;
+
+    ExprPtr lhs;    ///< Ident, Index, RangeSelect, or Concat of those
+    ExprPtr rhs;
+    bool blocking;
+    bool has_delay = false;  ///< `#n` prefix present (ignored semantically)
+};
+
+/** for (init; cond; step) body — unrolled during elaboration. */
+class ForStmt : public Stmt
+{
+  public:
+    ForStmt(StmtPtr i, ExprPtr c, StmtPtr s, StmtPtr b)
+        : Stmt(Kind::For), init(std::move(i)), cond(std::move(c)),
+          step(std::move(s)), body(std::move(b)) {}
+    StmtPtr clone() const override;
+
+    StmtPtr init;  ///< AssignStmt
+    ExprPtr cond;
+    StmtPtr step;  ///< AssignStmt
+    StmtPtr body;
+};
+
+class EmptyStmt : public Stmt
+{
+  public:
+    EmptyStmt() : Stmt(Kind::Empty) {}
+    StmtPtr clone() const override;
+};
+
+// ---------------------------------------------------------------------
+// Module items
+// ---------------------------------------------------------------------
+
+enum class PortDir { Input, Output, Inout, Unknown };
+
+/** An entry of the module port list. */
+struct Port
+{
+    std::string name;
+    PortDir dir = PortDir::Unknown;
+};
+
+class Item;
+using ItemPtr = std::unique_ptr<Item>;
+
+class Item
+{
+  public:
+    enum class Kind { Net, Param, ContAssign, Always, Initial, Instance };
+
+    virtual ~Item() = default;
+    virtual ItemPtr clone() const = 0;
+
+    Kind kind;
+    NodeId id = kInvalidNode;
+    SourceLoc loc;
+
+  protected:
+    explicit Item(Kind k) : kind(k) {}
+};
+
+enum class NetKind { Wire, Reg, Integer };
+
+/** Declaration of a single net/variable (comma lists are split). */
+class NetDecl : public Item
+{
+  public:
+    NetDecl() : Item(Kind::Net) {}
+    ItemPtr clone() const override;
+
+    std::string name;
+    NetKind net = NetKind::Wire;
+    bool is_signed = false;
+    PortDir dir = PortDir::Unknown;  ///< set for port declarations
+    ExprPtr msb;  ///< null for scalar
+    ExprPtr lsb;  ///< null for scalar
+};
+
+/** parameter / localparam. */
+class ParamDecl : public Item
+{
+  public:
+    ParamDecl() : Item(Kind::Param) {}
+    ItemPtr clone() const override;
+
+    std::string name;
+    ExprPtr value;
+    bool is_local = false;
+};
+
+/** assign lhs = rhs; */
+class ContAssign : public Item
+{
+  public:
+    ContAssign() : Item(Kind::ContAssign) {}
+    ItemPtr clone() const override;
+
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+/** One entry of an always sensitivity list. */
+struct SensItem
+{
+    enum class Edge { Posedge, Negedge, Level, Star };
+    Edge edge = Edge::Star;
+    std::string signal;  ///< empty for Star
+};
+
+class AlwaysBlock : public Item
+{
+  public:
+    AlwaysBlock() : Item(Kind::Always) {}
+    ItemPtr clone() const override;
+
+    std::vector<SensItem> sensitivity;
+    StmtPtr body;
+};
+
+/** initial block: parsed so designs load, rejected by elaboration. */
+class InitialBlock : public Item
+{
+  public:
+    InitialBlock() : Item(Kind::Initial) {}
+    ItemPtr clone() const override;
+
+    StmtPtr body;
+};
+
+/** Port or parameter connection of an instance. */
+struct Connection
+{
+    std::string port;  ///< empty for ordered connections
+    ExprPtr expr;      ///< may be null for unconnected `.p()`
+};
+
+class Instance : public Item
+{
+  public:
+    Instance() : Item(Kind::Instance) {}
+    ItemPtr clone() const override;
+
+    std::string module_name;
+    std::string instance_name;
+    std::vector<Connection> params;
+    std::vector<Connection> ports;
+};
+
+// ---------------------------------------------------------------------
+// Module and source file
+// ---------------------------------------------------------------------
+
+/** A single Verilog module. */
+class Module
+{
+  public:
+    std::string name;
+    std::vector<Port> ports;
+    std::vector<ItemPtr> items;
+
+    /** Next unused NodeId; the parser leaves this primed. */
+    NodeId next_node_id = 1;
+
+    /** Allocate a fresh NodeId (for template-inserted nodes). */
+    NodeId newNodeId() { return next_node_id++; }
+
+    /** Deep copy preserving all NodeIds. */
+    std::unique_ptr<Module> clone() const;
+
+    /** Find the NetDecl for @p name, or null. */
+    const NetDecl *findNet(const std::string &name) const;
+    NetDecl *findNet(const std::string &name);
+
+    /** Find the ParamDecl for @p name, or null. */
+    const ParamDecl *findParam(const std::string &name) const;
+
+    /** Direction of port @p name (Unknown if not a port). */
+    PortDir portDir(const std::string &name) const;
+};
+
+/** A parsed source file: one or more modules. */
+struct SourceFile
+{
+    std::vector<std::unique_ptr<Module>> modules;
+
+    /** The first module, or by name.  Throws if absent. */
+    Module &top() const;
+    Module *find(const std::string &name) const;
+};
+
+} // namespace rtlrepair::verilog
+
+#endif // RTLREPAIR_VERILOG_AST_HPP

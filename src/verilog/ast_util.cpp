@@ -1,0 +1,900 @@
+#include "verilog/ast_util.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace rtlrepair::verilog {
+
+// ---------------------------------------------------------------------
+// Structural equality
+// ---------------------------------------------------------------------
+
+bool
+equal(const Expr &a, const Expr &b)
+{
+    if (a.kind != b.kind)
+        return false;
+    switch (a.kind) {
+      case Expr::Kind::Ident:
+        return static_cast<const IdentExpr &>(a).name ==
+               static_cast<const IdentExpr &>(b).name;
+      case Expr::Kind::Literal: {
+        const auto &la = static_cast<const LiteralExpr &>(a);
+        const auto &lb = static_cast<const LiteralExpr &>(b);
+        return la.value == lb.value;
+      }
+      case Expr::Kind::Unary: {
+        const auto &ua = static_cast<const UnaryExpr &>(a);
+        const auto &ub = static_cast<const UnaryExpr &>(b);
+        return ua.op == ub.op && equal(*ua.operand, *ub.operand);
+      }
+      case Expr::Kind::Binary: {
+        const auto &ba = static_cast<const BinaryExpr &>(a);
+        const auto &bb = static_cast<const BinaryExpr &>(b);
+        return ba.op == bb.op && equal(*ba.lhs, *bb.lhs) &&
+               equal(*ba.rhs, *bb.rhs);
+      }
+      case Expr::Kind::Ternary: {
+        const auto &ta = static_cast<const TernaryExpr &>(a);
+        const auto &tb = static_cast<const TernaryExpr &>(b);
+        return equal(*ta.cond, *tb.cond) &&
+               equal(*ta.then_expr, *tb.then_expr) &&
+               equal(*ta.else_expr, *tb.else_expr);
+      }
+      case Expr::Kind::Concat: {
+        const auto &ca = static_cast<const ConcatExpr &>(a);
+        const auto &cb = static_cast<const ConcatExpr &>(b);
+        if (ca.parts.size() != cb.parts.size())
+            return false;
+        for (size_t i = 0; i < ca.parts.size(); ++i) {
+            if (!equal(*ca.parts[i], *cb.parts[i]))
+                return false;
+        }
+        return true;
+      }
+      case Expr::Kind::Repl: {
+        const auto &ra = static_cast<const ReplExpr &>(a);
+        const auto &rb = static_cast<const ReplExpr &>(b);
+        return equal(*ra.count, *rb.count) && equal(*ra.inner, *rb.inner);
+      }
+      case Expr::Kind::Index: {
+        const auto &ia = static_cast<const IndexExpr &>(a);
+        const auto &ib = static_cast<const IndexExpr &>(b);
+        return equal(*ia.base, *ib.base) && equal(*ia.index, *ib.index);
+      }
+      case Expr::Kind::RangeSelect: {
+        const auto &ra = static_cast<const RangeSelectExpr &>(a);
+        const auto &rb = static_cast<const RangeSelectExpr &>(b);
+        return equal(*ra.base, *rb.base) && equal(*ra.msb, *rb.msb) &&
+               equal(*ra.lsb, *rb.lsb);
+      }
+    }
+    return false;
+}
+
+namespace {
+
+bool
+equalOrBothNull(const StmtPtr &a, const StmtPtr &b)
+{
+    if (!a || !b)
+        return !a && !b;
+    return equal(*a, *b);
+}
+
+} // namespace
+
+bool
+equal(const Stmt &a, const Stmt &b)
+{
+    if (a.kind != b.kind)
+        return false;
+    switch (a.kind) {
+      case Stmt::Kind::Block: {
+        const auto &ba = static_cast<const BlockStmt &>(a);
+        const auto &bb = static_cast<const BlockStmt &>(b);
+        if (ba.stmts.size() != bb.stmts.size())
+            return false;
+        for (size_t i = 0; i < ba.stmts.size(); ++i) {
+            if (!equal(*ba.stmts[i], *bb.stmts[i]))
+                return false;
+        }
+        return true;
+      }
+      case Stmt::Kind::If: {
+        const auto &ia = static_cast<const IfStmt &>(a);
+        const auto &ib = static_cast<const IfStmt &>(b);
+        return equal(*ia.cond, *ib.cond) &&
+               equal(*ia.then_stmt, *ib.then_stmt) &&
+               equalOrBothNull(ia.else_stmt, ib.else_stmt);
+      }
+      case Stmt::Kind::Case: {
+        const auto &ca = static_cast<const CaseStmt &>(a);
+        const auto &cb = static_cast<const CaseStmt &>(b);
+        if (ca.mode != cb.mode || !equal(*ca.subject, *cb.subject))
+            return false;
+        if (ca.items.size() != cb.items.size())
+            return false;
+        for (size_t i = 0; i < ca.items.size(); ++i) {
+            const auto &ia = ca.items[i];
+            const auto &ib = cb.items[i];
+            if (ia.labels.size() != ib.labels.size())
+                return false;
+            for (size_t j = 0; j < ia.labels.size(); ++j) {
+                if (!equal(*ia.labels[j], *ib.labels[j]))
+                    return false;
+            }
+            if (!equal(*ia.body, *ib.body))
+                return false;
+        }
+        return equalOrBothNull(ca.default_body, cb.default_body);
+      }
+      case Stmt::Kind::Assign: {
+        const auto &aa = static_cast<const AssignStmt &>(a);
+        const auto &ab = static_cast<const AssignStmt &>(b);
+        return aa.blocking == ab.blocking && equal(*aa.lhs, *ab.lhs) &&
+               equal(*aa.rhs, *ab.rhs);
+      }
+      case Stmt::Kind::For: {
+        const auto &fa = static_cast<const ForStmt &>(a);
+        const auto &fb = static_cast<const ForStmt &>(b);
+        return equal(*fa.init, *fb.init) && equal(*fa.cond, *fb.cond) &&
+               equal(*fa.step, *fb.step) && equal(*fa.body, *fb.body);
+      }
+      case Stmt::Kind::Empty:
+        return true;
+    }
+    return false;
+}
+
+namespace {
+
+bool
+equalItem(const Item &a, const Item &b)
+{
+    if (a.kind != b.kind)
+        return false;
+    switch (a.kind) {
+      case Item::Kind::Net: {
+        const auto &na = static_cast<const NetDecl &>(a);
+        const auto &nb = static_cast<const NetDecl &>(b);
+        if (na.name != nb.name || na.net != nb.net || na.dir != nb.dir)
+            return false;
+        if (!!na.msb != !!nb.msb)
+            return false;
+        if (na.msb && (!equal(*na.msb, *nb.msb) ||
+                       !equal(*na.lsb, *nb.lsb))) {
+            return false;
+        }
+        return true;
+      }
+      case Item::Kind::Param: {
+        const auto &pa = static_cast<const ParamDecl &>(a);
+        const auto &pb = static_cast<const ParamDecl &>(b);
+        return pa.name == pb.name && pa.is_local == pb.is_local &&
+               equal(*pa.value, *pb.value);
+      }
+      case Item::Kind::ContAssign: {
+        const auto &ca = static_cast<const ContAssign &>(a);
+        const auto &cb = static_cast<const ContAssign &>(b);
+        return equal(*ca.lhs, *cb.lhs) && equal(*ca.rhs, *cb.rhs);
+      }
+      case Item::Kind::Always: {
+        const auto &aa = static_cast<const AlwaysBlock &>(a);
+        const auto &ab = static_cast<const AlwaysBlock &>(b);
+        if (aa.sensitivity.size() != ab.sensitivity.size())
+            return false;
+        for (size_t i = 0; i < aa.sensitivity.size(); ++i) {
+            if (aa.sensitivity[i].edge != ab.sensitivity[i].edge ||
+                aa.sensitivity[i].signal != ab.sensitivity[i].signal) {
+                return false;
+            }
+        }
+        return equal(*aa.body, *ab.body);
+      }
+      case Item::Kind::Initial: {
+        const auto &ia = static_cast<const InitialBlock &>(a);
+        const auto &ib = static_cast<const InitialBlock &>(b);
+        return equal(*ia.body, *ib.body);
+      }
+      case Item::Kind::Instance: {
+        const auto &xa = static_cast<const Instance &>(a);
+        const auto &xb = static_cast<const Instance &>(b);
+        if (xa.module_name != xb.module_name ||
+            xa.instance_name != xb.instance_name ||
+            xa.ports.size() != xb.ports.size() ||
+            xa.params.size() != xb.params.size()) {
+            return false;
+        }
+        auto conn_equal = [](const Connection &ca, const Connection &cb) {
+            if (ca.port != cb.port || !!ca.expr != !!cb.expr)
+                return false;
+            return !ca.expr || equal(*ca.expr, *cb.expr);
+        };
+        for (size_t i = 0; i < xa.ports.size(); ++i) {
+            if (!conn_equal(xa.ports[i], xb.ports[i]))
+                return false;
+        }
+        for (size_t i = 0; i < xa.params.size(); ++i) {
+            if (!conn_equal(xa.params[i], xb.params[i]))
+                return false;
+        }
+        return true;
+      }
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+equal(const Module &a, const Module &b)
+{
+    if (a.name != b.name || a.items.size() != b.items.size())
+        return false;
+    if (a.ports.size() != b.ports.size())
+        return false;
+    for (size_t i = 0; i < a.ports.size(); ++i) {
+        if (a.ports[i].name != b.ports[i].name)
+            return false;
+    }
+    for (size_t i = 0; i < a.items.size(); ++i) {
+        if (!equalItem(*a.items[i], *b.items[i]))
+            return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Rewriting
+// ---------------------------------------------------------------------
+
+void
+rewriteExprTree(ExprPtr &expr, const std::function<void(ExprPtr &)> &fn)
+{
+    check(expr != nullptr, "rewriteExprTree on null expression");
+    switch (expr->kind) {
+      case Expr::Kind::Ident:
+      case Expr::Kind::Literal:
+        break;
+      case Expr::Kind::Unary:
+        rewriteExprTree(static_cast<UnaryExpr &>(*expr).operand, fn);
+        break;
+      case Expr::Kind::Binary: {
+        auto &b = static_cast<BinaryExpr &>(*expr);
+        rewriteExprTree(b.lhs, fn);
+        rewriteExprTree(b.rhs, fn);
+        break;
+      }
+      case Expr::Kind::Ternary: {
+        auto &t = static_cast<TernaryExpr &>(*expr);
+        rewriteExprTree(t.cond, fn);
+        rewriteExprTree(t.then_expr, fn);
+        rewriteExprTree(t.else_expr, fn);
+        break;
+      }
+      case Expr::Kind::Concat: {
+        auto &c = static_cast<ConcatExpr &>(*expr);
+        for (auto &part : c.parts)
+            rewriteExprTree(part, fn);
+        break;
+      }
+      case Expr::Kind::Repl: {
+        auto &r = static_cast<ReplExpr &>(*expr);
+        rewriteExprTree(r.count, fn);
+        rewriteExprTree(r.inner, fn);
+        break;
+      }
+      case Expr::Kind::Index: {
+        auto &i = static_cast<IndexExpr &>(*expr);
+        rewriteExprTree(i.base, fn);
+        rewriteExprTree(i.index, fn);
+        break;
+      }
+      case Expr::Kind::RangeSelect: {
+        auto &r = static_cast<RangeSelectExpr &>(*expr);
+        rewriteExprTree(r.base, fn);
+        rewriteExprTree(r.msb, fn);
+        rewriteExprTree(r.lsb, fn);
+        break;
+      }
+    }
+    fn(expr);
+}
+
+void
+rewriteStmtExprs(StmtPtr &stmt, const std::function<void(ExprPtr &)> &fn)
+{
+    check(stmt != nullptr, "rewriteStmtExprs on null statement");
+    switch (stmt->kind) {
+      case Stmt::Kind::Block: {
+        auto &b = static_cast<BlockStmt &>(*stmt);
+        for (auto &s : b.stmts)
+            rewriteStmtExprs(s, fn);
+        break;
+      }
+      case Stmt::Kind::If: {
+        auto &i = static_cast<IfStmt &>(*stmt);
+        rewriteExprTree(i.cond, fn);
+        rewriteStmtExprs(i.then_stmt, fn);
+        if (i.else_stmt)
+            rewriteStmtExprs(i.else_stmt, fn);
+        break;
+      }
+      case Stmt::Kind::Case: {
+        auto &c = static_cast<CaseStmt &>(*stmt);
+        rewriteExprTree(c.subject, fn);
+        for (auto &item : c.items) {
+            for (auto &label : item.labels)
+                rewriteExprTree(label, fn);
+            rewriteStmtExprs(item.body, fn);
+        }
+        if (c.default_body)
+            rewriteStmtExprs(c.default_body, fn);
+        break;
+      }
+      case Stmt::Kind::Assign: {
+        auto &a = static_cast<AssignStmt &>(*stmt);
+        rewriteExprTree(a.lhs, fn);
+        rewriteExprTree(a.rhs, fn);
+        break;
+      }
+      case Stmt::Kind::For: {
+        auto &f = static_cast<ForStmt &>(*stmt);
+        rewriteStmtExprs(f.init, fn);
+        rewriteExprTree(f.cond, fn);
+        rewriteStmtExprs(f.step, fn);
+        rewriteStmtExprs(f.body, fn);
+        break;
+      }
+      case Stmt::Kind::Empty:
+        break;
+    }
+}
+
+void
+rewriteModuleExprs(Module &module,
+                   const std::function<void(ExprPtr &)> &fn)
+{
+    for (auto &item : module.items) {
+        switch (item->kind) {
+          case Item::Kind::Net: {
+            auto &n = static_cast<NetDecl &>(*item);
+            if (n.msb) {
+                rewriteExprTree(n.msb, fn);
+                rewriteExprTree(n.lsb, fn);
+            }
+            break;
+          }
+          case Item::Kind::Param:
+            rewriteExprTree(static_cast<ParamDecl &>(*item).value, fn);
+            break;
+          case Item::Kind::ContAssign: {
+            auto &a = static_cast<ContAssign &>(*item);
+            rewriteExprTree(a.lhs, fn);
+            rewriteExprTree(a.rhs, fn);
+            break;
+          }
+          case Item::Kind::Always:
+            rewriteStmtExprs(static_cast<AlwaysBlock &>(*item).body, fn);
+            break;
+          case Item::Kind::Initial:
+            rewriteStmtExprs(static_cast<InitialBlock &>(*item).body, fn);
+            break;
+          case Item::Kind::Instance: {
+            auto &inst = static_cast<Instance &>(*item);
+            for (auto &c : inst.params) {
+                if (c.expr)
+                    rewriteExprTree(c.expr, fn);
+            }
+            for (auto &c : inst.ports) {
+                if (c.expr)
+                    rewriteExprTree(c.expr, fn);
+            }
+            break;
+          }
+        }
+    }
+}
+
+void
+rewriteStmtTree(StmtPtr &stmt, const std::function<void(StmtPtr &)> &fn)
+{
+    check(stmt != nullptr, "rewriteStmtTree on null statement");
+    fn(stmt);
+    switch (stmt->kind) {
+      case Stmt::Kind::Block: {
+        auto &b = static_cast<BlockStmt &>(*stmt);
+        for (auto &s : b.stmts)
+            rewriteStmtTree(s, fn);
+        break;
+      }
+      case Stmt::Kind::If: {
+        auto &i = static_cast<IfStmt &>(*stmt);
+        rewriteStmtTree(i.then_stmt, fn);
+        if (i.else_stmt)
+            rewriteStmtTree(i.else_stmt, fn);
+        break;
+      }
+      case Stmt::Kind::Case: {
+        auto &c = static_cast<CaseStmt &>(*stmt);
+        for (auto &item : c.items)
+            rewriteStmtTree(item.body, fn);
+        if (c.default_body)
+            rewriteStmtTree(c.default_body, fn);
+        break;
+      }
+      case Stmt::Kind::For:
+        rewriteStmtTree(static_cast<ForStmt &>(*stmt).body, fn);
+        break;
+      case Stmt::Kind::Assign:
+      case Stmt::Kind::Empty:
+        break;
+    }
+}
+
+void
+collectIdents(const Expr &expr, std::set<std::string> &out)
+{
+    switch (expr.kind) {
+      case Expr::Kind::Ident:
+        out.insert(static_cast<const IdentExpr &>(expr).name);
+        return;
+      case Expr::Kind::Literal:
+        return;
+      case Expr::Kind::Unary:
+        collectIdents(*static_cast<const UnaryExpr &>(expr).operand, out);
+        return;
+      case Expr::Kind::Binary: {
+        const auto &b = static_cast<const BinaryExpr &>(expr);
+        collectIdents(*b.lhs, out);
+        collectIdents(*b.rhs, out);
+        return;
+      }
+      case Expr::Kind::Ternary: {
+        const auto &t = static_cast<const TernaryExpr &>(expr);
+        collectIdents(*t.cond, out);
+        collectIdents(*t.then_expr, out);
+        collectIdents(*t.else_expr, out);
+        return;
+      }
+      case Expr::Kind::Concat:
+        for (const auto &p :
+             static_cast<const ConcatExpr &>(expr).parts) {
+            collectIdents(*p, out);
+        }
+        return;
+      case Expr::Kind::Repl: {
+        const auto &r = static_cast<const ReplExpr &>(expr);
+        collectIdents(*r.count, out);
+        collectIdents(*r.inner, out);
+        return;
+      }
+      case Expr::Kind::Index: {
+        const auto &i = static_cast<const IndexExpr &>(expr);
+        collectIdents(*i.base, out);
+        collectIdents(*i.index, out);
+        return;
+      }
+      case Expr::Kind::RangeSelect: {
+        const auto &r = static_cast<const RangeSelectExpr &>(expr);
+        collectIdents(*r.base, out);
+        collectIdents(*r.msb, out);
+        collectIdents(*r.lsb, out);
+        return;
+      }
+    }
+}
+
+void
+substituteIdents(ExprPtr &expr,
+                 const std::map<std::string, bv::Value> &values)
+{
+    rewriteExprTree(expr, [&values](ExprPtr &e) {
+        if (e->kind != Expr::Kind::Ident)
+            return;
+        auto it = values.find(static_cast<IdentExpr &>(*e).name);
+        if (it == values.end())
+            return;
+        auto *lit = new LiteralExpr(it->second, true);
+        lit->id = e->id;
+        lit->loc = e->loc;
+        e.reset(lit);
+    });
+}
+
+// ---------------------------------------------------------------------
+// Simplification
+// ---------------------------------------------------------------------
+
+namespace {
+
+const LiteralExpr *
+asLiteral(const ExprPtr &e)
+{
+    return e && e->kind == Expr::Kind::Literal
+               ? static_cast<const LiteralExpr *>(e.get())
+               : nullptr;
+}
+
+/** Is this a fully-known 1-bit literal with the given value? */
+bool
+isBoolLiteral(const ExprPtr &e, bool value)
+{
+    const LiteralExpr *lit = asLiteral(e);
+    if (!lit || lit->value.hasX())
+        return false;
+    if (value)
+        return lit->value.isNonZero() && lit->value.width() == 1;
+    return lit->value.isZero();
+}
+
+/** Truthiness of a literal condition: 1, 0, or -1 if unknown/not lit. */
+int
+litTruth(const ExprPtr &e)
+{
+    const LiteralExpr *lit = asLiteral(e);
+    if (!lit || lit->value.hasX())
+        return -1;
+    return lit->value.isNonZero() ? 1 : 0;
+}
+
+/** Fold a binary operator over two known literal values. */
+std::optional<bv::Value>
+foldBinaryLiterals(BinaryOp op, bv::Value lhs, bv::Value rhs)
+{
+    using bv::Value;
+    if (lhs.hasX() || rhs.hasX())
+        return std::nullopt;
+    uint32_t w = std::max(lhs.width(), rhs.width());
+    if (lhs.width() < w)
+        lhs = lhs.zext(w);
+    if (rhs.width() < w)
+        rhs = rhs.zext(w);
+    switch (op) {
+      case BinaryOp::Add: return lhs + rhs;
+      case BinaryOp::Sub: return lhs - rhs;
+      case BinaryOp::Mul: return lhs * rhs;
+      case BinaryOp::Div: return lhs.udiv(rhs);
+      case BinaryOp::Mod: return lhs.urem(rhs);
+      case BinaryOp::BitAnd: return lhs & rhs;
+      case BinaryOp::BitOr: return lhs | rhs;
+      case BinaryOp::BitXor: return lhs ^ rhs;
+      case BinaryOp::BitXnor: return ~(lhs ^ rhs);
+      case BinaryOp::LogicAnd: return lhs.redOr() & rhs.redOr();
+      case BinaryOp::LogicOr: return lhs.redOr() | rhs.redOr();
+      case BinaryOp::Shl: return lhs.shl(rhs);
+      case BinaryOp::Shr: return lhs.lshr(rhs);
+      case BinaryOp::AShr: return lhs.ashr(rhs);
+      case BinaryOp::Lt: return lhs.ult(rhs);
+      case BinaryOp::Le: return lhs.ule(rhs);
+      case BinaryOp::Gt: return rhs.ult(lhs);
+      case BinaryOp::Ge: return rhs.ule(lhs);
+      case BinaryOp::Eq: return lhs.eq(rhs);
+      case BinaryOp::Ne: return lhs.ne(rhs);
+      case BinaryOp::CaseEq: return lhs.caseEq(rhs);
+      case BinaryOp::CaseNe: return ~lhs.caseEq(rhs);
+    }
+    return std::nullopt;
+}
+
+void
+simplifyOne(ExprPtr &e)
+{
+    switch (e->kind) {
+      case Expr::Kind::Ternary: {
+        auto &t = static_cast<TernaryExpr &>(*e);
+        int truth = litTruth(t.cond);
+        if (truth == 1) {
+            e = std::move(t.then_expr);
+        } else if (truth == 0) {
+            e = std::move(t.else_expr);
+        }
+        return;
+      }
+      case Expr::Kind::Binary: {
+        auto &b = static_cast<BinaryExpr &>(*e);
+        const LiteralExpr *la = asLiteral(b.lhs);
+        const LiteralExpr *lb = asLiteral(b.rhs);
+        if (la && lb) {
+            auto folded =
+                foldBinaryLiterals(b.op, la->value, lb->value);
+            if (folded) {
+                auto *lit = new LiteralExpr(*folded, true);
+                lit->id = e->id;
+                e.reset(lit);
+                return;
+            }
+        }
+        switch (b.op) {
+          case BinaryOp::LogicAnd:
+            if (isBoolLiteral(b.lhs, true)) {
+                e = std::move(b.rhs);
+            } else if (isBoolLiteral(b.rhs, true)) {
+                e = std::move(b.lhs);
+            } else if (litTruth(b.lhs) == 0 || litTruth(b.rhs) == 0) {
+                auto *lit =
+                    new LiteralExpr(bv::Value::fromUint(1, 0), true);
+                lit->id = e->id;
+                e.reset(lit);
+            }
+            return;
+          case BinaryOp::LogicOr:
+            if (isBoolLiteral(b.lhs, false)) {
+                e = std::move(b.rhs);
+            } else if (isBoolLiteral(b.rhs, false)) {
+                e = std::move(b.lhs);
+            } else if (litTruth(b.lhs) == 1 || litTruth(b.rhs) == 1) {
+                auto *lit =
+                    new LiteralExpr(bv::Value::fromUint(1, 1), true);
+                lit->id = e->id;
+                e.reset(lit);
+            }
+            return;
+          case BinaryOp::BitAnd:
+            // x & 1'b1 == x only for 1-bit x; conservative: literal
+            // all-ones of width 1.
+            if (isBoolLiteral(b.rhs, true)) {
+                e = std::move(b.lhs);
+            } else if (isBoolLiteral(b.lhs, true)) {
+                e = std::move(b.rhs);
+            }
+            return;
+          case BinaryOp::BitOr:
+            if (isBoolLiteral(b.rhs, false)) {
+                e = std::move(b.lhs);
+            } else if (isBoolLiteral(b.lhs, false)) {
+                e = std::move(b.rhs);
+            }
+            return;
+          case BinaryOp::BitXor:
+            if (isBoolLiteral(b.rhs, false)) {
+                e = std::move(b.lhs);
+            } else if (isBoolLiteral(b.lhs, false)) {
+                e = std::move(b.rhs);
+            }
+            return;
+          default:
+            return;
+        }
+      }
+      case Expr::Kind::Unary: {
+        auto &u = static_cast<UnaryExpr &>(*e);
+        if (const LiteralExpr *lu = asLiteral(u.operand);
+            lu && !lu->value.hasX()) {
+            std::optional<bv::Value> folded;
+            switch (u.op) {
+              case UnaryOp::BitNot: folded = ~lu->value; break;
+              case UnaryOp::LogicNot:
+                folded = ~lu->value.redOr();
+                break;
+              case UnaryOp::Minus: folded = lu->value.negate(); break;
+              case UnaryOp::Plus: folded = lu->value; break;
+              case UnaryOp::RedAnd: folded = lu->value.redAnd(); break;
+              case UnaryOp::RedOr: folded = lu->value.redOr(); break;
+              case UnaryOp::RedXor: folded = lu->value.redXor(); break;
+              default: break;
+            }
+            if (folded) {
+                auto *lit = new LiteralExpr(*folded, true);
+                lit->id = e->id;
+                e.reset(lit);
+                return;
+            }
+        }
+        // Fold double negation introduced by guard folding.
+        if (u.op == UnaryOp::LogicNot &&
+            u.operand->kind == Expr::Kind::Unary) {
+            auto &inner = static_cast<UnaryExpr &>(*u.operand);
+            if (inner.op == UnaryOp::LogicNot) {
+                e = std::move(inner.operand);
+            }
+        }
+        return;
+      }
+      default:
+        return;
+    }
+}
+
+bool
+isEmptyStmt(const StmtPtr &s)
+{
+    if (!s)
+        return true;
+    if (s->kind == Stmt::Kind::Empty)
+        return true;
+    if (s->kind == Stmt::Kind::Block) {
+        const auto &b = static_cast<const BlockStmt &>(*s);
+        for (const auto &inner : b.stmts) {
+            if (!isEmptyStmt(inner))
+                return false;
+        }
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+void
+simplifyExpr(ExprPtr &expr)
+{
+    rewriteExprTree(expr, simplifyOne);
+}
+
+void
+simplifyStmt(StmtPtr &stmt)
+{
+    rewriteStmtExprs(stmt, simplifyOne);
+    // Fold if(const) and drop dead statements, bottom-up.
+    std::function<void(StmtPtr &)> fold = [&fold](StmtPtr &s) {
+        switch (s->kind) {
+          case Stmt::Kind::Block: {
+            auto &b = static_cast<BlockStmt &>(*s);
+            for (auto &inner : b.stmts)
+                fold(inner);
+            // Splice unlabeled nested blocks into their parent and
+            // drop empty statements.
+            std::vector<StmtPtr> flat;
+            for (auto &inner : b.stmts) {
+                if (inner->kind == Stmt::Kind::Empty)
+                    continue;
+                if (inner->kind == Stmt::Kind::Block &&
+                    static_cast<BlockStmt &>(*inner).label.empty()) {
+                    auto &nested = static_cast<BlockStmt &>(*inner);
+                    for (auto &sub : nested.stmts)
+                        flat.push_back(std::move(sub));
+                } else {
+                    flat.push_back(std::move(inner));
+                }
+            }
+            b.stmts = std::move(flat);
+            return;
+          }
+          case Stmt::Kind::If: {
+            auto &i = static_cast<IfStmt &>(*s);
+            fold(i.then_stmt);
+            if (i.else_stmt)
+                fold(i.else_stmt);
+            int truth = litTruth(i.cond);
+            if (truth == 1) {
+                s = std::move(i.then_stmt);
+            } else if (truth == 0) {
+                if (i.else_stmt) {
+                    s = std::move(i.else_stmt);
+                } else {
+                    auto *empty = new EmptyStmt();
+                    empty->id = s->id;
+                    s.reset(empty);
+                }
+            } else if (isEmptyStmt(i.then_stmt) &&
+                       isEmptyStmt(i.else_stmt)) {
+                auto *empty = new EmptyStmt();
+                empty->id = s->id;
+                s.reset(empty);
+            } else if (i.else_stmt && isEmptyStmt(i.else_stmt)) {
+                i.else_stmt.reset();
+            }
+            return;
+          }
+          case Stmt::Kind::Case: {
+            auto &c = static_cast<CaseStmt &>(*s);
+            for (auto &item : c.items)
+                fold(item.body);
+            if (c.default_body)
+                fold(c.default_body);
+            return;
+          }
+          case Stmt::Kind::For:
+            fold(static_cast<ForStmt &>(*s).body);
+            return;
+          case Stmt::Kind::Assign:
+          case Stmt::Kind::Empty:
+            return;
+        }
+    };
+    fold(stmt);
+}
+
+void
+simplifyModule(Module &module)
+{
+    for (auto &item : module.items) {
+        switch (item->kind) {
+          case Item::Kind::ContAssign: {
+            auto &a = static_cast<ContAssign &>(*item);
+            simplifyExpr(a.rhs);
+            break;
+          }
+          case Item::Kind::Always:
+            simplifyStmt(static_cast<AlwaysBlock &>(*item).body);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Diffs
+// ---------------------------------------------------------------------
+
+std::vector<DiffLine>
+diffLines(const std::string &before, const std::string &after)
+{
+    std::vector<std::string> a = split(before, '\n');
+    std::vector<std::string> b = split(after, '\n');
+    // Drop a trailing empty line from the final newline.
+    if (!a.empty() && a.back().empty())
+        a.pop_back();
+    if (!b.empty() && b.back().empty())
+        b.pop_back();
+
+    size_t n = a.size(), m = b.size();
+    // LCS dynamic program (sources here are small).
+    std::vector<std::vector<uint32_t>> lcs(n + 1,
+                                           std::vector<uint32_t>(m + 1, 0));
+    for (size_t i = n; i-- > 0;) {
+        for (size_t j = m; j-- > 0;) {
+            if (a[i] == b[j]) {
+                lcs[i][j] = lcs[i + 1][j + 1] + 1;
+            } else {
+                lcs[i][j] = std::max(lcs[i + 1][j], lcs[i][j + 1]);
+            }
+        }
+    }
+    std::vector<DiffLine> out;
+    size_t i = 0, j = 0;
+    while (i < n && j < m) {
+        if (a[i] == b[j]) {
+            out.push_back({' ', a[i]});
+            ++i;
+            ++j;
+        } else if (lcs[i + 1][j] >= lcs[i][j + 1]) {
+            out.push_back({'-', a[i]});
+            ++i;
+        } else {
+            out.push_back({'+', b[j]});
+            ++j;
+        }
+    }
+    for (; i < n; ++i)
+        out.push_back({'-', a[i]});
+    for (; j < m; ++j)
+        out.push_back({'+', b[j]});
+    return out;
+}
+
+std::string
+formatDiff(const std::vector<DiffLine> &diff)
+{
+    std::string out;
+    for (const auto &line : diff) {
+        if (line.tag == ' ')
+            continue;
+        out += line.tag;
+        out += ' ';
+        out += line.text;
+        out += '\n';
+    }
+    return out;
+}
+
+std::pair<int, int>
+countDiff(const std::string &before, const std::string &after)
+{
+    int added = 0, removed = 0;
+    for (const auto &line : diffLines(before, after)) {
+        if (line.tag == '+')
+            ++added;
+        else if (line.tag == '-')
+            ++removed;
+    }
+    return {added, removed};
+}
+
+} // namespace rtlrepair::verilog

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * AST utilities: structural equality, expression rewriting,
+ * simplification (constant folding), substitution, and line diffs.
+ *
+ * The repair patcher relies on simplify() to fold template machinery
+ * away once the synthesis variables have concrete values, so the
+ * repaired source looks like a human edit (paper §3, "Repairing the
+ * Verilog Code").
+ */
+#ifndef RTLREPAIR_VERILOG_AST_UTIL_HPP
+#define RTLREPAIR_VERILOG_AST_UTIL_HPP
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "verilog/ast.hpp"
+
+namespace rtlrepair::verilog {
+
+/** Structural equality, ignoring NodeIds and source locations. */
+bool equal(const Expr &a, const Expr &b);
+bool equal(const Stmt &a, const Stmt &b);
+bool equal(const Module &a, const Module &b);
+
+/**
+ * Post-order rewrite of every expression slot reachable from @p expr.
+ * The callback may replace the pointed-to expression.
+ */
+void rewriteExprTree(ExprPtr &expr,
+                     const std::function<void(ExprPtr &)> &fn);
+
+/** Rewrite every expression inside a statement tree (post-order). */
+void rewriteStmtExprs(StmtPtr &stmt,
+                      const std::function<void(ExprPtr &)> &fn);
+
+/** Rewrite every expression in the module (including item exprs). */
+void rewriteModuleExprs(Module &module,
+                        const std::function<void(ExprPtr &)> &fn);
+
+/** Visit every statement in a tree (pre-order), with replacement. */
+void rewriteStmtTree(StmtPtr &stmt,
+                     const std::function<void(StmtPtr &)> &fn);
+
+/** Collect all identifier names used in @p expr. */
+void collectIdents(const Expr &expr, std::set<std::string> &out);
+
+/** Replace identifier references by literal values. */
+void substituteIdents(ExprPtr &expr,
+                      const std::map<std::string, bv::Value> &values);
+
+/**
+ * Constant folding and cleanup: const ternaries collapse, identity
+ * operands (x&&1, x||0, 0^x, ...) vanish, if(const) statements are
+ * replaced by the taken branch, and empty statements are dropped from
+ * blocks.  Works in place.
+ */
+void simplifyExpr(ExprPtr &expr);
+void simplifyStmt(StmtPtr &stmt);
+void simplifyModule(Module &module);
+
+/** One hunk line of a diff: prefix ' ', '-' or '+'. */
+struct DiffLine
+{
+    char tag;
+    std::string text;
+};
+
+/** LCS line diff of two texts. */
+std::vector<DiffLine> diffLines(const std::string &before,
+                                const std::string &after);
+
+/** Render only the changed lines (with +/- prefixes). */
+std::string formatDiff(const std::vector<DiffLine> &diff);
+
+/** Count of (added, removed) lines between two texts. */
+std::pair<int, int> countDiff(const std::string &before,
+                              const std::string &after);
+
+} // namespace rtlrepair::verilog
+
+#endif // RTLREPAIR_VERILOG_AST_UTIL_HPP

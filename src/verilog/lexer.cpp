@@ -1,0 +1,395 @@
+#include "verilog/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace rtlrepair::verilog {
+
+const char *
+tokenKindName(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::Eof: return "end of file";
+      case TokenKind::Identifier: return "identifier";
+      case TokenKind::SystemName: return "system identifier";
+      case TokenKind::Number: return "number";
+      case TokenKind::String: return "string";
+      case TokenKind::KwModule: return "'module'";
+      case TokenKind::KwEndmodule: return "'endmodule'";
+      case TokenKind::KwInput: return "'input'";
+      case TokenKind::KwOutput: return "'output'";
+      case TokenKind::KwInout: return "'inout'";
+      case TokenKind::KwWire: return "'wire'";
+      case TokenKind::KwReg: return "'reg'";
+      case TokenKind::KwInteger: return "'integer'";
+      case TokenKind::KwGenvar: return "'genvar'";
+      case TokenKind::KwParameter: return "'parameter'";
+      case TokenKind::KwLocalparam: return "'localparam'";
+      case TokenKind::KwAssign: return "'assign'";
+      case TokenKind::KwAlways: return "'always'";
+      case TokenKind::KwInitial: return "'initial'";
+      case TokenKind::KwBegin: return "'begin'";
+      case TokenKind::KwEnd: return "'end'";
+      case TokenKind::KwIf: return "'if'";
+      case TokenKind::KwElse: return "'else'";
+      case TokenKind::KwCase: return "'case'";
+      case TokenKind::KwCasez: return "'casez'";
+      case TokenKind::KwCasex: return "'casex'";
+      case TokenKind::KwEndcase: return "'endcase'";
+      case TokenKind::KwDefault: return "'default'";
+      case TokenKind::KwPosedge: return "'posedge'";
+      case TokenKind::KwNegedge: return "'negedge'";
+      case TokenKind::KwOr: return "'or'";
+      case TokenKind::KwFor: return "'for'";
+      case TokenKind::KwSigned: return "'signed'";
+      case TokenKind::KwFunction: return "'function'";
+      case TokenKind::KwEndfunction: return "'endfunction'";
+      case TokenKind::KwGenerate: return "'generate'";
+      case TokenKind::KwEndgenerate: return "'endgenerate'";
+      case TokenKind::LParen: return "'('";
+      case TokenKind::RParen: return "')'";
+      case TokenKind::LBracket: return "'['";
+      case TokenKind::RBracket: return "']'";
+      case TokenKind::LBrace: return "'{'";
+      case TokenKind::RBrace: return "'}'";
+      case TokenKind::Semicolon: return "';'";
+      case TokenKind::Comma: return "','";
+      case TokenKind::Dot: return "'.'";
+      case TokenKind::Colon: return "':'";
+      case TokenKind::Question: return "'?'";
+      case TokenKind::At: return "'@'";
+      case TokenKind::Hash: return "'#'";
+      case TokenKind::Equals: return "'='";
+      case TokenKind::Plus: return "'+'";
+      case TokenKind::Minus: return "'-'";
+      case TokenKind::Star: return "'*'";
+      case TokenKind::Slash: return "'/'";
+      case TokenKind::Percent: return "'%'";
+      case TokenKind::Amp: return "'&'";
+      case TokenKind::Pipe: return "'|'";
+      case TokenKind::Caret: return "'^'";
+      case TokenKind::Tilde: return "'~'";
+      case TokenKind::Bang: return "'!'";
+      case TokenKind::AmpAmp: return "'&&'";
+      case TokenKind::PipePipe: return "'||'";
+      case TokenKind::EqEq: return "'=='";
+      case TokenKind::BangEq: return "'!='";
+      case TokenKind::EqEqEq: return "'==='";
+      case TokenKind::BangEqEq: return "'!=='";
+      case TokenKind::Lt: return "'<'";
+      case TokenKind::LtEq: return "'<='";
+      case TokenKind::Gt: return "'>'";
+      case TokenKind::GtEq: return "'>='";
+      case TokenKind::Shl: return "'<<'";
+      case TokenKind::Shr: return "'>>'";
+      case TokenKind::AShl: return "'<<<'";
+      case TokenKind::AShr: return "'>>>'";
+      case TokenKind::TildeAmp: return "'~&'";
+      case TokenKind::TildePipe: return "'~|'";
+      case TokenKind::TildeCaret: return "'~^'";
+    }
+    return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind> kKeywords = {
+    {"module", TokenKind::KwModule},
+    {"endmodule", TokenKind::KwEndmodule},
+    {"input", TokenKind::KwInput},
+    {"output", TokenKind::KwOutput},
+    {"inout", TokenKind::KwInout},
+    {"wire", TokenKind::KwWire},
+    {"reg", TokenKind::KwReg},
+    {"integer", TokenKind::KwInteger},
+    {"genvar", TokenKind::KwGenvar},
+    {"parameter", TokenKind::KwParameter},
+    {"localparam", TokenKind::KwLocalparam},
+    {"assign", TokenKind::KwAssign},
+    {"always", TokenKind::KwAlways},
+    {"initial", TokenKind::KwInitial},
+    {"begin", TokenKind::KwBegin},
+    {"end", TokenKind::KwEnd},
+    {"if", TokenKind::KwIf},
+    {"else", TokenKind::KwElse},
+    {"case", TokenKind::KwCase},
+    {"casez", TokenKind::KwCasez},
+    {"casex", TokenKind::KwCasex},
+    {"endcase", TokenKind::KwEndcase},
+    {"default", TokenKind::KwDefault},
+    {"posedge", TokenKind::KwPosedge},
+    {"negedge", TokenKind::KwNegedge},
+    {"or", TokenKind::KwOr},
+    {"for", TokenKind::KwFor},
+    {"signed", TokenKind::KwSigned},
+    {"function", TokenKind::KwFunction},
+    {"endfunction", TokenKind::KwEndfunction},
+    {"generate", TokenKind::KwGenerate},
+    {"endgenerate", TokenKind::KwEndgenerate},
+};
+
+/** Cursor over the source text that tracks line/column. */
+class Cursor
+{
+  public:
+    explicit Cursor(std::string_view src) : _src(src) {}
+
+    bool done() const { return _pos >= _src.size(); }
+    char peek(size_t ahead = 0) const
+    {
+        size_t i = _pos + ahead;
+        return i < _src.size() ? _src[i] : '\0';
+    }
+
+    char
+    advance()
+    {
+        char c = _src[_pos++];
+        if (c == '\n') {
+            ++_line;
+            _col = 1;
+        } else {
+            ++_col;
+        }
+        return c;
+    }
+
+    SourceLoc loc() const { return {_line, _col}; }
+
+  private:
+    std::string_view _src;
+    size_t _pos = 0;
+    uint32_t _line = 1;
+    uint32_t _col = 1;
+};
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return isIdentStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '$';
+}
+
+bool
+isBaseDigit(char c)
+{
+    return std::isxdigit(static_cast<unsigned char>(c)) || c == 'x' ||
+           c == 'X' || c == 'z' || c == 'Z' || c == '?' || c == '_';
+}
+
+} // namespace
+
+std::vector<Token>
+lex(std::string_view source)
+{
+    Cursor cur(source);
+    std::vector<Token> tokens;
+
+    auto emit = [&tokens](TokenKind kind, std::string text, SourceLoc loc) {
+        tokens.push_back(Token{kind, std::move(text), loc});
+    };
+
+    while (!cur.done()) {
+        char c = cur.peek();
+        SourceLoc loc = cur.loc();
+
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            cur.advance();
+            continue;
+        }
+        // Line comment
+        if (c == '/' && cur.peek(1) == '/') {
+            while (!cur.done() && cur.peek() != '\n')
+                cur.advance();
+            continue;
+        }
+        // Block comment
+        if (c == '/' && cur.peek(1) == '*') {
+            cur.advance();
+            cur.advance();
+            while (!cur.done() &&
+                   !(cur.peek() == '*' && cur.peek(1) == '/')) {
+                cur.advance();
+            }
+            if (cur.done())
+                fatal(format("line %u: unterminated block comment",
+                             loc.line));
+            cur.advance();
+            cur.advance();
+            continue;
+        }
+        // Attribute block (* ... *) — but `(*)` is the sensitivity
+        // wildcard of `always @(*)`, not an attribute.
+        if (c == '(' && cur.peek(1) == '*' && cur.peek(2) != ')') {
+            cur.advance();
+            cur.advance();
+            while (!cur.done() &&
+                   !(cur.peek() == '*' && cur.peek(1) == ')')) {
+                cur.advance();
+            }
+            if (cur.done())
+                fatal(format("line %u: unterminated attribute", loc.line));
+            cur.advance();
+            cur.advance();
+            continue;
+        }
+        // Compiler directives such as `timescale: skip to end of line.
+        if (c == '`') {
+            while (!cur.done() && cur.peek() != '\n')
+                cur.advance();
+            continue;
+        }
+        if (c == '"') {
+            cur.advance();
+            std::string text;
+            while (!cur.done() && cur.peek() != '"') {
+                if (cur.peek() == '\\')
+                    cur.advance();
+                text += cur.advance();
+            }
+            if (cur.done())
+                fatal(format("line %u: unterminated string", loc.line));
+            cur.advance();
+            emit(TokenKind::String, std::move(text), loc);
+            continue;
+        }
+        if (c == '$') {
+            cur.advance();
+            std::string text = "$";
+            while (!cur.done() && isIdentChar(cur.peek()))
+                text += cur.advance();
+            emit(TokenKind::SystemName, std::move(text), loc);
+            continue;
+        }
+        if (c == '\\') { // escaped identifier: up to whitespace
+            cur.advance();
+            std::string text;
+            while (!cur.done() && !std::isspace(
+                       static_cast<unsigned char>(cur.peek()))) {
+                text += cur.advance();
+            }
+            emit(TokenKind::Identifier, std::move(text), loc);
+            continue;
+        }
+        if (isIdentStart(c)) {
+            std::string text;
+            while (!cur.done() && isIdentChar(cur.peek()))
+                text += cur.advance();
+            auto it = kKeywords.find(text);
+            if (it != kKeywords.end()) {
+                emit(it->second, std::move(text), loc);
+            } else {
+                emit(TokenKind::Identifier, std::move(text), loc);
+            }
+            continue;
+        }
+        // Number: decimal size, optionally followed by 'b/'h/'o/'d digits,
+        // or a bare based literal starting with '.
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '\'') {
+            std::string text;
+            while (!cur.done() && (std::isdigit(
+                       static_cast<unsigned char>(cur.peek())) ||
+                       cur.peek() == '_')) {
+                text += cur.advance();
+            }
+            // Optional whitespace between size and base is legal Verilog;
+            // peek past spaces without consuming unless a base follows.
+            size_t look = 0;
+            while (cur.peek(look) == ' ' || cur.peek(look) == '\t')
+                ++look;
+            if (cur.peek(look) == '\'') {
+                for (size_t i = 0; i <= look; ++i)
+                    cur.advance(); // spaces + the tick
+                text += '\'';
+                if (!cur.done() && (cur.peek() == 's' || cur.peek() == 'S'))
+                    text += cur.advance();
+                if (cur.done())
+                    fatal(format("line %u: truncated literal", loc.line));
+                char base = cur.advance();
+                text += base;
+                while (!cur.done() && isBaseDigit(cur.peek()))
+                    text += cur.advance();
+            }
+            emit(TokenKind::Number, std::move(text), loc);
+            continue;
+        }
+
+        // Operators and punctuation.
+        auto two = [&cur](char a, char b) {
+            return cur.peek() == a && cur.peek(1) == b;
+        };
+        auto three = [&cur](char a, char b, char d) {
+            return cur.peek() == a && cur.peek(1) == b && cur.peek(2) == d;
+        };
+        auto take = [&cur](int n) {
+            for (int i = 0; i < n; ++i)
+                cur.advance();
+        };
+
+        if (three('=', '=', '=')) { take(3); emit(TokenKind::EqEqEq, "===", loc); continue; }
+        if (three('!', '=', '=')) { take(3); emit(TokenKind::BangEqEq, "!==", loc); continue; }
+        if (three('<', '<', '<')) { take(3); emit(TokenKind::AShl, "<<<", loc); continue; }
+        if (three('>', '>', '>')) { take(3); emit(TokenKind::AShr, ">>>", loc); continue; }
+        if (two('=', '=')) { take(2); emit(TokenKind::EqEq, "==", loc); continue; }
+        if (two('!', '=')) { take(2); emit(TokenKind::BangEq, "!=", loc); continue; }
+        if (two('<', '=')) { take(2); emit(TokenKind::LtEq, "<=", loc); continue; }
+        if (two('>', '=')) { take(2); emit(TokenKind::GtEq, ">=", loc); continue; }
+        if (two('<', '<')) { take(2); emit(TokenKind::Shl, "<<", loc); continue; }
+        if (two('>', '>')) { take(2); emit(TokenKind::Shr, ">>", loc); continue; }
+        if (two('&', '&')) { take(2); emit(TokenKind::AmpAmp, "&&", loc); continue; }
+        if (two('|', '|')) { take(2); emit(TokenKind::PipePipe, "||", loc); continue; }
+        if (two('~', '&')) { take(2); emit(TokenKind::TildeAmp, "~&", loc); continue; }
+        if (two('~', '|')) { take(2); emit(TokenKind::TildePipe, "~|", loc); continue; }
+        if (two('~', '^')) { take(2); emit(TokenKind::TildeCaret, "~^", loc); continue; }
+        if (two('^', '~')) { take(2); emit(TokenKind::TildeCaret, "^~", loc); continue; }
+
+        TokenKind kind;
+        switch (c) {
+          case '(': kind = TokenKind::LParen; break;
+          case ')': kind = TokenKind::RParen; break;
+          case '[': kind = TokenKind::LBracket; break;
+          case ']': kind = TokenKind::RBracket; break;
+          case '{': kind = TokenKind::LBrace; break;
+          case '}': kind = TokenKind::RBrace; break;
+          case ';': kind = TokenKind::Semicolon; break;
+          case ',': kind = TokenKind::Comma; break;
+          case '.': kind = TokenKind::Dot; break;
+          case ':': kind = TokenKind::Colon; break;
+          case '?': kind = TokenKind::Question; break;
+          case '@': kind = TokenKind::At; break;
+          case '#': kind = TokenKind::Hash; break;
+          case '=': kind = TokenKind::Equals; break;
+          case '+': kind = TokenKind::Plus; break;
+          case '-': kind = TokenKind::Minus; break;
+          case '*': kind = TokenKind::Star; break;
+          case '/': kind = TokenKind::Slash; break;
+          case '%': kind = TokenKind::Percent; break;
+          case '&': kind = TokenKind::Amp; break;
+          case '|': kind = TokenKind::Pipe; break;
+          case '^': kind = TokenKind::Caret; break;
+          case '~': kind = TokenKind::Tilde; break;
+          case '!': kind = TokenKind::Bang; break;
+          case '<': kind = TokenKind::Lt; break;
+          case '>': kind = TokenKind::Gt; break;
+          default:
+            fatal(format("line %u:%u: unexpected character '%c'",
+                         loc.line, loc.col, c));
+        }
+        cur.advance();
+        emit(kind, std::string(1, c), loc);
+    }
+
+    tokens.push_back(Token{TokenKind::Eof, "", cur.loc()});
+    return tokens;
+}
+
+} // namespace rtlrepair::verilog

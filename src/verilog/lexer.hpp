@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Hand-written lexer for the synthesizable Verilog subset.
+ *
+ * Comments and `(* ... *)` attribute blocks are skipped.  Based number
+ * literals (including a separate size prefix, e.g. `4 'b10x1`) are
+ * assembled into a single Number token whose text is the canonical
+ * literal spelling.
+ */
+#ifndef RTLREPAIR_VERILOG_LEXER_HPP
+#define RTLREPAIR_VERILOG_LEXER_HPP
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "verilog/token.hpp"
+
+namespace rtlrepair::verilog {
+
+/** Lex @p source completely; throws FatalError on bad input. */
+std::vector<Token> lex(std::string_view source);
+
+} // namespace rtlrepair::verilog
+
+#endif // RTLREPAIR_VERILOG_LEXER_HPP

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Recursive-descent parser for the synthesizable Verilog subset.
+ *
+ * Accepts both ANSI (Verilog-2001) and non-ANSI port declaration
+ * styles, `#(...)` parameter overrides, module instances, for-loops,
+ * and `#n` intra-assignment delays (which are recorded but have no
+ * synthesis semantics).  Constructs outside the subset (functions,
+ * generate blocks, tasks) raise FatalError with a source location.
+ */
+#ifndef RTLREPAIR_VERILOG_PARSER_HPP
+#define RTLREPAIR_VERILOG_PARSER_HPP
+
+#include <string_view>
+
+#include "verilog/ast.hpp"
+
+namespace rtlrepair::verilog {
+
+/** Parse a full source file (one or more modules). */
+SourceFile parse(std::string_view source);
+
+/** Parse a file from disk. */
+SourceFile parseFile(const std::string &path);
+
+/** Parse a single expression (used by tests and tools). */
+ExprPtr parseExpression(std::string_view source);
+
+} // namespace rtlrepair::verilog
+
+#endif // RTLREPAIR_VERILOG_PARSER_HPP

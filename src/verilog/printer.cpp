@@ -1,0 +1,418 @@
+#include "verilog/printer.hpp"
+
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace rtlrepair::verilog {
+
+namespace {
+
+const char *
+unaryOpText(UnaryOp op)
+{
+    switch (op) {
+      case UnaryOp::BitNot: return "~";
+      case UnaryOp::LogicNot: return "!";
+      case UnaryOp::Minus: return "-";
+      case UnaryOp::Plus: return "+";
+      case UnaryOp::RedAnd: return "&";
+      case UnaryOp::RedOr: return "|";
+      case UnaryOp::RedXor: return "^";
+      case UnaryOp::RedNand: return "~&";
+      case UnaryOp::RedNor: return "~|";
+      case UnaryOp::RedXnor: return "~^";
+    }
+    return "?";
+}
+
+const char *
+binaryOpText(BinaryOp op)
+{
+    switch (op) {
+      case BinaryOp::Add: return "+";
+      case BinaryOp::Sub: return "-";
+      case BinaryOp::Mul: return "*";
+      case BinaryOp::Div: return "/";
+      case BinaryOp::Mod: return "%";
+      case BinaryOp::BitAnd: return "&";
+      case BinaryOp::BitOr: return "|";
+      case BinaryOp::BitXor: return "^";
+      case BinaryOp::BitXnor: return "~^";
+      case BinaryOp::LogicAnd: return "&&";
+      case BinaryOp::LogicOr: return "||";
+      case BinaryOp::Shl: return "<<";
+      case BinaryOp::Shr: return ">>";
+      case BinaryOp::AShr: return ">>>";
+      case BinaryOp::Lt: return "<";
+      case BinaryOp::Le: return "<=";
+      case BinaryOp::Gt: return ">";
+      case BinaryOp::Ge: return ">=";
+      case BinaryOp::Eq: return "==";
+      case BinaryOp::Ne: return "!=";
+      case BinaryOp::CaseEq: return "===";
+      case BinaryOp::CaseNe: return "!==";
+    }
+    return "?";
+}
+
+class PrintVisitor
+{
+  public:
+    std::ostringstream out;
+
+    void
+    indent(int level)
+    {
+        for (int i = 0; i < level; ++i)
+            out << "    ";
+    }
+
+    void
+    printExpr(const Expr &e, bool parens = false)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Ident:
+            out << static_cast<const IdentExpr &>(e).name;
+            return;
+          case Expr::Kind::Literal: {
+            const auto &lit = static_cast<const LiteralExpr &>(e);
+            if (!lit.is_sized && !lit.value.hasX() &&
+                lit.value.width() == 32) {
+                out << lit.value.toUint64();
+            } else {
+                out << lit.value.toVerilogLiteral();
+            }
+            return;
+          }
+          case Expr::Kind::Unary: {
+            const auto &u = static_cast<const UnaryExpr &>(e);
+            out << unaryOpText(u.op);
+            printExpr(*u.operand, true);
+            return;
+          }
+          case Expr::Kind::Binary: {
+            const auto &b = static_cast<const BinaryExpr &>(e);
+            if (parens)
+                out << "(";
+            printExpr(*b.lhs, true);
+            out << " " << binaryOpText(b.op) << " ";
+            printExpr(*b.rhs, true);
+            if (parens)
+                out << ")";
+            return;
+          }
+          case Expr::Kind::Ternary: {
+            const auto &t = static_cast<const TernaryExpr &>(e);
+            if (parens)
+                out << "(";
+            printExpr(*t.cond, true);
+            out << " ? ";
+            printExpr(*t.then_expr, true);
+            out << " : ";
+            printExpr(*t.else_expr, true);
+            if (parens)
+                out << ")";
+            return;
+          }
+          case Expr::Kind::Concat: {
+            const auto &c = static_cast<const ConcatExpr &>(e);
+            out << "{";
+            for (size_t i = 0; i < c.parts.size(); ++i) {
+                if (i > 0)
+                    out << ", ";
+                printExpr(*c.parts[i]);
+            }
+            out << "}";
+            return;
+          }
+          case Expr::Kind::Repl: {
+            const auto &r = static_cast<const ReplExpr &>(e);
+            out << "{";
+            printExpr(*r.count);
+            out << "{";
+            printExpr(*r.inner);
+            out << "}}";
+            return;
+          }
+          case Expr::Kind::Index: {
+            const auto &i = static_cast<const IndexExpr &>(e);
+            printExpr(*i.base, true);
+            out << "[";
+            printExpr(*i.index);
+            out << "]";
+            return;
+          }
+          case Expr::Kind::RangeSelect: {
+            const auto &r = static_cast<const RangeSelectExpr &>(e);
+            printExpr(*r.base, true);
+            out << "[";
+            printExpr(*r.msb);
+            out << ":";
+            printExpr(*r.lsb);
+            out << "]";
+            return;
+          }
+        }
+        panic("unknown expression kind");
+    }
+
+    void
+    printStmt(const Stmt &s, int level)
+    {
+        switch (s.kind) {
+          case Stmt::Kind::Block: {
+            const auto &b = static_cast<const BlockStmt &>(s);
+            indent(level);
+            out << "begin";
+            if (!b.label.empty())
+                out << " : " << b.label;
+            out << "\n";
+            for (const auto &stmt : b.stmts)
+                printStmt(*stmt, level + 1);
+            indent(level);
+            out << "end\n";
+            return;
+          }
+          case Stmt::Kind::If: {
+            const auto &i = static_cast<const IfStmt &>(s);
+            indent(level);
+            out << "if (";
+            printExpr(*i.cond);
+            out << ")\n";
+            printStmt(*i.then_stmt, level + 1);
+            if (i.else_stmt) {
+                indent(level);
+                out << "else\n";
+                printStmt(*i.else_stmt, level + 1);
+            }
+            return;
+          }
+          case Stmt::Kind::Case: {
+            const auto &c = static_cast<const CaseStmt &>(s);
+            indent(level);
+            switch (c.mode) {
+              case CaseStmt::Mode::Plain: out << "case ("; break;
+              case CaseStmt::Mode::CaseZ: out << "casez ("; break;
+              case CaseStmt::Mode::CaseX: out << "casex ("; break;
+            }
+            printExpr(*c.subject);
+            out << ")\n";
+            for (const auto &item : c.items) {
+                indent(level + 1);
+                for (size_t i = 0; i < item.labels.size(); ++i) {
+                    if (i > 0)
+                        out << ", ";
+                    printExpr(*item.labels[i]);
+                }
+                out << ":\n";
+                printStmt(*item.body, level + 2);
+            }
+            if (c.default_body) {
+                indent(level + 1);
+                out << "default:\n";
+                printStmt(*c.default_body, level + 2);
+            }
+            indent(level);
+            out << "endcase\n";
+            return;
+          }
+          case Stmt::Kind::Assign: {
+            const auto &a = static_cast<const AssignStmt &>(s);
+            indent(level);
+            printExpr(*a.lhs);
+            out << (a.blocking ? " = " : " <= ");
+            printExpr(*a.rhs);
+            out << ";\n";
+            return;
+          }
+          case Stmt::Kind::For: {
+            const auto &f = static_cast<const ForStmt &>(s);
+            const auto &init = static_cast<const AssignStmt &>(*f.init);
+            const auto &step = static_cast<const AssignStmt &>(*f.step);
+            indent(level);
+            out << "for (";
+            printExpr(*init.lhs);
+            out << " = ";
+            printExpr(*init.rhs);
+            out << "; ";
+            printExpr(*f.cond);
+            out << "; ";
+            printExpr(*step.lhs);
+            out << " = ";
+            printExpr(*step.rhs);
+            out << ")\n";
+            printStmt(*f.body, level + 1);
+            return;
+          }
+          case Stmt::Kind::Empty:
+            indent(level);
+            out << ";\n";
+            return;
+        }
+        panic("unknown statement kind");
+    }
+
+    void
+    printRange(const NetDecl &decl)
+    {
+        if (decl.msb) {
+            out << "[";
+            printExpr(*decl.msb);
+            out << ":";
+            printExpr(*decl.lsb);
+            out << "] ";
+        }
+    }
+
+    void
+    printItem(const Item &item)
+    {
+        switch (item.kind) {
+          case Item::Kind::Net: {
+            const auto &decl = static_cast<const NetDecl &>(item);
+            out << "    ";
+            switch (decl.dir) {
+              case PortDir::Input: out << "input "; break;
+              case PortDir::Output: out << "output "; break;
+              case PortDir::Inout: out << "inout "; break;
+              case PortDir::Unknown: break;
+            }
+            switch (decl.net) {
+              case NetKind::Wire: out << "wire "; break;
+              case NetKind::Reg: out << "reg "; break;
+              case NetKind::Integer: out << "integer "; break;
+            }
+            if (decl.is_signed)
+                out << "signed ";
+            printRange(decl);
+            out << decl.name << ";\n";
+            return;
+          }
+          case Item::Kind::Param: {
+            const auto &p = static_cast<const ParamDecl &>(item);
+            out << "    " << (p.is_local ? "localparam " : "parameter ")
+                << p.name << " = ";
+            printExpr(*p.value);
+            out << ";\n";
+            return;
+          }
+          case Item::Kind::ContAssign: {
+            const auto &a = static_cast<const ContAssign &>(item);
+            out << "    assign ";
+            printExpr(*a.lhs);
+            out << " = ";
+            printExpr(*a.rhs);
+            out << ";\n";
+            return;
+          }
+          case Item::Kind::Always: {
+            const auto &a = static_cast<const AlwaysBlock &>(item);
+            out << "    always @(";
+            for (size_t i = 0; i < a.sensitivity.size(); ++i) {
+                if (i > 0)
+                    out << " or ";
+                const SensItem &s = a.sensitivity[i];
+                switch (s.edge) {
+                  case SensItem::Edge::Posedge:
+                    out << "posedge " << s.signal;
+                    break;
+                  case SensItem::Edge::Negedge:
+                    out << "negedge " << s.signal;
+                    break;
+                  case SensItem::Edge::Level:
+                    out << s.signal;
+                    break;
+                  case SensItem::Edge::Star:
+                    out << "*";
+                    break;
+                }
+            }
+            out << ")\n";
+            printStmt(*a.body, 1);
+            return;
+          }
+          case Item::Kind::Initial: {
+            const auto &i = static_cast<const InitialBlock &>(item);
+            out << "    initial\n";
+            printStmt(*i.body, 1);
+            return;
+          }
+          case Item::Kind::Instance: {
+            const auto &inst = static_cast<const Instance &>(item);
+            out << "    " << inst.module_name << " ";
+            if (!inst.params.empty()) {
+                out << "#(";
+                printConnections(inst.params);
+                out << ") ";
+            }
+            out << inst.instance_name << " (";
+            printConnections(inst.ports);
+            out << ");\n";
+            return;
+          }
+        }
+        panic("unknown item kind");
+    }
+
+    void
+    printConnections(const std::vector<Connection> &conns)
+    {
+        for (size_t i = 0; i < conns.size(); ++i) {
+            if (i > 0)
+                out << ", ";
+            const Connection &c = conns[i];
+            if (!c.port.empty()) {
+                out << "." << c.port << "(";
+                if (c.expr)
+                    printExpr(*c.expr);
+                out << ")";
+            } else if (c.expr) {
+                printExpr(*c.expr);
+            }
+        }
+    }
+
+    void
+    printModule(const Module &m)
+    {
+        out << "module " << m.name << " (";
+        for (size_t i = 0; i < m.ports.size(); ++i) {
+            if (i > 0)
+                out << ", ";
+            out << m.ports[i].name;
+        }
+        out << ");\n";
+        for (const auto &item : m.items)
+            printItem(*item);
+        out << "endmodule\n";
+    }
+};
+
+} // namespace
+
+std::string
+print(const Module &module)
+{
+    PrintVisitor visitor;
+    visitor.printModule(module);
+    return visitor.out.str();
+}
+
+std::string
+print(const Expr &expr)
+{
+    PrintVisitor visitor;
+    visitor.printExpr(expr);
+    return visitor.out.str();
+}
+
+std::string
+print(const Stmt &stmt, int indent)
+{
+    PrintVisitor visitor;
+    visitor.printStmt(stmt, indent);
+    return visitor.out.str();
+}
+
+} // namespace rtlrepair::verilog

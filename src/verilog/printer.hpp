@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Serializes an AST back into Verilog source text.
+ *
+ * The printer produces a canonical formatting, so diffing the printed
+ * buggy design against the printed repaired design yields exactly the
+ * semantic changes (used for the qualitative figures and the Table 6
+ * ground-truth grading).
+ */
+#ifndef RTLREPAIR_VERILOG_PRINTER_HPP
+#define RTLREPAIR_VERILOG_PRINTER_HPP
+
+#include <string>
+
+#include "verilog/ast.hpp"
+
+namespace rtlrepair::verilog {
+
+/** Render @p module as Verilog source. */
+std::string print(const Module &module);
+
+/** Render a single expression. */
+std::string print(const Expr &expr);
+
+/** Render a single statement (at the given indent level). */
+std::string print(const Stmt &stmt, int indent = 0);
+
+} // namespace rtlrepair::verilog
+
+#endif // RTLREPAIR_VERILOG_PRINTER_HPP

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Token definitions for the Verilog lexer.
+ */
+#ifndef RTLREPAIR_VERILOG_TOKEN_HPP
+#define RTLREPAIR_VERILOG_TOKEN_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace rtlrepair::verilog {
+
+/** Source position (1-based line/column). */
+struct SourceLoc
+{
+    uint32_t line = 0;
+    uint32_t col = 0;
+};
+
+/** Token kinds for the synthesizable Verilog subset we accept. */
+enum class TokenKind
+{
+    Eof,
+    Identifier,     ///< plain or escaped identifier
+    SystemName,     ///< $display and friends (parsed, then rejected)
+    Number,         ///< literal incl. based forms such as 4'b10x1
+    String,         ///< quoted string (only in ignored constructs)
+
+    // Keywords
+    KwModule, KwEndmodule, KwInput, KwOutput, KwInout,
+    KwWire, KwReg, KwInteger, KwGenvar,
+    KwParameter, KwLocalparam, KwAssign,
+    KwAlways, KwInitial, KwBegin, KwEnd,
+    KwIf, KwElse, KwCase, KwCasez, KwCasex, KwEndcase, KwDefault,
+    KwPosedge, KwNegedge, KwOr, KwFor, KwSigned,
+    KwFunction, KwEndfunction, KwGenerate, KwEndgenerate,
+
+    // Punctuation / operators
+    LParen, RParen, LBracket, RBracket, LBrace, RBrace,
+    Semicolon, Comma, Dot, Colon, Question,
+    At, Hash, Equals,
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Bang,
+    AmpAmp, PipePipe,
+    EqEq, BangEq, EqEqEq, BangEqEq,
+    Lt, LtEq, Gt, GtEq,
+    Shl, Shr, AShl, AShr,
+    TildeAmp, TildePipe, TildeCaret,
+};
+
+/** A single lexed token. */
+struct Token
+{
+    TokenKind kind = TokenKind::Eof;
+    std::string text;   ///< identifier name / literal text
+    SourceLoc loc;
+};
+
+/** Human-readable name of a token kind (for diagnostics). */
+const char *tokenKindName(TokenKind kind);
+
+} // namespace rtlrepair::verilog
+
+#endif // RTLREPAIR_VERILOG_TOKEN_HPP

@@ -1,0 +1,131 @@
+// Tests for AST utilities: equality, rewriting, simplify, diff.
+#include <gtest/gtest.h>
+
+#include "verilog/ast_util.hpp"
+#include "verilog/parser.hpp"
+#include "verilog/printer.hpp"
+
+using namespace rtlrepair::verilog;
+using rtlrepair::bv::Value;
+
+TEST(AstEqual, StructuralIgnoresIds)
+{
+    auto a = parseExpression("a + b * 2");
+    auto b = parseExpression("a + b * 2");
+    auto c = parseExpression("a + b * 3");
+    EXPECT_TRUE(equal(*a, *b));
+    EXPECT_FALSE(equal(*a, *c));
+}
+
+TEST(AstEqual, ModulesCompareDeeply)
+{
+    const char *src = "module m (input a, output reg y);\n"
+                      "always @(*) if (a) y = 1'b1; else y = 1'b0;\n"
+                      "endmodule\n";
+    auto f1 = parse(src);
+    auto f2 = parse(src);
+    EXPECT_TRUE(equal(f1.top(), f2.top()));
+    auto f3 = parse("module m (input a, output reg y);\n"
+                    "always @(*) if (a) y = 1'b0; else y = 1'b0;\n"
+                    "endmodule\n");
+    EXPECT_FALSE(equal(f1.top(), f3.top()));
+}
+
+TEST(Rewrite, ReplacesIdentsEverywhere)
+{
+    auto e = parseExpression("x + (x ? y : x[2])");
+    int count = 0;
+    rewriteExprTree(e, [&count](ExprPtr &node) {
+        if (node->kind == Expr::Kind::Ident &&
+            static_cast<IdentExpr &>(*node).name == "x") {
+            ++count;
+        }
+    });
+    EXPECT_EQ(count, 3);
+}
+
+TEST(Substitute, IdentsBecomeLiterals)
+{
+    auto e = parseExpression("a + b");
+    substituteIdents(e, {{"a", Value::fromUint(8, 5)}});
+    EXPECT_EQ(print(*e), "8'h05 + b");
+}
+
+TEST(Simplify, ConstantTernary)
+{
+    auto e = parseExpression("1'b1 ? a : b");
+    simplifyExpr(e);
+    EXPECT_EQ(print(*e), "a");
+    e = parseExpression("1'b0 ? a : b");
+    simplifyExpr(e);
+    EXPECT_EQ(print(*e), "b");
+}
+
+TEST(Simplify, LogicalIdentities)
+{
+    auto check_simpl = [](const char *in, const char *out) {
+        auto e = parseExpression(in);
+        simplifyExpr(e);
+        EXPECT_EQ(print(*e), out) << in;
+    };
+    check_simpl("a && 1'b1", "a");
+    check_simpl("1'b1 && a", "a");
+    check_simpl("a || 1'b0", "a");
+    check_simpl("a ^ 1'b0", "a");
+    check_simpl("!(!(a))", "a");
+    check_simpl("a && 1'b0", "1'b0");
+    check_simpl("a || 1'b1", "1'b1");
+}
+
+TEST(Simplify, FoldsLiteralOperators)
+{
+    auto check_simpl = [](const char *in, const char *out) {
+        auto e = parseExpression(in);
+        simplifyExpr(e);
+        EXPECT_EQ(print(*e), out) << in;
+    };
+    check_simpl("2'd1 + 2'd1", "2'b10");
+    check_simpl("2'd1 == 2'd1", "1'b1");
+    check_simpl("2'd1 == 2'd2", "1'b0");
+    check_simpl("(2'd1 == 2'd0) ? a : b", "b");
+    check_simpl("!1'b0", "1'b1");
+}
+
+TEST(Simplify, StatementsFoldAndFlatten)
+{
+    auto file = parse(R"(
+        module m (input a, output reg y);
+            always @(*) begin
+                begin
+                    y = 1'b0;
+                end
+                if (1'b0) y = 1'b1;
+                if (1'b1) y = a;
+                ;
+            end
+        endmodule
+    )");
+    simplifyModule(file.top());
+    std::string out = print(file.top());
+    EXPECT_EQ(out.find("1'b1)"), std::string::npos)
+        << "constant ifs folded:\n" << out;
+    EXPECT_NE(out.find("y = a;"), std::string::npos);
+    EXPECT_NE(out.find("y = 1'b0;"), std::string::npos);
+}
+
+TEST(Diff, LineDiffAndCounts)
+{
+    std::string before = "a\nb\nc\n";
+    std::string after = "a\nx\nc\ny\n";
+    auto diff = diffLines(before, after);
+    std::string formatted = formatDiff(diff);
+    EXPECT_NE(formatted.find("- b"), std::string::npos);
+    EXPECT_NE(formatted.find("+ x"), std::string::npos);
+    EXPECT_NE(formatted.find("+ y"), std::string::npos);
+    auto [added, removed] = countDiff(before, after);
+    EXPECT_EQ(added, 2);
+    EXPECT_EQ(removed, 1);
+    auto [a2, r2] = countDiff(before, before);
+    EXPECT_EQ(a2, 0);
+    EXPECT_EQ(r2, 0);
+}

@@ -1,0 +1,286 @@
+// Unit and property tests for the 4-state bit-vector Value class.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bv/value.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+using rtlrepair::Rng;
+using rtlrepair::bv::Value;
+
+TEST(Value, ConstructorsAndQueries)
+{
+    EXPECT_EQ(Value::zeros(8).toUint64(), 0u);
+    EXPECT_EQ(Value::ones(8).toUint64(), 0xffu);
+    EXPECT_EQ(Value::fromUint(8, 0x12).toUint64(), 0x12u);
+    EXPECT_TRUE(Value::allX(8).hasX());
+    EXPECT_FALSE(Value::zeros(8).hasX());
+    EXPECT_TRUE(Value::zeros(8).isZero());
+    EXPECT_FALSE(Value::allX(8).isZero());
+    EXPECT_TRUE(Value::fromUint(8, 3).isNonZero());
+}
+
+TEST(Value, WideValues)
+{
+    Value v = Value::ones(130);
+    EXPECT_EQ(v.width(), 130u);
+    EXPECT_EQ(v.bit(129), 1);
+    EXPECT_EQ((~v).bit(129), 0);
+    Value inc = v + Value::fromUint(130, 1);
+    EXPECT_TRUE(inc.isZero()) << "all-ones + 1 wraps to zero";
+}
+
+TEST(Value, FromUintMasksExcessBits)
+{
+    EXPECT_EQ(Value::fromUint(4, 0xff).toUint64(), 0xfu);
+}
+
+TEST(Value, ParseVerilogBinary)
+{
+    Value v = Value::parseVerilog("4'b10x1");
+    EXPECT_EQ(v.width(), 4u);
+    EXPECT_EQ(v.bit(0), 1);
+    EXPECT_EQ(v.bit(1), -1);
+    EXPECT_EQ(v.bit(2), 0);
+    EXPECT_EQ(v.bit(3), 1);
+    EXPECT_EQ(v.toBinaryString(), "10x1");
+}
+
+TEST(Value, ParseVerilogHexDecimalOctal)
+{
+    EXPECT_EQ(Value::parseVerilog("8'hff").toUint64(), 0xffu);
+    EXPECT_EQ(Value::parseVerilog("8'hFF").toUint64(), 0xffu);
+    EXPECT_EQ(Value::parseVerilog("12'o777").toUint64(), 0x1ffu);
+    EXPECT_EQ(Value::parseVerilog("5'd31").toUint64(), 31u);
+    EXPECT_EQ(Value::parseVerilog("42").width(), 32u);
+    EXPECT_EQ(Value::parseVerilog("42").toUint64(), 42u);
+    EXPECT_EQ(Value::parseVerilog("8'b1010_1010").toUint64(), 0xaau);
+    EXPECT_EQ(Value::parseVerilog("4'sd3").toUint64(), 3u);
+}
+
+TEST(Value, ParseVerilogXExtension)
+{
+    // A leading x digit extends through the remaining bits.
+    Value v = Value::parseVerilog("8'bx1");
+    EXPECT_EQ(v.bit(0), 1);
+    for (uint32_t i = 1; i < 8; ++i)
+        EXPECT_EQ(v.bit(i), -1) << i;
+}
+
+TEST(Value, ParseVerilogRejectsMalformed)
+{
+    EXPECT_THROW(Value::parseVerilog(""), rtlrepair::FatalError);
+    EXPECT_THROW(Value::parseVerilog("4'q10"), rtlrepair::FatalError);
+    EXPECT_THROW(Value::parseVerilog("4'b2"), rtlrepair::FatalError);
+    EXPECT_THROW(Value::parseVerilog("x4"), rtlrepair::FatalError);
+}
+
+TEST(Value, ZExtSExtSlice)
+{
+    Value v = Value::fromUint(4, 0b1010);
+    EXPECT_EQ(v.zext(8).toUint64(), 0b1010u);
+    EXPECT_EQ(v.sext(8).toUint64(), 0b11111010u);
+    EXPECT_EQ(v.slice(3, 1).toUint64(), 0b101u);
+    EXPECT_EQ(v.slice(0, 0).toUint64(), 0u);
+}
+
+TEST(Value, ConcatAndReplicate)
+{
+    Value hi = Value::fromUint(4, 0xa);
+    Value lo = Value::fromUint(4, 0x5);
+    EXPECT_EQ(hi.concat(lo).toUint64(), 0xa5u);
+    EXPECT_EQ(Value::fromUint(2, 0b10).replicate(3).toUint64(),
+              0b101010u);
+}
+
+TEST(Value, BitwiseDominanceRules)
+{
+    Value x = Value::allX(1);
+    Value zero = Value::fromUint(1, 0);
+    Value one = Value::fromUint(1, 1);
+    // 0 & X = 0, 1 & X = X
+    EXPECT_TRUE((zero & x).isZero());
+    EXPECT_TRUE((one & x).hasX());
+    // 1 | X = 1, 0 | X = X
+    EXPECT_TRUE((one | x).isNonZero());
+    EXPECT_TRUE((zero | x).hasX());
+    // X ^ anything = X
+    EXPECT_TRUE((one ^ x).hasX());
+    EXPECT_TRUE((~x).hasX());
+}
+
+TEST(Value, ArithmeticIsAllXOnUnknown)
+{
+    Value x = Value::allX(8);
+    Value v = Value::fromUint(8, 5);
+    EXPECT_EQ((v + x).toBinaryString(), "xxxxxxxx");
+    EXPECT_EQ((v * x).toBinaryString(), "xxxxxxxx");
+    EXPECT_EQ(v.udiv(Value::zeros(8)).toBinaryString(), "xxxxxxxx")
+        << "division by zero yields X";
+}
+
+TEST(Value, Shifts)
+{
+    Value v = Value::fromUint(8, 0b10010110);
+    EXPECT_EQ(v.shl(Value::fromUint(8, 2)).toUint64(), 0b01011000u);
+    EXPECT_EQ(v.lshr(Value::fromUint(8, 2)).toUint64(), 0b00100101u);
+    EXPECT_EQ(v.ashr(Value::fromUint(8, 2)).toUint64(), 0b11100101u);
+    // Shift by more than the width saturates.
+    EXPECT_TRUE(v.shl(Value::fromUint(8, 200)).isZero());
+    EXPECT_EQ(v.ashr(Value::fromUint(8, 200)).toUint64(), 0xffu);
+}
+
+TEST(Value, Comparisons)
+{
+    Value a = Value::fromUint(8, 5);
+    Value b = Value::fromUint(8, 200);
+    EXPECT_TRUE(a.ult(b).isNonZero());
+    EXPECT_TRUE(a.ule(a).isNonZero());
+    EXPECT_TRUE(a.eq(a).isNonZero());
+    EXPECT_TRUE(a.ne(b).isNonZero());
+    // 200 as signed 8-bit is negative.
+    EXPECT_TRUE(b.slt(a).isNonZero());
+    EXPECT_TRUE(b.sle(a).isNonZero());
+}
+
+TEST(Value, CaseEqComparesXLiterally)
+{
+    Value x1 = Value::parseVerilog("4'b10x1");
+    Value x2 = Value::parseVerilog("4'b10x1");
+    Value k = Value::parseVerilog("4'b1011");
+    EXPECT_TRUE(x1.caseEq(x2).isNonZero());
+    EXPECT_TRUE(x1.caseEq(k).isZero());
+    EXPECT_TRUE(x1.eq(k).hasX()) << "logical == with X is X";
+}
+
+TEST(Value, Reductions)
+{
+    EXPECT_TRUE(Value::fromUint(4, 0xf).redAnd().isNonZero());
+    EXPECT_TRUE(Value::fromUint(4, 0x7).redAnd().isZero());
+    EXPECT_TRUE(Value::fromUint(4, 0x0).redOr().isZero());
+    EXPECT_TRUE(Value::fromUint(4, 0x8).redOr().isNonZero());
+    EXPECT_TRUE(Value::fromUint(4, 0b0111).redXor().isNonZero());
+    EXPECT_TRUE(Value::fromUint(4, 0b0110).redXor().isZero());
+    // X short-circuits: a known 0 dominates redAnd even with X bits.
+    Value v = Value::parseVerilog("4'b0xx1");
+    EXPECT_TRUE(v.redAnd().isZero());
+    EXPECT_TRUE(v.redOr().isNonZero());
+}
+
+TEST(Value, IteMergesOnXCondition)
+{
+    Value t = Value::fromUint(4, 0b1010);
+    Value e = Value::fromUint(4, 0b1001);
+    Value merged = Value::ite(Value::allX(1), t, e);
+    EXPECT_EQ(merged.bit(3), 1);  // both arms agree
+    EXPECT_EQ(merged.bit(0), -1); // arms disagree
+    EXPECT_EQ(Value::ite(Value::fromUint(1, 1), t, e), t);
+    EXPECT_EQ(Value::ite(Value::fromUint(1, 0), t, e), e);
+}
+
+TEST(Value, MatchesTreatsExpectedXAsDontCare)
+{
+    Value got = Value::fromUint(4, 0b1010);
+    EXPECT_TRUE(got.matches(Value::parseVerilog("4'b1xx0")));
+    EXPECT_FALSE(got.matches(Value::parseVerilog("4'b0xx0")));
+    // An X in the actual value against a checked bit is a mismatch.
+    EXPECT_FALSE(Value::allX(4).matches(Value::fromUint(4, 0)));
+    EXPECT_TRUE(Value::allX(4).matches(Value::allX(4)));
+}
+
+TEST(Value, XPolicies)
+{
+    Rng rng(7);
+    Value v = Value::parseVerilog("8'b1x0x");
+    EXPECT_FALSE(v.xToZero().hasX());
+    EXPECT_FALSE(v.xToRandom(rng).hasX());
+    EXPECT_EQ(v.xToZero().bit(2), 0);
+}
+
+// ---------------------------------------------------------------------
+// Property sweep: Value arithmetic agrees with native uint64 semantics
+// for random operands across several widths.
+// ---------------------------------------------------------------------
+
+class ValueArithProperty : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(ValueArithProperty, MatchesNativeArithmetic)
+{
+    uint32_t width = GetParam();
+    uint64_t mask =
+        width >= 64 ? ~0ull : ((1ull << width) - 1);
+    Rng rng(width * 977 + 13);
+    for (int iter = 0; iter < 500; ++iter) {
+        uint64_t a = rng.next() & mask;
+        uint64_t b = rng.next() & mask;
+        Value va = Value::fromUint(width, a);
+        Value vb = Value::fromUint(width, b);
+        EXPECT_EQ((va + vb).toUint64(), (a + b) & mask);
+        EXPECT_EQ((va - vb).toUint64(), (a - b) & mask);
+        EXPECT_EQ((va * vb).toUint64(), (a * b) & mask);
+        EXPECT_EQ((va & vb).toUint64(), a & b);
+        EXPECT_EQ((va | vb).toUint64(), a | b);
+        EXPECT_EQ((va ^ vb).toUint64(), a ^ b);
+        EXPECT_EQ((~va).toUint64(), ~a & mask);
+        EXPECT_EQ(va.ult(vb).isNonZero(), a < b);
+        EXPECT_EQ(va.ule(vb).isNonZero(), a <= b);
+        EXPECT_EQ(va.eq(vb).isNonZero(), a == b);
+        if (b != 0) {
+            EXPECT_EQ(va.udiv(vb).toUint64(), a / b);
+            EXPECT_EQ(va.urem(vb).toUint64(), a % b);
+        }
+        uint64_t sh = rng.below(width + 4);
+        Value amount = Value::fromUint(std::max(width, 8u), sh);
+        EXPECT_EQ(va.shl(amount).toUint64(),
+                  sh >= width ? 0 : (a << sh) & mask);
+        EXPECT_EQ(va.lshr(amount).toUint64(),
+                  sh >= width ? 0 : a >> sh);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ValueArithProperty,
+                         ::testing::Values(1u, 4u, 8u, 13u, 16u, 31u,
+                                           32u, 48u, 64u));
+
+// Wide-width property: algebraic identities hold beyond 64 bits.
+class ValueWideProperty : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(ValueWideProperty, AlgebraicIdentities)
+{
+    uint32_t width = GetParam();
+    Rng rng(width);
+    for (int iter = 0; iter < 100; ++iter) {
+        Value a = Value::random(width, rng);
+        Value b = Value::random(width, rng);
+        EXPECT_EQ(a + b, b + a);
+        EXPECT_EQ((a + b) - b, a);
+        EXPECT_EQ(a ^ (a ^ b), b);
+        EXPECT_EQ(a.negate() + a, Value::zeros(width));
+        EXPECT_TRUE(a.eq(a).isNonZero());
+        EXPECT_EQ((a & b) | (a & ~b), a);
+        // Division identity: a = q*b + r with r < b.
+        if (b.isNonZero()) {
+            Value q = a.udiv(b);
+            Value r = a.urem(b);
+            EXPECT_EQ(q * b + r, a);
+            EXPECT_TRUE(r.ult(b).isNonZero());
+        }
+        // slice-concat round trip
+        if (width >= 2) {
+            uint32_t cut = 1 + static_cast<uint32_t>(
+                                   rng.below(width - 1));
+            Value high = a.slice(width - 1, cut);
+            Value low = a.slice(cut - 1, 0);
+            EXPECT_EQ(high.concat(low), a);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(WideWidths, ValueWideProperty,
+                         ::testing::Values(65u, 100u, 128u, 200u));

@@ -1,0 +1,79 @@
+// Tests for compile-time constant evaluation.
+#include "util/logging.hpp"
+#include <gtest/gtest.h>
+
+#include "analysis/const_eval.hpp"
+#include "verilog/parser.hpp"
+
+using namespace rtlrepair;
+using analysis::ConstEnv;
+using rtlrepair::FatalError;
+using analysis::constEval;
+using analysis::constEvalInt;
+using analysis::tryConstEval;
+using bv::Value;
+using verilog::parseExpression;
+
+namespace {
+
+int64_t
+evalInt(const std::string &src, const ConstEnv &env = {})
+{
+    return constEvalInt(*parseExpression(src), env);
+}
+
+} // namespace
+
+TEST(ConstEval, Arithmetic)
+{
+    EXPECT_EQ(evalInt("1 + 2 * 3"), 7);
+    EXPECT_EQ(evalInt("(8 - 3) % 3"), 2);
+    EXPECT_EQ(evalInt("16 / 4"), 4);
+    EXPECT_EQ(evalInt("1 << 4"), 16);
+    EXPECT_EQ(evalInt("256 >> 4"), 16);
+}
+
+TEST(ConstEval, Logic)
+{
+    EXPECT_EQ(evalInt("4 > 3"), 1);
+    EXPECT_EQ(evalInt("4 < 3"), 0);
+    EXPECT_EQ(evalInt("1 && 0"), 0);
+    EXPECT_EQ(evalInt("1 || 0"), 1);
+    EXPECT_EQ(evalInt("3 == 3"), 1);
+    EXPECT_EQ(evalInt("3 != 3"), 0);
+}
+
+TEST(ConstEval, Parameters)
+{
+    ConstEnv env;
+    env["W"] = Value::fromUint(32, 8);
+    EXPECT_EQ(evalInt("W - 1", env), 7);
+    EXPECT_EQ(evalInt("W * 2 + 1", env), 17);
+}
+
+TEST(ConstEval, TernaryConcatRepl)
+{
+    EXPECT_EQ(evalInt("1 ? 5 : 9"), 5);
+    EXPECT_EQ(evalInt("0 ? 5 : 9"), 9);
+    EXPECT_EQ(evalInt("{2'b10, 2'b01}"), 0b1001);
+    EXPECT_EQ(evalInt("{3{2'b01}}"), 0b010101);
+    ConstEnv env;
+    env["P"] = Value::parseVerilog("8'hab");
+    EXPECT_EQ(evalInt("P[1]", env), 1);
+    EXPECT_EQ(evalInt("P[2]", env), 0);
+    EXPECT_EQ(evalInt("P[7:4]", env), 0xa);
+}
+
+TEST(ConstEval, NonConstantReturnsNullopt)
+{
+    EXPECT_FALSE(tryConstEval(*parseExpression("a + 1"), {}));
+    EXPECT_THROW(constEval(*parseExpression("sig"), {}),
+                 FatalError);
+}
+
+TEST(ConstEval, XPropagation)
+{
+    Value v = constEval(*parseExpression("4'bxxxx + 4'd1"), {});
+    EXPECT_TRUE(v.hasX());
+    EXPECT_THROW(evalInt("4'bxxxx"), FatalError);
+}

@@ -1,0 +1,109 @@
+// Tests for the combinational dependency graph (Add Guard legality).
+#include <gtest/gtest.h>
+
+#include "analysis/dependencies.hpp"
+#include "verilog/parser.hpp"
+
+using namespace rtlrepair;
+using analysis::DependencyGraph;
+using verilog::parse;
+
+TEST(Dependencies, DirectAndTransitive)
+{
+    auto file = parse(R"(
+        module m (input a, input b, input d, output x, output y);
+            wire mid;
+            assign mid = a & b;
+            assign x = mid | d;
+            assign y = x ^ a;
+        endmodule
+    )");
+    DependencyGraph g = DependencyGraph::build(file.top());
+    EXPECT_TRUE(g.directDeps("mid").count("a"));
+    EXPECT_TRUE(g.directDeps("x").count("mid"));
+    EXPECT_FALSE(g.directDeps("x").count("a"));
+    auto trans = g.transitiveDeps("y");
+    EXPECT_TRUE(trans.count("a"));
+    EXPECT_TRUE(trans.count("mid"));
+    EXPECT_TRUE(trans.count("d"));
+}
+
+TEST(Dependencies, RegistersBreakCycles)
+{
+    auto file = parse(R"(
+        module m (input clk, input a, output q_out);
+            reg q;
+            wire next;
+            assign next = q ^ a;
+            assign q_out = q;
+            always @(posedge clk) q <= next;
+        endmodule
+    )");
+    DependencyGraph g = DependencyGraph::build(file.top());
+    // q is a register: it has no combinational driver.
+    EXPECT_FALSE(g.isCombDriven("q"));
+    // Guarding `next` with q is fine (synchronous dependency).
+    EXPECT_FALSE(g.wouldCreateCycle("next", "q"));
+    // Guarding `next` with q_out would close a comb cycle:
+    // q_out <- q, but next <- q_out would NOT cycle since q breaks it.
+    EXPECT_FALSE(g.wouldCreateCycle("next", "q_out"));
+}
+
+TEST(Dependencies, DetectsWouldBeCycles)
+{
+    auto file = parse(R"(
+        module m (input a, output x, output y);
+            assign x = a;
+            assign y = x & a;
+        endmodule
+    )");
+    DependencyGraph g = DependencyGraph::build(file.top());
+    // Adding x -> y would cycle (y already depends on x).
+    EXPECT_TRUE(g.wouldCreateCycle("x", "y"));
+    EXPECT_FALSE(g.wouldCreateCycle("y", "a"));
+    EXPECT_TRUE(g.wouldCreateCycle("y", "y"));
+}
+
+TEST(Dependencies, FindCycle)
+{
+    auto file = parse(R"(
+        module m (input a, output x);
+            wire p, q;
+            assign p = q | a;
+            assign q = p & a;
+            assign x = p;
+        endmodule
+    )");
+    DependencyGraph g = DependencyGraph::build(file.top());
+    auto cycle = g.findCycle();
+    ASSERT_TRUE(cycle.has_value());
+    EXPECT_GE(cycle->size(), 2u);
+}
+
+TEST(Dependencies, NoFalseCycles)
+{
+    auto file = parse(R"(
+        module m (input a, input b, output x, output y);
+            assign x = a & b;
+            assign y = a | b;
+        endmodule
+    )");
+    DependencyGraph g = DependencyGraph::build(file.top());
+    EXPECT_FALSE(g.findCycle().has_value());
+}
+
+TEST(Dependencies, CombProcessesContribute)
+{
+    auto file = parse(R"(
+        module m (input s, input a, input b, output reg out);
+            always @(*) begin
+                if (s) out = a;
+                else out = b;
+            end
+        endmodule
+    )");
+    DependencyGraph g = DependencyGraph::build(file.top());
+    EXPECT_TRUE(g.directDeps("out").count("s"))
+        << "control dependencies are included";
+    EXPECT_TRUE(g.directDeps("out").count("a"));
+}

@@ -1,0 +1,320 @@
+// Tests for the elaborator (Verilog -> transition system).
+#include "util/logging.hpp"
+#include <gtest/gtest.h>
+
+#include "elaborate/elaborate.hpp"
+#include "sim/interpreter.hpp"
+#include "verilog/parser.hpp"
+
+using namespace rtlrepair;
+using bv::Value;
+using elaborate::ElaborateOptions;
+using verilog::parse;
+
+namespace {
+
+/** Elaborate, zero-init, drive inputs, return an output value. */
+Value
+evalOnce(const char *src,
+         const std::map<std::string, uint64_t> &inputs,
+         const std::string &output)
+{
+    auto file = parse(src);
+    ir::TransitionSystem sys = elaborate::elaborate(file);
+    sim::Interpreter interp(
+        sys, sim::SimOptions{sim::XPolicy::Zero, sim::XPolicy::Zero, 1});
+    for (const auto &[name, value] : inputs) {
+        int idx = sys.inputIndex(name);
+        EXPECT_GE(idx, 0) << name;
+        interp.setInput(static_cast<size_t>(idx),
+                        Value::fromUint(sys.inputs[idx].width, value));
+    }
+    interp.evalCycle();
+    int out = sys.outputIndex(output);
+    EXPECT_GE(out, 0) << output;
+    return interp.output(static_cast<size_t>(out));
+}
+
+} // namespace
+
+TEST(Elaborate, CombinationalExpressions)
+{
+    const char *src = R"(
+        module m (input [7:0] a, input [7:0] b, input s,
+                  output [7:0] sum, output [7:0] pick, output flag);
+            assign sum = a + b;
+            assign pick = s ? a : b;
+            assign flag = (a == b) || (a > 8'd200);
+        endmodule
+    )";
+    EXPECT_EQ(evalOnce(src, {{"a", 3}, {"b", 4}, {"s", 0}}, "sum")
+                  .toUint64(),
+              7u);
+    EXPECT_EQ(evalOnce(src, {{"a", 3}, {"b", 4}, {"s", 1}}, "pick")
+                  .toUint64(),
+              3u);
+    EXPECT_EQ(evalOnce(src, {{"a", 5}, {"b", 5}, {"s", 0}}, "flag")
+                  .toUint64(),
+              1u);
+    EXPECT_EQ(evalOnce(src, {{"a", 250}, {"b", 5}, {"s", 0}}, "flag")
+                  .toUint64(),
+              1u);
+    EXPECT_EQ(evalOnce(src, {{"a", 5}, {"b", 6}, {"s", 0}}, "flag")
+                  .toUint64(),
+              0u);
+}
+
+TEST(Elaborate, ContextWidthExtension)
+{
+    // Verilog computes a + b at the width of the assignment target:
+    // the carry out of the 8-bit operands must be visible.
+    const char *src = R"(
+        module m (input [7:0] a, input [7:0] b, output [8:0] sum);
+            assign sum = a + b;
+        endmodule
+    )";
+    EXPECT_EQ(
+        evalOnce(src, {{"a", 200}, {"b", 100}}, "sum").toUint64(),
+        300u);
+}
+
+TEST(Elaborate, ShiftInContext)
+{
+    const char *src = R"(
+        module m (input [7:0] a, output [15:0] y);
+            assign y = a << 8;
+        endmodule
+    )";
+    EXPECT_EQ(evalOnce(src, {{"a", 0xab}}, "y").toUint64(), 0xab00u);
+}
+
+TEST(Elaborate, RegistersAndClocking)
+{
+    auto file = parse(R"(
+        module m (input clk, input rst, input [3:0] d,
+                  output reg [3:0] q);
+            always @(posedge clk) begin
+                if (rst) q <= 4'd0;
+                else q <= q + d;
+            end
+        endmodule
+    )");
+    ir::TransitionSystem sys = elaborate::elaborate(file);
+    EXPECT_EQ(sys.states.size(), 1u);
+    // The clock is implicit, not an IR input.
+    EXPECT_EQ(sys.inputIndex("clk"), -1);
+    ASSERT_EQ(sys.inputs.size(), 2u);
+
+    sim::Interpreter interp(
+        sys, sim::SimOptions{sim::XPolicy::Zero, sim::XPolicy::Zero, 1});
+    interp.setInputByName("rst", Value::fromUint(1, 1));
+    interp.setInputByName("d", Value::fromUint(4, 0));
+    interp.step();
+    interp.setInputByName("rst", Value::fromUint(1, 0));
+    interp.setInputByName("d", Value::fromUint(4, 3));
+    interp.step();
+    interp.step();
+    interp.evalCycle();
+    EXPECT_EQ(interp.output(0).toUint64(), 6u);
+}
+
+TEST(Elaborate, BlockingVisibilityInClockedProcess)
+{
+    // tmp is blocking-assigned and read back within the process.
+    auto file = parse(R"(
+        module m (input clk, input [3:0] d, output reg [3:0] q);
+            reg [3:0] tmp;
+            always @(posedge clk) begin
+                tmp = d + 4'd1;
+                q <= tmp + tmp;
+            end
+        endmodule
+    )");
+    ir::TransitionSystem sys = elaborate::elaborate(file);
+    sim::Interpreter interp(
+        sys, sim::SimOptions{sim::XPolicy::Zero, sim::XPolicy::Zero, 1});
+    interp.setInputByName("d", Value::fromUint(4, 2));
+    interp.step();
+    interp.evalCycle();
+    EXPECT_EQ(interp.output(0).toUint64(), 6u);
+}
+
+TEST(Elaborate, CaseStatementPriorityAndDefault)
+{
+    const char *src = R"(
+        module m (input [1:0] s, output reg [3:0] y);
+            always @(*) begin
+                case (s)
+                    2'b00: y = 4'd1;
+                    2'b01: y = 4'd2;
+                    default: y = 4'd9;
+                endcase
+            end
+        endmodule
+    )";
+    EXPECT_EQ(evalOnce(src, {{"s", 0}}, "y").toUint64(), 1u);
+    EXPECT_EQ(evalOnce(src, {{"s", 1}}, "y").toUint64(), 2u);
+    EXPECT_EQ(evalOnce(src, {{"s", 3}}, "y").toUint64(), 9u);
+}
+
+TEST(Elaborate, FullCaseWithoutDefault)
+{
+    const char *src = R"(
+        module m (input [1:0] s, output reg [3:0] y);
+            always @(*) begin
+                case (s)
+                    2'b00: y = 4'd1;
+                    2'b01: y = 4'd2;
+                    2'b10: y = 4'd3;
+                    2'b11: y = 4'd4;
+                endcase
+            end
+        endmodule
+    )";
+    EXPECT_EQ(evalOnce(src, {{"s", 3}}, "y").toUint64(), 4u);
+}
+
+TEST(Elaborate, LatchesAreRejected)
+{
+    auto file = parse(R"(
+        module m (input en, input a, output reg q);
+            always @(*) begin
+                if (en) q = a;
+            end
+        endmodule
+    )");
+    EXPECT_THROW(elaborate::elaborate(file), FatalError);
+
+    ElaborateOptions opts;
+    opts.allow_latches = true;
+    EXPECT_NO_THROW(elaborate::elaborate(file.top(), opts));
+}
+
+TEST(Elaborate, CombinationalLoopIsRejected)
+{
+    // The counter_w1 shape: a level-sensitive process that increments
+    // its own target is a combinational self-loop after synthesis.
+    auto file = parse(R"(
+        module m (input clk, output reg [3:0] q);
+            always @(clk) q = q + 1;
+        endmodule
+    )");
+    EXPECT_THROW(elaborate::elaborate(file), FatalError);
+}
+
+TEST(Elaborate, MultipleDriversRejected)
+{
+    auto file = parse(R"(
+        module m (input a, input b, output q);
+            assign q = a;
+            assign q = b;
+        endmodule
+    )");
+    EXPECT_THROW(elaborate::elaborate(file), FatalError);
+}
+
+TEST(Elaborate, PartSelectWrites)
+{
+    const char *src = R"(
+        module m (input [3:0] lo, input [3:0] hi, output reg [7:0] y);
+            always @(*) begin
+                y = 8'd0;
+                y[3:0] = lo;
+                y[7:4] = hi;
+            end
+        endmodule
+    )";
+    EXPECT_EQ(
+        evalOnce(src, {{"lo", 0x5}, {"hi", 0xa}}, "y").toUint64(),
+        0xa5u);
+}
+
+TEST(Elaborate, DynamicBitSelect)
+{
+    const char *src = R"(
+        module m (input [7:0] a, input [2:0] i, output y);
+            assign y = a[i];
+        endmodule
+    )";
+    EXPECT_EQ(evalOnce(src, {{"a", 0x10}, {"i", 4}}, "y").toUint64(),
+              1u);
+    EXPECT_EQ(evalOnce(src, {{"a", 0x10}, {"i", 3}}, "y").toUint64(),
+              0u);
+}
+
+TEST(Elaborate, ConcatLhsAssignment)
+{
+    const char *src = R"(
+        module m (input [3:0] a, input [3:0] b, output reg c,
+                  output reg [3:0] s);
+            always @(*) begin
+                {c, s} = a + b;
+            end
+        endmodule
+    )";
+    EXPECT_EQ(evalOnce(src, {{"a", 12}, {"b", 12}}, "s").toUint64(),
+              8u);
+    EXPECT_EQ(evalOnce(src, {{"a", 12}, {"b", 12}}, "c").toUint64(),
+              1u);
+}
+
+TEST(Elaborate, InstanceFlattening)
+{
+    auto file = parse(R"(
+        module add1 #(parameter W = 4) (input [W-1:0] x,
+                                        output [W-1:0] y);
+            assign y = x + 1;
+        endmodule
+        module top (input [7:0] a, output [7:0] b);
+            wire [7:0] mid;
+            add1 #(.W(8)) u0 (.x(a), .y(mid));
+            add1 #(.W(8)) u1 (.x(mid), .y(b));
+        endmodule
+    )");
+    ElaborateOptions opts;
+    opts.library.push_back(file.find("add1"));
+    ir::TransitionSystem sys = elaborate::elaborate(*file.find("top"), opts);
+    sim::Interpreter interp(
+        sys, sim::SimOptions{sim::XPolicy::Zero, sim::XPolicy::Zero, 1});
+    interp.setInputByName("a", Value::fromUint(8, 40));
+    interp.evalCycle();
+    EXPECT_EQ(interp.output(0).toUint64(), 42u);
+}
+
+TEST(Elaborate, InitialBlockSetsInit)
+{
+    auto file = parse(R"(
+        module m (input clk, output reg [3:0] q);
+            initial q = 4'd9;
+            always @(posedge clk) q <= q;
+        endmodule
+    )");
+    ir::TransitionSystem sys = elaborate::elaborate(file);
+    ASSERT_TRUE(sys.states[0].init.has_value());
+    EXPECT_EQ(sys.states[0].init->toUint64(), 9u);
+}
+
+TEST(Elaborate, SynthVarsBecomeFreeSymbols)
+{
+    auto file = parse(R"(
+        module m (input [3:0] a, output [3:0] y);
+            assign y = __synth_phi_0 ? __synth_alpha_1 : a;
+        endmodule
+    )");
+    ElaborateOptions opts;
+    opts.synth_vars.push_back({"__synth_phi_0", 1, true});
+    opts.synth_vars.push_back({"__synth_alpha_1", 4, false});
+    ir::TransitionSystem sys = elaborate::elaborate(file.top(), opts);
+    ASSERT_EQ(sys.synth_vars.size(), 2u);
+
+    sim::Interpreter interp(
+        sys, sim::SimOptions{sim::XPolicy::Zero, sim::XPolicy::Zero, 1});
+    interp.setInputByName("a", Value::fromUint(4, 3));
+    interp.setSynthVarByName("__synth_phi_0", Value::fromUint(1, 1));
+    interp.setSynthVarByName("__synth_alpha_1", Value::fromUint(4, 12));
+    interp.evalCycle();
+    EXPECT_EQ(interp.output(0).toUint64(), 12u);
+    interp.setSynthVarByName("__synth_phi_0", Value::fromUint(1, 0));
+    interp.evalCycle();
+    EXPECT_EQ(interp.output(0).toUint64(), 3u);
+}

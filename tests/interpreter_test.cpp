@@ -1,0 +1,128 @@
+// Tests for the IR interpreter and trace replay/record.
+#include <gtest/gtest.h>
+
+#include "elaborate/elaborate.hpp"
+#include "sim/interpreter.hpp"
+#include "verilog/parser.hpp"
+
+using namespace rtlrepair;
+using bv::Value;
+
+namespace {
+
+const char *kCounterSrc = R"(
+module counter (input clock, input reset, input enable,
+                output reg [3:0] count);
+    always @(posedge clock) begin
+        if (reset) count <= 4'd0;
+        else if (enable) count <= count + 1;
+    end
+endmodule
+)";
+
+ir::TransitionSystem
+counterSys()
+{
+    auto file = verilog::parse(kCounterSrc);
+    return elaborate::elaborate(file);
+}
+
+} // namespace
+
+TEST(Interpreter, XPolicies)
+{
+    ir::TransitionSystem sys = counterSys();
+    {
+        sim::Interpreter keep(sys, {sim::XPolicy::Keep,
+                                    sim::XPolicy::Keep, 1});
+        EXPECT_TRUE(keep.stateValue(0).hasX());
+    }
+    {
+        sim::Interpreter zero(sys, {sim::XPolicy::Zero,
+                                    sim::XPolicy::Zero, 1});
+        EXPECT_TRUE(zero.stateValue(0).isZero());
+    }
+    {
+        sim::Interpreter rand(sys, {sim::XPolicy::Random,
+                                    sim::XPolicy::Random, 1});
+        EXPECT_FALSE(rand.stateValue(0).hasX());
+    }
+}
+
+TEST(Interpreter, StepSemantics)
+{
+    ir::TransitionSystem sys = counterSys();
+    sim::Interpreter interp(sys, {sim::XPolicy::Zero,
+                                  sim::XPolicy::Zero, 1});
+    interp.setInputByName("reset", Value::fromUint(1, 1));
+    interp.setInputByName("enable", Value::fromUint(1, 0));
+    interp.step();
+    interp.setInputByName("reset", Value::fromUint(1, 0));
+    interp.setInputByName("enable", Value::fromUint(1, 1));
+    for (int i = 0; i < 5; ++i)
+        interp.step();
+    interp.evalCycle();
+    EXPECT_EQ(interp.output(0).toUint64(), 5u);
+    // Wrap-around after 16 increments.
+    for (int i = 0; i < 16; ++i)
+        interp.step();
+    interp.evalCycle();
+    EXPECT_EQ(interp.output(0).toUint64(), 5u);
+}
+
+TEST(RecordReplay, GoldenTraceRoundTrip)
+{
+    ir::TransitionSystem sys = counterSys();
+    trace::StimulusBuilder sb({{"reset", 1}, {"enable", 1}});
+    sb.set("reset", 1).set("enable", 0).step(2);
+    sb.set("reset", 0).set("enable", 1).step(10);
+    trace::IoTrace io = sim::record(sys, sb.finish(),
+                                    {sim::XPolicy::Zero,
+                                     sim::XPolicy::Zero, 1});
+    EXPECT_EQ(io.length(), 12u);
+    ASSERT_EQ(io.outputs.size(), 1u);
+    EXPECT_EQ(io.outputs[0].name, "count");
+    EXPECT_EQ(io.output_rows.back()[0].toUint64(), 9u);
+
+    sim::Interpreter interp(sys, {sim::XPolicy::Zero,
+                                  sim::XPolicy::Zero, 1});
+    sim::ReplayResult r = sim::replay(interp, io);
+    EXPECT_TRUE(r.passed);
+    EXPECT_EQ(r.first_failure, io.length());
+}
+
+TEST(RecordReplay, DetectsMismatch)
+{
+    ir::TransitionSystem sys = counterSys();
+    trace::StimulusBuilder sb({{"reset", 1}, {"enable", 1}});
+    sb.set("reset", 1).set("enable", 0).step(2);
+    sb.set("reset", 0).set("enable", 1).step(5);
+    trace::IoTrace io = sim::record(sys, sb.finish(),
+                                    {sim::XPolicy::Zero,
+                                     sim::XPolicy::Zero, 1});
+    // Corrupt an expected output.
+    io.output_rows[4][0] = Value::fromUint(4, 15);
+    sim::Interpreter interp(sys, {sim::XPolicy::Zero,
+                                  sim::XPolicy::Zero, 1});
+    sim::ReplayResult r = sim::replay(interp, io);
+    EXPECT_FALSE(r.passed);
+    EXPECT_EQ(r.first_failure, 4u);
+    EXPECT_EQ(r.failed_output, "count");
+}
+
+TEST(RecordReplay, XOutputsAreDontCare)
+{
+    ir::TransitionSystem sys = counterSys();
+    trace::StimulusBuilder sb({{"reset", 1}, {"enable", 1}});
+    sb.set("reset", 1).set("enable", 0).step(2);
+    sb.set("reset", 0).set("enable", 1).step(5);
+    // Record with Keep: the pre-reset output rows contain X.
+    trace::IoTrace io = sim::record(sys, sb.finish(),
+                                    {sim::XPolicy::Keep,
+                                     sim::XPolicy::Keep, 1});
+    EXPECT_TRUE(io.output_rows[0][0].hasX());
+    // A random-init replay still passes: X rows are unchecked.
+    sim::Interpreter interp(sys, {sim::XPolicy::Random,
+                                  sim::XPolicy::Random, 99});
+    EXPECT_TRUE(sim::replay(interp, io).passed);
+}

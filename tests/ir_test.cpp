@@ -1,0 +1,136 @@
+// Tests for the transition-system IR and its builder.
+#include "util/logging.hpp"
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+
+using namespace rtlrepair;
+using bv::Value;
+using ir::Builder;
+using ir::NodeKind;
+using ir::NodeRef;
+
+TEST(Builder, HashConsingDeduplicates)
+{
+    Builder b("t");
+    NodeRef a = b.input("a", 8);
+    NodeRef c1 = b.constantUint(8, 5);
+    NodeRef c2 = b.constantUint(8, 5);
+    EXPECT_EQ(c1, c2);
+    NodeRef add1 = b.binary(NodeKind::Add, a, c1);
+    NodeRef add2 = b.binary(NodeKind::Add, a, c2);
+    EXPECT_EQ(add1, add2);
+}
+
+TEST(Builder, ConstantFolding)
+{
+    Builder b("t");
+    NodeRef c3 = b.constantUint(8, 3);
+    NodeRef c4 = b.constantUint(8, 4);
+    NodeRef sum = b.binary(NodeKind::Add, c3, c4);
+    const ir::Node &n = b.system().nodes[sum];
+    ASSERT_EQ(n.kind, NodeKind::Const);
+    EXPECT_EQ(b.system().consts[n.index].toUint64(), 7u);
+}
+
+TEST(Builder, IdentityFolds)
+{
+    Builder b("t");
+    NodeRef a = b.input("a", 8);
+    NodeRef zero = b.constantUint(8, 0);
+    EXPECT_EQ(b.binary(NodeKind::Or, a, zero), a);
+    EXPECT_EQ(b.binary(NodeKind::Xor, a, zero), a);
+    EXPECT_EQ(b.binary(NodeKind::Add, a, zero), a);
+    EXPECT_EQ(b.binary(NodeKind::And, a, zero), zero);
+    EXPECT_EQ(b.notOf(b.notOf(a)), a);
+    NodeRef cond = b.input("c", 1);
+    EXPECT_EQ(b.ite(cond, a, a), a);
+    EXPECT_EQ(b.ite(b.constantUint(1, 1), a, zero), a);
+    EXPECT_EQ(b.ite(b.constantUint(1, 0), a, zero), zero);
+}
+
+TEST(Builder, ResizeAndTruthy)
+{
+    Builder b("t");
+    NodeRef a = b.input("a", 8);
+    EXPECT_EQ(b.widthOf(b.resize(a, 16)), 16u);
+    EXPECT_EQ(b.widthOf(b.resize(a, 4)), 4u);
+    EXPECT_EQ(b.resize(a, 8), a);
+    EXPECT_EQ(b.widthOf(b.truthy(a)), 1u);
+    NodeRef bit = b.input("b", 1);
+    EXPECT_EQ(b.truthy(bit), bit);
+}
+
+TEST(Builder, StatesAndOutputsTypeCheck)
+{
+    Builder b("t");
+    NodeRef in = b.input("in", 4);
+    NodeRef st = b.state("q", 4);
+    b.setNext(st, b.binary(NodeKind::Add, st, in));
+    b.setInit(st, Value::zeros(4));
+    b.addOutput("q", st);
+    ir::TransitionSystem sys = b.finish();
+    EXPECT_EQ(sys.states.size(), 1u);
+    EXPECT_EQ(sys.inputs.size(), 1u);
+    EXPECT_EQ(sys.inputIndex("in"), 0);
+    EXPECT_EQ(sys.stateIndex("q"), 0);
+    EXPECT_EQ(sys.outputIndex("q"), 0);
+    EXPECT_EQ(sys.synthVarIndex("nope"), -1);
+}
+
+TEST(Builder, MissingNextIsRejected)
+{
+    Builder b("t");
+    b.state("q", 4);
+    EXPECT_THROW(b.finish(), PanicError);
+}
+
+TEST(Builder, WidthMismatchIsRejected)
+{
+    Builder b("t");
+    NodeRef a = b.input("a", 8);
+    NodeRef c = b.input("b", 4);
+    EXPECT_THROW(b.binary(NodeKind::Add, a, c), PanicError);
+}
+
+TEST(Builder, SynthVarsAreSeparateFromInputs)
+{
+    Builder b("t");
+    NodeRef phi = b.synthVar("phi0", 1, true);
+    NodeRef alpha = b.synthVar("alpha0", 8, false);
+    b.addOutput("o", b.ite(phi, alpha, b.constantUint(8, 0)));
+    ir::TransitionSystem sys = b.finish();
+    ASSERT_EQ(sys.synth_vars.size(), 2u);
+    EXPECT_TRUE(sys.synth_vars[0].is_phi);
+    EXPECT_FALSE(sys.synth_vars[1].is_phi);
+    EXPECT_TRUE(sys.inputs.empty());
+}
+
+TEST(IrPrinter, ProducesReadableText)
+{
+    Builder b("demo");
+    NodeRef in = b.input("in", 4);
+    NodeRef st = b.state("q", 4);
+    b.setNext(st, b.binary(NodeKind::Xor, st, in));
+    b.addOutput("out", st);
+    std::string text = ir::print(b.finish());
+    EXPECT_NE(text.find("input"), std::string::npos);
+    EXPECT_NE(text.find("state"), std::string::npos);
+    EXPECT_NE(text.find("xor"), std::string::npos);
+    EXPECT_NE(text.find("output out"), std::string::npos);
+}
+
+TEST(EvalOp, SliceConcatExtend)
+{
+    Builder b("t");
+    NodeRef a = b.input("a", 8);
+    NodeRef sl = b.slice(a, 7, 4);
+    EXPECT_EQ(b.widthOf(sl), 4u);
+    NodeRef cc = b.concat(sl, sl);
+    EXPECT_EQ(b.widthOf(cc), 8u);
+    EXPECT_EQ(b.widthOf(b.zext(sl, 16)), 16u);
+    EXPECT_EQ(b.widthOf(b.sext(sl, 16)), 16u);
+    // Full-range slice is the identity.
+    EXPECT_EQ(b.slice(a, 7, 0), a);
+}

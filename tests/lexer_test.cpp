@@ -1,0 +1,111 @@
+// Tests for the Verilog lexer.
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+#include "verilog/lexer.hpp"
+
+using namespace rtlrepair::verilog;
+
+namespace {
+
+std::vector<TokenKind>
+kinds(const std::string &src)
+{
+    std::vector<TokenKind> out;
+    for (const auto &tok : lex(src))
+        out.push_back(tok.kind);
+    return out;
+}
+
+} // namespace
+
+TEST(Lexer, KeywordsAndIdentifiers)
+{
+    auto toks = lex("module foo endmodule");
+    ASSERT_EQ(toks.size(), 4u);  // incl. EOF
+    EXPECT_EQ(toks[0].kind, TokenKind::KwModule);
+    EXPECT_EQ(toks[1].kind, TokenKind::Identifier);
+    EXPECT_EQ(toks[1].text, "foo");
+    EXPECT_EQ(toks[2].kind, TokenKind::KwEndmodule);
+    EXPECT_EQ(toks[3].kind, TokenKind::Eof);
+}
+
+TEST(Lexer, BasedLiteralsAreOneToken)
+{
+    auto toks = lex("4'b10x1 8'hfF 5'd31 'd7 12'o777");
+    ASSERT_EQ(toks.size(), 6u);
+    EXPECT_EQ(toks[0].kind, TokenKind::Number);
+    EXPECT_EQ(toks[0].text, "4'b10x1");
+    EXPECT_EQ(toks[1].text, "8'hfF");
+    EXPECT_EQ(toks[3].text, "'d7");
+}
+
+TEST(Lexer, SizeAndBaseMaySeparate)
+{
+    auto toks = lex("4 'b1010");
+    ASSERT_EQ(toks.size(), 2u);
+    EXPECT_EQ(toks[0].text, "4'b1010");
+}
+
+TEST(Lexer, PlainDecimalBeforeNonBase)
+{
+    auto toks = lex("42 + 7");
+    ASSERT_EQ(toks.size(), 4u);
+    EXPECT_EQ(toks[0].kind, TokenKind::Number);
+    EXPECT_EQ(toks[0].text, "42");
+    EXPECT_EQ(toks[1].kind, TokenKind::Plus);
+}
+
+TEST(Lexer, MultiCharOperators)
+{
+    EXPECT_EQ(kinds("=== !== <<< >>> == != <= >= << >> && || ~& ~| ~^ ^~"),
+              (std::vector<TokenKind>{
+                  TokenKind::EqEqEq, TokenKind::BangEqEq,
+                  TokenKind::AShl, TokenKind::AShr, TokenKind::EqEq,
+                  TokenKind::BangEq, TokenKind::LtEq, TokenKind::GtEq,
+                  TokenKind::Shl, TokenKind::Shr, TokenKind::AmpAmp,
+                  TokenKind::PipePipe, TokenKind::TildeAmp,
+                  TokenKind::TildePipe, TokenKind::TildeCaret,
+                  TokenKind::TildeCaret, TokenKind::Eof}));
+}
+
+TEST(Lexer, CommentsAndAttributesAreSkipped)
+{
+    auto toks = lex("a // line comment\n/* block\ncomment */ b"
+                    " (* attr = 1 *) c");
+    ASSERT_EQ(toks.size(), 4u);
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+    EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(Lexer, CompilerDirectivesSkipLine)
+{
+    auto toks = lex("`timescale 1ns/1ps\nwire");
+    ASSERT_EQ(toks.size(), 2u);
+    EXPECT_EQ(toks[0].kind, TokenKind::KwWire);
+}
+
+TEST(Lexer, SystemNamesAndStrings)
+{
+    auto toks = lex("$display(\"hi\\n\")");
+    EXPECT_EQ(toks[0].kind, TokenKind::SystemName);
+    EXPECT_EQ(toks[0].text, "$display");
+    EXPECT_EQ(toks[2].kind, TokenKind::String);
+}
+
+TEST(Lexer, TracksLineNumbers)
+{
+    auto toks = lex("a\nb\n  c");
+    EXPECT_EQ(toks[0].loc.line, 1u);
+    EXPECT_EQ(toks[1].loc.line, 2u);
+    EXPECT_EQ(toks[2].loc.line, 3u);
+    EXPECT_EQ(toks[2].loc.col, 3u);
+}
+
+TEST(Lexer, RejectsBadInput)
+{
+    EXPECT_THROW(lex("/* unterminated"), rtlrepair::FatalError);
+    EXPECT_THROW(lex("\"unterminated"), rtlrepair::FatalError);
+    EXPECT_THROW(lex(std::string(1, '\x01')), rtlrepair::FatalError);
+}

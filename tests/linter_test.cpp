@@ -1,0 +1,149 @@
+// Tests for the static-analysis linter.
+#include <gtest/gtest.h>
+
+#include "analysis/linter.hpp"
+#include "verilog/parser.hpp"
+
+using namespace rtlrepair;
+using analysis::Lint;
+using analysis::lint;
+using verilog::parse;
+
+namespace {
+
+int
+countKind(const std::vector<Lint> &lints, Lint::Kind kind)
+{
+    int n = 0;
+    for (const auto &l : lints) {
+        if (l.kind == kind)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace
+
+TEST(Linter, CleanDesignHasNoFindings)
+{
+    auto file = parse(R"(
+        module m (input clk, input rst, input a, output reg q,
+                  output reg w);
+            always @(posedge clk) begin
+                if (rst) q <= 1'b0;
+                else q <= a;
+            end
+            always @(*) begin
+                w = q & a;
+            end
+        endmodule
+    )");
+    EXPECT_TRUE(lint(file.top()).empty());
+}
+
+TEST(Linter, BlockingInClockedProcess)
+{
+    auto file = parse(R"(
+        module m (input clk, input a, output reg q);
+            always @(posedge clk) q = a;
+        endmodule
+    )");
+    auto lints = lint(file.top());
+    EXPECT_EQ(countKind(lints, Lint::Kind::BlockingInClockedProcess),
+              1);
+}
+
+TEST(Linter, NonBlockingInCombProcess)
+{
+    auto file = parse(R"(
+        module m (input a, output reg q);
+            always @(*) q <= a;
+        endmodule
+    )");
+    auto lints = lint(file.top());
+    EXPECT_EQ(countKind(lints, Lint::Kind::NonBlockingInCombProcess),
+              1);
+}
+
+TEST(Linter, InferredLatch)
+{
+    auto file = parse(R"(
+        module m (input en, input a, output reg q);
+            always @(*) begin
+                if (en) q = a;
+            end
+        endmodule
+    )");
+    auto lints = lint(file.top());
+    ASSERT_EQ(countKind(lints, Lint::Kind::InferredLatch), 1);
+    for (const auto &l : lints) {
+        if (l.kind == Lint::Kind::InferredLatch)
+            EXPECT_EQ(l.signal, "q");
+    }
+}
+
+TEST(Linter, CaseWithoutDefaultInfersLatch)
+{
+    auto file = parse(R"(
+        module m (input [1:0] s, input a, output reg q);
+            always @(*) begin
+                case (s)
+                    2'b00: q = a;
+                    2'b01: q = ~a;
+                endcase
+            end
+        endmodule
+    )");
+    EXPECT_EQ(countKind(lint(file.top()), Lint::Kind::InferredLatch),
+              1);
+}
+
+TEST(Linter, DefaultAssignmentAvoidsLatch)
+{
+    auto file = parse(R"(
+        module m (input en, input a, output reg q);
+            always @(*) begin
+                q = 1'b0;
+                if (en) q = a;
+            end
+        endmodule
+    )");
+    EXPECT_EQ(countKind(lint(file.top()), Lint::Kind::InferredLatch),
+              0);
+}
+
+TEST(Linter, IncompleteSensitivity)
+{
+    auto file = parse(R"(
+        module m (input a, input b, output reg q);
+            always @(a) q = a & b;
+        endmodule
+    )");
+    auto lints = lint(file.top());
+    ASSERT_EQ(countKind(lints, Lint::Kind::IncompleteSensitivity), 1);
+}
+
+TEST(Linter, MultipleDrivers)
+{
+    auto file = parse(R"(
+        module m (input a, input b, output q);
+            assign q = a;
+            assign q = b;
+        endmodule
+    )");
+    EXPECT_EQ(countKind(lint(file.top()), Lint::Kind::MultipleDrivers),
+              1);
+}
+
+TEST(Linter, DescribeIsHumanReadable)
+{
+    auto file = parse(R"(
+        module m (input en, input a, output reg q);
+            always @(*) if (en) q = a;
+        endmodule
+    )");
+    auto lints = lint(file.top());
+    ASSERT_FALSE(lints.empty());
+    EXPECT_NE(analysis::describe(lints[0]).find("latch"),
+              std::string::npos);
+}

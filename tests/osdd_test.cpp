@@ -1,0 +1,183 @@
+// Tests for the output/state divergence delta metric (paper §5,
+// Fig. 7).
+#include <gtest/gtest.h>
+
+#include "elaborate/elaborate.hpp"
+#include "osdd/osdd.hpp"
+#include "verilog/parser.hpp"
+
+using namespace rtlrepair;
+using verilog::parse;
+
+namespace {
+
+ir::TransitionSystem
+sysOf(const char *src)
+{
+    auto file = parse(src);
+    return elaborate::elaborate(file);
+}
+
+trace::InputSequence
+runStim(size_t cycles)
+{
+    trace::StimulusBuilder sb({{"rst", 1}, {"en", 1}});
+    sb.set("rst", 1).set("en", 0).step(2);
+    sb.set("rst", 0).set("en", 1).step(cycles);
+    return sb.finish();
+}
+
+} // namespace
+
+TEST(Osdd, OutputFunctionBugHasOsddZero)
+{
+    // Fig. 7b: states agree, only the output function differs.
+    const char *golden = R"(
+        module m (input clk, input rst, input en, output [3:0] o);
+            reg [3:0] c;
+            assign o = c;
+            always @(posedge clk) begin
+                if (rst) c <= 4'd0;
+                else if (en) c <= c + 1;
+            end
+        endmodule
+    )";
+    const char *buggy = R"(
+        module m (input clk, input rst, input en, output [3:0] o);
+            reg [3:0] c;
+            assign o = c + 1;
+            always @(posedge clk) begin
+                if (rst) c <= 4'd0;
+                else if (en) c <= c + 1;
+            end
+        endmodule
+    )";
+    auto result =
+        osdd::compute(sysOf(golden), sysOf(buggy), runStim(5));
+    ASSERT_TRUE(result.osdd.has_value());
+    EXPECT_EQ(*result.osdd, 0);
+    EXPECT_TRUE(result.output_diverged);
+}
+
+TEST(Osdd, StateUpdateBugHasOsddOne)
+{
+    // Fig. 7c: the state diverges and the output exposes it at once.
+    const char *golden = R"(
+        module m (input clk, input rst, input en, output [3:0] o);
+            reg [3:0] c;
+            assign o = c;
+            always @(posedge clk) begin
+                if (rst) c <= 4'd0;
+                else if (en) c <= c + 1;
+            end
+        endmodule
+    )";
+    const char *buggy = R"(
+        module m (input clk, input rst, input en, output [3:0] o);
+            reg [3:0] c;
+            assign o = c;
+            always @(posedge clk) begin
+                if (rst) c <= 4'd0;
+                else if (en) c <= c + 2;
+            end
+        endmodule
+    )";
+    auto result =
+        osdd::compute(sysOf(golden), sysOf(buggy), runStim(5));
+    ASSERT_TRUE(result.osdd.has_value());
+    EXPECT_EQ(*result.osdd, 1);
+}
+
+TEST(Osdd, DelayedObservationGrowsTheDelta)
+{
+    // The buggy accumulator corrupts internal state immediately, but
+    // the output only exposes it when the flush input fires — here
+    // after three more cycles, giving OSDD = 4.
+    const char *golden = R"(
+        module m (input clk, input rst, input en, output reg [7:0] o);
+            reg [7:0] acc;
+            reg [2:0] cnt;
+            always @(posedge clk) begin
+                if (rst) begin
+                    acc <= 8'd0;
+                    cnt <= 3'd0;
+                    o <= 8'd0;
+                end else begin
+                    acc <= acc + 8'd1;
+                    cnt <= cnt + 1;
+                    if (cnt == 3'd3) o <= acc;
+                end
+            end
+        endmodule
+    )";
+    const char *buggy = R"(
+        module m (input clk, input rst, input en, output reg [7:0] o);
+            reg [7:0] acc;
+            reg [2:0] cnt;
+            always @(posedge clk) begin
+                if (rst) begin
+                    acc <= 8'd0;
+                    cnt <= 3'd0;
+                    o <= 8'd0;
+                end else begin
+                    acc <= acc + 8'd2;
+                    cnt <= cnt + 1;
+                    if (cnt == 3'd3) o <= acc;
+                end
+            end
+        endmodule
+    )";
+    auto result =
+        osdd::compute(sysOf(golden), sysOf(buggy), runStim(12));
+    ASSERT_TRUE(result.osdd.has_value());
+    EXPECT_GT(*result.osdd, 1);
+    EXPECT_EQ(result.first_state_divergence + *result.osdd - 1,
+              result.first_output_divergence);
+}
+
+TEST(Osdd, EquivalentDesignsNeverDiverge)
+{
+    const char *golden = R"(
+        module m (input clk, input rst, input en, output [3:0] o);
+            reg [3:0] c;
+            assign o = c;
+            always @(posedge clk) begin
+                if (rst) c <= 4'd0;
+                else if (en) c <= c + 1;
+            end
+        endmodule
+    )";
+    auto result =
+        osdd::compute(sysOf(golden), sysOf(golden), runStim(8));
+    ASSERT_TRUE(result.osdd.has_value());
+    EXPECT_EQ(*result.osdd, 0);
+    EXPECT_FALSE(result.output_diverged);
+    EXPECT_FALSE(result.state_diverged);
+}
+
+TEST(Osdd, UndefinedWhenStateVariablesDiffer)
+{
+    const char *golden = R"(
+        module m (input clk, input rst, input en, output [3:0] o);
+            reg [3:0] c;
+            assign o = c;
+            always @(posedge clk) begin
+                if (rst) c <= 4'd0;
+                else c <= c + 1;
+            end
+        endmodule
+    )";
+    const char *renamed = R"(
+        module m (input clk, input rst, input en, output [3:0] o);
+            reg [3:0] counter_reg;
+            assign o = counter_reg;
+            always @(posedge clk) begin
+                if (rst) counter_reg <= 4'd0;
+                else counter_reg <= counter_reg + 1;
+            end
+        endmodule
+    )";
+    auto result =
+        osdd::compute(sysOf(golden), sysOf(renamed), runStim(5));
+    EXPECT_FALSE(result.osdd.has_value());
+}

@@ -1,0 +1,268 @@
+// Tests for the Verilog parser.
+#include <gtest/gtest.h>
+
+#include "util/logging.hpp"
+#include "verilog/parser.hpp"
+#include "verilog/printer.hpp"
+
+using namespace rtlrepair::verilog;
+
+TEST(Parser, AnsiPortsAndDecls)
+{
+    auto file = parse(R"(
+        module m (input wire clk, input [3:0] a, output reg [7:0] q);
+            wire [1:0] w;
+            reg r;
+        endmodule
+    )");
+    Module &m = file.top();
+    EXPECT_EQ(m.name, "m");
+    ASSERT_EQ(m.ports.size(), 3u);
+    EXPECT_EQ(m.ports[0].dir, PortDir::Input);
+    EXPECT_EQ(m.ports[2].dir, PortDir::Output);
+    const NetDecl *q = m.findNet("q");
+    ASSERT_NE(q, nullptr);
+    EXPECT_EQ(q->net, NetKind::Reg);
+    ASSERT_NE(q->msb, nullptr);
+    EXPECT_NE(m.findNet("w"), nullptr);
+    EXPECT_NE(m.findNet("r"), nullptr);
+}
+
+TEST(Parser, NonAnsiPorts)
+{
+    auto file = parse(R"(
+        module m (clk, q);
+            input clk;
+            output [3:0] q;
+            reg [3:0] q;
+        endmodule
+    )");
+    Module &m = file.top();
+    EXPECT_EQ(m.portDir("clk"), PortDir::Input);
+    EXPECT_EQ(m.portDir("q"), PortDir::Output);
+    const NetDecl *q = m.findNet("q");
+    ASSERT_NE(q, nullptr);
+    EXPECT_EQ(q->net, NetKind::Reg);
+}
+
+TEST(Parser, ParametersAndLocalparams)
+{
+    auto file = parse(R"(
+        module m #(parameter W = 4, parameter D = 8) ();
+            localparam TOTAL = W * D;
+            parameter X = 1;
+        endmodule
+    )");
+    Module &m = file.top();
+    EXPECT_NE(m.findParam("W"), nullptr);
+    EXPECT_NE(m.findParam("D"), nullptr);
+    ASSERT_NE(m.findParam("TOTAL"), nullptr);
+    EXPECT_TRUE(m.findParam("TOTAL")->is_local);
+    EXPECT_FALSE(m.findParam("X")->is_local);
+}
+
+TEST(Parser, AlwaysBlocksAndSensitivity)
+{
+    auto file = parse(R"(
+        module m (input clk, input rst, input a, output reg q);
+            always @(posedge clk or posedge rst) q <= a;
+            always @(a or rst) begin end
+            always @(*) begin end
+            always @* begin end
+        endmodule
+    )");
+    int always_count = 0;
+    for (const auto &item : file.top().items) {
+        if (item->kind != Item::Kind::Always)
+            continue;
+        ++always_count;
+        const auto &blk = static_cast<const AlwaysBlock &>(*item);
+        if (always_count == 1) {
+            ASSERT_EQ(blk.sensitivity.size(), 2u);
+            EXPECT_EQ(blk.sensitivity[0].edge,
+                      SensItem::Edge::Posedge);
+            EXPECT_EQ(blk.sensitivity[1].signal, "rst");
+        }
+        if (always_count >= 3) {
+            ASSERT_EQ(blk.sensitivity.size(), 1u);
+            EXPECT_EQ(blk.sensitivity[0].edge, SensItem::Edge::Star);
+        }
+    }
+    EXPECT_EQ(always_count, 4);
+}
+
+TEST(Parser, ExpressionPrecedence)
+{
+    // a + b * c must parse as a + (b * c)
+    ExprPtr e = parseExpression("a + b * c");
+    ASSERT_EQ(e->kind, Expr::Kind::Binary);
+    const auto &add = static_cast<const BinaryExpr &>(*e);
+    EXPECT_EQ(add.op, BinaryOp::Add);
+    EXPECT_EQ(add.rhs->kind, Expr::Kind::Binary);
+    EXPECT_EQ(static_cast<const BinaryExpr &>(*add.rhs).op,
+              BinaryOp::Mul);
+
+    // comparison binds tighter than &&
+    ExprPtr f = parseExpression("a == b && c < d");
+    EXPECT_EQ(static_cast<const BinaryExpr &>(*f).op,
+              BinaryOp::LogicAnd);
+
+    // bitwise or is looser than xor which is looser than and
+    ExprPtr g = parseExpression("a | b ^ c & d");
+    EXPECT_EQ(static_cast<const BinaryExpr &>(*g).op, BinaryOp::BitOr);
+}
+
+TEST(Parser, TernaryIsRightAssociative)
+{
+    ExprPtr e = parseExpression("a ? b : c ? d : f");
+    ASSERT_EQ(e->kind, Expr::Kind::Ternary);
+    const auto &t = static_cast<const TernaryExpr &>(*e);
+    EXPECT_EQ(t.else_expr->kind, Expr::Kind::Ternary);
+}
+
+TEST(Parser, ConcatReplicationSelects)
+{
+    ExprPtr c = parseExpression("{a, b[3], c[7:4], {2{d}}}");
+    ASSERT_EQ(c->kind, Expr::Kind::Concat);
+    const auto &concat = static_cast<const ConcatExpr &>(*c);
+    ASSERT_EQ(concat.parts.size(), 4u);
+    EXPECT_EQ(concat.parts[1]->kind, Expr::Kind::Index);
+    EXPECT_EQ(concat.parts[2]->kind, Expr::Kind::RangeSelect);
+    EXPECT_EQ(concat.parts[3]->kind, Expr::Kind::Repl);
+}
+
+TEST(Parser, CaseStatement)
+{
+    auto file = parse(R"(
+        module m (input [1:0] s, output reg [1:0] q);
+            always @(*) begin
+                case (s)
+                    2'b00, 2'b01: q = 2'd1;
+                    2'b10: q = 2'd2;
+                    default: q = 2'd0;
+                endcase
+            end
+        endmodule
+    )");
+    const auto &blk =
+        static_cast<const AlwaysBlock &>(*file.top().items.back());
+    const Stmt *body = blk.body.get();
+    ASSERT_EQ(body->kind, Stmt::Kind::Block);
+    const auto &block = static_cast<const BlockStmt &>(*body);
+    ASSERT_EQ(block.stmts.size(), 1u);
+    ASSERT_EQ(block.stmts[0]->kind, Stmt::Kind::Case);
+    const auto &cs = static_cast<const CaseStmt &>(*block.stmts[0]);
+    ASSERT_EQ(cs.items.size(), 2u);
+    EXPECT_EQ(cs.items[0].labels.size(), 2u);
+    EXPECT_NE(cs.default_body, nullptr);
+}
+
+TEST(Parser, DelaysAndSystemTasks)
+{
+    auto file = parse(R"(
+        module m (input clk, input a, output reg q);
+            always @(posedge clk) begin
+                q <= #1 a;
+                $display("hello %d", a);
+                #5 q <= a;
+            end
+        endmodule
+    )");
+    EXPECT_EQ(file.top().name, "m");
+}
+
+TEST(Parser, Instances)
+{
+    auto file = parse(R"(
+        module sub (input a, output y);
+        endmodule
+        module top (input x, output z);
+            sub #(.P(3)) u0 (.a(x), .y(z));
+            sub u1 (x, z);
+        endmodule
+    )");
+    ASSERT_EQ(file.modules.size(), 2u);
+    Module *top = file.find("top");
+    ASSERT_NE(top, nullptr);
+    int instances = 0;
+    for (const auto &item : top->items) {
+        if (item->kind == Item::Kind::Instance) {
+            ++instances;
+            const auto &inst = static_cast<const Instance &>(*item);
+            EXPECT_EQ(inst.module_name, "sub");
+        }
+    }
+    EXPECT_EQ(instances, 2);
+}
+
+TEST(Parser, ForLoopsAndIntegers)
+{
+    auto file = parse(R"(
+        module m (input [7:0] a, output reg [7:0] q);
+            integer i;
+            always @(*) begin
+                q = 8'd0;
+                for (i = 0; i < 8; i = i + 1)
+                    q = q | a;
+            end
+        endmodule
+    )");
+    EXPECT_NE(file.top().findNet("i"), nullptr);
+}
+
+TEST(Parser, WireInitializerBecomesContAssign)
+{
+    auto file = parse(R"(
+        module m (input a, output y);
+            wire w = a & 1'b1;
+            assign y = w;
+        endmodule
+    )");
+    int cont_assigns = 0;
+    for (const auto &item : file.top().items) {
+        if (item->kind == Item::Kind::ContAssign)
+            ++cont_assigns;
+    }
+    EXPECT_EQ(cont_assigns, 2);
+}
+
+TEST(Parser, NodeIdsAreUniqueAndPreservedByClone)
+{
+    auto file = parse("module m (input a, output y);\n"
+                      "assign y = a & a;\nendmodule\n");
+    Module &m = file.top();
+    auto clone = m.clone();
+    EXPECT_EQ(clone->next_node_id, m.next_node_id);
+    EXPECT_GT(m.next_node_id, 1u);
+}
+
+TEST(Parser, RejectsUnsupportedConstructs)
+{
+    EXPECT_THROW(parse("module m; function f; endfunction endmodule"),
+                 rtlrepair::FatalError);
+    EXPECT_THROW(parse("module m; reg [7:0] mem [0:3]; endmodule"),
+                 rtlrepair::FatalError);
+    EXPECT_THROW(parse("module m (input a, output y); assign y = ; "
+                       "endmodule"),
+                 rtlrepair::FatalError);
+}
+
+TEST(Parser, RoundTripThroughPrinter)
+{
+    const char *src = R"(
+        module m (input clk, input rst, input [3:0] d,
+                  output reg [3:0] q);
+            always @(posedge clk) begin
+                if (rst)
+                    q <= 4'b0000;
+                else
+                    q <= d + 4'd1;
+            end
+        endmodule
+    )";
+    auto file = parse(src);
+    std::string printed = print(file.top());
+    // The printed text must parse again to an equivalent module.
+    auto file2 = parse(printed);
+    EXPECT_EQ(print(file2.top()), printed);
+}

@@ -1,0 +1,119 @@
+// Tests for patch-back: model values fold the template machinery
+// away and yield human-readable repaired source.
+#include <gtest/gtest.h>
+
+#include "repair/patcher.hpp"
+#include "templates/add_guard.hpp"
+#include "templates/conditional_overwrite.hpp"
+#include "templates/replace_literals.hpp"
+#include "verilog/ast_util.hpp"
+#include "verilog/parser.hpp"
+#include "verilog/printer.hpp"
+
+using namespace rtlrepair;
+using namespace rtlrepair::templates;
+using bv::Value;
+using verilog::parse;
+
+TEST(Patcher, AllOffRestoresOriginalSource)
+{
+    auto file = parse(R"(
+        module m (input clk, input rst, input [3:0] d,
+                  output reg [3:0] q);
+            always @(posedge clk) begin
+                if (rst) q <= 4'd0;
+                else q <= d + 4'd1;
+            end
+        endmodule
+    )");
+    for (auto &tmpl : standardTemplates()) {
+        TemplateResult result = tmpl->apply(file.top(), {});
+        auto patched =
+            repair::patch(*result.instrumented, result.vars,
+                          SynthAssignment::allOff(result.vars));
+        EXPECT_TRUE(verilog::equal(*patched, file.top()))
+            << tmpl->name() << " produced:\n" << print(*patched);
+    }
+}
+
+TEST(Patcher, ReplaceLiteralInlinesAlpha)
+{
+    auto file = parse(R"(
+        module m (input [3:0] a, output [3:0] y);
+            assign y = a + 4'd1;
+        endmodule
+    )");
+    ReplaceLiteralsTemplate tmpl;
+    TemplateResult result = tmpl.apply(file.top(), {});
+    ASSERT_EQ(result.vars.vars().size(), 2u);
+
+    SynthAssignment assign = SynthAssignment::allOff(result.vars);
+    assign.values[result.vars.vars()[0].name] = Value::fromUint(1, 1);
+    assign.values[result.vars.vars()[1].name] = Value::fromUint(4, 9);
+    auto patched = repair::patch(*result.instrumented, result.vars,
+                                 assign);
+    std::string out = print(*patched);
+    EXPECT_NE(out.find("a + 4'b1001"), std::string::npos) << out;
+    EXPECT_EQ(out.find("__synth"), std::string::npos);
+}
+
+TEST(Patcher, AddGuardInversionReadsNaturally)
+{
+    auto file = parse(R"(
+        module m (input clk, input rstn, input t, output reg q);
+            always @(posedge clk) begin
+                if (rstn) q <= 1'b0;
+                else q <= t;
+            end
+        endmodule
+    )");
+    AddGuardTemplate tmpl;
+    TemplateResult result = tmpl.apply(file.top(), {});
+    // Turn on the inversion φ of the if-condition site.
+    SynthAssignment assign = SynthAssignment::allOff(result.vars);
+    for (const auto &v : result.vars.vars()) {
+        if (v.is_phi && v.note == "invert condition") {
+            assign.values[v.name] = Value::fromUint(1, 1);
+            break;
+        }
+    }
+    auto patched =
+        repair::patch(*result.instrumented, result.vars, assign);
+    std::string out = print(*patched);
+    EXPECT_NE(out.find("if (!rstn)"), std::string::npos) << out;
+    EXPECT_EQ(out.find("__synth"), std::string::npos);
+}
+
+TEST(Patcher, ConditionalOverwriteBecomesPlainAssignment)
+{
+    auto file = parse(R"(
+        module m (input clk, input rst, output reg [3:0] c);
+            always @(posedge clk) begin
+                if (rst) c <= c;
+                else c <= c + 1;
+            end
+        endmodule
+    )");
+    ConditionalOverwriteTemplate tmpl;
+    TemplateResult result = tmpl.apply(file.top(), {});
+    // Enable the first start-of-process overwrite unconditionally.
+    SynthAssignment assign = SynthAssignment::allOff(result.vars);
+    const SynthVar *alpha = nullptr;
+    for (size_t i = 0; i < result.vars.vars().size(); ++i) {
+        const auto &v = result.vars.vars()[i];
+        if (v.is_phi && v.note.find("overwrite c at start") == 0) {
+            assign.values[v.name] = Value::fromUint(1, 1);
+            alpha = &result.vars.vars()[i + 1];
+            break;
+        }
+    }
+    ASSERT_NE(alpha, nullptr);
+    assign.values[alpha->name] = Value::fromUint(4, 0);
+    auto patched =
+        repair::patch(*result.instrumented, result.vars, assign);
+    std::string out = print(*patched);
+    EXPECT_NE(out.find("c <= 4'b0000;"), std::string::npos) << out;
+    EXPECT_EQ(out.find("__synth"), std::string::npos);
+    EXPECT_EQ(out.find("if (1'b1)"), std::string::npos)
+        << "guard scaffolding folded away";
+}

@@ -1,0 +1,115 @@
+// Tests for the static-analysis preprocessing phase (paper §4.1).
+#include <gtest/gtest.h>
+
+#include "analysis/linter.hpp"
+#include "templates/preprocess.hpp"
+#include "verilog/ast_util.hpp"
+#include "verilog/parser.hpp"
+#include "verilog/printer.hpp"
+
+using namespace rtlrepair;
+using templates::preprocess;
+using verilog::parse;
+
+TEST(Preprocess, CleanDesignUnchanged)
+{
+    auto file = parse(R"(
+        module m (input clk, input a, output reg q, output reg w);
+            always @(posedge clk) q <= a;
+            always @(*) w = q;
+        endmodule
+    )");
+    auto result = preprocess(file.top());
+    EXPECT_EQ(result.changes, 0);
+    EXPECT_TRUE(verilog::equal(*result.module, file.top()));
+}
+
+TEST(Preprocess, FixesBlockingInClockedProcess)
+{
+    auto file = parse(R"(
+        module m (input clk, input rst, input a, output reg q);
+            always @(posedge clk) begin
+                if (rst) q = 1'b0;
+                else q = a;
+            end
+        endmodule
+    )");
+    auto result = preprocess(file.top());
+    EXPECT_EQ(result.changes, 2);
+    std::string out = print(*result.module);
+    EXPECT_EQ(out.find("q = "), std::string::npos);
+    EXPECT_NE(out.find("q <= "), std::string::npos);
+    EXPECT_TRUE(analysis::lint(*result.module).empty());
+}
+
+TEST(Preprocess, FixesNonBlockingInCombProcess)
+{
+    auto file = parse(R"(
+        module m (input a, input b, output reg y);
+            always @(*) y <= a & b;
+        endmodule
+    )");
+    auto result = preprocess(file.top());
+    EXPECT_EQ(result.changes, 1);
+    EXPECT_NE(print(*result.module).find("y = "), std::string::npos);
+}
+
+TEST(Preprocess, InsertsLatchDefaults)
+{
+    auto file = parse(R"(
+        module m (input en, input [3:0] a, output reg [3:0] q);
+            always @(*) begin
+                if (en) q = a;
+            end
+        endmodule
+    )");
+    auto result = preprocess(file.top());
+    EXPECT_EQ(result.changes, 1);
+    std::string out = print(*result.module);
+    // The zero default is inserted before the original body.
+    size_t default_pos = out.find("q = 4'b0000;");
+    size_t if_pos = out.find("if (en)");
+    ASSERT_NE(default_pos, std::string::npos) << out;
+    ASSERT_NE(if_pos, std::string::npos);
+    EXPECT_LT(default_pos, if_pos);
+    EXPECT_TRUE(analysis::lint(*result.module).empty());
+}
+
+TEST(Preprocess, CaseWithoutDefaultGetsZeroDefault)
+{
+    auto file = parse(R"(
+        module m (input [1:0] s, output reg [3:0] cmd);
+            always @(*) begin
+                case (s)
+                    2'b00: cmd = 4'd1;
+                    2'b01: cmd = 4'd2;
+                endcase
+            end
+        endmodule
+    )");
+    auto result = preprocess(file.top());
+    EXPECT_EQ(result.changes, 1);
+    EXPECT_TRUE(analysis::lint(*result.module).empty());
+}
+
+TEST(Preprocess, MixedFixesAreCounted)
+{
+    // The fsm_s2 shape: every clocked assignment is blocking.
+    auto file = parse(R"(
+        module m (input clk, input rst, input a, input b,
+                  output reg x, output reg y);
+            always @(posedge clk) begin
+                if (rst) begin
+                    x = 1'b0;
+                    y = 1'b0;
+                end else begin
+                    x = a;
+                    y = b;
+                end
+            end
+        endmodule
+    )");
+    auto result = preprocess(file.top());
+    EXPECT_EQ(result.changes, 4);
+    EXPECT_FALSE(result.notes.empty());
+}

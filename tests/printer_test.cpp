@@ -1,0 +1,93 @@
+// Tests for the Verilog printer.
+#include <gtest/gtest.h>
+
+#include "verilog/parser.hpp"
+#include "verilog/printer.hpp"
+
+using namespace rtlrepair::verilog;
+
+namespace {
+
+std::string
+printExprOf(const std::string &src)
+{
+    return print(*parseExpression(src));
+}
+
+} // namespace
+
+TEST(Printer, Expressions)
+{
+    EXPECT_EQ(printExprOf("a + b * c"), "a + (b * c)");
+    EXPECT_EQ(printExprOf("a ? b : c"), "a ? b : c");
+    EXPECT_EQ(printExprOf("{a, b}"), "{a, b}");
+    EXPECT_EQ(printExprOf("{2{a}}"), "{2{a}}");
+    EXPECT_EQ(printExprOf("a[3:0]"), "a[3:0]");
+    EXPECT_EQ(printExprOf("a[i]"), "a[i]");
+    EXPECT_EQ(printExprOf("~a & b"), "~a & b");
+    EXPECT_EQ(printExprOf("~(a | b)"), "~(a | b)");
+    EXPECT_EQ(printExprOf("!(a == b)"), "!(a == b)");
+}
+
+TEST(Printer, LiteralForms)
+{
+    EXPECT_EQ(printExprOf("42"), "42");
+    EXPECT_EQ(printExprOf("4'b1010"), "4'b1010");
+    EXPECT_EQ(printExprOf("8'hff"), "8'hff");
+    EXPECT_EQ(printExprOf("4'b1x0z"), "4'b1x0x") << "Z folds into X";
+}
+
+TEST(Printer, ModuleStructure)
+{
+    auto file = parse(R"(
+        module m (input clk, output reg q);
+            localparam ON = 1'b1;
+            always @(posedge clk) q <= ON;
+        endmodule
+    )");
+    std::string out = print(file.top());
+    EXPECT_NE(out.find("module m (clk, q);"), std::string::npos);
+    EXPECT_NE(out.find("input wire clk;"), std::string::npos);
+    EXPECT_NE(out.find("localparam ON = 1'b1;"), std::string::npos);
+    EXPECT_NE(out.find("always @(posedge clk)"), std::string::npos);
+    EXPECT_NE(out.find("endmodule"), std::string::npos);
+}
+
+TEST(Printer, CaseAndInstance)
+{
+    auto file = parse(R"(
+        module sub (input a, output y); endmodule
+        module m (input [1:0] s, output reg q, output w);
+            sub u0 (.a(s[0]), .y(w));
+            always @(*) begin
+                case (s)
+                    2'b00: q = 1'b0;
+                    default: q = 1'b1;
+                endcase
+            end
+        endmodule
+    )");
+    std::string out = print(*file.find("m"));
+    EXPECT_NE(out.find("sub u0 (.a(s[0]), .y(w));"), std::string::npos);
+    EXPECT_NE(out.find("case (s)"), std::string::npos);
+    EXPECT_NE(out.find("default:"), std::string::npos);
+    EXPECT_NE(out.find("endcase"), std::string::npos);
+}
+
+TEST(Printer, StableUnderReparse)
+{
+    const char *src = R"(
+        module m (input clk, input rst, input [7:0] d,
+                  output reg [7:0] q, output wire p);
+            assign p = ^d;
+            always @(posedge clk or posedge rst) begin
+                if (rst) q <= 8'd0;
+                else if (d > 8'h7f) q <= ~d;
+                else q <= {q[6:0], q[7]};
+            end
+        endmodule
+    )";
+    std::string once = print(parse(src).top());
+    std::string twice = print(parse(once).top());
+    EXPECT_EQ(once, twice);
+}

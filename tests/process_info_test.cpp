@@ -1,0 +1,128 @@
+// Tests for process classification and for-loop unrolling.
+#include "util/logging.hpp"
+#include <gtest/gtest.h>
+
+#include "analysis/process_info.hpp"
+#include "verilog/parser.hpp"
+#include "verilog/printer.hpp"
+
+using namespace rtlrepair;
+using analysis::ProcessInfo;
+using analysis::analyzeProcesses;
+using verilog::parse;
+
+TEST(ProcessInfo, ClassifiesClockedAndComb)
+{
+    auto file = parse(R"(
+        module m (input clk, input rst, input a, input b,
+                  output reg q, output reg w);
+            always @(posedge clk or posedge rst) begin
+                if (rst) q <= 1'b0;
+                else q <= a;
+            end
+            always @(a or b) w = a & b;
+            always @(*) w = a;
+        endmodule
+    )");
+    // Note: w double-driven on purpose; analysis does not care.
+    auto procs = analyzeProcesses(file.top());
+    ASSERT_EQ(procs.size(), 3u);
+
+    EXPECT_EQ(procs[0].kind, ProcessInfo::Kind::Clocked);
+    EXPECT_EQ(procs[0].clock, "clk");
+    ASSERT_EQ(procs[0].edge_signals.size(), 2u);
+    EXPECT_TRUE(procs[0].assigned.count("q"));
+    EXPECT_TRUE(procs[0].read.count("a"));
+    EXPECT_TRUE(procs[0].read.count("rst"));
+    EXPECT_EQ(procs[0].nonblocking_count, 2);
+    EXPECT_EQ(procs[0].blocking_count, 0);
+
+    EXPECT_EQ(procs[1].kind, ProcessInfo::Kind::Combinational);
+    EXPECT_TRUE(procs[1].listed.count("a"));
+    EXPECT_TRUE(procs[1].listed.count("b"));
+    EXPECT_TRUE(procs[1].assigned.count("w"));
+    EXPECT_EQ(procs[1].blocking_count, 1);
+
+    EXPECT_EQ(procs[2].kind, ProcessInfo::Kind::Combinational);
+    EXPECT_TRUE(procs[2].listed.empty());
+}
+
+TEST(ProcessInfo, LevelOnlyClockListIsCombinational)
+{
+    // The counter_w1 bug shape: always @(clk) is NOT clocked.
+    auto file = parse(R"(
+        module m (input clk, output reg q);
+            always @(clk) q = ~q;
+        endmodule
+    )");
+    auto procs = analyzeProcesses(file.top());
+    ASSERT_EQ(procs.size(), 1u);
+    EXPECT_EQ(procs[0].kind, ProcessInfo::Kind::Combinational);
+}
+
+TEST(UnrollFors, ConstantBounds)
+{
+    auto file = parse(R"(
+        module m (input [7:0] a, output reg [7:0] q);
+            integer i;
+            always @(*) begin
+                q = 8'd0;
+                for (i = 0; i < 4; i = i + 1)
+                    q = q + a;
+            end
+        endmodule
+    )");
+    auto &blk = static_cast<verilog::AlwaysBlock &>(
+        *file.top().items.back());
+    verilog::StmtPtr body = blk.body->clone();
+    analysis::unrollFors(body, {});
+    std::string out = print(*body);
+    EXPECT_EQ(out.find("for"), std::string::npos);
+    // Four unrolled copies of the accumulate.
+    size_t count = 0, pos = 0;
+    while ((pos = out.find("q = q + a;", pos)) != std::string::npos) {
+        ++count;
+        pos += 1;
+    }
+    EXPECT_EQ(count, 4u);
+}
+
+TEST(UnrollFors, LoopVarSubstitutedAsConstant)
+{
+    auto file = parse(R"(
+        module m (input [7:0] a, output reg [7:0] q);
+            integer i;
+            always @(*) begin
+                q = 8'd0;
+                for (i = 0; i < 2; i = i + 1)
+                    q[i] = a[i + 4];
+            end
+        endmodule
+    )");
+    auto &blk = static_cast<verilog::AlwaysBlock &>(
+        *file.top().items.back());
+    verilog::StmtPtr body = blk.body->clone();
+    analysis::unrollFors(body, {});
+    std::string out = print(*body);
+    EXPECT_EQ(out.find("a[i"), std::string::npos)
+        << "loop variable fully substituted:\n" << out;
+    EXPECT_EQ(out.find("q[i"), std::string::npos);
+}
+
+TEST(UnrollFors, RejectsNonTerminatingLoops)
+{
+    auto file = parse(R"(
+        module m (output reg q);
+            integer i;
+            always @(*) begin
+                q = 1'b0;
+                for (i = 0; i < 10; i = i + 0)
+                    q = ~q;
+            end
+        endmodule
+    )");
+    auto &blk = static_cast<verilog::AlwaysBlock &>(
+        *file.top().items.back());
+    verilog::StmtPtr body = blk.body->clone();
+    EXPECT_THROW(analysis::unrollFors(body, {}, 1000), FatalError);
+}

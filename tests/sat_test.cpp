@@ -1,0 +1,173 @@
+// Tests for the CDCL SAT solver.
+#include <gtest/gtest.h>
+
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+using namespace rtlrepair;
+using sat::LBool;
+using sat::Lit;
+using sat::mkLit;
+using sat::Solver;
+using sat::Var;
+
+TEST(Sat, TrivialSatAndUnsat)
+{
+    Solver s;
+    Var a = s.newVar();
+    s.addClause(mkLit(a));
+    EXPECT_EQ(s.solve(), LBool::True);
+    EXPECT_TRUE(s.modelValue(a));
+
+    Solver u;
+    Var b = u.newVar();
+    u.addClause(mkLit(b));
+    EXPECT_FALSE(u.addClause(mkLit(b, true)));
+    EXPECT_EQ(u.solve(), LBool::False);
+}
+
+TEST(Sat, UnitPropagationChains)
+{
+    Solver s;
+    std::vector<Var> vars;
+    for (int i = 0; i < 10; ++i)
+        vars.push_back(s.newVar());
+    // v0 and (v_i -> v_{i+1}) forces all true.
+    s.addClause(mkLit(vars[0]));
+    for (int i = 0; i + 1 < 10; ++i)
+        s.addClause(mkLit(vars[i], true), mkLit(vars[i + 1]));
+    ASSERT_EQ(s.solve(), LBool::True);
+    for (Var v : vars)
+        EXPECT_TRUE(s.modelValue(v));
+}
+
+TEST(Sat, PigeonholeIsUnsat)
+{
+    // 4 pigeons into 3 holes.
+    const int P = 4, H = 3;
+    Solver s;
+    std::vector<std::vector<Var>> x(P, std::vector<Var>(H));
+    for (int p = 0; p < P; ++p) {
+        for (int h = 0; h < H; ++h)
+            x[p][h] = s.newVar();
+    }
+    for (int p = 0; p < P; ++p) {
+        std::vector<Lit> clause;
+        for (int h = 0; h < H; ++h)
+            clause.push_back(mkLit(x[p][h]));
+        s.addClause(clause);
+    }
+    for (int h = 0; h < H; ++h) {
+        for (int p1 = 0; p1 < P; ++p1) {
+            for (int p2 = p1 + 1; p2 < P; ++p2)
+                s.addClause(mkLit(x[p1][h], true),
+                            mkLit(x[p2][h], true));
+        }
+    }
+    EXPECT_EQ(s.solve(), LBool::False);
+    EXPECT_GT(s.conflicts, 0u);
+}
+
+TEST(Sat, AssumptionsAreIncremental)
+{
+    Solver s;
+    Var a = s.newVar();
+    Var b = s.newVar();
+    s.addClause(mkLit(a), mkLit(b));        // a | b
+    s.addClause(mkLit(a, true), mkLit(b));  // ~a | b  => b must hold
+    EXPECT_EQ(s.solve({mkLit(b, true)}), LBool::False)
+        << "assuming ~b contradicts";
+    EXPECT_EQ(s.solve({mkLit(b)}), LBool::True);
+    EXPECT_EQ(s.solve(), LBool::True)
+        << "solver still usable after assumption conflicts";
+    EXPECT_TRUE(s.modelValue(b));
+}
+
+TEST(Sat, ConflictingAssumptionPair)
+{
+    Solver s;
+    Var a = s.newVar();
+    s.addClause(mkLit(a), mkLit(a));  // trivially a or a
+    EXPECT_EQ(s.solve({mkLit(a), mkLit(a, true)}), LBool::False);
+    EXPECT_EQ(s.solve({mkLit(a)}), LBool::True);
+}
+
+TEST(Sat, XorChainForcesSearch)
+{
+    // Tseitin-encoded xor chain with a parity constraint.
+    Solver s;
+    const int N = 14;
+    std::vector<Var> x;
+    for (int i = 0; i < N; ++i)
+        x.push_back(s.newVar());
+    // cumulative parity variables p_i = x_0 ^ ... ^ x_i
+    std::vector<Var> p;
+    p.push_back(x[0]);
+    for (int i = 1; i < N; ++i) {
+        Var pi = s.newVar();
+        Var prev = p.back();
+        // pi <-> prev ^ x_i
+        s.addClause(mkLit(pi, true), mkLit(prev), mkLit(x[i]));
+        s.addClause(mkLit(pi, true), mkLit(prev, true),
+                    mkLit(x[i], true));
+        s.addClause(mkLit(pi), mkLit(prev, true), mkLit(x[i]));
+        s.addClause(mkLit(pi), mkLit(prev), mkLit(x[i], true));
+        p.push_back(pi);
+    }
+    s.addClause(mkLit(p.back()));  // odd parity required
+    ASSERT_EQ(s.solve(), LBool::True);
+    int ones = 0;
+    for (Var v : x)
+        ones += s.modelValue(v) ? 1 : 0;
+    EXPECT_EQ(ones % 2, 1);
+}
+
+TEST(Sat, RandomSatisfiableInstances)
+{
+    // Planted-solution random 3-SAT stays satisfiable.
+    Rng rng(42);
+    for (int round = 0; round < 20; ++round) {
+        Solver s;
+        const int n = 30;
+        std::vector<Var> vars;
+        std::vector<bool> planted;
+        for (int i = 0; i < n; ++i) {
+            vars.push_back(s.newVar());
+            planted.push_back(rng.chance(0.5));
+        }
+        for (int c = 0; c < 120; ++c) {
+            std::vector<Lit> clause;
+            // Ensure at least one literal agrees with the planted
+            // assignment.
+            size_t keep = rng.below(3);
+            for (size_t k = 0; k < 3; ++k) {
+                Var v = static_cast<Var>(rng.below(n));
+                bool neg = k == keep ? planted[v] == false
+                                     : rng.chance(0.5);
+                clause.push_back(mkLit(v, !neg ? false : true));
+                // mkLit(v, sign): sign true = negative literal.
+                // A literal "agrees" when sign == !planted[v].
+            }
+            // Rebuild the kept literal precisely.
+            Var kv = sat::var(clause[keep]);
+            clause[keep] = mkLit(kv, planted[kv] ? false : true);
+            s.addClause(clause);
+        }
+        ASSERT_EQ(s.solve(), LBool::True) << "round " << round;
+        // Verify the model satisfies every clause by construction of
+        // the solver; spot-check determinism of modelValue.
+        for (Var v : vars)
+            (void)s.modelValue(v);
+    }
+}
+
+TEST(Sat, TautologiesAndDuplicatesAreHandled)
+{
+    Solver s;
+    Var a = s.newVar();
+    Var b = s.newVar();
+    EXPECT_TRUE(s.addClause(mkLit(a), mkLit(a, true)));  // tautology
+    EXPECT_TRUE(s.addClause(mkLit(b), mkLit(b)));        // duplicate
+    EXPECT_EQ(s.solve(), LBool::True);
+    EXPECT_TRUE(s.modelValue(b));
+}

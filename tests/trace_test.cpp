@@ -1,0 +1,102 @@
+// Tests for the I/O trace table and stimulus builder.
+#include "util/logging.hpp"
+#include <gtest/gtest.h>
+
+#include "trace/io_trace.hpp"
+#include "trace/stimulus.hpp"
+
+using namespace rtlrepair;
+using bv::Value;
+using trace::IoTrace;
+using trace::StimulusBuilder;
+
+TEST(StimulusBuilder, RowsHoldPreviousValues)
+{
+    StimulusBuilder sb({{"a", 4}, {"b", 1}});
+    sb.set("a", 3).set("b", 1).step(2);
+    sb.set("b", 0).step();
+    auto seq = sb.finish();
+    ASSERT_EQ(seq.length(), 3u);
+    EXPECT_EQ(seq.rows[0][0].toUint64(), 3u);
+    EXPECT_EQ(seq.rows[1][1].toUint64(), 1u);
+    EXPECT_EQ(seq.rows[2][0].toUint64(), 3u) << "a held";
+    EXPECT_EQ(seq.rows[2][1].toUint64(), 0u);
+}
+
+TEST(StimulusBuilder, UnsetGivesX)
+{
+    StimulusBuilder sb({{"a", 4}});
+    sb.step();
+    sb.set("a", 1).step();
+    sb.unset("a").step();
+    auto seq = sb.finish();
+    EXPECT_TRUE(seq.rows[0][0].hasX());
+    EXPECT_FALSE(seq.rows[1][0].hasX());
+    EXPECT_TRUE(seq.rows[2][0].hasX());
+}
+
+TEST(StimulusBuilder, RejectsUnknownNamesAndBadWidths)
+{
+    StimulusBuilder sb({{"a", 4}});
+    EXPECT_THROW(sb.set("nope", 1), PanicError);
+    EXPECT_THROW(sb.setValue("a", Value::fromUint(8, 1)), PanicError);
+}
+
+TEST(IoTrace, CsvRoundTrip)
+{
+    IoTrace io;
+    io.inputs = {{"clk_en", 1}, {"d", 4}};
+    io.outputs = {{"q", 4}};
+    io.input_rows = {{Value::fromUint(1, 1), Value::fromUint(4, 3)},
+                     {Value::allX(1), Value::parseVerilog("4'b1x01")}};
+    io.output_rows = {{Value::fromUint(4, 0)}, {Value::allX(4)}};
+
+    std::string csv = io.toCsv();
+    IoTrace back = IoTrace::fromCsv(csv);
+    ASSERT_EQ(back.length(), 2u);
+    EXPECT_EQ(back.inputs[0].name, "clk_en");
+    EXPECT_EQ(back.outputs[0].name, "q");
+    EXPECT_EQ(back.input_rows[0][1].toUint64(), 3u);
+    EXPECT_TRUE(back.input_rows[1][0].hasX());
+    EXPECT_EQ(back.input_rows[1][1].toBinaryString(), "1x01");
+    EXPECT_TRUE(back.output_rows[1][0].hasX());
+    EXPECT_EQ(back.toCsv(), csv);
+}
+
+TEST(IoTrace, FromCsvValidation)
+{
+    EXPECT_THROW(IoTrace::fromCsv("bad_header\n1\n"), FatalError);
+    EXPECT_THROW(IoTrace::fromCsv("in:a,out:b\nb1\n"), FatalError)
+        << "row with wrong cell count";
+}
+
+TEST(IoTrace, ColumnLookupAndStimulusExtraction)
+{
+    IoTrace io;
+    io.inputs = {{"a", 1}, {"b", 2}};
+    io.outputs = {{"y", 4}};
+    io.input_rows = {{Value::fromUint(1, 1), Value::fromUint(2, 2)}};
+    io.output_rows = {{Value::fromUint(4, 9)}};
+    EXPECT_EQ(io.inputIndex("b"), 1);
+    EXPECT_EQ(io.inputIndex("y"), -1);
+    EXPECT_EQ(io.outputIndex("y"), 0);
+    auto stim = io.stimulus();
+    EXPECT_EQ(stim.length(), 1u);
+    EXPECT_EQ(stim.columnIndex("a"), 0);
+}
+
+TEST(Stimulus, RandomRowsAndSweep)
+{
+    Rng rng(3);
+    StimulusBuilder sb({{"x", 8}, {"y", 8}});
+    trace::randomRows(sb, {"x", "y"}, 10, rng);
+    auto seq = sb.finish();
+    EXPECT_EQ(seq.length(), 10u);
+
+    StimulusBuilder sweep({{"a", 1}, {"b", 1}});
+    trace::exhaustiveSweep(sweep, {"a", "b"});
+    auto sw = sweep.finish();
+    ASSERT_EQ(sw.length(), 4u);
+    EXPECT_EQ(sw.rows[3][0].toUint64(), 1u);
+    EXPECT_EQ(sw.rows[3][1].toUint64(), 1u);
+}

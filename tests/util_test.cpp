@@ -1,0 +1,102 @@
+// Tests for the util module: strings, rng, stopwatch, logging.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+using namespace rtlrepair;
+
+TEST(Strings, Split)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+    EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  hello \t\n"), "hello");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(startsWith("in:clock", "in:"));
+    EXPECT_FALSE(startsWith("out:clock", "in:"));
+    EXPECT_FALSE(startsWith("i", "in:"));
+}
+
+TEST(Strings, JoinAndFormat)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+}
+
+TEST(Rng, DeterministicAndWellDistributed)
+{
+    Rng a(123), b(123), c(124);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+
+    Rng r(1);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(r.below(10));
+    EXPECT_EQ(seen.size(), 10u) << "all buckets hit";
+    for (uint64_t v : seen)
+        EXPECT_LT(v, 10u);
+}
+
+TEST(Rng, Chance)
+{
+    Rng r(7);
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+    int hits = 0;
+    for (int i = 0; i < 1000; ++i)
+        hits += r.chance(0.5) ? 1 : 0;
+    EXPECT_GT(hits, 350);
+    EXPECT_LT(hits, 650);
+}
+
+TEST(Logging, FatalAndPanicThrowTypedExceptions)
+{
+    EXPECT_THROW(fatal("bad input"), FatalError);
+    EXPECT_THROW(panic("bug"), PanicError);
+    EXPECT_THROW(check(false, "invariant"), PanicError);
+    EXPECT_NO_THROW(check(true, "fine"));
+}
+
+TEST(Deadline, UnlimitedNeverExpires)
+{
+    Deadline unlimited(0.0);
+    EXPECT_FALSE(unlimited.expired());
+    EXPECT_GT(unlimited.remaining(), 1e12);
+}
+
+TEST(Deadline, TinyBudgetExpires)
+{
+    Deadline d(1e-9);
+    // A nanosecond budget has surely elapsed by now.
+    EXPECT_TRUE(d.expired());
+    EXPECT_EQ(d.remaining(), 0.0);
+}
+
+TEST(Stopwatch, MeasuresForwardTime)
+{
+    Stopwatch w;
+    double t0 = w.seconds();
+    EXPECT_GE(t0, 0.0);
+    w.reset();
+    EXPECT_GE(w.seconds(), 0.0);
+}

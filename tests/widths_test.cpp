@@ -1,0 +1,84 @@
+// Tests for the symbol table and width inference.
+#include "util/logging.hpp"
+#include <gtest/gtest.h>
+
+#include "analysis/widths.hpp"
+#include "verilog/parser.hpp"
+
+using namespace rtlrepair;
+using analysis::SymbolTable;
+using analysis::exprWidth;
+using verilog::parse;
+using verilog::parseExpression;
+
+namespace {
+
+SymbolTable
+tableFor(const char *src)
+{
+    static verilog::SourceFile file;  // keep the AST alive
+    file = parse(src);
+    return SymbolTable::build(file.top());
+}
+
+} // namespace
+
+TEST(SymbolTable, RangesAndParams)
+{
+    SymbolTable t = tableFor(R"(
+        module m #(parameter W = 8) (input [W-1:0] a, output y);
+            wire [2*W-1:0] wide;
+            wire scalar;
+            reg [7:4] high_slice;
+            integer i;
+        endmodule
+    )");
+    EXPECT_EQ(t.widthOf("a"), 8u);
+    EXPECT_EQ(t.widthOf("wide"), 16u);
+    EXPECT_EQ(t.widthOf("scalar"), 1u);
+    EXPECT_EQ(t.widthOf("high_slice"), 4u);
+    EXPECT_EQ(t.rangeOf("high_slice").lsb, 4);
+    EXPECT_EQ(t.widthOf("i"), 32u);
+    EXPECT_EQ(t.params().at("W").toUint64(), 8u);
+    EXPECT_THROW(t.widthOf("nope"), FatalError);
+}
+
+TEST(SymbolTable, ParameterOverrides)
+{
+    auto file = parse(R"(
+        module m #(parameter W = 8) (input [W-1:0] a);
+        endmodule
+    )");
+    analysis::ConstEnv overrides;
+    overrides["W"] = bv::Value::fromUint(32, 4);
+    SymbolTable t = SymbolTable::build(file.top(), overrides);
+    EXPECT_EQ(t.widthOf("a"), 4u);
+}
+
+TEST(ExprWidth, SelfDeterminedRules)
+{
+    auto file = parse(R"(
+        module m (input [7:0] a, input [3:0] b, input c);
+        endmodule
+    )");
+    SymbolTable t = SymbolTable::build(file.top());
+    auto width_of = [&t](const char *src) {
+        auto e = parseExpression(src);
+        return exprWidth(*e, t);
+    };
+    EXPECT_EQ(width_of("a"), 8u);
+    EXPECT_EQ(width_of("a + b"), 8u);
+    EXPECT_EQ(width_of("b * b"), 4u);
+    EXPECT_EQ(width_of("a == b"), 1u);
+    EXPECT_EQ(width_of("a && b"), 1u);
+    EXPECT_EQ(width_of("&a"), 1u);
+    EXPECT_EQ(width_of("~a"), 8u);
+    EXPECT_EQ(width_of("{a, b, c}"), 13u);
+    EXPECT_EQ(width_of("{2{b}}"), 8u);
+    EXPECT_EQ(width_of("a[3]"), 1u);
+    EXPECT_EQ(width_of("a[5:2]"), 4u);
+    EXPECT_EQ(width_of("a << 2"), 8u);
+    EXPECT_EQ(width_of("c ? a : b"), 8u);
+    EXPECT_EQ(width_of("4'd3"), 4u);
+    EXPECT_EQ(width_of("3"), 32u);
+}
