@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_windowing.dir/ablation_windowing.cpp.o"
+  "CMakeFiles/ablation_windowing.dir/ablation_windowing.cpp.o.d"
+  "ablation_windowing"
+  "ablation_windowing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_windowing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

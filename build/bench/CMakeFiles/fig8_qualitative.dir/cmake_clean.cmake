@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_qualitative.dir/fig8_qualitative.cpp.o"
+  "CMakeFiles/fig8_qualitative.dir/fig8_qualitative.cpp.o.d"
+  "fig8_qualitative"
+  "fig8_qualitative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_qualitative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_oss_qualitative.dir/fig9_oss_qualitative.cpp.o"
+  "CMakeFiles/fig9_oss_qualitative.dir/fig9_oss_qualitative.cpp.o.d"
+  "fig9_oss_qualitative"
+  "fig9_oss_qualitative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_oss_qualitative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

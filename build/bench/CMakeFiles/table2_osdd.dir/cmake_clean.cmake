@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_osdd.dir/table2_osdd.cpp.o"
+  "CMakeFiles/table2_osdd.dir/table2_osdd.cpp.o.d"
+  "table2_osdd"
+  "table2_osdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_osdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

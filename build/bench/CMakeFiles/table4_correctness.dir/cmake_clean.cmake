@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_correctness.dir/table4_correctness.cpp.o"
+  "CMakeFiles/table4_correctness.dir/table4_correctness.cpp.o.d"
+  "table4_correctness"
+  "table4_correctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

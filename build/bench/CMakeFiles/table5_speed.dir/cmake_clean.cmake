@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_speed.dir/table5_speed.cpp.o"
+  "CMakeFiles/table5_speed.dir/table5_speed.cpp.o.d"
+  "table5_speed"
+  "table5_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

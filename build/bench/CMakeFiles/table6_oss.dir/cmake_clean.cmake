@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_oss.dir/table6_oss.cpp.o"
+  "CMakeFiles/table6_oss.dir/table6_oss.cpp.o.d"
+  "table6_oss"
+  "table6_oss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_oss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

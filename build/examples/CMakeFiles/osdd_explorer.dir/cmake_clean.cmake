@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osdd_explorer.dir/osdd_explorer.cpp.o"
+  "CMakeFiles/osdd_explorer.dir/osdd_explorer.cpp.o.d"
+  "osdd_explorer"
+  "osdd_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osdd_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

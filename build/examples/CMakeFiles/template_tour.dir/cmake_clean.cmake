@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_tour.dir/template_tour.cpp.o"
+  "CMakeFiles/template_tour.dir/template_tour.cpp.o.d"
+  "template_tour"
+  "template_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/const_eval.cpp" "src/CMakeFiles/rr_analysis.dir/analysis/const_eval.cpp.o" "gcc" "src/CMakeFiles/rr_analysis.dir/analysis/const_eval.cpp.o.d"
+  "/root/repo/src/analysis/dependencies.cpp" "src/CMakeFiles/rr_analysis.dir/analysis/dependencies.cpp.o" "gcc" "src/CMakeFiles/rr_analysis.dir/analysis/dependencies.cpp.o.d"
+  "/root/repo/src/analysis/linter.cpp" "src/CMakeFiles/rr_analysis.dir/analysis/linter.cpp.o" "gcc" "src/CMakeFiles/rr_analysis.dir/analysis/linter.cpp.o.d"
+  "/root/repo/src/analysis/process_info.cpp" "src/CMakeFiles/rr_analysis.dir/analysis/process_info.cpp.o" "gcc" "src/CMakeFiles/rr_analysis.dir/analysis/process_info.cpp.o.d"
+  "/root/repo/src/analysis/widths.cpp" "src/CMakeFiles/rr_analysis.dir/analysis/widths.cpp.o" "gcc" "src/CMakeFiles/rr_analysis.dir/analysis/widths.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rr_verilog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_bv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_analysis.dir/analysis/const_eval.cpp.o"
+  "CMakeFiles/rr_analysis.dir/analysis/const_eval.cpp.o.d"
+  "CMakeFiles/rr_analysis.dir/analysis/dependencies.cpp.o"
+  "CMakeFiles/rr_analysis.dir/analysis/dependencies.cpp.o.d"
+  "CMakeFiles/rr_analysis.dir/analysis/linter.cpp.o"
+  "CMakeFiles/rr_analysis.dir/analysis/linter.cpp.o.d"
+  "CMakeFiles/rr_analysis.dir/analysis/process_info.cpp.o"
+  "CMakeFiles/rr_analysis.dir/analysis/process_info.cpp.o.d"
+  "CMakeFiles/rr_analysis.dir/analysis/widths.cpp.o"
+  "CMakeFiles/rr_analysis.dir/analysis/widths.cpp.o.d"
+  "librr_analysis.a"
+  "librr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_benchmarks.dir/benchmarks/registry.cpp.o"
+  "CMakeFiles/rr_benchmarks.dir/benchmarks/registry.cpp.o.d"
+  "CMakeFiles/rr_benchmarks.dir/benchmarks/stimuli.cpp.o"
+  "CMakeFiles/rr_benchmarks.dir/benchmarks/stimuli.cpp.o.d"
+  "librr_benchmarks.a"
+  "librr_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_bv.dir/bv/value.cpp.o"
+  "CMakeFiles/rr_bv.dir/bv/value.cpp.o.d"
+  "librr_bv.a"
+  "librr_bv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_bv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_checks.dir/checks/correctness.cpp.o"
+  "CMakeFiles/rr_checks.dir/checks/correctness.cpp.o.d"
+  "CMakeFiles/rr_checks.dir/checks/quality.cpp.o"
+  "CMakeFiles/rr_checks.dir/checks/quality.cpp.o.d"
+  "librr_checks.a"
+  "librr_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

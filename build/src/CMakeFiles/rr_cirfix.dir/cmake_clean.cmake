@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_cirfix.dir/cirfix/fitness.cpp.o"
+  "CMakeFiles/rr_cirfix.dir/cirfix/fitness.cpp.o.d"
+  "CMakeFiles/rr_cirfix.dir/cirfix/genetic.cpp.o"
+  "CMakeFiles/rr_cirfix.dir/cirfix/genetic.cpp.o.d"
+  "CMakeFiles/rr_cirfix.dir/cirfix/mutations.cpp.o"
+  "CMakeFiles/rr_cirfix.dir/cirfix/mutations.cpp.o.d"
+  "librr_cirfix.a"
+  "librr_cirfix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_cirfix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elaborate/elaborate.cpp" "src/CMakeFiles/rr_elaborate.dir/elaborate/elaborate.cpp.o" "gcc" "src/CMakeFiles/rr_elaborate.dir/elaborate/elaborate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_verilog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_bv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_elaborate.dir/elaborate/elaborate.cpp.o"
+  "CMakeFiles/rr_elaborate.dir/elaborate/elaborate.cpp.o.d"
+  "librr_elaborate.a"
+  "librr_elaborate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_elaborate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_gates.dir/gates/gate_sim.cpp.o"
+  "CMakeFiles/rr_gates.dir/gates/gate_sim.cpp.o.d"
+  "CMakeFiles/rr_gates.dir/gates/netlist.cpp.o"
+  "CMakeFiles/rr_gates.dir/gates/netlist.cpp.o.d"
+  "librr_gates.a"
+  "librr_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

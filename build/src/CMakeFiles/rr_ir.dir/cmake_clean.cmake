@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_ir.dir/ir/builder.cpp.o"
+  "CMakeFiles/rr_ir.dir/ir/builder.cpp.o.d"
+  "CMakeFiles/rr_ir.dir/ir/printer.cpp.o"
+  "CMakeFiles/rr_ir.dir/ir/printer.cpp.o.d"
+  "CMakeFiles/rr_ir.dir/ir/transition_system.cpp.o"
+  "CMakeFiles/rr_ir.dir/ir/transition_system.cpp.o.d"
+  "librr_ir.a"
+  "librr_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_osdd.dir/osdd/osdd.cpp.o"
+  "CMakeFiles/rr_osdd.dir/osdd/osdd.cpp.o.d"
+  "librr_osdd.a"
+  "librr_osdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_osdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_repair.dir/repair/driver.cpp.o"
+  "CMakeFiles/rr_repair.dir/repair/driver.cpp.o.d"
+  "CMakeFiles/rr_repair.dir/repair/patcher.cpp.o"
+  "CMakeFiles/rr_repair.dir/repair/patcher.cpp.o.d"
+  "CMakeFiles/rr_repair.dir/repair/synthesizer.cpp.o"
+  "CMakeFiles/rr_repair.dir/repair/synthesizer.cpp.o.d"
+  "CMakeFiles/rr_repair.dir/repair/unroller.cpp.o"
+  "CMakeFiles/rr_repair.dir/repair/unroller.cpp.o.d"
+  "CMakeFiles/rr_repair.dir/repair/windowing.cpp.o"
+  "CMakeFiles/rr_repair.dir/repair/windowing.cpp.o.d"
+  "librr_repair.a"
+  "librr_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_sat.dir/sat/solver.cpp.o"
+  "CMakeFiles/rr_sat.dir/sat/solver.cpp.o.d"
+  "librr_sat.a"
+  "librr_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

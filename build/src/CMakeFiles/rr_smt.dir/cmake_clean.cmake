@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_smt.dir/smt/aig.cpp.o"
+  "CMakeFiles/rr_smt.dir/smt/aig.cpp.o.d"
+  "CMakeFiles/rr_smt.dir/smt/bitblast.cpp.o"
+  "CMakeFiles/rr_smt.dir/smt/bitblast.cpp.o.d"
+  "CMakeFiles/rr_smt.dir/smt/bv_solver.cpp.o"
+  "CMakeFiles/rr_smt.dir/smt/bv_solver.cpp.o.d"
+  "librr_smt.a"
+  "librr_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

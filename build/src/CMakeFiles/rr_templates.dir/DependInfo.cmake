@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/templates/add_guard.cpp" "src/CMakeFiles/rr_templates.dir/templates/add_guard.cpp.o" "gcc" "src/CMakeFiles/rr_templates.dir/templates/add_guard.cpp.o.d"
+  "/root/repo/src/templates/conditional_overwrite.cpp" "src/CMakeFiles/rr_templates.dir/templates/conditional_overwrite.cpp.o" "gcc" "src/CMakeFiles/rr_templates.dir/templates/conditional_overwrite.cpp.o.d"
+  "/root/repo/src/templates/preprocess.cpp" "src/CMakeFiles/rr_templates.dir/templates/preprocess.cpp.o" "gcc" "src/CMakeFiles/rr_templates.dir/templates/preprocess.cpp.o.d"
+  "/root/repo/src/templates/replace_literals.cpp" "src/CMakeFiles/rr_templates.dir/templates/replace_literals.cpp.o" "gcc" "src/CMakeFiles/rr_templates.dir/templates/replace_literals.cpp.o.d"
+  "/root/repo/src/templates/synth_vars.cpp" "src/CMakeFiles/rr_templates.dir/templates/synth_vars.cpp.o" "gcc" "src/CMakeFiles/rr_templates.dir/templates/synth_vars.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_verilog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_bv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_templates.dir/templates/add_guard.cpp.o"
+  "CMakeFiles/rr_templates.dir/templates/add_guard.cpp.o.d"
+  "CMakeFiles/rr_templates.dir/templates/conditional_overwrite.cpp.o"
+  "CMakeFiles/rr_templates.dir/templates/conditional_overwrite.cpp.o.d"
+  "CMakeFiles/rr_templates.dir/templates/preprocess.cpp.o"
+  "CMakeFiles/rr_templates.dir/templates/preprocess.cpp.o.d"
+  "CMakeFiles/rr_templates.dir/templates/replace_literals.cpp.o"
+  "CMakeFiles/rr_templates.dir/templates/replace_literals.cpp.o.d"
+  "CMakeFiles/rr_templates.dir/templates/synth_vars.cpp.o"
+  "CMakeFiles/rr_templates.dir/templates/synth_vars.cpp.o.d"
+  "librr_templates.a"
+  "librr_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

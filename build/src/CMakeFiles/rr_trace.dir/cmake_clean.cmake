@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_trace.dir/trace/io_trace.cpp.o"
+  "CMakeFiles/rr_trace.dir/trace/io_trace.cpp.o.d"
+  "CMakeFiles/rr_trace.dir/trace/stimulus.cpp.o"
+  "CMakeFiles/rr_trace.dir/trace/stimulus.cpp.o.d"
+  "librr_trace.a"
+  "librr_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_util.dir/util/logging.cpp.o"
+  "CMakeFiles/rr_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/rr_util.dir/util/rng.cpp.o"
+  "CMakeFiles/rr_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/rr_util.dir/util/strings.cpp.o"
+  "CMakeFiles/rr_util.dir/util/strings.cpp.o.d"
+  "librr_util.a"
+  "librr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verilog/ast.cpp" "src/CMakeFiles/rr_verilog.dir/verilog/ast.cpp.o" "gcc" "src/CMakeFiles/rr_verilog.dir/verilog/ast.cpp.o.d"
+  "/root/repo/src/verilog/ast_util.cpp" "src/CMakeFiles/rr_verilog.dir/verilog/ast_util.cpp.o" "gcc" "src/CMakeFiles/rr_verilog.dir/verilog/ast_util.cpp.o.d"
+  "/root/repo/src/verilog/lexer.cpp" "src/CMakeFiles/rr_verilog.dir/verilog/lexer.cpp.o" "gcc" "src/CMakeFiles/rr_verilog.dir/verilog/lexer.cpp.o.d"
+  "/root/repo/src/verilog/parser.cpp" "src/CMakeFiles/rr_verilog.dir/verilog/parser.cpp.o" "gcc" "src/CMakeFiles/rr_verilog.dir/verilog/parser.cpp.o.d"
+  "/root/repo/src/verilog/printer.cpp" "src/CMakeFiles/rr_verilog.dir/verilog/printer.cpp.o" "gcc" "src/CMakeFiles/rr_verilog.dir/verilog/printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rr_bv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_verilog.dir/verilog/ast.cpp.o"
+  "CMakeFiles/rr_verilog.dir/verilog/ast.cpp.o.d"
+  "CMakeFiles/rr_verilog.dir/verilog/ast_util.cpp.o"
+  "CMakeFiles/rr_verilog.dir/verilog/ast_util.cpp.o.d"
+  "CMakeFiles/rr_verilog.dir/verilog/lexer.cpp.o"
+  "CMakeFiles/rr_verilog.dir/verilog/lexer.cpp.o.d"
+  "CMakeFiles/rr_verilog.dir/verilog/parser.cpp.o"
+  "CMakeFiles/rr_verilog.dir/verilog/parser.cpp.o.d"
+  "CMakeFiles/rr_verilog.dir/verilog/printer.cpp.o"
+  "CMakeFiles/rr_verilog.dir/verilog/printer.cpp.o.d"
+  "librr_verilog.a"
+  "librr_verilog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_verilog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ast_util_test.dir/ast_util_test.cpp.o"
+  "CMakeFiles/ast_util_test.dir/ast_util_test.cpp.o.d"
+  "ast_util_test"
+  "ast_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ast_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitblast_test.dir/bitblast_test.cpp.o"
+  "CMakeFiles/bitblast_test.dir/bitblast_test.cpp.o.d"
+  "bitblast_test"
+  "bitblast_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitblast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

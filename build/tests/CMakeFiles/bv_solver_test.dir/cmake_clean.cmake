@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bv_solver_test.dir/bv_solver_test.cpp.o"
+  "CMakeFiles/bv_solver_test.dir/bv_solver_test.cpp.o.d"
+  "bv_solver_test"
+  "bv_solver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bv_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bv_value_test.dir/bv_value_test.cpp.o"
+  "CMakeFiles/bv_value_test.dir/bv_value_test.cpp.o.d"
+  "bv_value_test"
+  "bv_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bv_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

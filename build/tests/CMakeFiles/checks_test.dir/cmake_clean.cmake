@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checks_test.dir/checks_test.cpp.o"
+  "CMakeFiles/checks_test.dir/checks_test.cpp.o.d"
+  "checks_test"
+  "checks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cirfix_test.dir/cirfix_test.cpp.o"
+  "CMakeFiles/cirfix_test.dir/cirfix_test.cpp.o.d"
+  "cirfix_test"
+  "cirfix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cirfix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/const_eval_test.dir/const_eval_test.cpp.o"
+  "CMakeFiles/const_eval_test.dir/const_eval_test.cpp.o.d"
+  "const_eval_test"
+  "const_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/const_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_sim_test.dir/cross_sim_test.cpp.o"
+  "CMakeFiles/cross_sim_test.dir/cross_sim_test.cpp.o.d"
+  "cross_sim_test"
+  "cross_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependencies_test.dir/dependencies_test.cpp.o"
+  "CMakeFiles/dependencies_test.dir/dependencies_test.cpp.o.d"
+  "dependencies_test"
+  "dependencies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependencies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

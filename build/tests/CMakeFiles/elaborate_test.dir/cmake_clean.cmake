@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elaborate_test.dir/elaborate_test.cpp.o"
+  "CMakeFiles/elaborate_test.dir/elaborate_test.cpp.o.d"
+  "elaborate_test"
+  "elaborate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elaborate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gates_test.dir/gates_test.cpp.o"
+  "CMakeFiles/gates_test.dir/gates_test.cpp.o.d"
+  "gates_test"
+  "gates_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

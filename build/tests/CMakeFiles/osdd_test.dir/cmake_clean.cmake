@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osdd_test.dir/osdd_test.cpp.o"
+  "CMakeFiles/osdd_test.dir/osdd_test.cpp.o.d"
+  "osdd_test"
+  "osdd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osdd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

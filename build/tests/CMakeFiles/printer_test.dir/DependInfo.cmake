@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/printer_test.cpp" "tests/CMakeFiles/printer_test.dir/printer_test.cpp.o" "gcc" "tests/CMakeFiles/printer_test.dir/printer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rr_benchmarks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_checks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_cirfix.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_osdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_templates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_elaborate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_verilog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_bv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_engine_test.dir/repair_engine_test.cpp.o"
+  "CMakeFiles/repair_engine_test.dir/repair_engine_test.cpp.o.d"
+  "repair_engine_test"
+  "repair_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_properties_test.dir/repair_properties_test.cpp.o"
+  "CMakeFiles/repair_properties_test.dir/repair_properties_test.cpp.o.d"
+  "repair_properties_test"
+  "repair_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/widths_test.dir/widths_test.cpp.o"
+  "CMakeFiles/widths_test.dir/widths_test.cpp.o.d"
+  "widths_test"
+  "widths_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/widths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
