@@ -36,6 +36,9 @@ struct BenchArgs
     double rtl_timeout = 0;   ///< override tool timeout (0 = default)
     double cirfix_timeout = 20.0;  ///< scaled-down CirFix budget
     std::string only;         ///< run a single benchmark by name
+    /** Worker threads for the parallel-portfolio columns (0 = resolve
+     *  via RTLREPAIR_JOBS / hardware concurrency). */
+    unsigned jobs = 0;
 
     static BenchArgs
     parse(int argc, char **argv)
@@ -57,6 +60,10 @@ struct BenchArgs
             } else if (std::strcmp(argv[i], "--only") == 0 &&
                        i + 1 < argc) {
                 args.only = argv[++i];
+            } else if (std::strcmp(argv[i], "--jobs") == 0 &&
+                       i + 1 < argc) {
+                args.jobs = static_cast<unsigned>(
+                    std::atoi(argv[++i]));
             }
         }
         return args;

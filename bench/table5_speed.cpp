@@ -1,9 +1,13 @@
 // Regenerates paper Table 5: the repair-speed breakdown — the
 // preprocessing-only pass, each template in isolation (early exit
-// off), the basic full-unroll synthesizer, and the full tool, plus
-// the CirFix baseline time for the speedup column.
+// off), the basic full-unroll synthesizer, and the full tool in both
+// serial (jobs=1) and parallel-portfolio (--jobs N) mode, plus the
+// CirFix baseline time for the speedup column.  A `!DET` marker on
+// the parallel cell flags a serial/parallel outcome mismatch, which
+// would be a determinism bug in the portfolio scheduler.
 #include "bench_common.hpp"
 
+#include "repair/parallel.hpp"
 #include "util/strings.hpp"
 
 using rtlrepair::format;
@@ -47,27 +51,45 @@ runVariant(const benchmarks::LoadedBenchmark &lb,
     return {"?"};
 }
 
+/** The serial and parallel runs must agree on everything but time. */
+bool
+sameOutcome(const repair::RepairOutcome &a,
+            const repair::RepairOutcome &b)
+{
+    if (a.status != b.status || a.changes != b.changes ||
+        a.template_name != b.template_name) {
+        return false;
+    }
+    if (!a.repaired != !b.repaired)
+        return false;
+    return !a.repaired ||
+           verilog::print(*a.repaired) == verilog::print(*b.repaired);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     BenchArgs args = BenchArgs::parse(argc, argv);
+    unsigned jobs = repair::resolveJobs(args.jobs);
     if (args.fast && !args.fast_explicit) {
         std::printf("(fast mode: long-trace benchmarks skipped; run "
                     "with --full for the complete table)\n");
     }
     std::printf("Table 5: repair speed evaluation\n");
     std::printf("(NNok = repaired with NN changes; - = no repair; "
-                "T/O = timeout)\n\n");
-    std::printf("%-12s | %-11s %-12s %-12s %-12s | %-12s %-12s | "
-                "%-10s %8s\n",
+                "T/O = timeout; serial = full tool with jobs=1, "
+                "par(%u) = parallel portfolio)\n\n", jobs);
+    std::printf("%-12s | %-11s %-12s %-12s %-12s | %-12s %-12s "
+                "%-12s %7s | %-10s %8s\n",
                 "benchmark", "preprocess", "replace-lit", "add-guard",
-                "cond-ovw", "basic-synth", "rtl-repair", "cirfix",
+                "cond-ovw", "basic-synth", "serial",
+                format("par(%u)", jobs).c_str(), "par-spd", "cirfix",
                 "speedup");
     std::printf("----------------------------------------------------"
                 "--------------------------------------------------"
-                "------------\n");
+                "----------------------------------\n");
 
     for (const auto &def : benchmarks::all()) {
         if (def.oss || !selected(def, args))
@@ -87,25 +109,38 @@ main(int argc, char **argv)
         repair::RepairConfig full_cfg;
         full_cfg.timeout_seconds = timeout;
         full_cfg.x_policy = def.x_policy;
+        full_cfg.jobs = 1;
         repair::RepairOutcome full = repair::repairDesign(
             *lb.buggy, lb.buggy_lib, lb.tb, full_cfg);
-        Cell full_cell =
-            full.status == repair::RepairOutcome::Status::Repaired
-                ? Cell{format("%dok %.2fs",
-                              full.changes + full.preprocess_changes,
-                              full.seconds)}
-                : Cell{format("-   %.2fs", full.seconds)};
+        auto cellFor = [](const repair::RepairOutcome &o) {
+            return o.status == repair::RepairOutcome::Status::Repaired
+                       ? Cell{format("%dok %.2fs",
+                                     o.changes + o.preprocess_changes,
+                                     o.seconds)}
+                       : Cell{format("-   %.2fs", o.seconds)};
+        };
+        Cell full_cell = cellFor(full);
+
+        full_cfg.jobs = jobs;
+        repair::RepairOutcome par = repair::repairDesign(
+            *lb.buggy, lb.buggy_lib, lb.tb, full_cfg);
+        Cell par_cell = cellFor(par);
+        if (!sameOutcome(full, par))
+            par_cell.text += " !DET";
+        double par_speedup =
+            par.seconds > 0 ? full.seconds / par.seconds : 0.0;
 
         cirfix::CirFixOutcome cf = runCirFix(lb, args.cirfix_timeout);
         double speedup =
             full.seconds > 0 ? cf.seconds / full.seconds : 0.0;
 
-        std::printf("%-12s | %-11s %-12s %-12s %-12s | %-12s %-12s | "
-                    "%7.2fs %7.0fx\n",
+        std::printf("%-12s | %-11s %-12s %-12s %-12s | %-12s %-12s "
+                    "%-12s %6.2fx | %7.2fs %7.0fx\n",
                     def.name.c_str(), pre.text.c_str(),
                     rl.text.c_str(), ag.text.c_str(), co.text.c_str(),
                     basic.text.c_str(), full_cell.text.c_str(),
-                    cf.seconds, speedup);
+                    par_cell.text.c_str(), par_speedup, cf.seconds,
+                    speedup);
     }
     return 0;
 }

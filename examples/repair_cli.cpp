@@ -2,7 +2,7 @@
 // shape a downstream user would integrate into a flow:
 //
 //   repair_cli <buggy.v> <trace.csv> [--timeout S] [--zero-x]
-//              [--out repaired.v]
+//              [--jobs N] [--out repaired.v]
 //
 // The trace CSV uses `in:`/`out:` prefixed column headers and binary
 // cell values with x for don't-cares (see trace/io_trace.hpp); it is
@@ -26,7 +26,7 @@ main(int argc, char **argv)
     if (argc < 3) {
         std::fprintf(stderr,
                      "usage: %s <buggy.v> <trace.csv> [--timeout S] "
-                     "[--zero-x] [--out repaired.v]\n",
+                     "[--zero-x] [--jobs N] [--out repaired.v]\n",
                      argv[0]);
         return 2;
     }
@@ -39,6 +39,9 @@ main(int argc, char **argv)
             config.timeout_seconds = std::atof(argv[++i]);
         } else if (std::strcmp(argv[i], "--zero-x") == 0) {
             config.x_policy = sim::XPolicy::Zero;
+        } else if (std::strcmp(argv[i], "--jobs") == 0 &&
+                   i + 1 < argc) {
+            config.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (std::strcmp(argv[i], "--out") == 0 &&
                    i + 1 < argc) {
             out_path = argv[++i];

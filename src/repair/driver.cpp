@@ -1,5 +1,6 @@
 #include "repair/driver.hpp"
 
+#include "repair/parallel.hpp"
 #include "repair/patcher.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
@@ -102,7 +103,28 @@ repairDesign(const verilog::Module &buggy,
     if (config.preprocess_only)
         return finish(RepairOutcome::Status::NoRepair);
 
-    // 5. Template cascade.
+    // 5. Template cascade.  With more than one worker, the cascade
+    // runs as a parallel portfolio: every (template × window)
+    // candidate is an independent solve, raced with first-success
+    // cancellation and folded back in deterministic serial order.
+    if (unsigned jobs = resolveJobs(config.jobs); jobs > 1) {
+        PortfolioOutcome port =
+            runPortfolio(*pre.module, library, resolved, init, config,
+                         deadline, jobs);
+        outcome.detail += port.detail;
+        outcome.candidates = std::move(port.candidates);
+        if (port.best) {
+            outcome.repaired = std::move(port.best->repaired);
+            outcome.changes = port.best->changes;
+            outcome.template_name = port.best->template_name;
+            outcome.window_past = port.best->window_past;
+            outcome.window_future = port.best->window_future;
+            return finish(RepairOutcome::Status::Repaired);
+        }
+        return finish(port.timed_out
+                          ? RepairOutcome::Status::Timeout
+                          : RepairOutcome::Status::NoRepair);
+    }
     struct Best
     {
         std::unique_ptr<verilog::Module> repaired;
@@ -145,6 +167,8 @@ repairDesign(const verilog::Module &buggy,
 
         EngineResult engine = runEngine(sys, inst.vars, resolved, init,
                                         config.engine, &deadline);
+        for (const auto &w : engine.windows)
+            outcome.candidates.push_back({tmpl->name(), w});
         switch (engine.status) {
           case EngineResult::Status::Timeout:
             timed_out = true;

@@ -32,6 +32,22 @@ struct RepairConfig
     std::string only_template;
     /** Skip templates entirely (preprocessing-only runs). */
     bool preprocess_only = false;
+    /**
+     * Worker threads for the repair portfolio.  1 runs today's exact
+     * serial cascade; N > 1 solves (template × window) candidates
+     * concurrently with first-success-wins cancellation; 0 (default)
+     * resolves via the RTLREPAIR_JOBS environment variable, falling
+     * back to std::thread::hardware_concurrency().  Results are
+     * deterministic and identical across all values.
+     */
+    unsigned jobs = 0;
+};
+
+/** Per-candidate solve statistics (one row per template × window). */
+struct RepairCandidateStat
+{
+    std::string template_name;
+    WindowStat window;
 };
 
 /** Outcome of one tool run. */
@@ -51,6 +67,9 @@ struct RepairOutcome
     int window_past = 0;
     int window_future = 0;
     std::string detail;  ///< human-readable notes / failure reason
+    /** Solve statistics for every candidate examined, in template
+     *  order (identical between serial and parallel runs). */
+    std::vector<RepairCandidateStat> candidates;
 };
 
 /**

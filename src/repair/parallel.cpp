@@ -1,0 +1,460 @@
+#include "repair/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "repair/patcher.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace rtlrepair::repair {
+
+using bv::Value;
+using templates::SynthAssignment;
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("RTLREPAIR_JOBS")) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+namespace {
+
+/** Result of one window-candidate solve on a pool worker. */
+struct WindowSolve
+{
+    SynthesisResult synth;
+    WindowStat stat;
+};
+
+/** One in-flight window candidate (frontier or speculative). */
+struct WindowJob
+{
+    WindowLadder state;
+    std::shared_ptr<CancelToken> token;
+    std::shared_ptr<Deadline> deadline;
+    std::future<WindowSolve> fut;
+};
+
+/** Cancel + await every in-flight job (ignores their results). */
+void
+drainJobs(std::vector<WindowJob> &jobs, ThreadPool &pool)
+{
+    for (auto &job : jobs)
+        job.token->cancel();
+    for (auto &job : jobs) {
+        try {
+            pool.waitCollect(job.fut);
+        } catch (...) {
+            // A cancelled speculative solve that failed is irrelevant:
+            // the serial cascade would never have reached it.
+        }
+    }
+    jobs.clear();
+}
+
+/** Drains in-flight jobs on every exit path: the job closures hold
+ *  references to engine-local state (system, runner snapshots). */
+struct DrainGuard
+{
+    std::vector<WindowJob> *jobs;
+    ThreadPool *pool;
+    ~DrainGuard() { drainJobs(*jobs, *pool); }
+};
+
+} // namespace
+
+EngineResult
+runEngineParallel(const ir::TransitionSystem &sys,
+                  const templates::SynthVarTable &vars,
+                  const trace::IoTrace &resolved,
+                  const std::vector<Value> &init,
+                  const EngineConfig &config,
+                  const Deadline *deadline, ThreadPool &pool)
+{
+    EngineResult result;
+    ConcreteRunner runner(sys, resolved, init);
+
+    // Baseline run: the unmodified circuit (all φ off).
+    sim::ReplayResult base = runner.run(SynthAssignment{});
+    if (base.passed) {
+        result.status = EngineResult::Status::Repaired;
+        result.assignment = SynthAssignment::allOff(vars);
+        result.changes = 0;
+        result.failure_free = true;
+        return result;
+    }
+    size_t f = base.first_failure;
+    result.first_failure = f;
+
+    check(config.adaptive,
+          "runEngineParallel requires the adaptive engine");
+
+    std::vector<WindowJob> inflight;
+    DrainGuard guard{&inflight, &pool};
+
+    // Launch the solve for ladder state @p st unless already queued.
+    auto ensure = [&](const WindowLadder &st) {
+        for (const auto &job : inflight) {
+            if (job.state == st)
+                return;
+        }
+        WindowLadder::Window w = st.window();
+        // Window-start states come from the (cached) concrete prefix
+        // simulation on this thread; only the symbolic solve is
+        // shipped to the pool.
+        std::vector<Value> start_state = runner.statesAt(w.start);
+        WindowJob job;
+        job.state = st;
+        job.token = std::make_shared<CancelToken>();
+        job.deadline =
+            std::make_shared<Deadline>(deadline, job.token.get());
+        auto job_deadline = job.deadline;
+        size_t max_candidates = config.max_candidates;
+        job.fut = pool.submit([&sys, &vars, &resolved, st, w,
+                               start_state = std::move(start_state),
+                               job_deadline,
+                               max_candidates]() -> WindowSolve {
+            Stopwatch watch;
+            RepairQuery query(sys, vars, resolved, w.start, w.count,
+                              start_state, job_deadline.get());
+            WindowSolve out;
+            out.synth = synthesizeMinimalRepairs(
+                query, vars, max_candidates, job_deadline.get());
+            out.stat.k_past = static_cast<int>(st.k_past);
+            out.stat.k_future = static_cast<int>(st.k_future);
+            out.stat.solve_seconds = watch.seconds();
+            out.stat.aig_nodes = query.aigNodes();
+            out.stat.conflicts = query.conflicts();
+            switch (out.synth.status) {
+              case SynthesisResult::Status::Timeout:
+                out.stat.status = "timeout";
+                break;
+              case SynthesisResult::Status::NoRepair:
+                out.stat.status = "unsat";
+                break;
+              case SynthesisResult::Status::Found:
+                out.stat.status = "sat";
+                out.stat.changes = out.synth.changes;
+                break;
+            }
+            return out;
+        });
+        inflight.push_back(std::move(job));
+    };
+    auto take = [&](const WindowLadder &st) -> WindowSolve {
+        for (size_t i = 0; i < inflight.size(); ++i) {
+            if (!(inflight[i].state == st))
+                continue;
+            WindowSolve solve = pool.waitCollect(inflight[i].fut);
+            inflight.erase(inflight.begin() +
+                           static_cast<ptrdiff_t>(i));
+            return solve;
+        }
+        panic("window job missing from the in-flight set");
+    };
+
+    WindowLadder ladder;
+    ladder.failure = f;
+    ladder.trace_len = resolved.length();
+    while (true) {
+        if (deadline && deadline->expired()) {
+            result.status = EngineResult::Status::Timeout;
+            return result;
+        }
+        if (ladder.exhausted(config)) {
+            result.status = EngineResult::Status::NoRepair;
+            return result;
+        }
+
+        // Keep the frontier plus the predicted next windows in
+        // flight; past growth is the common ladder transition, so the
+        // speculative solves are usually the ones needed next.
+        ensure(ladder);
+        WindowLadder spec = ladder;
+        for (size_t d = 0; d < config.speculation; ++d) {
+            spec = spec.predictedNext(config);
+            if (spec.exhausted(config))
+                break;
+            ensure(spec);
+        }
+
+        WindowSolve solve = take(ladder);
+        result.windows.push_back(solve.stat);
+        if (solve.synth.status == SynthesisResult::Status::Timeout) {
+            result.status = EngineResult::Status::Timeout;
+            return result;
+        }
+        if (solve.synth.status == SynthesisResult::Status::NoRepair) {
+            // No repair exists in this window: more past context.
+            ladder.growPast(config);
+            continue;
+        }
+
+        bool any_later = false;
+        size_t latest_failure = f;
+        for (const auto &candidate : solve.synth.repairs) {
+            sim::ReplayResult r = runner.run(candidate);
+            if (r.passed) {
+                result.status = EngineResult::Status::Repaired;
+                result.assignment = candidate;
+                result.changes = solve.synth.changes;
+                result.window_past = static_cast<int>(ladder.k_past);
+                result.window_future =
+                    static_cast<int>(ladder.k_future);
+                return result;
+            }
+            if (r.first_failure > f) {
+                any_later = true;
+                latest_failure =
+                    std::max(latest_failure, r.first_failure);
+            }
+        }
+        if (any_later) {
+            // Missing future context: include the new failure cycle.
+            // Every in-flight speculation predicted past growth and
+            // is now mispredicted — stop it burning cores.
+            ladder.growFuture(latest_failure);
+            drainJobs(inflight, pool);
+        } else {
+            ladder.growPast(config);
+        }
+    }
+}
+
+namespace {
+
+/** Shared-state slot for one template task. */
+struct TemplateSlot
+{
+    enum class Outcome {
+        Skipped,      ///< no change sites
+        NotSynth,     ///< instrumented design failed to elaborate
+        Timeout,
+        Cancelled,    ///< stopped by first-success cancellation
+        NoRepair,
+        Repaired,
+    };
+
+    std::string name;
+    CancelToken cancel;
+    Deadline deadline;  ///< derived: global deadline + cancel token
+    std::future<void> done;
+    std::atomic<bool> finished{false};
+
+    // Written by the task thread before `finished`, read after.
+    Outcome outcome = Outcome::Skipped;
+    std::unique_ptr<verilog::Module> repaired;
+    int changes = 0;
+    int window_past = 0;
+    int window_future = 0;
+    std::vector<WindowStat> windows;
+    std::string note;
+
+    TemplateSlot(std::string n, const Deadline &global)
+        : name(std::move(n)), deadline(&global, &cancel)
+    {
+    }
+};
+
+/** Template-task body; Outcome/note/etc. are written into @p s. */
+void
+runTemplateTask(TemplateSlot &s, templates::RepairTemplate &tmpl,
+                const verilog::Module &preprocessed,
+                const std::vector<const verilog::Module *> &library,
+                const trace::IoTrace &resolved,
+                const std::vector<Value> &init,
+                const RepairConfig &config, ThreadPool &pool)
+{
+    using Outcome = TemplateSlot::Outcome;
+    if (s.deadline.cancelled()) {
+        s.outcome = Outcome::Cancelled;
+        return;
+    }
+    templates::TemplateResult inst =
+        tmpl.apply(preprocessed, library);
+    if (inst.vars.empty()) {
+        s.outcome = Outcome::Skipped;  // template found no change sites
+        return;
+    }
+    elaborate::ElaborateOptions opts;
+    opts.library = library;
+    opts.synth_vars = inst.vars.specs();
+    ir::TransitionSystem sys;
+    try {
+        sys = elaborate::elaborate(*inst.instrumented, opts);
+    } catch (const FatalError &e) {
+        s.outcome = Outcome::NotSynth;
+        s.note = format(
+            "template %s: instrumented design not synthesizable "
+            "(%s)\n",
+            s.name.c_str(), e.what());
+        return;
+    }
+    EngineResult engine =
+        config.engine.adaptive
+            ? runEngineParallel(sys, inst.vars, resolved, init,
+                                config.engine, &s.deadline, pool)
+            : runEngine(sys, inst.vars, resolved, init, config.engine,
+                        &s.deadline);
+    s.windows = std::move(engine.windows);
+    switch (engine.status) {
+      case EngineResult::Status::Timeout:
+        if (s.deadline.cancelled()) {
+            s.outcome = Outcome::Cancelled;
+        } else {
+            s.outcome = Outcome::Timeout;
+            s.note = format("template %s: timeout\n", s.name.c_str());
+        }
+        return;
+      case EngineResult::Status::NoRepair:
+        s.outcome = Outcome::NoRepair;
+        s.note = format("template %s: no repair found\n",
+                        s.name.c_str());
+        return;
+      case EngineResult::Status::Repaired:
+        s.outcome = Outcome::Repaired;
+        s.repaired =
+            patch(*inst.instrumented, inst.vars, engine.assignment);
+        s.changes = engine.changes;
+        s.window_past = engine.window_past;
+        s.window_future = engine.window_future;
+        return;
+    }
+}
+
+} // namespace
+
+PortfolioOutcome
+runPortfolio(const verilog::Module &preprocessed,
+             const std::vector<const verilog::Module *> &library,
+             const trace::IoTrace &resolved,
+             const std::vector<Value> &init,
+             const RepairConfig &config, const Deadline &deadline,
+             unsigned jobs)
+{
+    PortfolioOutcome out;
+
+    // Slots are declared before the pool: the pool's destructor joins
+    // the workers while every slot (and its cancel token) is alive.
+    std::vector<std::unique_ptr<TemplateSlot>> slots;
+    ThreadPool pool(jobs);
+
+    for (auto &tmpl : templates::standardTemplates()) {
+        if (!config.only_template.empty() &&
+            tmpl->name() != config.only_template) {
+            continue;
+        }
+        auto slot =
+            std::make_unique<TemplateSlot>(tmpl->name(), deadline);
+        TemplateSlot *s = slot.get();
+        auto shared_tmpl =
+            std::shared_ptr<templates::RepairTemplate>(
+                std::move(tmpl));
+        slot->done = pool.submit([s, shared_tmpl, &preprocessed,
+                                  &library, &resolved, &init, &config,
+                                  &pool]() {
+            // `finished` is flagged even when the task throws, so the
+            // scheduler loop can never spin forever; the exception
+            // stays in the future and is rethrown by waitCollect.
+            struct Finish
+            {
+                TemplateSlot *slot;
+                ~Finish()
+                {
+                    slot->finished.store(true,
+                                         std::memory_order_release);
+                }
+            } finish{s};
+            runTemplateTask(*s, *shared_tmpl, preprocessed, library,
+                            resolved, init, config, pool);
+        });
+        slots.push_back(std::move(slot));
+    }
+
+    // Scheduler loop.  Determinism rule: the winner is whatever the
+    // serial fold (templates in order, fewest changes, stop at the
+    // change threshold) picks — so a template finishing first never
+    // wins on timing.  But once any template i has a repair at or
+    // under the threshold, templates after i can never influence the
+    // outcome (an earlier template either stops the cascade itself or
+    // loses to i's smaller repair), so everything past i is cancelled
+    // immediately — first-success-wins without a determinism leak.
+    auto cancelHorizon = [&]() -> size_t {
+        for (size_t i = 0; i < slots.size(); ++i) {
+            if (slots[i]->finished.load(std::memory_order_acquire) &&
+                slots[i]->outcome == TemplateSlot::Outcome::Repaired &&
+                slots[i]->changes <= config.change_threshold) {
+                return i;
+            }
+        }
+        return slots.size();
+    };
+    while (true) {
+        size_t horizon = cancelHorizon();
+        for (size_t j = horizon + 1; j < slots.size(); ++j)
+            slots[j]->cancel.cancel();
+        bool all_done = true;
+        for (const auto &slot : slots) {
+            if (!slot->finished.load(std::memory_order_acquire)) {
+                all_done = false;
+                break;
+            }
+        }
+        if (all_done)
+            break;
+        if (!pool.help()) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(200));
+        }
+    }
+    for (auto &slot : slots)
+        pool.waitCollect(slot->done);  // propagate task exceptions
+
+    // Final fold, identical to the serial cascade's accumulation.
+    // Cancelled slots sit strictly after the fold's stopping point,
+    // so they are never visited — stats and notes match a serial run.
+    for (auto &slot_ptr : slots) {
+        TemplateSlot &s = *slot_ptr;
+        for (const auto &w : s.windows)
+            out.candidates.push_back({s.name, w});
+        switch (s.outcome) {
+          case TemplateSlot::Outcome::Skipped:
+          case TemplateSlot::Outcome::Cancelled:
+            continue;
+          case TemplateSlot::Outcome::NotSynth:
+          case TemplateSlot::Outcome::NoRepair:
+            out.detail += s.note;
+            continue;
+          case TemplateSlot::Outcome::Timeout:
+            out.timed_out = true;
+            out.detail += s.note;
+            continue;
+          case TemplateSlot::Outcome::Repaired:
+            break;
+        }
+        if (!out.best || s.changes < out.best->changes) {
+            out.best = PortfolioBest{std::move(s.repaired), s.changes,
+                                     s.name, s.window_past,
+                                     s.window_future};
+        }
+        if (s.changes <= config.change_threshold)
+            break;  // small enough: stop the cascade (paper Fig. 3)
+        out.detail += format(
+            "template %s: repair with %d changes exceeds threshold, "
+            "trying further templates\n",
+            s.name.c_str(), s.changes);
+    }
+    return out;
+}
+
+} // namespace rtlrepair::repair

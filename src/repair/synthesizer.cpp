@@ -25,10 +25,16 @@ synthesizeMinimalRepairs(RepairQuery &query,
 
     // 2. Linear minimality search on Σφ, starting at zero changes
     //    (the instrumented circuit with all φ off may already pass).
-    size_t num_phis = vars.phiNames().size();
+    //    The feasibility model bounds the search from above: only
+    //    bounds k < Σφ(model) need a solve, and when they are all
+    //    UNSAT the model itself is a minimal solution — no re-solve
+    //    of bound k from scratch.
+    templates::SynthAssignment feasible_model = *query.lastModel();
+    size_t upper = static_cast<size_t>(
+        feasible_model.changeCount(vars));
     std::optional<templates::SynthAssignment> minimal;
     size_t k = 0;
-    for (; k <= num_phis; ++k) {
+    for (; k < upper; ++k) {
         if (deadline && deadline->expired()) {
             result.status = SynthesisResult::Status::Timeout;
             return result;
@@ -41,8 +47,13 @@ synthesizeMinimalRepairs(RepairQuery &query,
         if (minimal)
             break;
     }
-    check(minimal.has_value(),
-          "feasible query has no minimal solution");
+    if (!minimal) {
+        // Every bound below Σφ(model) is UNSAT: the feasibility
+        // model's change count is minimal, and its learnt clauses and
+        // model carry over — sampling starts by blocking it directly.
+        minimal = std::move(feasible_model);
+        k = upper;
+    }
 
     result.status = SynthesisResult::Status::Found;
     result.changes = static_cast<int>(k);

@@ -115,6 +115,8 @@ RepairQuery::checkFeasible(const Deadline *deadline)
     if (_aborted)
         return Result::Timeout;
     _last = _solver.solve({}, deadline);
+    if (_last == Result::Sat)
+        _last_model = extractModel();
     return _last;
 }
 
@@ -135,7 +137,8 @@ RepairQuery::solveWithBound(size_t max_changes,
                                        : Result::Timeout;
     if (_last != Result::Sat)
         return std::nullopt;
-    return extractModel();
+    _last_model = extractModel();
+    return _last_model;
 }
 
 templates::SynthAssignment

@@ -53,6 +53,18 @@ class RepairQuery
     smt::Result checkFeasible(const Deadline *deadline);
 
     /**
+     * Model of the last Sat solve (feasibility check or bounded
+     * solve).  The synthesizer uses the feasibility model's change
+     * count as an upper bound for the Σφ minimality search and as the
+     * k-th solution itself when every smaller bound is UNSAT.
+     */
+    const std::optional<templates::SynthAssignment> &
+    lastModel() const
+    {
+        return _last_model;
+    }
+
+    /**
      * Find a model with at most @p max_changes φs enabled.  Returns
      * nullopt on UNSAT; throws nothing on timeout — check
      * lastResult().
@@ -68,6 +80,9 @@ class RepairQuery
     /** Statistics: number of AIG nodes in the encoded window. */
     size_t aigNodes() const { return _solver_aig_nodes; }
 
+    /** Statistics: SAT conflicts accumulated by this query so far. */
+    uint64_t conflicts() const { return _solver.satSolver().conflicts; }
+
   private:
     templates::SynthAssignment extractModel();
 
@@ -78,6 +93,7 @@ class RepairQuery
     std::vector<smt::Word> _synth_words;  ///< indexed like sys.synth_vars
     std::vector<smt::AigLit> _phi_lits;
     smt::Result _last = smt::Result::Unsat;
+    std::optional<templates::SynthAssignment> _last_model;
     size_t _solver_aig_nodes = 0;
     bool _aborted = false;
 };

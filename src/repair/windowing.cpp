@@ -8,6 +8,31 @@ namespace rtlrepair::repair {
 using bv::Value;
 using templates::SynthAssignment;
 
+WindowLadder::Window
+WindowLadder::window() const
+{
+    Window w;
+    w.start = failure >= k_past ? failure - k_past : 0;
+    size_t end = std::min(trace_len, failure + k_future + 1);
+    w.count = end - w.start;
+    return w;
+}
+
+void
+WindowLadder::growFuture(size_t latest_failure)
+{
+    size_t needed = latest_failure - failure;
+    k_future = std::max(k_future + 1, needed);
+}
+
+WindowLadder
+WindowLadder::predictedNext(const EngineConfig &config) const
+{
+    WindowLadder next = *this;
+    next.growPast(config);
+    return next;
+}
+
 ConcreteRunner::ConcreteRunner(const ir::TransitionSystem &sys,
                                const trace::IoTrace &resolved,
                                std::vector<Value> init)
@@ -85,8 +110,27 @@ ConcreteRunner::run(const SynthAssignment &assignment)
 }
 
 std::vector<Value>
+ConcreteRunner::currentStates()
+{
+    std::vector<Value> out;
+    out.reserve(_sys.states.size());
+    for (size_t i = 0; i < _sys.states.size(); ++i)
+        out.push_back(_interp.stateValue(i));
+    return out;
+}
+
+std::vector<Value>
 ConcreteRunner::statesAt(size_t cycle)
 {
+    if (cycle == 0)
+        return _init;
+    auto it = _snapshots.upper_bound(cycle);
+    if (it != _snapshots.begin()) {
+        --it;
+        if (it->first == cycle)
+            return it->second;
+        return statesFrom(it->first, it->second, cycle);
+    }
     return statesFrom(0, _init, cycle);
 }
 
@@ -96,16 +140,23 @@ ConcreteRunner::statesFrom(size_t snapshot_cycle,
                            size_t cycle)
 {
     check(snapshot_cycle <= cycle, "snapshot is after target cycle");
+    // The ladder asks for successively *earlier* window starts, so
+    // snapshots taken shortly before the current target are the ones
+    // the next call resumes from.
+    constexpr size_t kStride = 16;
+    constexpr size_t kTail = 64;
     applyAssignment(SynthAssignment{});  // all φ off
     seedStates(snapshot);
     for (size_t c = snapshot_cycle; c < cycle; ++c) {
+        if (c > snapshot_cycle && c % kStride == 0 &&
+            cycle - c <= kTail) {
+            _snapshots.emplace(c, currentStates());
+        }
         applyInputs(c);
         _interp.step();
     }
-    std::vector<Value> out;
-    out.reserve(_sys.states.size());
-    for (size_t i = 0; i < _sys.states.size(); ++i)
-        out.push_back(_interp.stateValue(i));
+    std::vector<Value> out = currentStates();
+    _snapshots.emplace(cycle, out);
     return out;
 }
 
@@ -121,18 +172,33 @@ runBasic(const ir::TransitionSystem &sys,
     EngineResult result;
     result.first_failure = first_failure;
 
+    Stopwatch watch;
     RepairQuery query(sys, vars, resolved, 0, resolved.length(),
                       init, deadline);
     SynthesisResult synth = synthesizeMinimalRepairs(
         query, vars, config.basic_max_candidates, deadline);
+    WindowStat stat;
+    stat.k_past = static_cast<int>(first_failure);
+    stat.k_future =
+        static_cast<int>(resolved.length() - first_failure);
+    stat.solve_seconds = watch.seconds();
+    stat.aig_nodes = query.aigNodes();
+    stat.conflicts = query.conflicts();
     switch (synth.status) {
       case SynthesisResult::Status::Timeout:
+        stat.status = "timeout";
+        result.windows.push_back(stat);
         result.status = EngineResult::Status::Timeout;
         return result;
       case SynthesisResult::Status::NoRepair:
+        stat.status = "unsat";
+        result.windows.push_back(stat);
         result.status = EngineResult::Status::NoRepair;
         return result;
       case SynthesisResult::Status::Found:
+        stat.status = "sat";
+        stat.changes = synth.changes;
+        result.windows.push_back(stat);
         break;
     }
     for (const auto &candidate : synth.repairs) {
@@ -179,46 +245,54 @@ runEngine(const ir::TransitionSystem &sys,
                         deadline, f);
     }
 
-    // Snapshot for fast window-start state computation.
-    size_t snap_cycle =
-        f > config.max_window + 8 ? f - config.max_window - 8 : 0;
-    std::vector<Value> snap = runner.statesAt(snap_cycle);
-
-    size_t k_past = 0;
-    size_t k_future = 0;
+    WindowLadder ladder;
+    ladder.failure = f;
+    ladder.trace_len = resolved.length();
     while (true) {
         if (deadline && deadline->expired()) {
             result.status = EngineResult::Status::Timeout;
             return result;
         }
-        if (k_past + k_future > config.max_window) {
+        if (ladder.exhausted(config)) {
             result.status = EngineResult::Status::NoRepair;
             return result;
         }
-        size_t ws = f >= k_past ? f - k_past : 0;
-        size_t we = std::min(resolved.length(), f + k_future + 1);
+        WindowLadder::Window w = ladder.window();
         logMessage(LogLevel::Info,
                    format("repair window [%zd .. %zd] (failure at %zu)",
-                          static_cast<ssize_t>(ws),
-                          static_cast<ssize_t>(we) - 1, f));
+                          static_cast<ssize_t>(w.start),
+                          static_cast<ssize_t>(w.start + w.count) - 1,
+                          f));
 
-        std::vector<Value> start_state =
-            ws >= snap_cycle ? runner.statesFrom(snap_cycle, snap, ws)
-                             : runner.statesAt(ws);
+        std::vector<Value> start_state = runner.statesAt(w.start);
 
-        RepairQuery query(sys, vars, resolved, ws, we - ws,
+        Stopwatch watch;
+        RepairQuery query(sys, vars, resolved, w.start, w.count,
                           start_state, deadline);
         SynthesisResult synth = synthesizeMinimalRepairs(
             query, vars, config.max_candidates, deadline);
+        WindowStat stat;
+        stat.k_past = static_cast<int>(ladder.k_past);
+        stat.k_future = static_cast<int>(ladder.k_future);
+        stat.solve_seconds = watch.seconds();
+        stat.aig_nodes = query.aigNodes();
+        stat.conflicts = query.conflicts();
         if (synth.status == SynthesisResult::Status::Timeout) {
+            stat.status = "timeout";
+            result.windows.push_back(stat);
             result.status = EngineResult::Status::Timeout;
             return result;
         }
         if (synth.status == SynthesisResult::Status::NoRepair) {
             // No repair exists in this window: more past context.
-            k_past += config.past_step;
+            stat.status = "unsat";
+            result.windows.push_back(stat);
+            ladder.growPast(config);
             continue;
         }
+        stat.status = "sat";
+        stat.changes = synth.changes;
+        result.windows.push_back(stat);
 
         bool any_later = false;
         size_t latest_failure = f;
@@ -228,8 +302,9 @@ runEngine(const ir::TransitionSystem &sys,
                 result.status = EngineResult::Status::Repaired;
                 result.assignment = candidate;
                 result.changes = synth.changes;
-                result.window_past = static_cast<int>(k_past);
-                result.window_future = static_cast<int>(k_future);
+                result.window_past = static_cast<int>(ladder.k_past);
+                result.window_future =
+                    static_cast<int>(ladder.k_future);
                 return result;
             }
             if (r.first_failure > f) {
@@ -240,10 +315,9 @@ runEngine(const ir::TransitionSystem &sys,
         }
         if (any_later) {
             // Missing future context: include the new failure cycle.
-            size_t needed = latest_failure - f;
-            k_future = std::max(k_future + 1, needed);
+            ladder.growFuture(latest_failure);
         } else {
-            k_past += config.past_step;
+            ladder.growPast(config);
         }
     }
 }

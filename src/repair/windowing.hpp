@@ -19,6 +19,8 @@
 #ifndef RTLREPAIR_REPAIR_WINDOWING_HPP
 #define RTLREPAIR_REPAIR_WINDOWING_HPP
 
+#include <map>
+
 #include "repair/synthesizer.hpp"
 #include "sim/interpreter.hpp"
 
@@ -32,6 +34,21 @@ struct EngineConfig
     size_t past_step = 2;       ///< paper: k_past increments of two
     size_t max_candidates = 4;  ///< paper: next window after 4 failures
     size_t basic_max_candidates = 16;
+    /** Parallel mode: how many window candidates ahead of the ladder
+     *  frontier to solve speculatively (0 = frontier only). */
+    size_t speculation = 2;
+};
+
+/** Per-window-candidate solve statistics (Table 5 / portfolio). */
+struct WindowStat
+{
+    int k_past = 0;
+    int k_future = 0;
+    const char *status = "";  ///< "sat" / "unsat" / "timeout"
+    int changes = -1;         ///< Σφ when status == "sat"
+    double solve_seconds = 0.0;
+    size_t aig_nodes = 0;
+    uint64_t conflicts = 0;
 };
 
 /** Outcome of one engine run on one instrumented system. */
@@ -47,6 +64,60 @@ struct EngineResult
     /** First failing cycle of the unmodified circuit. */
     size_t first_failure = 0;
     bool failure_free = false;  ///< circuit already passed the trace
+    /** One entry per (window × solve) candidate examined. */
+    std::vector<WindowStat> windows;
+};
+
+/**
+ * Deterministic adaptive-window ladder state (paper §4.4).
+ *
+ * The serial engine and the parallel portfolio both step this exact
+ * state machine, consuming window results in ladder order — so the
+ * sequence of windows examined (and therefore the repair found) is
+ * identical no matter how many workers race ahead speculatively.
+ */
+struct WindowLadder
+{
+    size_t failure = 0;    ///< first failing cycle of the base run
+    size_t trace_len = 0;
+    size_t k_past = 0;
+    size_t k_future = 0;
+
+    struct Window
+    {
+        size_t start = 0;
+        size_t count = 0;
+    };
+
+    /** Current window clamped to the trace. */
+    Window window() const;
+
+    bool
+    exhausted(const EngineConfig &config) const
+    {
+        return k_past + k_future > config.max_window;
+    }
+
+    /** No repair in window / all candidates fail at or before the
+     *  original failure: a past state update must be wrong. */
+    void growPast(const EngineConfig &config)
+    {
+        k_past += config.past_step;
+    }
+
+    /** Some candidate fails strictly later: include that cycle. */
+    void growFuture(size_t latest_failure);
+
+    /** The speculative prediction for the next ladder state: past
+     *  growth, the common transition (both the no-repair-in-window
+     *  and the all-fail-earlier feedback take it). */
+    WindowLadder predictedNext(const EngineConfig &config) const;
+
+    bool
+    operator==(const WindowLadder &o) const
+    {
+        return k_past == o.k_past && k_future == o.k_future;
+    }
 };
 
 /**
@@ -64,15 +135,23 @@ class ConcreteRunner
     /** Replay with @p assignment; stops at the first mismatch. */
     sim::ReplayResult run(const templates::SynthAssignment &assignment);
 
-    /** State vector at entry of @p cycle under the all-off circuit. */
+    /**
+     * State vector at entry of @p cycle under the all-off circuit.
+     * Results are memoized: each call resumes from the nearest
+     * earlier cached snapshot instead of re-simulating from cycle 0,
+     * so the ladder's descending window starts cost a handful of
+     * cycles each instead of a full prefix replay.
+     */
     std::vector<bv::Value> statesAt(size_t cycle);
 
-    /** Like statesAt but starting from a snapshot. */
+  private:
+    /** Simulate from a known (cycle, states) snapshot to @p cycle,
+     *  caching snapshots shortly before the target on the way. */
     std::vector<bv::Value>
     statesFrom(size_t snapshot_cycle,
                const std::vector<bv::Value> &snapshot, size_t cycle);
 
-  private:
+    std::vector<bv::Value> currentStates();
     void seedStates(const std::vector<bv::Value> &states);
     void applyAssignment(const templates::SynthAssignment &assignment);
     void applyInputs(size_t cycle);
@@ -83,6 +162,8 @@ class ConcreteRunner
     sim::Interpreter _interp;
     std::vector<int> _input_map;   ///< trace col -> input index
     std::vector<int> _output_map;  ///< trace col -> output index
+    /** All-off prefix-state snapshots, keyed by cycle. */
+    std::map<size_t, std::vector<bv::Value>> _snapshots;
 };
 
 /** Run the repair engine on one instrumented system. */

@@ -497,6 +497,15 @@ Solver::solve(const std::vector<Lit> &assumptions,
             }
             varDecayActivity();
             claDecayActivity();
+            // The conflict path continues without reaching the check
+            // below; poll every 128 conflicts so a cancelled or timed
+            // out solve stops even when propagation conflicts
+            // continuously (first-success portfolio cancellation).
+            if ((conflicts_here & 127u) == 0 && deadline &&
+                deadline->expired()) {
+                cancelUntil(0);
+                return LBool::Undef;
+            }
             continue;
         }
 

@@ -6,6 +6,7 @@
 #ifndef RTLREPAIR_UTIL_STOPWATCH_HPP
 #define RTLREPAIR_UTIL_STOPWATCH_HPP
 
+#include <atomic>
 #include <chrono>
 
 namespace rtlrepair {
@@ -31,28 +32,84 @@ class Stopwatch
     Clock::time_point _start;
 };
 
-/** Budget that components poll to honour a global timeout. */
+/**
+ * Cooperative cancellation flag shared between a scheduler and the
+ * workers it may want to stop early (first-success-wins portfolios).
+ * Cheap to poll from inner solver loops.
+ */
+class CancelToken
+{
+  public:
+    void cancel() { _flag.store(true, std::memory_order_relaxed); }
+
+    bool
+    cancelled() const
+    {
+        return _flag.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> _flag{false};
+};
+
+/**
+ * Budget that components poll to honour a global timeout.
+ *
+ * A deadline can be derived from a parent deadline plus a CancelToken;
+ * expired() then reports true as soon as either the local budget, any
+ * ancestor budget, or the token trips.  This is how the parallel
+ * repair portfolio stops losing candidates: every solver loop already
+ * polls its Deadline, so cancellation rides the existing plumbing.
+ */
 class Deadline
 {
   public:
     /** A deadline @p seconds from now; non-positive means unlimited. */
     explicit Deadline(double seconds = 0.0) : _limit(seconds) {}
 
-    /** True once the budget has been used up. */
+    /** Derived deadline: expires with @p parent or when @p cancel
+     *  trips (both may be null; an own budget may be added too). */
+    Deadline(const Deadline *parent, const CancelToken *cancel,
+             double seconds = 0.0)
+        : _limit(seconds), _parent(parent), _cancel(cancel)
+    {
+    }
+
+    /** True once the budget has been used up or the run is cancelled. */
     bool
     expired() const
     {
+        if (_cancel && _cancel->cancelled())
+            return true;
+        if (_parent && _parent->expired())
+            return true;
         return _limit > 0.0 && _watch.seconds() >= _limit;
+    }
+
+    /** True when expiry came from a cancel token (ours or an
+     *  ancestor's), not from a time budget. */
+    bool
+    cancelled() const
+    {
+        if (_cancel && _cancel->cancelled())
+            return true;
+        return _parent && _parent->cancelled();
     }
 
     /** Seconds remaining (unlimited deadlines report a large value). */
     double
     remaining() const
     {
-        if (_limit <= 0.0)
-            return 1e18;
-        double left = _limit - _watch.seconds();
-        return left > 0.0 ? left : 0.0;
+        double left = 1e18;
+        if (_limit > 0.0) {
+            left = _limit - _watch.seconds();
+            left = left > 0.0 ? left : 0.0;
+        }
+        if (_parent) {
+            double p = _parent->remaining();
+            left = p < left ? p : left;
+        }
+        return left;
     }
 
     double elapsed() const { return _watch.seconds(); }
@@ -60,6 +117,8 @@ class Deadline
   private:
     Stopwatch _watch;
     double _limit;
+    const Deadline *_parent = nullptr;
+    const CancelToken *_cancel = nullptr;
 };
 
 } // namespace rtlrepair

@@ -1,0 +1,60 @@
+#include "util/thread_pool.hpp"
+
+namespace rtlrepair {
+
+ThreadPool::ThreadPool(size_t workers)
+{
+    _threads.reserve(workers);
+    for (size_t i = 0; i < workers; ++i)
+        _threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    // Drain the queue ourselves so every future becomes ready even
+    // when no worker threads were spawned.
+    while (help()) {
+    }
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stop = true;
+    }
+    _cv.notify_all();
+    for (auto &t : _threads)
+        t.join();
+}
+
+bool
+ThreadPool::help()
+{
+    std::function<void()> job;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_queue.empty())
+            return false;
+        job = std::move(_queue.front());
+        _queue.pop_front();
+    }
+    job();
+    return true;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _cv.wait(lock,
+                     [this] { return _stop || !_queue.empty(); });
+            if (_queue.empty())
+                return;  // _stop set and nothing left to do
+            job = std::move(_queue.front());
+            _queue.pop_front();
+        }
+        job();
+    }
+}
+
+} // namespace rtlrepair

@@ -1,0 +1,180 @@
+// Tests for the worker pool and the cancellation plumbing: shutdown
+// with queued work, cooperative work stealing, and a SAT solve
+// stopped mid-flight by a cancel token / deadline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "sat/solver.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace rtlrepair;
+
+TEST(ThreadPool, RunsSubmittedTasks)
+{
+    ThreadPool pool(2);
+    std::atomic<int> sum{0};
+    std::vector<std::future<int>> futs;
+    for (int i = 1; i <= 32; ++i) {
+        futs.push_back(pool.submit([i, &sum] {
+            sum.fetch_add(i);
+            return i * i;
+        }));
+    }
+    int total = 0;
+    for (auto &f : futs)
+        total += pool.waitCollect(f);
+    EXPECT_EQ(sum.load(), 32 * 33 / 2);
+    EXPECT_EQ(total, 32 * 33 * 65 / 6);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsEverythingInTheHelper)
+{
+    ThreadPool pool(0);
+    auto fut = pool.submit([] { return 7; });
+    EXPECT_EQ(pool.waitCollect(fut), 7);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 16; ++i)
+            pool.submit([&ran] { ran.fetch_add(1); });
+        // No waiting: the destructor must drain the queue so every
+        // future would still become ready.
+    }
+    EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, HelpStealsQueuedWork)
+{
+    ThreadPool pool(0);  // nobody else can run it
+    std::atomic<bool> ran{false};
+    pool.submit([&ran] { ran.store(true); });
+    EXPECT_TRUE(pool.help());
+    EXPECT_TRUE(ran.load());
+    EXPECT_FALSE(pool.help());  // queue now empty
+}
+
+TEST(ThreadPool, ExceptionsTravelThroughFutures)
+{
+    ThreadPool pool(1);
+    auto fut = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.waitCollect(fut), std::runtime_error);
+}
+
+TEST(Cancellation, DerivedDeadlineTripsOnToken)
+{
+    Deadline parent(0.0);  // unlimited
+    CancelToken token;
+    Deadline derived(&parent, &token);
+    EXPECT_FALSE(derived.expired());
+    EXPECT_FALSE(derived.cancelled());
+    token.cancel();
+    EXPECT_TRUE(derived.expired());
+    EXPECT_TRUE(derived.cancelled());
+}
+
+TEST(Cancellation, DerivedDeadlineTripsWithParent)
+{
+    Deadline parent(1e-9);
+    CancelToken token;
+    Deadline derived(&parent, &token);
+    // The parent's (already expired) budget propagates down, but it
+    // is a timeout, not a cancellation.
+    EXPECT_TRUE(derived.expired());
+    EXPECT_FALSE(derived.cancelled());
+}
+
+namespace {
+
+/** Pigeonhole formula: @p holes + 1 pigeons into @p holes holes —
+ *  UNSAT, and exponentially hard for CDCL, so a solve on it blocks
+ *  until cancelled. */
+void
+encodePigeonhole(sat::Solver &solver, int holes)
+{
+    int pigeons = holes + 1;
+    std::vector<std::vector<sat::Var>> var(pigeons);
+    for (int p = 0; p < pigeons; ++p) {
+        for (int h = 0; h < holes; ++h)
+            var[p].push_back(solver.newVar());
+    }
+    for (int p = 0; p < pigeons; ++p) {
+        std::vector<sat::Lit> clause;
+        for (int h = 0; h < holes; ++h)
+            clause.push_back(sat::mkLit(var[p][h]));
+        solver.addClause(std::move(clause));
+    }
+    for (int h = 0; h < holes; ++h) {
+        for (int p = 0; p < pigeons; ++p) {
+            for (int q = p + 1; q < pigeons; ++q) {
+                solver.addClause(sat::mkLit(var[p][h], true),
+                                 sat::mkLit(var[q][h], true));
+            }
+        }
+    }
+}
+
+} // namespace
+
+TEST(Cancellation, SatSolveStopsMidFlightWhenCancelled)
+{
+    sat::Solver solver;
+    encodePigeonhole(solver, 12);
+
+    CancelToken token;
+    Deadline deadline(nullptr, &token);
+    std::thread canceller([&token] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        token.cancel();
+    });
+    Stopwatch watch;
+    sat::LBool res = solver.solve({}, &deadline);
+    canceller.join();
+    EXPECT_EQ(res, sat::LBool::Undef);
+    // The conflict loop polls every 128 conflicts, so the solve must
+    // stop well before the pigeonhole instance would complete.
+    EXPECT_LT(watch.seconds(), 5.0);
+}
+
+TEST(Cancellation, SatSolveHonoursMidSolveDeadline)
+{
+    sat::Solver solver;
+    encodePigeonhole(solver, 12);
+    Deadline deadline(0.05);
+    sat::LBool res = solver.solve({}, &deadline);
+    EXPECT_EQ(res, sat::LBool::Undef);
+}
+
+TEST(Cancellation, PoolShutdownUnderMidSolveCancellation)
+{
+    // Queue several hard solves, cancel them mid-flight, and destroy
+    // the pool: shutdown must be prompt because every solve polls its
+    // derived deadline.
+    CancelToken token;
+    Deadline root(nullptr, &token);
+    std::vector<std::future<sat::LBool>> futs;
+    Stopwatch watch;
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 4; ++i) {
+            futs.push_back(pool.submit([&root] {
+                sat::Solver solver;
+                encodePigeonhole(solver, 12);
+                Deadline local(&root, nullptr);
+                return solver.solve({}, &local);
+            }));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        token.cancel();
+    }
+    for (auto &f : futs)
+        EXPECT_EQ(f.get(), sat::LBool::Undef);
+    EXPECT_LT(watch.seconds(), 10.0);
+}
