@@ -10,10 +10,13 @@
 #ifndef RTLREPAIR_BENCH_COMMON_HPP
 #define RTLREPAIR_BENCH_COMMON_HPP
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "benchmarks/registry.hpp"
 #include "checks/correctness.hpp"
@@ -28,7 +31,7 @@ namespace rtlrepair::bench {
 struct BenchArgs
 {
     /** Skip the >50k-cycle testbenches.  This is the default so that
-     *  a plain `for b in build/bench/*; do $b; done` sweep completes
+     *  a plain sweep over every binary in build/bench/ completes
      *  in minutes; pass `--full` to reproduce the complete tables
      *  (the long-trace rows add roughly half an hour). */
     bool fast = true;
@@ -148,8 +151,37 @@ statusGlyph(repair::RepairOutcome::Status status)
       case Status::NoRepair: return "none";
       case Status::Timeout: return "timeout";
       case Status::CannotSynthesize: return "no-synth";
+      case Status::Degraded: return "degraded";
     }
     return "?";
+}
+
+/**
+ * Aggregate the per-stage reports of one run: total seconds per
+ * distinct stage (first-appearance order — retries and repeated
+ * window solves merge into their stage) plus the peak RSS high-water
+ * mark, e.g. "preprocess=0.001s solve:add-guard=0.412s | rss=63MB".
+ */
+inline std::string
+stageSummary(const std::vector<repair::StageReport> &stages)
+{
+    std::vector<std::pair<std::string, double>> agg;
+    size_t rss_kb = 0;
+    for (const auto &r : stages) {
+        rss_kb = std::max(rss_kb, r.peak_rss_kb);
+        auto it = std::find_if(
+            agg.begin(), agg.end(),
+            [&](const auto &p) { return p.first == r.stage; });
+        if (it == agg.end())
+            agg.emplace_back(r.stage, r.seconds);
+        else
+            it->second += r.seconds;
+    }
+    std::string out;
+    for (const auto &p : agg)
+        out += format("%s=%.3fs ", p.first.c_str(), p.second);
+    out += format("| rss=%zuMB", rss_kb / 1024);
+    return out;
 }
 
 } // namespace rtlrepair::bench

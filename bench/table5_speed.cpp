@@ -47,6 +47,8 @@ runVariant(const benchmarks::LoadedBenchmark &lb,
         return {"T/O"};
       case Status::CannotSynthesize:
         return {"nosyn"};
+      case Status::Degraded:
+        return {format("deg %.2fs", outcome.seconds)};
     }
     return {"?"};
 }
@@ -141,6 +143,10 @@ main(int argc, char **argv)
                     basic.text.c_str(), full_cell.text.c_str(),
                     par_cell.text.c_str(), par_speedup, cf.seconds,
                     speedup);
+        // Per-stage breakdown + memory high-water mark of the serial
+        // full-tool run, from the fault-containment stage reports.
+        std::printf("%-12s |   %s\n", "",
+                    stageSummary(full.stages).c_str());
     }
     return 0;
 }

@@ -2,17 +2,27 @@
 // shape a downstream user would integrate into a flow:
 //
 //   repair_cli <buggy.v> <trace.csv> [--timeout S] [--zero-x]
-//              [--jobs N] [--out repaired.v]
+//              [--jobs N] [--out repaired.v] [--report]
+//              [--inject-fault STAGE:KIND:NTH]
 //
 // The trace CSV uses `in:`/`out:` prefixed column headers and binary
 // cell values with x for don't-cares (see trace/io_trace.hpp); it is
 // the same format the benchmark registry can export.
+//
+// Exit codes are stable for scripting:
+//   0  repaired (including repaired-by-preprocessing / none needed)
+//   2  no repair found (also: degraded runs that found no repair)
+//   3  global timeout
+//   4  bad input (unparsable design/trace, unsynthesizable design,
+//      unreadable files, usage errors)
+//   5  internal error (panic / unexpected exception)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "repair/driver.hpp"
+#include "util/fault.hpp"
 #include "util/logging.hpp"
 #include "verilog/ast_util.hpp"
 #include "verilog/parser.hpp"
@@ -20,20 +30,35 @@
 
 using namespace rtlrepair;
 
+namespace {
+
+constexpr int kExitRepaired = 0;
+constexpr int kExitNoRepair = 2;
+constexpr int kExitTimeout = 3;
+constexpr int kExitBadInput = 4;
+constexpr int kExitInternal = 5;
+
 int
-main(int argc, char **argv)
+usage(const char *prog)
 {
-    if (argc < 3) {
-        std::fprintf(stderr,
-                     "usage: %s <buggy.v> <trace.csv> [--timeout S] "
-                     "[--zero-x] [--jobs N] [--out repaired.v]\n",
-                     argv[0]);
-        return 2;
-    }
+    std::fprintf(stderr,
+                 "usage: %s <buggy.v> <trace.csv> [--timeout S] "
+                 "[--zero-x] [--jobs N] [--out repaired.v] "
+                 "[--report] [--inject-fault STAGE:KIND:NTH]\n",
+                 prog);
+    return kExitBadInput;
+}
+
+int
+run(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage(argv[0]);
     std::string verilog_path = argv[1];
     std::string trace_path = argv[2];
     repair::RepairConfig config;
     std::string out_path;
+    bool report = false;
     for (int i = 3; i < argc; ++i) {
         if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
             config.timeout_seconds = std::atof(argv[++i]);
@@ -45,64 +70,125 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--out") == 0 &&
                    i + 1 < argc) {
             out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--report") == 0) {
+            report = true;
+        } else if (std::strcmp(argv[i], "--inject-fault") == 0 &&
+                   i + 1 < argc) {
+            // Deterministic fault injection for robustness testing;
+            // same spec format as the RTLREPAIR_FAULT env variable.
+            FaultInjector::instance().configure(argv[++i]);
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+            return usage(argv[0]);
         }
     }
 
+    // Parsing the design and the trace are guarded stages too: an
+    // injected (or real) fault here must exit cleanly, not crash.
+    std::vector<repair::StageReport> cli_stages;
+    verilog::SourceFile file;
+    {
+        repair::StageGuard guard("parse", cli_stages);
+        if (!guard.run(
+                [&] { file = verilog::parseFile(verilog_path); })) {
+            std::fprintf(stderr, "error: cannot parse %s (%s)\n",
+                         verilog_path.c_str(),
+                         guard.report().diagnostic.c_str());
+            return guard.report().user_error ? kExitBadInput
+                                             : kExitInternal;
+        }
+    }
+    trace::IoTrace io;
+    {
+        repair::StageGuard guard("trace", cli_stages);
+        bool ok = guard.run([&] {
+            std::ifstream trace_in(trace_path);
+            if (!trace_in)
+                fatal("cannot open trace: " + trace_path);
+            std::ostringstream buf;
+            buf << trace_in.rdbuf();
+            io = trace::IoTrace::fromCsv(buf.str());
+        });
+        if (!ok) {
+            std::fprintf(stderr, "error: cannot load trace %s (%s)\n",
+                         trace_path.c_str(),
+                         guard.report().diagnostic.c_str());
+            return guard.report().user_error ? kExitBadInput
+                                             : kExitInternal;
+        }
+    }
+
+    std::vector<const verilog::Module *> library;
+    for (const auto &m : file.modules) {
+        if (m.get() != &file.top())
+            library.push_back(m.get());
+    }
+    repair::RepairOutcome outcome =
+        repair::repairDesign(file.top(), library, io, config);
+
+    if (report) {
+        std::vector<repair::StageReport> all = cli_stages;
+        all.insert(all.end(), outcome.stages.begin(),
+                   outcome.stages.end());
+        std::printf("--- stage report ---\n%s--------------------\n",
+                    repair::formatStageReports(all).c_str());
+    }
+
+    using Status = repair::RepairOutcome::Status;
+    switch (outcome.status) {
+      case Status::Repaired:
+        std::printf("status: repaired (%d changes, %.2fs, %s)\n",
+                    outcome.changes + outcome.preprocess_changes,
+                    outcome.seconds, outcome.template_name.c_str());
+        std::printf("%s",
+                    verilog::formatDiff(
+                        verilog::diffLines(print(file.top()),
+                                           print(*outcome.repaired)))
+                        .c_str());
+        if (!out_path.empty()) {
+            std::ofstream out(out_path);
+            out << print(*outcome.repaired);
+            std::printf("wrote %s\n", out_path.c_str());
+        }
+        return kExitRepaired;
+      case Status::NoRepair:
+        std::printf("status: cannot repair (%.2fs)\n%s",
+                    outcome.seconds, outcome.detail.c_str());
+        return kExitNoRepair;
+      case Status::Degraded:
+        std::printf("status: cannot repair, run degraded (%.2fs)\n%s",
+                    outcome.seconds, outcome.detail.c_str());
+        return kExitNoRepair;
+      case Status::Timeout:
+        std::printf("status: timeout after %.2fs\n", outcome.seconds);
+        return kExitTimeout;
+      case Status::CannotSynthesize:
+        std::printf("status: design is not synthesizable\n%s",
+                    outcome.detail.c_str());
+        return kExitBadInput;
+    }
+    return kExitInternal;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Containment of last resort: no exception class may escape main.
     try {
-        verilog::SourceFile file =
-            verilog::parseFile(verilog_path);
-        std::ifstream trace_in(trace_path);
-        if (!trace_in) {
-            std::fprintf(stderr, "cannot open trace: %s\n",
-                         trace_path.c_str());
-            return 2;
-        }
-        std::ostringstream buf;
-        buf << trace_in.rdbuf();
-        trace::IoTrace io = trace::IoTrace::fromCsv(buf.str());
-
-        std::vector<const verilog::Module *> library;
-        for (const auto &m : file.modules) {
-            if (m.get() != &file.top())
-                library.push_back(m.get());
-        }
-        repair::RepairOutcome outcome = repair::repairDesign(
-            file.top(), library, io, config);
-
-        using Status = repair::RepairOutcome::Status;
-        switch (outcome.status) {
-          case Status::Repaired:
-            std::printf("status: repaired (%d changes, %.2fs, %s)\n",
-                        outcome.changes + outcome.preprocess_changes,
-                        outcome.seconds,
-                        outcome.template_name.c_str());
-            std::printf("%s", verilog::formatDiff(
-                                  verilog::diffLines(
-                                      print(file.top()),
-                                      print(*outcome.repaired)))
-                                  .c_str());
-            if (!out_path.empty()) {
-                std::ofstream out(out_path);
-                out << print(*outcome.repaired);
-                std::printf("wrote %s\n", out_path.c_str());
-            }
-            return 0;
-          case Status::NoRepair:
-            std::printf("status: cannot repair (%.2fs)\n%s",
-                        outcome.seconds, outcome.detail.c_str());
-            return 1;
-          case Status::Timeout:
-            std::printf("status: timeout after %.2fs\n",
-                        outcome.seconds);
-            return 1;
-          case Status::CannotSynthesize:
-            std::printf("status: design is not synthesizable\n%s",
-                        outcome.detail.c_str());
-            return 1;
-        }
+        return run(argc, argv);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
-        return 2;
+        return kExitBadInput;
+    } catch (const PanicError &e) {
+        std::fprintf(stderr, "internal error: %s\n", e.what());
+        return kExitInternal;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "internal error: %s\n", e.what());
+        return kExitInternal;
+    } catch (...) {
+        std::fprintf(stderr, "internal error: unknown exception\n");
+        return kExitInternal;
     }
-    return 1;
 }

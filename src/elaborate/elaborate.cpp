@@ -99,8 +99,10 @@ class Flattener
                 if (!conn.port.empty()) {
                     overrides[conn.port] = v;
                 } else {
-                    check(ordered < param_names.size(),
-                          "too many ordered parameter overrides");
+                    // Malformed instantiations come straight from the
+                    // user's source: FatalError, never a panic.
+                    if (ordered >= param_names.size())
+                        fatal("too many ordered parameter overrides");
                     overrides[param_names[ordered++]] = v;
                 }
             }
@@ -153,8 +155,8 @@ class Flattener
         for (const auto &conn : inst.ports) {
             std::string port_name = conn.port;
             if (port_name.empty()) {
-                check(ordered < child->ports.size(),
-                      "too many ordered port connections");
+                if (ordered >= child->ports.size())
+                    fatal("too many ordered port connections");
                 port_name = child->ports[ordered++].name;
             }
             PortDir dir = child->portDir(port_name);
@@ -1050,8 +1052,10 @@ class Elaborator
                 lsb_off;
             if (msb < lsb)
                 std::swap(msb, lsb);
-            check(lsb >= 0 && msb < static_cast<int64_t>(width),
-                  "part-select write out of range on " + base);
+            // Out-of-range selects are written by the user, not by
+            // the tool: FatalError, never a panic.
+            if (!(lsb >= 0 && msb < static_cast<int64_t>(width)))
+                fatal("part-select write out of range on " + base);
             uint32_t part_w = static_cast<uint32_t>(msb - lsb + 1);
             NodeRef part = _builder.resize(rhs, part_w);
             return splicePart(old_val, part,
@@ -1181,14 +1185,16 @@ class Elaborator
                 NodeRef v = elabExpr(*part, env, 0);
                 acc = acc == ir::kNullRef ? v : _builder.concat(acc, v);
             }
-            check(acc != ir::kNullRef, "empty concatenation");
+            if (acc == ir::kNullRef)
+                fatal("empty concatenation");
             return acc;
           }
           case Expr::Kind::Repl: {
             const auto &r = static_cast<const ReplExpr &>(expr);
             int64_t count =
                 analysis::constEvalInt(*r.count, _table.params());
-            check(count > 0, "non-positive replication count");
+            if (count <= 0)
+                fatal("non-positive replication count");
             NodeRef inner = elabExpr(*r.inner, env, 0);
             NodeRef acc = inner;
             for (int64_t i = 1; i < count; ++i)
@@ -1249,8 +1255,8 @@ class Elaborator
             if (msb < lsb)
                 std::swap(msb, lsb);
             uint32_t bw = _builder.widthOf(base);
-            check(lsb >= 0 && msb < static_cast<int64_t>(bw),
-                  "part-select read out of range");
+            if (!(lsb >= 0 && msb < static_cast<int64_t>(bw)))
+                fatal("part-select read out of range");
             return _builder.slice(base, static_cast<uint32_t>(msb),
                                   static_cast<uint32_t>(lsb));
           }

@@ -61,21 +61,47 @@ repairDesign(const verilog::Module &buggy,
         return std::move(outcome);
     };
 
-    // 1. Static-analysis preprocessing (paper §4.1).
-    templates::PreprocessResult pre = templates::preprocess(buggy);
+    // 1. Static-analysis preprocessing (paper §4.1).  A fault here is
+    // survivable: the cascade simply runs on the original design.
+    templates::PreprocessResult pre;
+    {
+        StageGuard guard("preprocess", outcome.stages);
+        if (!guard.run([&] { pre = templates::preprocess(buggy); })) {
+            outcome.degraded = true;
+            pre = templates::PreprocessResult{};
+            pre.module = buggy.clone();
+            outcome.detail += format(
+                "preprocessing dropped (%s); continuing with the "
+                "original design\n",
+                guard.report().diagnostic.c_str());
+        }
+    }
     outcome.preprocess_changes = pre.changes;
     for (const auto &note : pre.notes)
         outcome.detail += note + "\n";
 
-    // 2. Elaborate the preprocessed design.
+    // 2. Elaborate the preprocessed design.  Without an IR nothing
+    // downstream can run: a FatalError means the user's design is not
+    // synthesizable, anything else degrades the run as a whole.
     elaborate::ElaborateOptions elab_opts;
     elab_opts.library = library;
     ir::TransitionSystem base_sys;
-    try {
-        base_sys = elaborate::elaborate(*pre.module, elab_opts);
-    } catch (const FatalError &e) {
-        outcome.detail += format("not synthesizable: %s\n", e.what());
-        return finish(RepairOutcome::Status::CannotSynthesize);
+    {
+        StageGuard guard("elaborate", outcome.stages);
+        if (!guard.run([&] {
+                base_sys = elaborate::elaborate(*pre.module, elab_opts);
+            })) {
+            const StageReport &r = guard.report();
+            if (r.user_error) {
+                outcome.detail += format("not synthesizable: %s\n",
+                                         r.diagnostic.c_str());
+                return finish(RepairOutcome::Status::CannotSynthesize);
+            }
+            outcome.degraded = true;
+            outcome.detail += format("elaboration dropped (%s)\n",
+                                     r.diagnostic.c_str());
+            return finish(RepairOutcome::Status::Degraded);
+        }
     }
 
     // 3. Resolve unknowns once, shared by every query and replay.
@@ -84,11 +110,32 @@ repairDesign(const verilog::Module &buggy,
     std::vector<Value> init =
         resolveInitState(base_sys, config.x_policy, config.seed);
 
-    // 4. Does the preprocessed design already pass?
+    // 4. Does the preprocessed design already pass?  A fault in the
+    // baseline replay forfeits the early exit but not the cascade.
     {
-        ConcreteRunner runner(base_sys, resolved, init);
-        sim::ReplayResult r = runner.run(templates::SynthAssignment{});
-        if (r.passed) {
+        StageGuard guard("baseline", outcome.stages);
+        bool passed = false;
+        bool ok = guard.run([&] {
+            ConcreteRunner runner(base_sys, resolved, init);
+            sim::ReplayResult r =
+                runner.run(templates::SynthAssignment{});
+            passed = r.passed;
+            outcome.first_failure = r.first_failure;
+        });
+        if (!ok) {
+            const StageReport &r = guard.report();
+            // The baseline replay is where a trace that does not match
+            // the design surfaces; that is the user's mistake, not a
+            // stage to degrade past.
+            if (r.user_error) {
+                outcome.detail += format("invalid trace: %s\n",
+                                         r.diagnostic.c_str());
+                return finish(RepairOutcome::Status::CannotSynthesize);
+            }
+            outcome.degraded = true;
+            outcome.detail += format(
+                "baseline replay dropped (%s)\n", r.diagnostic.c_str());
+        } else if (passed) {
             outcome.repaired = pre.module->clone();
             outcome.changes = 0;
             outcome.by_preprocessing = pre.changes > 0;
@@ -97,11 +144,12 @@ repairDesign(const verilog::Module &buggy,
                 pre.changes > 0 ? "preprocessing" : "none-needed";
             return finish(RepairOutcome::Status::Repaired);
         }
-        outcome.first_failure = r.first_failure;
     }
 
-    if (config.preprocess_only)
-        return finish(RepairOutcome::Status::NoRepair);
+    if (config.preprocess_only) {
+        return finish(outcome.degraded ? RepairOutcome::Status::Degraded
+                                       : RepairOutcome::Status::NoRepair);
+    }
 
     // 5. Template cascade.  With more than one worker, the cascade
     // runs as a parallel portfolio: every (template × window)
@@ -113,6 +161,9 @@ repairDesign(const verilog::Module &buggy,
                          deadline, jobs);
         outcome.detail += port.detail;
         outcome.candidates = std::move(port.candidates);
+        outcome.stages.insert(outcome.stages.end(),
+                              port.stages.begin(), port.stages.end());
+        outcome.degraded = outcome.degraded || port.degraded;
         if (port.best) {
             outcome.repaired = std::move(port.best->repaired);
             outcome.changes = port.best->changes;
@@ -121,8 +172,10 @@ repairDesign(const verilog::Module &buggy,
             outcome.window_future = port.best->window_future;
             return finish(RepairOutcome::Status::Repaired);
         }
-        return finish(port.timed_out
-                          ? RepairOutcome::Status::Timeout
+        if (port.timed_out)
+            return finish(RepairOutcome::Status::Timeout);
+        return finish(outcome.degraded
+                          ? RepairOutcome::Status::Degraded
                           : RepairOutcome::Status::NoRepair);
     }
     struct Best
@@ -136,7 +189,17 @@ repairDesign(const verilog::Module &buggy,
     std::optional<Best> best;
     bool timed_out = false;
 
-    for (auto &tmpl : templates::standardTemplates()) {
+    auto cascade = templates::standardTemplates();
+    // Stages still ahead of the cascade, for time-slice accounting.
+    size_t templates_left = 0;
+    for (const auto &tmpl : cascade) {
+        if (config.only_template.empty() ||
+            tmpl->name() == config.only_template) {
+            ++templates_left;
+        }
+    }
+
+    for (auto &tmpl : cascade) {
         if (!config.only_template.empty() &&
             tmpl->name() != config.only_template) {
             continue;
@@ -145,9 +208,37 @@ repairDesign(const verilog::Module &buggy,
             timed_out = true;
             break;
         }
+        const std::string name = tmpl->name();
+        const double slice = stageSlice(deadline.remaining(),
+                                        templates_left, config.guard);
+        --templates_left;
 
-        templates::TemplateResult inst =
-            tmpl->apply(*pre.module, library);
+        if (memoryWatermarkExceeded(config.guard)) {
+            StageGuard guard("template:" + name, outcome.stages);
+            guard.skip("peak-RSS watermark exceeded");
+            outcome.degraded = true;
+            outcome.detail += format(
+                "template %s: skipped, peak-RSS watermark exceeded\n",
+                name.c_str());
+            continue;
+        }
+
+        // Each template gets a slice of the remaining global budget,
+        // so one pathological template cannot starve its siblings.
+        Deadline tmpl_deadline(&deadline, nullptr, slice);
+
+        templates::TemplateResult inst;
+        {
+            StageGuard guard("template:" + name, outcome.stages);
+            if (!guard.run(
+                    [&] { inst = tmpl->apply(*pre.module, library); })) {
+                outcome.degraded = true;
+                outcome.detail += format(
+                    "template %s: instrumentation dropped (%s)\n",
+                    name.c_str(), guard.report().diagnostic.c_str());
+                continue;
+            }
+        }
         if (inst.vars.empty())
             continue;  // template found no change sites
 
@@ -155,29 +246,83 @@ repairDesign(const verilog::Module &buggy,
         opts.library = library;
         opts.synth_vars = inst.vars.specs();
         ir::TransitionSystem sys;
-        try {
-            sys = elaborate::elaborate(*inst.instrumented, opts);
-        } catch (const FatalError &e) {
-            outcome.detail += format(
-                "template %s: instrumented design not synthesizable "
-                "(%s)\n",
-                tmpl->name().c_str(), e.what());
-            continue;
+        {
+            StageGuard guard("elaborate:" + name, outcome.stages);
+            if (!guard.run([&] {
+                    sys = elaborate::elaborate(*inst.instrumented,
+                                               opts);
+                })) {
+                const StageReport &r = guard.report();
+                if (r.user_error) {
+                    // The instrumented design can legitimately fail to
+                    // elaborate; skipping it is the normal cascade
+                    // behaviour, not a degradation.
+                    outcome.detail += format(
+                        "template %s: instrumented design not "
+                        "synthesizable (%s)\n",
+                        name.c_str(), r.diagnostic.c_str());
+                } else {
+                    outcome.degraded = true;
+                    outcome.detail += format(
+                        "template %s: elaboration dropped (%s)\n",
+                        name.c_str(), r.diagnostic.c_str());
+                }
+                continue;
+            }
         }
 
-        EngineResult engine = runEngine(sys, inst.vars, resolved, init,
-                                        config.engine, &deadline);
+        EngineConfig engine_cfg = config.engine;
+        engine_cfg.stage_label = name;
+        engine_cfg.solve_retries = config.guard.solve_retries;
+        engine_cfg.max_rss_kb = config.guard.max_rss_mb * 1024;
+
+        EngineResult engine;
+        // The engine guards each window solve itself; the wrapper only
+        // reports when a fault escapes those inner guards (e.g. out of
+        // memory while replaying candidates).
+        StageGuard guard("engine:" + name, outcome.stages,
+                         StageGuard::Recording::OnFault);
+        bool ran = guard.run([&] {
+            engine = runEngine(sys, inst.vars, resolved, init,
+                               engine_cfg, &tmpl_deadline);
+        });
+        outcome.stages.insert(outcome.stages.end(),
+                              engine.stages.begin(),
+                              engine.stages.end());
         for (const auto &w : engine.windows)
-            outcome.candidates.push_back({tmpl->name(), w});
+            outcome.candidates.push_back({name, w});
+        if (!ran) {
+            outcome.degraded = true;
+            outcome.detail += format(
+                "template %s: engine dropped (%s)\n", name.c_str(),
+                guard.report().diagnostic.c_str());
+            continue;
+        }
         switch (engine.status) {
           case EngineResult::Status::Timeout:
-            timed_out = true;
-            outcome.detail +=
-                format("template %s: timeout\n", tmpl->name().c_str());
+            if (deadline.expired()) {
+                timed_out = true;
+                outcome.detail +=
+                    format("template %s: timeout\n", name.c_str());
+            } else {
+                // The slice ran out but the global budget did not:
+                // drop this template and let the siblings use the
+                // reclaimed time.
+                outcome.degraded = true;
+                outcome.detail += format(
+                    "template %s: stage budget exhausted, dropped\n",
+                    name.c_str());
+            }
+            continue;
+          case EngineResult::Status::Failed:
+            outcome.degraded = true;
+            outcome.detail += format(
+                "template %s: dropped after contained fault (%s)\n",
+                name.c_str(), engine.error.c_str());
             continue;
           case EngineResult::Status::NoRepair:
             outcome.detail += format("template %s: no repair found\n",
-                                     tmpl->name().c_str());
+                                     name.c_str());
             continue;
           case EngineResult::Status::Repaired:
             break;
@@ -186,16 +331,15 @@ repairDesign(const verilog::Module &buggy,
         auto repaired =
             patch(*inst.instrumented, inst.vars, engine.assignment);
         if (!best || engine.changes < best->changes) {
-            best = Best{std::move(repaired), engine.changes,
-                        tmpl->name(), engine.window_past,
-                        engine.window_future};
+            best = Best{std::move(repaired), engine.changes, name,
+                        engine.window_past, engine.window_future};
         }
         if (engine.changes <= config.change_threshold)
             break;  // small enough: stop the cascade (paper Fig. 3)
         outcome.detail += format(
             "template %s: repair with %d changes exceeds threshold, "
             "trying further templates\n",
-            tmpl->name().c_str(), engine.changes);
+            name.c_str(), engine.changes);
     }
 
     if (best) {
@@ -206,8 +350,10 @@ repairDesign(const verilog::Module &buggy,
         outcome.window_future = best->window_future;
         return finish(RepairOutcome::Status::Repaired);
     }
-    return finish(timed_out ? RepairOutcome::Status::Timeout
-                            : RepairOutcome::Status::NoRepair);
+    if (timed_out)
+        return finish(RepairOutcome::Status::Timeout);
+    return finish(outcome.degraded ? RepairOutcome::Status::Degraded
+                                   : RepairOutcome::Status::NoRepair);
 }
 
 } // namespace rtlrepair::repair

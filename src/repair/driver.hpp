@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 
+#include "repair/guarded.hpp"
 #include "repair/windowing.hpp"
 #include "templates/preprocess.hpp"
 #include "verilog/ast.hpp"
@@ -41,6 +42,9 @@ struct RepairConfig
      * deterministic and identical across all values.
      */
     unsigned jobs = 0;
+    /** Fault-containment policy: stage time slices, the peak-memory
+     *  watermark, and the solve retry budget. */
+    GuardConfig guard;
 };
 
 /** Per-candidate solve statistics (one row per template × window). */
@@ -53,7 +57,16 @@ struct RepairCandidateStat
 /** Outcome of one tool run. */
 struct RepairOutcome
 {
-    enum class Status { Repaired, NoRepair, Timeout, CannotSynthesize };
+    /**
+     * Degraded = no repair was found AND at least one pipeline stage
+     * was dropped by the fault-containment layer, so "no repair" is a
+     * weaker claim than usual; the per-stage reports say exactly what
+     * was lost.  Runs that find a repair despite contained faults
+     * still report Repaired (with the reports attached).
+     */
+    enum class Status {
+        Repaired, NoRepair, Timeout, CannotSynthesize, Degraded
+    };
     Status status = Status::NoRepair;
 
     std::unique_ptr<verilog::Module> repaired;  ///< patched source
@@ -70,6 +83,12 @@ struct RepairOutcome
     /** Solve statistics for every candidate examined, in template
      *  order (identical between serial and parallel runs). */
     std::vector<RepairCandidateStat> candidates;
+    /** Structured per-stage execution record (guards, budgets,
+     *  contained faults), in pipeline order. */
+    std::vector<StageReport> stages;
+    /** True when the containment layer dropped a stage or template;
+     *  set for Degraded and for degraded-but-Repaired runs alike. */
+    bool degraded = false;
 };
 
 /**

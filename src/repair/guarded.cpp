@@ -1,0 +1,56 @@
+#include "repair/guarded.hpp"
+
+namespace rtlrepair::repair {
+
+const char *
+stageStatusName(StageStatus status)
+{
+    switch (status) {
+      case StageStatus::Ok: return "ok";
+      case StageStatus::Failed: return "failed";
+      case StageStatus::TimedOut: return "timed-out";
+      case StageStatus::Skipped: return "skipped";
+    }
+    return "?";
+}
+
+std::string
+formatStageReports(const std::vector<StageReport> &reports)
+{
+    std::string out;
+    for (const auto &r : reports) {
+        out += format("%-28s %-9s %7.3fs", r.stage.c_str(),
+                      stageStatusName(r.status), r.seconds);
+        if (r.retries > 0)
+            out += format("  retries=%d", r.retries);
+        if (r.peak_rss_kb > 0)
+            out += format("  rss=%zuMB", r.peak_rss_kb / 1024);
+        if (!r.diagnostic.empty())
+            out += format("  (%s)", r.diagnostic.c_str());
+        out += "\n";
+    }
+    return out;
+}
+
+double
+stageSlice(double remaining, size_t stages_left,
+           const GuardConfig &config)
+{
+    if (remaining <= 0.0 || remaining >= 1e17)
+        return 0.0;  // unlimited budget stays unlimited
+    if (stages_left == 0)
+        stages_left = 1;
+    double fair = remaining / static_cast<double>(stages_left);
+    double slice = fair * config.overcommit;
+    return slice < remaining ? slice : remaining;
+}
+
+bool
+memoryWatermarkExceeded(const GuardConfig &config)
+{
+    if (config.max_rss_mb == 0)
+        return false;
+    return peakRssKb() > config.max_rss_mb * 1024;
+}
+
+} // namespace rtlrepair::repair

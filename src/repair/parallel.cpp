@@ -99,10 +99,20 @@ runEngineParallel(const ir::TransitionSystem &sys,
     check(config.adaptive,
           "runEngineParallel requires the adaptive engine");
 
+    // Local copy: the degradation ladder may halve the window growth
+    // step after a faulted solve.
+    EngineConfig cfg = config;
+    const std::string solve_stage = solveStageName(cfg.stage_label);
+    int retries_used = 0;
+    uint64_t solver_seed = 0;
+
     std::vector<WindowJob> inflight;
-    DrainGuard guard{&inflight, &pool};
+    DrainGuard drain_guard{&inflight, &pool};
 
     // Launch the solve for ladder state @p st unless already queued.
+    // Captures the current solver seed; after a retry reseeds, the
+    // in-flight set has been drained, so stale-seed results can never
+    // be consumed.
     auto ensure = [&](const WindowLadder &st) {
         for (const auto &job : inflight) {
             if (job.state == st)
@@ -119,14 +129,15 @@ runEngineParallel(const ir::TransitionSystem &sys,
         job.deadline =
             std::make_shared<Deadline>(deadline, job.token.get());
         auto job_deadline = job.deadline;
-        size_t max_candidates = config.max_candidates;
+        size_t max_candidates = cfg.max_candidates;
+        uint64_t seed = solver_seed;
         job.fut = pool.submit([&sys, &vars, &resolved, st, w,
                                start_state = std::move(start_state),
-                               job_deadline,
-                               max_candidates]() -> WindowSolve {
+                               job_deadline, max_candidates,
+                               seed]() -> WindowSolve {
             Stopwatch watch;
             RepairQuery query(sys, vars, resolved, w.start, w.count,
-                              start_state, job_deadline.get());
+                              start_state, job_deadline.get(), seed);
             WindowSolve out;
             out.synth = synthesizeMinimalRepairs(
                 query, vars, max_candidates, job_deadline.get());
@@ -151,14 +162,16 @@ runEngineParallel(const ir::TransitionSystem &sys,
         });
         inflight.push_back(std::move(job));
     };
+    // Removes the job before awaiting it, so a throwing solve leaves
+    // the in-flight set consistent for the next drain.
     auto take = [&](const WindowLadder &st) -> WindowSolve {
         for (size_t i = 0; i < inflight.size(); ++i) {
             if (!(inflight[i].state == st))
                 continue;
-            WindowSolve solve = pool.waitCollect(inflight[i].fut);
+            WindowJob job = std::move(inflight[i]);
             inflight.erase(inflight.begin() +
                            static_cast<ptrdiff_t>(i));
-            return solve;
+            return pool.waitCollect(job.fut);
         }
         panic("window job missing from the in-flight set");
     };
@@ -171,8 +184,14 @@ runEngineParallel(const ir::TransitionSystem &sys,
             result.status = EngineResult::Status::Timeout;
             return result;
         }
-        if (ladder.exhausted(config)) {
+        if (ladder.exhausted(cfg)) {
             result.status = EngineResult::Status::NoRepair;
+            return result;
+        }
+        if (cfg.max_rss_kb > 0 && peakRssKb() > cfg.max_rss_kb) {
+            result.status = EngineResult::Status::Failed;
+            result.error = format(
+                "peak-RSS watermark exceeded (%zu KiB)", peakRssKb());
             return result;
         }
 
@@ -181,14 +200,43 @@ runEngineParallel(const ir::TransitionSystem &sys,
         // speculative solves are usually the ones needed next.
         ensure(ladder);
         WindowLadder spec = ladder;
-        for (size_t d = 0; d < config.speculation; ++d) {
-            spec = spec.predictedNext(config);
-            if (spec.exhausted(config))
+        for (size_t d = 0; d < cfg.speculation; ++d) {
+            spec = spec.predictedNext(cfg);
+            if (spec.exhausted(cfg))
                 break;
             ensure(spec);
         }
 
-        WindowSolve solve = take(ladder);
+        // The guard sits on the deterministic ladder-consume path (not
+        // inside the pool jobs), so the fault-site sequence is the
+        // same for jobs=1 and jobs=N: one hit per window attempt, in
+        // ladder order.  waitCollect rethrows a faulted pool solve
+        // right here, where the guard can contain it.
+        WindowSolve solve;
+        StageGuard guard(solve_stage, result.stages);
+        guard.setRetries(retries_used);
+        bool solved = guard.run([&] { solve = take(ladder); });
+        if (!solved) {
+            if (guard.report().status == StageStatus::TimedOut) {
+                result.status = EngineResult::Status::Timeout;
+                return result;
+            }
+            // Degradation ladder, rung 1: drain every in-flight solve
+            // (their results used the old seed) and retry this window
+            // with a reseeded solver and halved window growth.  Rung
+            // 2: give up on this template only.
+            if (retries_used < cfg.solve_retries) {
+                ++retries_used;
+                solver_seed = retrySolverSeed(retries_used);
+                cfg.past_step = cfg.past_step > 1 ? cfg.past_step / 2
+                                                  : cfg.past_step;
+                drainJobs(inflight, pool);
+                continue;
+            }
+            result.status = EngineResult::Status::Failed;
+            result.error = guard.report().diagnostic;
+            return result;
+        }
         result.windows.push_back(solve.stat);
         if (solve.synth.status == SynthesisResult::Status::Timeout) {
             result.status = EngineResult::Status::Timeout;
@@ -196,7 +244,7 @@ runEngineParallel(const ir::TransitionSystem &sys,
         }
         if (solve.synth.status == SynthesisResult::Status::NoRepair) {
             // No repair exists in this window: more past context.
-            ladder.growPast(config);
+            ladder.growPast(cfg);
             continue;
         }
 
@@ -226,7 +274,7 @@ runEngineParallel(const ir::TransitionSystem &sys,
             ladder.growFuture(latest_failure);
             drainJobs(inflight, pool);
         } else {
-            ladder.growPast(config);
+            ladder.growPast(cfg);
         }
     }
 }
@@ -243,11 +291,13 @@ struct TemplateSlot
         Cancelled,    ///< stopped by first-success cancellation
         NoRepair,
         Repaired,
+        Failed,       ///< dropped by the containment layer (degrades)
     };
 
     std::string name;
     CancelToken cancel;
-    Deadline deadline;  ///< derived: global deadline + cancel token
+    const Deadline *global;  ///< the run's global deadline
+    Deadline deadline;  ///< derived: global + cancel token + slice
     std::future<void> done;
     std::atomic<bool> finished{false};
 
@@ -258,10 +308,13 @@ struct TemplateSlot
     int window_past = 0;
     int window_future = 0;
     std::vector<WindowStat> windows;
+    std::vector<StageReport> stages;
     std::string note;
 
-    TemplateSlot(std::string n, const Deadline &global)
-        : name(std::move(n)), deadline(&global, &cancel)
+    TemplateSlot(std::string n, const Deadline &global_deadline,
+                 double slice)
+        : name(std::move(n)), global(&global_deadline),
+          deadline(&global_deadline, &cancel, slice)
     {
     }
 };
@@ -280,8 +333,27 @@ runTemplateTask(TemplateSlot &s, templates::RepairTemplate &tmpl,
         s.outcome = Outcome::Cancelled;
         return;
     }
-    templates::TemplateResult inst =
-        tmpl.apply(preprocessed, library);
+    if (memoryWatermarkExceeded(config.guard)) {
+        StageGuard guard("template:" + s.name, s.stages);
+        guard.skip("peak-RSS watermark exceeded");
+        s.outcome = Outcome::Failed;
+        s.note = format(
+            "template %s: skipped, peak-RSS watermark exceeded\n",
+            s.name.c_str());
+        return;
+    }
+    templates::TemplateResult inst;
+    {
+        StageGuard guard("template:" + s.name, s.stages);
+        if (!guard.run(
+                [&] { inst = tmpl.apply(preprocessed, library); })) {
+            s.outcome = Outcome::Failed;
+            s.note = format(
+                "template %s: instrumentation dropped (%s)\n",
+                s.name.c_str(), guard.report().diagnostic.c_str());
+            return;
+        }
+    }
     if (inst.vars.empty()) {
         s.outcome = Outcome::Skipped;  // template found no change sites
         return;
@@ -290,31 +362,77 @@ runTemplateTask(TemplateSlot &s, templates::RepairTemplate &tmpl,
     opts.library = library;
     opts.synth_vars = inst.vars.specs();
     ir::TransitionSystem sys;
-    try {
-        sys = elaborate::elaborate(*inst.instrumented, opts);
-    } catch (const FatalError &e) {
-        s.outcome = Outcome::NotSynth;
-        s.note = format(
-            "template %s: instrumented design not synthesizable "
-            "(%s)\n",
-            s.name.c_str(), e.what());
+    {
+        StageGuard guard("elaborate:" + s.name, s.stages);
+        if (!guard.run([&] {
+                sys = elaborate::elaborate(*inst.instrumented, opts);
+            })) {
+            const StageReport &r = guard.report();
+            if (r.user_error) {
+                // The instrumented design can legitimately fail to
+                // elaborate; skipping it is the normal cascade
+                // behaviour, not a degradation.
+                s.outcome = Outcome::NotSynth;
+                s.note = format(
+                    "template %s: instrumented design not "
+                    "synthesizable (%s)\n",
+                    s.name.c_str(), r.diagnostic.c_str());
+            } else {
+                s.outcome = Outcome::Failed;
+                s.note = format(
+                    "template %s: elaboration dropped (%s)\n",
+                    s.name.c_str(), r.diagnostic.c_str());
+            }
+            return;
+        }
+    }
+    EngineConfig engine_cfg = config.engine;
+    engine_cfg.stage_label = s.name;
+    engine_cfg.solve_retries = config.guard.solve_retries;
+    engine_cfg.max_rss_kb = config.guard.max_rss_mb * 1024;
+
+    EngineResult engine;
+    StageGuard guard("engine:" + s.name, s.stages,
+                     StageGuard::Recording::OnFault);
+    bool ran = guard.run([&] {
+        engine = engine_cfg.adaptive
+                     ? runEngineParallel(sys, inst.vars, resolved,
+                                         init, engine_cfg, &s.deadline,
+                                         pool)
+                     : runEngine(sys, inst.vars, resolved, init,
+                                 engine_cfg, &s.deadline);
+    });
+    s.stages.insert(s.stages.end(), engine.stages.begin(),
+                    engine.stages.end());
+    s.windows = std::move(engine.windows);
+    if (!ran) {
+        s.outcome = Outcome::Failed;
+        s.note = format("template %s: engine dropped (%s)\n",
+                        s.name.c_str(),
+                        guard.report().diagnostic.c_str());
         return;
     }
-    EngineResult engine =
-        config.engine.adaptive
-            ? runEngineParallel(sys, inst.vars, resolved, init,
-                                config.engine, &s.deadline, pool)
-            : runEngine(sys, inst.vars, resolved, init, config.engine,
-                        &s.deadline);
-    s.windows = std::move(engine.windows);
     switch (engine.status) {
       case EngineResult::Status::Timeout:
         if (s.deadline.cancelled()) {
             s.outcome = Outcome::Cancelled;
-        } else {
+        } else if (s.global && s.global->expired()) {
             s.outcome = Outcome::Timeout;
             s.note = format("template %s: timeout\n", s.name.c_str());
+        } else {
+            // The slice ran out but the global budget did not: drop
+            // this template, siblings reclaim the time.
+            s.outcome = Outcome::Failed;
+            s.note = format(
+                "template %s: stage budget exhausted, dropped\n",
+                s.name.c_str());
         }
+        return;
+      case EngineResult::Status::Failed:
+        s.outcome = Outcome::Failed;
+        s.note = format(
+            "template %s: dropped after contained fault (%s)\n",
+            s.name.c_str(), engine.error.c_str());
         return;
       case EngineResult::Status::NoRepair:
         s.outcome = Outcome::NoRepair;
@@ -349,13 +467,26 @@ runPortfolio(const verilog::Module &preprocessed,
     std::vector<std::unique_ptr<TemplateSlot>> slots;
     ThreadPool pool(jobs);
 
-    for (auto &tmpl : templates::standardTemplates()) {
+    auto cascade = templates::standardTemplates();
+    size_t selected = 0;
+    for (const auto &tmpl : cascade) {
+        if (config.only_template.empty() ||
+            tmpl->name() == config.only_template) {
+            ++selected;
+        }
+    }
+    // The templates run concurrently, so every slot is sliced off the
+    // same remaining budget (the serial cascade recomputes per stage).
+    const double slice =
+        stageSlice(deadline.remaining(), selected, config.guard);
+
+    for (auto &tmpl : cascade) {
         if (!config.only_template.empty() &&
             tmpl->name() != config.only_template) {
             continue;
         }
-        auto slot =
-            std::make_unique<TemplateSlot>(tmpl->name(), deadline);
+        auto slot = std::make_unique<TemplateSlot>(tmpl->name(),
+                                                   deadline, slice);
         TemplateSlot *s = slot.get();
         auto shared_tmpl =
             std::shared_ptr<templates::RepairTemplate>(
@@ -417,14 +548,42 @@ runPortfolio(const verilog::Module &preprocessed,
                 std::chrono::microseconds(200));
         }
     }
-    for (auto &slot : slots)
-        pool.waitCollect(slot->done);  // propagate task exceptions
+    // Reap every task.  A task whose exception escaped its internal
+    // stage guards (captured by the pool's packaged_task) is converted
+    // into a Failed slot here — it degrades the run but can never
+    // poison its siblings, whose futures are collected independently.
+    for (auto &slot : slots) {
+        auto reap = [&](const char *what) {
+            StageReport report;
+            report.stage = "task:" + slot->name;
+            report.status = StageStatus::Failed;
+            report.diagnostic = what;
+            report.peak_rss_kb = peakRssKb();
+            slot->stages.push_back(report);
+            slot->outcome = TemplateSlot::Outcome::Failed;
+            slot->note = format("template %s: task faulted (%s)\n",
+                                slot->name.c_str(), what);
+        };
+        try {
+            pool.waitCollect(slot->done);
+        } catch (const FatalError &e) {
+            reap(format("fatal: %s", e.what()).c_str());
+        } catch (const PanicError &e) {
+            reap(format("panic: %s", e.what()).c_str());
+        } catch (const std::bad_alloc &) {
+            reap("out of memory");
+        } catch (const std::exception &e) {
+            reap(e.what());
+        }
+    }
 
     // Final fold, identical to the serial cascade's accumulation.
     // Cancelled slots sit strictly after the fold's stopping point,
     // so they are never visited — stats and notes match a serial run.
     for (auto &slot_ptr : slots) {
         TemplateSlot &s = *slot_ptr;
+        out.stages.insert(out.stages.end(), s.stages.begin(),
+                          s.stages.end());
         for (const auto &w : s.windows)
             out.candidates.push_back({s.name, w});
         switch (s.outcome) {
@@ -433,6 +592,10 @@ runPortfolio(const verilog::Module &preprocessed,
             continue;
           case TemplateSlot::Outcome::NotSynth:
           case TemplateSlot::Outcome::NoRepair:
+            out.detail += s.note;
+            continue;
+          case TemplateSlot::Outcome::Failed:
+            out.degraded = true;
             out.detail += s.note;
             continue;
           case TemplateSlot::Outcome::Timeout:

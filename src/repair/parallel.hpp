@@ -55,6 +55,12 @@ struct PortfolioOutcome
     bool timed_out = false;
     std::string detail;
     std::vector<RepairCandidateStat> candidates;
+    /** Per-stage reports from every template task, folded back in
+     *  template order (identical to a serial run's order). */
+    std::vector<StageReport> stages;
+    /** A template task was dropped by the containment layer; the
+     *  siblings' results are unaffected. */
+    bool degraded = false;
 };
 
 /**

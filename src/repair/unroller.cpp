@@ -18,9 +18,12 @@ RepairQuery::RepairQuery(const ir::TransitionSystem &sys,
                          const trace::IoTrace &io, size_t first,
                          size_t count,
                          const std::vector<Value> &start_state,
-                         const Deadline *deadline)
+                         const Deadline *deadline,
+                         uint64_t solver_seed)
     : _sys(sys), _vars(vars)
 {
+    if (solver_seed != 0)
+        _solver.satCore().setPhaseSeed(solver_seed);
     // Unrolling hundreds of thousands of cycles would exhaust memory
     // long before the SAT solver gets a chance; cap the formula size
     // (the paper's basic synthesizer simply times out there).

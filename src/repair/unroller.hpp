@@ -33,13 +33,16 @@ class RepairQuery
     /**
      * Encode the window.  @p start_state holds one fully-known value
      * per system state.  The trace's input X bits must already be
-     * resolved (randomize/zero per §4.3).
+     * resolved (randomize/zero per §4.3).  A non-zero @p solver_seed
+     * scrambles the SAT phase heuristic — the degradation ladder's
+     * "retry with a reseeded solver" knob.
      */
     RepairQuery(const ir::TransitionSystem &sys,
                 const templates::SynthVarTable &vars,
                 const trace::IoTrace &io, size_t first, size_t count,
                 const std::vector<bv::Value> &start_state,
-                const Deadline *deadline = nullptr);
+                const Deadline *deadline = nullptr,
+                uint64_t solver_seed = 0);
 
     /**
      * True if encoding was aborted (deadline expired or the unrolled

@@ -41,17 +41,20 @@ ConcreteRunner::ConcreteRunner(const ir::TransitionSystem &sys,
                                    sim::XPolicy::Keep, 1})
 {
     check(_init.size() == sys.states.size(), "init size mismatch");
+    // A trace column that names no design port is malformed user
+    // input (the trace and the design come from the user together),
+    // so it must surface as FatalError, never as a panic.
     _input_map.resize(_io.inputs.size());
     for (size_t i = 0; i < _io.inputs.size(); ++i) {
         _input_map[i] = sys.inputIndex(_io.inputs[i].name);
-        check(_input_map[i] >= 0,
-              "trace input not in design: " + _io.inputs[i].name);
+        if (_input_map[i] < 0)
+            fatal("trace input not in design: " + _io.inputs[i].name);
     }
     _output_map.resize(_io.outputs.size());
     for (size_t i = 0; i < _io.outputs.size(); ++i) {
         _output_map[i] = sys.outputIndex(_io.outputs[i].name);
-        check(_output_map[i] >= 0,
-              "trace output not in design: " + _io.outputs[i].name);
+        if (_output_map[i] < 0)
+            fatal("trace output not in design: " + _io.outputs[i].name);
     }
 }
 
@@ -245,6 +248,13 @@ runEngine(const ir::TransitionSystem &sys,
                         deadline, f);
     }
 
+    // Local copy: the degradation ladder may halve the window growth
+    // step after a faulted solve.
+    EngineConfig cfg = config;
+    const std::string solve_stage = solveStageName(cfg.stage_label);
+    int retries_used = 0;
+    uint64_t solver_seed = 0;
+
     WindowLadder ladder;
     ladder.failure = f;
     ladder.trace_len = resolved.length();
@@ -253,8 +263,14 @@ runEngine(const ir::TransitionSystem &sys,
             result.status = EngineResult::Status::Timeout;
             return result;
         }
-        if (ladder.exhausted(config)) {
+        if (ladder.exhausted(cfg)) {
             result.status = EngineResult::Status::NoRepair;
+            return result;
+        }
+        if (cfg.max_rss_kb > 0 && peakRssKb() > cfg.max_rss_kb) {
+            result.status = EngineResult::Status::Failed;
+            result.error = format(
+                "peak-RSS watermark exceeded (%zu KiB)", peakRssKb());
             return result;
         }
         WindowLadder::Window w = ladder.window();
@@ -267,16 +283,48 @@ runEngine(const ir::TransitionSystem &sys,
         std::vector<Value> start_state = runner.statesAt(w.start);
 
         Stopwatch watch;
-        RepairQuery query(sys, vars, resolved, w.start, w.count,
-                          start_state, deadline);
-        SynthesisResult synth = synthesizeMinimalRepairs(
-            query, vars, config.max_candidates, deadline);
+        SynthesisResult synth;
+        size_t aig_nodes = 0;
+        uint64_t conflicts = 0;
+        StageGuard guard(solve_stage, result.stages);
+        guard.setRetries(retries_used);
+        bool solved = guard.run([&] {
+            RepairQuery query(sys, vars, resolved, w.start, w.count,
+                              start_state, deadline, solver_seed);
+            synth = synthesizeMinimalRepairs(
+                query, vars, cfg.max_candidates, deadline);
+            aig_nodes = query.aigNodes();
+            conflicts = query.conflicts();
+        });
+        if (!solved) {
+            // A stage-budget overrun is a timeout, not a fault to
+            // retry (retrying would double the budget); the caller
+            // decides whether the global run is out of time.
+            if (guard.report().status == StageStatus::TimedOut) {
+                result.status = EngineResult::Status::Timeout;
+                return result;
+            }
+            // Degradation ladder, rung 1: retry the same window with a
+            // reseeded solver and halved window growth.  Rung 2: give
+            // up on this template only — the caller drops it from the
+            // cascade and the siblings keep running.
+            if (retries_used < cfg.solve_retries) {
+                ++retries_used;
+                solver_seed = retrySolverSeed(retries_used);
+                cfg.past_step = cfg.past_step > 1 ? cfg.past_step / 2
+                                                  : cfg.past_step;
+                continue;
+            }
+            result.status = EngineResult::Status::Failed;
+            result.error = guard.report().diagnostic;
+            return result;
+        }
         WindowStat stat;
         stat.k_past = static_cast<int>(ladder.k_past);
         stat.k_future = static_cast<int>(ladder.k_future);
         stat.solve_seconds = watch.seconds();
-        stat.aig_nodes = query.aigNodes();
-        stat.conflicts = query.conflicts();
+        stat.aig_nodes = aig_nodes;
+        stat.conflicts = conflicts;
         if (synth.status == SynthesisResult::Status::Timeout) {
             stat.status = "timeout";
             result.windows.push_back(stat);
@@ -287,7 +335,7 @@ runEngine(const ir::TransitionSystem &sys,
             // No repair exists in this window: more past context.
             stat.status = "unsat";
             result.windows.push_back(stat);
-            ladder.growPast(config);
+            ladder.growPast(cfg);
             continue;
         }
         stat.status = "sat";
@@ -317,7 +365,7 @@ runEngine(const ir::TransitionSystem &sys,
             // Missing future context: include the new failure cycle.
             ladder.growFuture(latest_failure);
         } else {
-            ladder.growPast(config);
+            ladder.growPast(cfg);
         }
     }
 }

@@ -21,6 +21,7 @@
 
 #include <map>
 
+#include "repair/guarded.hpp"
 #include "repair/synthesizer.hpp"
 #include "sim/interpreter.hpp"
 
@@ -37,6 +38,14 @@ struct EngineConfig
     /** Parallel mode: how many window candidates ahead of the ladder
      *  frontier to solve speculatively (0 = frontier only). */
     size_t speculation = 2;
+    /** Label for stage reports / fault sites ("solve:<label>"). */
+    std::string stage_label;
+    /** Window-solve retries (reseeded solver, halved window growth)
+     *  before the engine gives up with Status::Failed. */
+    int solve_retries = 1;
+    /** Peak-RSS watermark in KiB; when the process peak crosses it,
+     *  no further window solves are launched (0 = disabled). */
+    size_t max_rss_kb = 0;
 };
 
 /** Per-window-candidate solve statistics (Table 5 / portfolio). */
@@ -54,7 +63,9 @@ struct WindowStat
 /** Outcome of one engine run on one instrumented system. */
 struct EngineResult
 {
-    enum class Status { Repaired, NoRepair, Timeout };
+    /** Failed = a window solve faulted even after the retry ladder;
+     *  the caller drops this template and continues the cascade. */
+    enum class Status { Repaired, NoRepair, Timeout, Failed };
     Status status = Status::NoRepair;
     templates::SynthAssignment assignment;
     int changes = 0;
@@ -66,6 +77,10 @@ struct EngineResult
     bool failure_free = false;  ///< circuit already passed the trace
     /** One entry per (window × solve) candidate examined. */
     std::vector<WindowStat> windows;
+    /** One guarded-stage record per window solve (and per retry). */
+    std::vector<StageReport> stages;
+    /** Diagnostic for Status::Failed. */
+    std::string error;
 };
 
 /**

@@ -9,12 +9,43 @@ namespace rtlrepair::sat {
 
 Solver::Solver() = default;
 
+namespace {
+
+inline uint64_t
+xorshift(uint64_t &state)
+{
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+}
+
+} // namespace
+
+void
+Solver::setPhaseSeed(uint64_t seed)
+{
+    _phase_seed = seed;
+    if (seed == 0) {
+        for (size_t i = 0; i < _polarity.size(); ++i)
+            _polarity[i] = true;  // default phase: false (sign=true)
+        return;
+    }
+    uint64_t state = seed;
+    for (size_t i = 0; i < _polarity.size(); ++i)
+        _polarity[i] = (xorshift(state) & 1) != 0;
+    _phase_seed = state ? state : seed;
+}
+
 Var
 Solver::newVar()
 {
     Var v = static_cast<Var>(_assigns.size());
     _assigns.push_back(LBool::Undef);
-    _polarity.push_back(true);  // default phase: false (sign=true)
+    bool phase = true;  // default phase: false (sign=true)
+    if (_phase_seed != 0)
+        phase = (xorshift(_phase_seed) & 1) != 0;
+    _polarity.push_back(phase);
     _activity.push_back(0.0);
     _level.push_back(0);
     _reason.push_back(kNoReason);

@@ -60,6 +60,15 @@ class Solver
     /** Allocate a fresh variable. */
     Var newVar();
 
+    /**
+     * Reseed the decision heuristic: scrambles the saved phases of
+     * existing variables and the default phase of future ones with a
+     * deterministic xorshift stream.  Used by the repair engine's
+     * degradation ladder to retry a faulted window solve on a
+     * different search trajectory; 0 restores the default phases.
+     */
+    void setPhaseSeed(uint64_t seed);
+
     int numVars() const { return static_cast<int>(_assigns.size()); }
 
     /**
@@ -162,6 +171,7 @@ class Solver
 
     std::vector<bool> _model;
 
+    uint64_t _phase_seed = 0;  ///< xorshift state; 0 = default phases
     size_t _num_learnt = 0;
     double _var_inc = 1.0;
     double _var_decay = 0.95;

@@ -1,0 +1,155 @@
+#include "util/fault.hpp"
+
+#include <cstdlib>
+#include <new>
+
+#include <sys/resource.h>
+
+#include "util/strings.hpp"
+
+namespace rtlrepair {
+
+FaultKind
+parseFaultKind(const std::string &text)
+{
+    if (text == "throw" || text == "fatal")
+        return FaultKind::Throw;
+    if (text == "panic")
+        return FaultKind::Panic;
+    if (text == "alloc" || text == "bad_alloc")
+        return FaultKind::BadAlloc;
+    if (text == "timeout")
+        return FaultKind::Timeout;
+    fatal("unknown fault kind '" + text +
+          "' (expected throw|panic|alloc|timeout)");
+}
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Throw: return "throw";
+      case FaultKind::Panic: return "panic";
+      case FaultKind::BadAlloc: return "alloc";
+      case FaultKind::Timeout: return "timeout";
+    }
+    return "?";
+}
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector inj;
+    static std::once_flag env_once;
+    std::call_once(env_once, [] {
+        if (const char *env = std::getenv("RTLREPAIR_FAULT")) {
+            if (*env)
+                inj.configure(env);
+        }
+    });
+    return inj;
+}
+
+void
+FaultInjector::configure(const std::string &spec)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _counts.clear();
+    _fired = false;
+    if (spec.empty()) {
+        _armed.store(false, std::memory_order_relaxed);
+        return;
+    }
+    // Split from the end: stage names may themselves contain ':'.
+    std::string stage = spec;
+    std::string kind_text;
+    size_t nth = 1;
+    size_t last = stage.rfind(':');
+    if (last != std::string::npos) {
+        std::string tail = stage.substr(last + 1);
+        bool numeric = !tail.empty();
+        for (char c : tail)
+            numeric = numeric && c >= '0' && c <= '9';
+        if (numeric) {
+            nth = static_cast<size_t>(
+                std::strtoull(tail.c_str(), nullptr, 10));
+            stage.resize(last);
+            last = stage.rfind(':');
+        }
+    }
+    if (last == std::string::npos)
+        fatal("fault spec must be stage:kind[:nth]: " + spec);
+    kind_text = stage.substr(last + 1);
+    stage.resize(last);
+    if (stage.empty() || nth == 0)
+        fatal("malformed fault spec: " + spec);
+    _stage = stage;
+    _kind = parseFaultKind(kind_text);
+    _nth = nth;
+    _armed.store(true, std::memory_order_relaxed);
+}
+
+void
+FaultInjector::reset()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _armed.store(false, std::memory_order_relaxed);
+    _counts.clear();
+    _fired = false;
+}
+
+bool
+FaultInjector::armed() const
+{
+    return _armed.load(std::memory_order_relaxed);
+}
+
+std::string
+FaultInjector::description() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (!_armed.load(std::memory_order_relaxed))
+        return "disarmed";
+    return format("%s:%s:%zu", _stage.c_str(), faultKindName(_kind),
+                  _nth);
+}
+
+void
+FaultInjector::hit(const std::string &stage)
+{
+    FaultKind kind;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_fired || stage != _stage)
+            return;
+        if (++_counts[stage] != _nth)
+            return;
+        _fired = true;  // fire exactly once per configuration
+        kind = _kind;
+    }
+    std::string what =
+        format("injected %s fault at stage '%s'",
+               faultKindName(kind), stage.c_str());
+    switch (kind) {
+      case FaultKind::Throw:
+        throw FatalError(what);
+      case FaultKind::Panic:
+        throw PanicError(what);
+      case FaultKind::BadAlloc:
+        throw std::bad_alloc();
+      case FaultKind::Timeout:
+        throw StageTimeoutError(what);
+    }
+}
+
+size_t
+peakRssKb()
+{
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0;
+    // Linux reports ru_maxrss in KiB.
+    return static_cast<size_t>(ru.ru_maxrss);
+}
+
+} // namespace rtlrepair

@@ -77,8 +77,9 @@ TEST(Linter, InferredLatch)
     auto lints = lint(file.top());
     ASSERT_EQ(countKind(lints, Lint::Kind::InferredLatch), 1);
     for (const auto &l : lints) {
-        if (l.kind == Lint::Kind::InferredLatch)
+        if (l.kind == Lint::Kind::InferredLatch) {
             EXPECT_EQ(l.signal, "q");
+        }
     }
 }
 

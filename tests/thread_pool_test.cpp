@@ -68,6 +68,49 @@ TEST(ThreadPool, ExceptionsTravelThroughFutures)
     EXPECT_THROW(pool.waitCollect(fut), std::runtime_error);
 }
 
+TEST(ThreadPool, ThrowingTaskDoesNotPoisonThePool)
+{
+    // A worker that runs a throwing task must capture the exception
+    // into the future (never std::terminate) and stay available for
+    // the tasks behind it in the queue.
+    ThreadPool pool(1);
+    std::vector<std::future<int>> futs;
+    for (int i = 0; i < 8; ++i) {
+        futs.push_back(pool.submit([i]() -> int {
+            if (i % 2 == 0)
+                throw std::runtime_error("task fault");
+            return i;
+        }));
+    }
+    int ok = 0, failed = 0;
+    for (auto &f : futs) {
+        try {
+            pool.waitCollect(f);
+            ++ok;
+        } catch (const std::runtime_error &) {
+            ++failed;
+        }
+    }
+    EXPECT_EQ(ok, 4);
+    EXPECT_EQ(failed, 4);
+}
+
+TEST(ThreadPool, DestructorSurvivesUnharvestedThrowingTasks)
+{
+    // Futures whose exceptions are never collected must not bring the
+    // pool (or the process) down when the pool is destroyed.
+    std::vector<std::future<void>> futs;
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 6; ++i) {
+            futs.push_back(pool.submit(
+                [] { throw std::runtime_error("dropped"); }));
+        }
+    }
+    for (auto &f : futs)
+        EXPECT_THROW(f.get(), std::runtime_error);
+}
+
 TEST(Cancellation, DerivedDeadlineTripsOnToken)
 {
     Deadline parent(0.0);  // unlimited
