@@ -38,10 +38,15 @@ struct BenchArgs
     bool fast_explicit = false;
     double rtl_timeout = 0;   ///< override tool timeout (0 = default)
     double cirfix_timeout = 20.0;  ///< scaled-down CirFix budget
-    std::string only;         ///< run a single benchmark by name
+    /** Run a subset of benchmarks: comma-separated list of names. */
+    std::string only;
     /** Worker threads for the parallel-portfolio columns (0 = resolve
      *  via RTLREPAIR_JOBS / hardware concurrency). */
     unsigned jobs = 0;
+    /** Machine-readable run summary + telemetry (CI perf gate). */
+    std::string metrics_out;
+    /** Chrome trace_event JSON of the run (ui.perfetto.dev). */
+    std::string perfetto_out;
 
     static BenchArgs
     parse(int argc, char **argv)
@@ -67,6 +72,12 @@ struct BenchArgs
                        i + 1 < argc) {
                 args.jobs = static_cast<unsigned>(
                     std::atoi(argv[++i]));
+            } else if (std::strcmp(argv[i], "--metrics-out") == 0 &&
+                       i + 1 < argc) {
+                args.metrics_out = argv[++i];
+            } else if (std::strcmp(argv[i], "--perfetto-out") == 0 &&
+                       i + 1 < argc) {
+                args.perfetto_out = argv[++i];
             }
         }
         return args;
@@ -94,8 +105,19 @@ isLongTrace(const benchmarks::BenchmarkDef &def)
 inline bool
 selected(const benchmarks::BenchmarkDef &def, const BenchArgs &args)
 {
-    if (!args.only.empty())
-        return def.name == args.only;
+    if (!args.only.empty()) {
+        // Comma-separated benchmark names (CI runs a fixed subset).
+        size_t pos = 0;
+        while (pos <= args.only.size()) {
+            size_t comma = args.only.find(',', pos);
+            if (comma == std::string::npos)
+                comma = args.only.size();
+            if (args.only.compare(pos, comma - pos, def.name) == 0)
+                return true;
+            pos = comma + 1;
+        }
+        return false;
+    }
     if (args.fast && isLongTrace(def))
         return false;
     return true;

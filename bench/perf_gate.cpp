@@ -1,0 +1,399 @@
+// perf_gate: the CI performance-regression gate.
+//
+//   perf_gate <baseline.json> <metrics.json> [--max-regress R]
+//
+// Both files use the `rtlrepair-bench-v1` schema written by
+// table5_speed --metrics-out.  For every benchmark present in the
+// baseline, the gate compares the current run's wall_seconds and
+// sat_conflicts against the baseline and fails when either grew by
+// more than the allowed factor (default 1.25, i.e. +25%).  Wall-clock
+// noise on loaded CI runners is real, which is why the deterministic
+// SAT-conflict totals are gated too: an algorithmic regression moves
+// conflicts even when the runner happens to be fast.
+//
+// Exit codes: 0 = within budget, 1 = regression, 2 = bad input/usage.
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------
+// Minimal JSON reader — just enough for the bench metrics schema.
+// ---------------------------------------------------------------
+
+struct Json
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Json> array;
+    std::map<std::string, Json> object;
+
+    const Json *
+    find(const std::string &key) const
+    {
+        auto it = object.find(key);
+        return it == object.end() ? nullptr : &it->second;
+    }
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : _s(text) {}
+
+    bool
+    parse(Json &out)
+    {
+        skipWs();
+        if (!value(out))
+            return false;
+        skipWs();
+        return _pos == _s.size();
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (_pos < _s.size() &&
+               std::isspace(static_cast<unsigned char>(_s[_pos]))) {
+            ++_pos;
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = std::strlen(word);
+        if (_s.compare(_pos, n, word) != 0)
+            return false;
+        _pos += n;
+        return true;
+    }
+
+    bool
+    value(Json &out)
+    {
+        skipWs();
+        if (_pos >= _s.size())
+            return false;
+        char c = _s[_pos];
+        if (c == '{')
+            return object(out);
+        if (c == '[')
+            return array(out);
+        if (c == '"') {
+            out.kind = Json::Kind::String;
+            return string(out.str);
+        }
+        if (c == 't') {
+            out.kind = Json::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = Json::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.kind = Json::Kind::Null;
+            return literal("null");
+        }
+        return number(out);
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (_s[_pos] != '"')
+            return false;
+        ++_pos;
+        out.clear();
+        while (_pos < _s.size() && _s[_pos] != '"') {
+            char c = _s[_pos++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (_pos >= _s.size())
+                return false;
+            char esc = _s[_pos++];
+            switch (esc) {
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'u':
+                // The metric names the gate reads are plain ASCII;
+                // keep unknown code points as a placeholder.
+                if (_pos + 4 > _s.size())
+                    return false;
+                _pos += 4;
+                out += '?';
+                break;
+              default: out += esc; break;
+            }
+        }
+        if (_pos >= _s.size())
+            return false;
+        ++_pos;  // closing quote
+        return true;
+    }
+
+    bool
+    number(Json &out)
+    {
+        size_t start = _pos;
+        while (_pos < _s.size() &&
+               (std::isdigit(static_cast<unsigned char>(_s[_pos])) ||
+                std::strchr("+-.eE", _s[_pos]))) {
+            ++_pos;
+        }
+        if (_pos == start)
+            return false;
+        out.kind = Json::Kind::Number;
+        out.number = std::atof(_s.substr(start, _pos - start).c_str());
+        return true;
+    }
+
+    bool
+    array(Json &out)
+    {
+        out.kind = Json::Kind::Array;
+        ++_pos;  // '['
+        skipWs();
+        if (_pos < _s.size() && _s[_pos] == ']') {
+            ++_pos;
+            return true;
+        }
+        while (true) {
+            Json elem;
+            if (!value(elem))
+                return false;
+            out.array.push_back(std::move(elem));
+            skipWs();
+            if (_pos >= _s.size())
+                return false;
+            if (_s[_pos] == ',') {
+                ++_pos;
+                continue;
+            }
+            if (_s[_pos] == ']') {
+                ++_pos;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    object(Json &out)
+    {
+        out.kind = Json::Kind::Object;
+        ++_pos;  // '{'
+        skipWs();
+        if (_pos < _s.size() && _s[_pos] == '}') {
+            ++_pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (_pos >= _s.size() || !string(key))
+                return false;
+            skipWs();
+            if (_pos >= _s.size() || _s[_pos] != ':')
+                return false;
+            ++_pos;
+            Json val;
+            if (!value(val))
+                return false;
+            out.object.emplace(std::move(key), std::move(val));
+            skipWs();
+            if (_pos >= _s.size())
+                return false;
+            if (_s[_pos] == ',') {
+                ++_pos;
+                continue;
+            }
+            if (_s[_pos] == '}') {
+                ++_pos;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    const std::string &_s;
+    size_t _pos = 0;
+};
+
+// ---------------------------------------------------------------
+// Gate logic
+// ---------------------------------------------------------------
+
+struct BenchRow
+{
+    std::string status;
+    double wall_seconds = 0.0;
+    double sat_conflicts = 0.0;
+};
+
+bool
+loadBench(const char *path, std::map<std::string, BenchRow> &rows)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "perf_gate: cannot read %s\n", path);
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string text = buf.str();
+    Json root;
+    if (!Parser(text).parse(root) ||
+        root.kind != Json::Kind::Object) {
+        std::fprintf(stderr, "perf_gate: %s is not valid JSON\n",
+                     path);
+        return false;
+    }
+    const Json *schema = root.find("schema");
+    if (!schema || schema->str != "rtlrepair-bench-v1") {
+        std::fprintf(stderr,
+                     "perf_gate: %s: expected schema "
+                     "rtlrepair-bench-v1\n",
+                     path);
+        return false;
+    }
+    const Json *benches = root.find("benchmarks");
+    if (!benches || benches->kind != Json::Kind::Array) {
+        std::fprintf(stderr, "perf_gate: %s: no benchmarks array\n",
+                     path);
+        return false;
+    }
+    for (const Json &b : benches->array) {
+        const Json *name = b.find("name");
+        if (!name)
+            continue;
+        BenchRow row;
+        if (const Json *v = b.find("status"))
+            row.status = v->str;
+        if (const Json *v = b.find("wall_seconds"))
+            row.wall_seconds = v->number;
+        if (const Json *v = b.find("sat_conflicts"))
+            row.sat_conflicts = v->number;
+        rows[name->str] = row;
+    }
+    return true;
+}
+
+/** One metric comparison; returns true when within budget. */
+bool
+gate(const std::string &bench, const char *metric, double base,
+     double cur, double max_regress, double noise_floor)
+{
+    // Tiny baselines are all noise: a solve that took 3ms regressing
+    // to 6ms is not a signal worth failing a PR over.
+    if (base < noise_floor) {
+        std::printf("  %-12s %-14s %10.3f -> %10.3f  (below noise "
+                    "floor, skipped)\n",
+                    bench.c_str(), metric, base, cur);
+        return true;
+    }
+    double ratio = cur / base;
+    bool ok = ratio <= max_regress;
+    std::printf("  %-12s %-14s %10.3f -> %10.3f  ratio %5.2f  %s\n",
+                bench.c_str(), metric, base, cur, ratio,
+                ok ? "ok" : "REGRESSION");
+    return ok;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: perf_gate <baseline.json> <metrics.json> "
+                 "[--max-regress R]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    double max_regress = 1.25;
+    for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--max-regress") == 0 &&
+            i + 1 < argc) {
+            max_regress = std::atof(argv[++i]);
+        } else {
+            return usage();
+        }
+    }
+    if (max_regress <= 1.0) {
+        std::fprintf(stderr,
+                     "perf_gate: --max-regress must be > 1.0\n");
+        return 2;
+    }
+
+    std::map<std::string, BenchRow> baseline, current;
+    if (!loadBench(argv[1], baseline) || !loadBench(argv[2], current))
+        return 2;
+    if (baseline.empty()) {
+        std::fprintf(stderr, "perf_gate: baseline has no benchmarks\n");
+        return 2;
+    }
+
+    std::printf("perf gate: %zu baseline benchmarks, max regress "
+                "%.2fx\n",
+                baseline.size(), max_regress);
+    bool ok = true;
+    // Wall-clock on shared runners jitters more than solver work does;
+    // give it a generous noise floor, and gate conflicts from zero
+    // upward (a deterministic count has no noise to forgive).
+    constexpr double kWallNoiseFloorSeconds = 0.05;
+    constexpr double kConflictNoiseFloor = 100.0;
+    for (const auto &[name, base] : baseline) {
+        auto it = current.find(name);
+        if (it == current.end()) {
+            std::printf("  %-12s MISSING from current run\n",
+                        name.c_str());
+            ok = false;
+            continue;
+        }
+        const BenchRow &cur = it->second;
+        if (base.status != cur.status) {
+            std::printf("  %-12s status changed: %s -> %s\n",
+                        name.c_str(), base.status.c_str(),
+                        cur.status.c_str());
+            ok = false;
+            continue;
+        }
+        ok &= gate(name, "wall_seconds", base.wall_seconds,
+                   cur.wall_seconds, max_regress,
+                   kWallNoiseFloorSeconds);
+        ok &= gate(name, "sat_conflicts", base.sat_conflicts,
+                   cur.sat_conflicts, max_regress,
+                   kConflictNoiseFloor);
+    }
+    if (!ok) {
+        std::printf("perf gate: FAILED (add the perf-waiver label if "
+                    "the regression is intended)\n");
+        return 1;
+    }
+    std::printf("perf gate: ok\n");
+    return 0;
+}

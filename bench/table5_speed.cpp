@@ -7,8 +7,11 @@
 // would be a determinism bug in the portfolio scheduler.
 #include "bench_common.hpp"
 
+#include <fstream>
+
 #include "repair/parallel.hpp"
 #include "util/strings.hpp"
+#include "util/telemetry.hpp"
 
 using rtlrepair::format;
 
@@ -53,6 +56,54 @@ runVariant(const benchmarks::LoadedBenchmark &lb,
     return {"?"};
 }
 
+/** One row of the machine-readable run summary (CI perf gate). */
+struct BenchRecord
+{
+    std::string name;
+    std::string status;
+    double wall_seconds = 0.0;
+    uint64_t sat_conflicts = 0;
+    size_t windows = 0;
+};
+
+/** Sum of SAT conflicts over every candidate the run examined. */
+uint64_t
+totalConflicts(const repair::RepairOutcome &outcome)
+{
+    uint64_t total = 0;
+    for (const auto &c : outcome.candidates)
+        total += c.window.conflicts;
+    return total;
+}
+
+/**
+ * `rtlrepair-bench-v1`: per-benchmark status / wall-clock /
+ * deterministic SAT-conflict totals of the serial full-tool run, plus
+ * the whole-process telemetry summary.  bench/perf_gate compares this
+ * file against bench/baseline.json in CI.
+ */
+void
+writeBenchMetrics(std::ostream &os,
+                  const std::vector<BenchRecord> &records,
+                  unsigned jobs)
+{
+    os << "{\n  \"schema\": \"rtlrepair-bench-v1\",\n";
+    os << "  \"jobs\": " << jobs << ",\n";
+    os << "  \"benchmarks\": [";
+    for (size_t i = 0; i < records.size(); ++i) {
+        const BenchRecord &r = records[i];
+        os << (i ? ",\n    " : "\n    ");
+        os << "{\"name\": \"" << r.name << "\", \"status\": \""
+           << r.status << "\", \"wall_seconds\": "
+           << format("%.6f", r.wall_seconds)
+           << ", \"sat_conflicts\": " << r.sat_conflicts
+           << ", \"windows\": " << r.windows << "}";
+    }
+    os << "\n  ],\n  \"telemetry\": ";
+    telemetry::writeMetricsJson(os);
+    os << "\n}\n";
+}
+
 /** The serial and parallel runs must agree on everything but time. */
 bool
 sameOutcome(const repair::RepairOutcome &a,
@@ -75,6 +126,9 @@ main(int argc, char **argv)
 {
     BenchArgs args = BenchArgs::parse(argc, argv);
     unsigned jobs = repair::resolveJobs(args.jobs);
+    if (!args.metrics_out.empty() || !args.perfetto_out.empty())
+        telemetry::setEnabled(true);
+    std::vector<BenchRecord> records;
     if (args.fast && !args.fast_explicit) {
         std::printf("(fast mode: long-trace benchmarks skipped; run "
                     "with --full for the complete table)\n");
@@ -122,6 +176,9 @@ main(int argc, char **argv)
                        : Cell{format("-   %.2fs", o.seconds)};
         };
         Cell full_cell = cellFor(full);
+        records.push_back({def.name, statusGlyph(full.status),
+                           full.seconds, totalConflicts(full),
+                           full.candidates.size()});
 
         full_cfg.jobs = jobs;
         repair::RepairOutcome par = repair::repairDesign(
@@ -147,6 +204,28 @@ main(int argc, char **argv)
         // full-tool run, from the fault-containment stage reports.
         std::printf("%-12s |   %s\n", "",
                     stageSummary(full.stages).c_str());
+    }
+    if (!args.metrics_out.empty()) {
+        std::ofstream out(args.metrics_out);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         args.metrics_out.c_str());
+            return 1;
+        }
+        writeBenchMetrics(out, records, jobs);
+        std::fprintf(stderr, "[bench] wrote %s\n",
+                     args.metrics_out.c_str());
+    }
+    if (!args.perfetto_out.empty()) {
+        std::ofstream out(args.perfetto_out);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         args.perfetto_out.c_str());
+            return 1;
+        }
+        telemetry::writePerfetto(out);
+        std::fprintf(stderr, "[bench] wrote %s\n",
+                     args.perfetto_out.c_str());
     }
     return 0;
 }

@@ -4,6 +4,12 @@
 //   repair_cli <buggy.v> <trace.csv> [--timeout S] [--zero-x]
 //              [--jobs N] [--out repaired.v] [--report]
 //              [--inject-fault STAGE:KIND:NTH]
+//              [--trace-out t.ndjson] [--perfetto-out t.json]
+//              [--metrics-out m.json]
+//
+// Any of the three telemetry outputs (or --report) enables the
+// telemetry subsystem for the run; with none of them, every
+// instrumentation point is a single relaxed atomic load.
 //
 // The trace CSV uses `in:`/`out:` prefixed column headers and binary
 // cell values with x for don't-cares (see trace/io_trace.hpp); it is
@@ -24,6 +30,7 @@
 #include "repair/driver.hpp"
 #include "util/fault.hpp"
 #include "util/logging.hpp"
+#include "util/telemetry.hpp"
 #include "verilog/ast_util.hpp"
 #include "verilog/parser.hpp"
 #include "verilog/printer.hpp"
@@ -44,9 +51,28 @@ usage(const char *prog)
     std::fprintf(stderr,
                  "usage: %s <buggy.v> <trace.csv> [--timeout S] "
                  "[--zero-x] [--jobs N] [--out repaired.v] "
-                 "[--report] [--inject-fault STAGE:KIND:NTH]\n",
+                 "[--report] [--inject-fault STAGE:KIND:NTH] "
+                 "[--trace-out t.ndjson] [--perfetto-out t.json] "
+                 "[--metrics-out m.json]\n",
                  prog);
     return kExitBadInput;
+}
+
+/** Write one telemetry export; failures are warnings, not errors. */
+template <typename WriteFn>
+void
+writeExport(const std::string &path, WriteFn &&write)
+{
+    if (path.empty())
+        return;
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    write(out);
+    std::printf("wrote %s\n", path.c_str());
 }
 
 int
@@ -58,6 +84,7 @@ run(int argc, char **argv)
     std::string trace_path = argv[2];
     repair::RepairConfig config;
     std::string out_path;
+    std::string trace_out, perfetto_out, metrics_out;
     bool report = false;
     for (int i = 3; i < argc; ++i) {
         if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
@@ -77,10 +104,23 @@ run(int argc, char **argv)
             // Deterministic fault injection for robustness testing;
             // same spec format as the RTLREPAIR_FAULT env variable.
             FaultInjector::instance().configure(argv[++i]);
+        } else if (std::strcmp(argv[i], "--trace-out") == 0 &&
+                   i + 1 < argc) {
+            trace_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--perfetto-out") == 0 &&
+                   i + 1 < argc) {
+            perfetto_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics-out") == 0 &&
+                   i + 1 < argc) {
+            metrics_out = argv[++i];
         } else {
             std::fprintf(stderr, "unknown option: %s\n", argv[i]);
             return usage(argv[0]);
         }
+    }
+    if (report || !trace_out.empty() || !perfetto_out.empty() ||
+        !metrics_out.empty()) {
+        telemetry::setEnabled(true);
     }
 
     // Parsing the design and the trace are guarded stages too: an
@@ -126,13 +166,27 @@ run(int argc, char **argv)
     repair::RepairOutcome outcome =
         repair::repairDesign(file.top(), library, io, config);
 
+    // The driver folded its own stages already; the CLI-side parse and
+    // trace-load stages join the same counter families here.
+    repair::foldStageCounters(cli_stages);
+
     if (report) {
         std::vector<repair::StageReport> all = cli_stages;
         all.insert(all.end(), outcome.stages.begin(),
                    outcome.stages.end());
         std::printf("--- stage report ---\n%s--------------------\n",
                     repair::formatStageReports(all).c_str());
+        std::printf("--- metrics ---\n%s---------------\n",
+                    telemetry::metricsSummary().c_str());
     }
+    writeExport(trace_out,
+                [](std::ostream &os) { telemetry::writeNdjson(os); });
+    writeExport(perfetto_out, [](std::ostream &os) {
+        telemetry::writePerfetto(os);
+    });
+    writeExport(metrics_out, [](std::ostream &os) {
+        telemetry::writeMetricsJson(os);
+    });
 
     using Status = repair::RepairOutcome::Status;
     switch (outcome.status) {

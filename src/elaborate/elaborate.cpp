@@ -9,6 +9,7 @@
 #include "ir/builder.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
+#include "util/telemetry.hpp"
 #include "verilog/ast_util.hpp"
 
 namespace rtlrepair::elaborate {
@@ -1407,11 +1408,22 @@ class Elaborator
 
 } // namespace
 
+// Unstable: template-task elaborations run on pool workers, and a
+// cancelled task may or may not have elaborated before it stopped.
+static telemetry::Counter s_elab_runs("elaborate.runs",
+                                      telemetry::MetricKind::Unstable);
+static telemetry::Counter s_elab_states("elaborate.states",
+                                        telemetry::MetricKind::Unstable);
+
 ir::TransitionSystem
 elaborate(const Module &top, const ElaborateOptions &opts)
 {
+    telemetry::Span span("elaborate.ir");
+    s_elab_runs.add(1);
     Elaborator elab(top, opts);
-    return elab.run();
+    ir::TransitionSystem sys = elab.run();
+    s_elab_states.add(sys.states.size());
+    return sys;
 }
 
 std::unique_ptr<Module>

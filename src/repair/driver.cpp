@@ -54,10 +54,19 @@ repairDesign(const verilog::Module &buggy,
     Stopwatch watch;
     Deadline deadline(config.timeout_seconds);
     RepairOutcome outcome;
+    telemetry::Span repair_span("repair");
 
     auto finish = [&](RepairOutcome::Status status) {
         outcome.status = status;
         outcome.seconds = watch.seconds();
+        // Telemetry folds happen over the *final* outcome, not at
+        // consume time inside the engines: a template the portfolio
+        // cancels mid-run consumes windows the serial cascade never
+        // visits, while the folded candidate/stage lists are identical
+        // for jobs=1 and jobs=N.
+        foldStageCounters(outcome.stages);
+        for (const auto &c : outcome.candidates)
+            recordWindowStat(c.window);
         return std::move(outcome);
     };
 
@@ -77,6 +86,10 @@ repairDesign(const verilog::Module &buggy,
         }
     }
     outcome.preprocess_changes = pre.changes;
+    if (telemetry::enabled()) {
+        telemetry::counter("preprocess.changes")
+            .add(static_cast<uint64_t>(pre.changes));
+    }
     for (const auto &note : pre.notes)
         outcome.detail += note + "\n";
 

@@ -32,6 +32,25 @@ formatStageReports(const std::vector<StageReport> &reports)
     return out;
 }
 
+void
+foldStageCounters(const std::vector<StageReport> &reports)
+{
+    if (!telemetry::enabled())
+        return;
+    // Run counts are deterministic (the folded stage list is identical
+    // for jobs=1 and jobs=N); wall-clock totals are not.
+    for (const auto &r : reports) {
+        telemetry::counter("stage." + r.stage + ".runs").add(1);
+        telemetry::counter("stage." + r.stage + ".us",
+                           telemetry::MetricKind::Unstable)
+            .add(static_cast<uint64_t>(r.seconds * 1e6));
+        if (r.status != StageStatus::Ok) {
+            telemetry::counter("stage." + r.stage + ".not_ok")
+                .add(1);
+        }
+    }
+}
+
 double
 stageSlice(double remaining, size_t stages_left,
            const GuardConfig &config)

@@ -26,6 +26,7 @@
 #include "util/fault.hpp"
 #include "util/stopwatch.hpp"
 #include "util/strings.hpp"
+#include "util/telemetry.hpp"
 
 namespace rtlrepair::repair {
 
@@ -55,6 +56,16 @@ struct StageReport
 
 /** One line per report, for --report and RepairOutcome::detail. */
 std::string formatStageReports(const std::vector<StageReport> &reports);
+
+/**
+ * Fold a run's final stage-report list into the dynamic telemetry
+ * counter families "stage.<name>.runs" (deterministic),
+ * "stage.<name>.us" and "stage.<name>.not_ok".  The driver calls this
+ * once per repair over the folded outcome, so serial and parallel
+ * runs aggregate the exact same stage totals (the per-task reports
+ * are merged before the fold).
+ */
+void foldStageCounters(const std::vector<StageReport> &reports);
 
 /** Budget policy for the containment layer. */
 struct GuardConfig
@@ -132,6 +143,7 @@ class StageGuard
     bool
     run(Fn &&fn)
     {
+        telemetry::Span span(_report.stage);
         Stopwatch watch;
         try {
             faultPoint(_report.stage);

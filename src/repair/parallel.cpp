@@ -1,17 +1,35 @@
 #include "repair/parallel.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <thread>
 
 #include "repair/patcher.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
+#include "util/telemetry.hpp"
 
 namespace rtlrepair::repair {
 
 using bv::Value;
 using templates::SynthAssignment;
+
+namespace {
+
+// All portfolio metrics are scheduling-dependent by nature.
+telemetry::Counter s_spec_launched("portfolio.speculative_launched",
+                                   telemetry::MetricKind::Unstable);
+telemetry::Counter s_spec_hits("portfolio.speculative_hits",
+                               telemetry::MetricKind::Unstable);
+telemetry::Counter s_spec_ready("portfolio.speculative_ready",
+                                telemetry::MetricKind::Unstable);
+telemetry::Counter s_cancelled("portfolio.cancelled",
+                               telemetry::MetricKind::Unstable);
+telemetry::Gauge s_cancel_latency("portfolio.cancel_latency_us",
+                                  telemetry::MetricKind::Unstable);
+
+} // namespace
 
 unsigned
 resolveJobs(unsigned requested)
@@ -40,6 +58,8 @@ struct WindowSolve
 struct WindowJob
 {
     WindowLadder state;
+    bool speculative = false;  ///< launched ahead of the frontier
+    uint64_t cancel_us = 0;    ///< telemetry: cancel() timestamp
     std::shared_ptr<CancelToken> token;
     std::shared_ptr<Deadline> deadline;
     std::future<WindowSolve> fut;
@@ -49,14 +69,23 @@ struct WindowJob
 void
 drainJobs(std::vector<WindowJob> &jobs, ThreadPool &pool)
 {
-    for (auto &job : jobs)
+    const bool tel = telemetry::enabled();
+    for (auto &job : jobs) {
         job.token->cancel();
+        if (tel)
+            job.cancel_us = telemetry::nowUs();
+    }
     for (auto &job : jobs) {
         try {
             pool.waitCollect(job.fut);
         } catch (...) {
             // A cancelled speculative solve that failed is irrelevant:
             // the serial cascade would never have reached it.
+        }
+        if (tel && job.cancel_us) {
+            s_cancelled.add(1);
+            s_cancel_latency.record(telemetry::nowUs() -
+                                    job.cancel_us);
         }
     }
     jobs.clear();
@@ -113,7 +142,7 @@ runEngineParallel(const ir::TransitionSystem &sys,
     // Captures the current solver seed; after a retry reseeds, the
     // in-flight set has been drained, so stale-seed results can never
     // be consumed.
-    auto ensure = [&](const WindowLadder &st) {
+    auto ensure = [&](const WindowLadder &st, bool speculative) {
         for (const auto &job : inflight) {
             if (job.state == st)
                 return;
@@ -125,16 +154,24 @@ runEngineParallel(const ir::TransitionSystem &sys,
         std::vector<Value> start_state = runner.statesAt(w.start);
         WindowJob job;
         job.state = st;
+        job.speculative = speculative;
+        if (speculative)
+            s_spec_launched.add(1);
         job.token = std::make_shared<CancelToken>();
         job.deadline =
             std::make_shared<Deadline>(deadline, job.token.get());
         auto job_deadline = job.deadline;
         size_t max_candidates = cfg.max_candidates;
         uint64_t seed = solver_seed;
+        // Window-solve spans nest under whatever span is open on the
+        // submitting thread, across the pool boundary.
+        uint64_t span_parent = telemetry::Span::currentId();
         job.fut = pool.submit([&sys, &vars, &resolved, st, w,
                                start_state = std::move(start_state),
-                               job_deadline, max_candidates,
-                               seed]() -> WindowSolve {
+                               job_deadline, max_candidates, seed,
+                               span_parent]() -> WindowSolve {
+            telemetry::SpanParent adopt(span_parent);
+            telemetry::Span span("window.solve");
             Stopwatch watch;
             RepairQuery query(sys, vars, resolved, w.start, w.count,
                               start_state, job_deadline.get(), seed);
@@ -144,8 +181,7 @@ runEngineParallel(const ir::TransitionSystem &sys,
             out.stat.k_past = static_cast<int>(st.k_past);
             out.stat.k_future = static_cast<int>(st.k_future);
             out.stat.solve_seconds = watch.seconds();
-            out.stat.aig_nodes = query.aigNodes();
-            out.stat.conflicts = query.conflicts();
+            captureQueryStats(out.stat, query, job_deadline.get());
             switch (out.synth.status) {
               case SynthesisResult::Status::Timeout:
                 out.stat.status = "timeout";
@@ -171,6 +207,13 @@ runEngineParallel(const ir::TransitionSystem &sys,
             WindowJob job = std::move(inflight[i]);
             inflight.erase(inflight.begin() +
                            static_cast<ptrdiff_t>(i));
+            if (job.speculative && telemetry::enabled()) {
+                s_spec_hits.add(1);
+                if (job.fut.wait_for(std::chrono::seconds(0)) ==
+                    std::future_status::ready) {
+                    s_spec_ready.add(1);
+                }
+            }
             return pool.waitCollect(job.fut);
         }
         panic("window job missing from the in-flight set");
@@ -198,13 +241,13 @@ runEngineParallel(const ir::TransitionSystem &sys,
         // Keep the frontier plus the predicted next windows in
         // flight; past growth is the common ladder transition, so the
         // speculative solves are usually the ones needed next.
-        ensure(ladder);
+        ensure(ladder, /*speculative=*/false);
         WindowLadder spec = ladder;
         for (size_t d = 0; d < cfg.speculation; ++d) {
             spec = spec.predictedNext(cfg);
             if (spec.exhausted(cfg))
                 break;
-            ensure(spec);
+            ensure(spec, /*speculative=*/true);
         }
 
         // The guard sits on the deterministic ladder-consume path (not
@@ -300,6 +343,12 @@ struct TemplateSlot
     Deadline deadline;  ///< derived: global + cancel token + slice
     std::future<void> done;
     std::atomic<bool> finished{false};
+    /** Telemetry: when the scheduler first cancelled this slot
+     *  (scheduler thread only). */
+    uint64_t cancel_us = 0;
+    /** Telemetry: when the task body returned; written by the task
+     *  thread before the `finished` release store. */
+    uint64_t finish_us = 0;
 
     // Written by the task thread before `finished`, read after.
     Outcome outcome = Outcome::Skipped;
@@ -491,9 +540,10 @@ runPortfolio(const verilog::Module &preprocessed,
         auto shared_tmpl =
             std::shared_ptr<templates::RepairTemplate>(
                 std::move(tmpl));
+        uint64_t span_parent = telemetry::Span::currentId();
         slot->done = pool.submit([s, shared_tmpl, &preprocessed,
                                   &library, &resolved, &init, &config,
-                                  &pool]() {
+                                  &pool, span_parent]() {
             // `finished` is flagged even when the task throws, so the
             // scheduler loop can never spin forever; the exception
             // stays in the future and is rethrown by waitCollect.
@@ -502,10 +552,14 @@ runPortfolio(const verilog::Module &preprocessed,
                 TemplateSlot *slot;
                 ~Finish()
                 {
+                    if (telemetry::enabled())
+                        slot->finish_us = telemetry::nowUs();
                     slot->finished.store(true,
                                          std::memory_order_release);
                 }
             } finish{s};
+            telemetry::SpanParent adopt(span_parent);
+            telemetry::Span span("task:" + s->name);
             runTemplateTask(*s, *shared_tmpl, preprocessed, library,
                             resolved, init, config, pool);
         });
@@ -532,8 +586,13 @@ runPortfolio(const verilog::Module &preprocessed,
     };
     while (true) {
         size_t horizon = cancelHorizon();
-        for (size_t j = horizon + 1; j < slots.size(); ++j)
-            slots[j]->cancel.cancel();
+        for (size_t j = horizon + 1; j < slots.size(); ++j) {
+            if (!slots[j]->cancel.cancelled()) {
+                slots[j]->cancel.cancel();
+                if (telemetry::enabled())
+                    slots[j]->cancel_us = telemetry::nowUs();
+            }
+        }
         bool all_done = true;
         for (const auto &slot : slots) {
             if (!slot->finished.load(std::memory_order_acquire)) {
@@ -574,6 +633,14 @@ runPortfolio(const verilog::Module &preprocessed,
             reap("out of memory");
         } catch (const std::exception &e) {
             reap(e.what());
+        }
+        // Cancel latency: from the scheduler's first cancel() to the
+        // task body's return (a slot already finished when cancelled
+        // contributes nothing).
+        if (slot->cancel_us && slot->finish_us > slot->cancel_us) {
+            s_cancelled.add(1);
+            s_cancel_latency.record(slot->finish_us -
+                                    slot->cancel_us);
         }
     }
 

@@ -3,8 +3,25 @@
 #include <map>
 
 #include "util/logging.hpp"
+#include "util/telemetry.hpp"
 
 namespace rtlrepair::repair {
+
+namespace {
+
+// Unstable: encodes happen inside speculative portfolio solves too,
+// so the totals depend on scheduling; the deterministic per-window
+// numbers are folded from WindowStat on the ladder-consume path.
+telemetry::Counter s_queries("unroll.queries_encoded",
+                             telemetry::MetricKind::Unstable);
+telemetry::Counter s_cycles("unroll.cycles_encoded",
+                            telemetry::MetricKind::Unstable);
+telemetry::Counter s_nodes("unroll.aig_nodes_encoded",
+                           telemetry::MetricKind::Unstable);
+telemetry::Gauge s_max_window("unroll.max_window_cycles",
+                              telemetry::MetricKind::Unstable);
+
+} // namespace
 
 using bv::Value;
 using smt::AigLit;
@@ -22,6 +39,10 @@ RepairQuery::RepairQuery(const ir::TransitionSystem &sys,
                          uint64_t solver_seed)
     : _sys(sys), _vars(vars)
 {
+    telemetry::Span span("encode");
+    s_queries.add(1);
+    s_cycles.add(count);
+    s_max_window.record(count);
     if (solver_seed != 0)
         _solver.satCore().setPhaseSeed(solver_seed);
     // Unrolling hundreds of thousands of cycles would exhaust memory
@@ -109,6 +130,7 @@ RepairQuery::RepairQuery(const ir::TransitionSystem &sys,
     }
 
     _solver_aig_nodes = aig.numNodes();
+    s_nodes.add(_solver_aig_nodes);
     _card.emplace(_solver, _phi_lits);
 }
 

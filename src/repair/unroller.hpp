@@ -86,6 +86,23 @@ class RepairQuery
     /** Statistics: SAT conflicts accumulated by this query so far. */
     uint64_t conflicts() const { return _solver.satSolver().conflicts; }
 
+    /** Statistics: SAT propagations accumulated by this query. */
+    uint64_t
+    propagations() const
+    {
+        return _solver.satSolver().propagations;
+    }
+
+    /** Statistics: SAT restarts accumulated by this query. */
+    uint64_t restarts() const { return _solver.satSolver().restarts; }
+
+    /** Statistics: learnt-clause database high-water mark. */
+    uint64_t
+    learntPeak() const
+    {
+        return _solver.satSolver().learnt_peak;
+    }
+
   private:
     templates::SynthAssignment extractModel();
 

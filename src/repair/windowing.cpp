@@ -1,12 +1,77 @@
 #include "repair/windowing.hpp"
 
+#include <cstring>
+
 #include "util/logging.hpp"
 #include "util/strings.hpp"
+#include "util/telemetry.hpp"
 
 namespace rtlrepair::repair {
 
 using bv::Value;
 using templates::SynthAssignment;
+
+namespace {
+
+using telemetry::MetricKind;
+
+// Deterministic: bumped only via recordWindowStat when the driver
+// folds the final outcome's candidate list.
+telemetry::Counter s_solves("window.solves");
+telemetry::Counter s_sat("window.sat");
+telemetry::Counter s_unsat("window.unsat");
+telemetry::Counter s_timeout("window.timeout");
+telemetry::Counter s_conflicts("sat.conflicts");
+telemetry::Counter s_propagations("sat.propagations");
+telemetry::Counter s_restarts("sat.restarts");
+telemetry::Counter s_aig_nodes("window.aig_nodes");
+telemetry::Gauge s_learnt_peak("sat.learnt_db_peak",
+                               MetricKind::Deterministic);
+// Wall-clock totals of the consumed solves.
+telemetry::Counter s_solve_us("window.solve_us",
+                              MetricKind::Unstable);
+telemetry::Counter s_slack_us("window.deadline_slack_us",
+                              MetricKind::Unstable);
+
+} // namespace
+
+void
+captureQueryStats(WindowStat &stat, const RepairQuery &query,
+                  const Deadline *deadline)
+{
+    stat.aig_nodes = query.aigNodes();
+    stat.conflicts = query.conflicts();
+    stat.propagations = query.propagations();
+    stat.restarts = query.restarts();
+    stat.learnt_peak = query.learntPeak();
+    if (deadline) {
+        double left = deadline->remaining();
+        stat.deadline_slack = left < 1e17 ? left : -1.0;
+    }
+}
+
+void
+recordWindowStat(const WindowStat &stat)
+{
+    s_solves.add(1);
+    if (std::strcmp(stat.status, "sat") == 0)
+        s_sat.add(1);
+    else if (std::strcmp(stat.status, "unsat") == 0)
+        s_unsat.add(1);
+    else if (std::strcmp(stat.status, "timeout") == 0)
+        s_timeout.add(1);
+    s_conflicts.add(stat.conflicts);
+    s_propagations.add(stat.propagations);
+    s_restarts.add(stat.restarts);
+    s_aig_nodes.add(stat.aig_nodes);
+    s_learnt_peak.record(stat.learnt_peak);
+    s_solve_us.add(
+        static_cast<uint64_t>(stat.solve_seconds * 1e6));
+    if (stat.deadline_slack >= 0.0) {
+        s_slack_us.add(
+            static_cast<uint64_t>(stat.deadline_slack * 1e6));
+    }
+}
 
 WindowLadder::Window
 WindowLadder::window() const
@@ -185,8 +250,7 @@ runBasic(const ir::TransitionSystem &sys,
     stat.k_future =
         static_cast<int>(resolved.length() - first_failure);
     stat.solve_seconds = watch.seconds();
-    stat.aig_nodes = query.aigNodes();
-    stat.conflicts = query.conflicts();
+    captureQueryStats(stat, query, deadline);
     switch (synth.status) {
       case SynthesisResult::Status::Timeout:
         stat.status = "timeout";
@@ -284,8 +348,7 @@ runEngine(const ir::TransitionSystem &sys,
 
         Stopwatch watch;
         SynthesisResult synth;
-        size_t aig_nodes = 0;
-        uint64_t conflicts = 0;
+        WindowStat stat;
         StageGuard guard(solve_stage, result.stages);
         guard.setRetries(retries_used);
         bool solved = guard.run([&] {
@@ -293,8 +356,7 @@ runEngine(const ir::TransitionSystem &sys,
                               start_state, deadline, solver_seed);
             synth = synthesizeMinimalRepairs(
                 query, vars, cfg.max_candidates, deadline);
-            aig_nodes = query.aigNodes();
-            conflicts = query.conflicts();
+            captureQueryStats(stat, query, deadline);
         });
         if (!solved) {
             // A stage-budget overrun is a timeout, not a fault to
@@ -319,12 +381,9 @@ runEngine(const ir::TransitionSystem &sys,
             result.error = guard.report().diagnostic;
             return result;
         }
-        WindowStat stat;
         stat.k_past = static_cast<int>(ladder.k_past);
         stat.k_future = static_cast<int>(ladder.k_future);
         stat.solve_seconds = watch.seconds();
-        stat.aig_nodes = aig_nodes;
-        stat.conflicts = conflicts;
         if (synth.status == SynthesisResult::Status::Timeout) {
             stat.status = "timeout";
             result.windows.push_back(stat);

@@ -58,7 +58,28 @@ struct WindowStat
     double solve_seconds = 0.0;
     size_t aig_nodes = 0;
     uint64_t conflicts = 0;
+    uint64_t propagations = 0;
+    uint64_t restarts = 0;
+    /** Learnt-clause database high-water mark of the solve. */
+    uint64_t learnt_peak = 0;
+    /** Seconds left on the governing deadline when the solve returned
+     *  (negative = no deadline / unlimited). */
+    double deadline_slack = -1.0;
 };
+
+/** Copy the query's SAT/AIG statistics into @p stat. */
+void captureQueryStats(WindowStat &stat, const RepairQuery &query,
+                       const Deadline *deadline);
+
+/**
+ * Fold one window solve into the telemetry counters.  Called by the
+ * driver over the final outcome's candidate list — NOT at engine
+ * consume time: a template that the portfolio later cancels consumes
+ * windows the serial cascade never runs, while the folded candidate
+ * list is bit-identical for jobs=1 and jobs=N.  Wall-clock fields
+ * land in the unstable group.
+ */
+void recordWindowStat(const WindowStat &stat);
 
 /** Outcome of one engine run on one instrumented system. */
 struct EngineResult

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.hpp"
+#include "util/telemetry.hpp"
 
 namespace rtlrepair::sat {
 
@@ -490,6 +491,7 @@ LBool
 Solver::solve(const std::vector<Lit> &assumptions,
               const Deadline *deadline)
 {
+    telemetry::Span span("sat.solve");
     if (!_ok)
         return LBool::False;
     check(_trail_lim.empty(), "solve() while not at level 0");
@@ -525,6 +527,8 @@ Solver::solve(const std::vector<Lit> &assumptions,
                 attachClause(cref);
                 uncheckedEnqueue(learnt[0], cref);
                 ++_num_learnt;
+                if (_num_learnt > learnt_peak)
+                    learnt_peak = _num_learnt;
             }
             varDecayActivity();
             claDecayActivity();

@@ -105,7 +105,12 @@ class Solver
     uint64_t decisions = 0;
     uint64_t propagations = 0;
     uint64_t restarts = 0;
+    /** High-water mark of the learnt-clause database. */
+    uint64_t learnt_peak = 0;
     /** @} */
+
+    /** Live learnt clauses currently in the database. */
+    size_t numLearnt() const { return _num_learnt; }
 
   private:
     struct Clause

@@ -6,6 +6,7 @@
 #include "analysis/widths.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
+#include "util/telemetry.hpp"
 #include "verilog/ast_util.hpp"
 
 namespace rtlrepair::templates {
@@ -158,6 +159,9 @@ mustAssign(const Stmt &stmt)
 PreprocessResult
 preprocess(const Module &buggy)
 {
+    static telemetry::Counter s_runs("preprocess.runs");
+    telemetry::Span span("preprocess.lint");
+    s_runs.add(1);
     PreprocessResult result;
     result.module = buggy.clone();
     Module &mod = *result.module;

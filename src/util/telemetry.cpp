@@ -1,0 +1,480 @@
+#include "util/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/strings.hpp"
+
+namespace rtlrepair::telemetry {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/** All registered metrics.  Static-init Counters/Gauges register raw
+ *  pointers; dynamically named ones are owned by the registry.  The
+ *  registry is a function-local static so registration works from any
+ *  translation unit's static initializers. */
+struct Registry
+{
+    /** Recursive: creating a registry-owned metric registers it while
+     *  the lookup in counter()/gauge() still holds the lock. */
+    std::recursive_mutex mutex;
+    std::vector<Counter *> counters;
+    std::vector<Gauge *> gauges;
+    std::map<std::string, std::unique_ptr<Counter>> owned_counters;
+    std::map<std::string, std::unique_ptr<Gauge>> owned_gauges;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+void
+registerCounter(Counter *c)
+{
+    Registry &r = registry();
+    std::lock_guard<std::recursive_mutex> lock(r.mutex);
+    r.counters.push_back(c);
+}
+
+void
+registerGauge(Gauge *g)
+{
+    Registry &r = registry();
+    std::lock_guard<std::recursive_mutex> lock(r.mutex);
+    r.gauges.push_back(g);
+}
+
+/** Fixed-capacity overwrite-oldest event ring. */
+struct EventRing
+{
+    std::mutex mutex;
+    std::vector<SpanEvent> slots;
+    size_t capacity = 1 << 16;
+    size_t head = 0;   ///< next write position
+    size_t count = 0;  ///< live events
+    uint64_t dropped = 0;
+};
+
+EventRing &
+ring()
+{
+    static EventRing r;
+    return r;
+}
+
+void
+pushEvent(SpanEvent &&ev)
+{
+    EventRing &r = ring();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    if (r.slots.size() < r.capacity)
+        r.slots.resize(r.capacity);
+    if (r.count == r.capacity)
+        ++r.dropped;
+    else
+        ++r.count;
+    r.slots[r.head] = std::move(ev);
+    r.head = (r.head + 1) % r.capacity;
+}
+
+std::chrono::steady_clock::time_point
+processStart()
+{
+    static const auto start = std::chrono::steady_clock::now();
+    return start;
+}
+
+// Touch the start point during static init so nowUs() is relative to
+// (approximately) process start even if telemetry wakes up late.
+const auto g_start_anchor = processStart();
+
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<uint32_t> g_next_thread_id{1};
+
+thread_local uint64_t t_current_span = 0;
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += format("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+/** Per-span-name aggregate for the metrics summary. */
+struct SpanAgg
+{
+    uint64_t count = 0;
+    uint64_t total_us = 0;
+};
+
+std::map<std::string, SpanAgg>
+aggregateSpans(const std::vector<SpanEvent> &evs)
+{
+    std::map<std::string, SpanAgg> agg;
+    for (const auto &e : evs) {
+        SpanAgg &a = agg[e.name];
+        ++a.count;
+        a.total_us += e.dur_us;
+    }
+    return agg;
+}
+
+void
+writeMetricGroup(std::ostream &os, const char *label, MetricKind kind,
+                 bool &first_group)
+{
+    auto cs = counterValues(kind);
+    auto gs = gaugeValues(kind);
+    if (!first_group)
+        os << ",\n";
+    first_group = false;
+    os << "  \"" << label << "\": {";
+    bool first = true;
+    for (const auto &[name, value] : cs) {
+        if (value == 0)
+            continue;
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": " << value;
+        first = false;
+    }
+    for (const auto &[name, value] : gs) {
+        if (value == 0)
+            continue;
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": " << value;
+        first = false;
+    }
+    os << (first ? "}" : "\n  }");
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+reset()
+{
+    Registry &r = registry();
+    {
+        std::lock_guard<std::recursive_mutex> lock(r.mutex);
+        for (Counter *c : r.counters)
+            c->clear();
+        for (Gauge *g : r.gauges)
+            g->clear();
+    }
+    EventRing &er = ring();
+    std::lock_guard<std::mutex> lock(er.mutex);
+    er.head = 0;
+    er.count = 0;
+    er.dropped = 0;
+}
+
+uint64_t
+nowUs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - processStart())
+            .count());
+}
+
+uint32_t
+threadId()
+{
+    thread_local uint32_t id =
+        g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+Counter::Counter(std::string name, MetricKind kind)
+    : _name(std::move(name)), _kind(kind)
+{
+    registerCounter(this);
+}
+
+Gauge::Gauge(std::string name, MetricKind kind)
+    : _name(std::move(name)), _kind(kind)
+{
+    registerGauge(this);
+}
+
+Counter &
+counter(const std::string &name, MetricKind kind)
+{
+    Registry &r = registry();
+    std::lock_guard<std::recursive_mutex> lock(r.mutex);
+    auto it = r.owned_counters.find(name);
+    if (it == r.owned_counters.end()) {
+        auto owned = std::unique_ptr<Counter>(new Counter(name, kind));
+        it = r.owned_counters.emplace(name, std::move(owned)).first;
+    }
+    return *it->second;
+}
+
+Gauge &
+gauge(const std::string &name, MetricKind kind)
+{
+    Registry &r = registry();
+    std::lock_guard<std::recursive_mutex> lock(r.mutex);
+    auto it = r.owned_gauges.find(name);
+    if (it == r.owned_gauges.end()) {
+        auto owned = std::unique_ptr<Gauge>(new Gauge(name, kind));
+        it = r.owned_gauges.emplace(name, std::move(owned)).first;
+    }
+    return *it->second;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+counterValues(MetricKind kind)
+{
+    Registry &r = registry();
+    std::vector<std::pair<std::string, uint64_t>> out;
+    std::lock_guard<std::recursive_mutex> lock(r.mutex);
+    for (const Counter *c : r.counters) {
+        if (c->kind() == kind)
+            out.emplace_back(c->name(), c->value());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+gaugeValues(MetricKind kind)
+{
+    Registry &r = registry();
+    std::vector<std::pair<std::string, uint64_t>> out;
+    std::lock_guard<std::recursive_mutex> lock(r.mutex);
+    for (const Gauge *g : r.gauges) {
+        if (g->kind() == kind)
+            out.emplace_back(g->name(), g->value());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+uint64_t
+Span::currentId()
+{
+    return t_current_span;
+}
+
+void
+Span::arm(const char *name)
+{
+    _name = name;
+    _parent = t_current_span;
+    _id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+    t_current_span = _id;
+    _start = nowUs();
+}
+
+void
+Span::finish()
+{
+    t_current_span = _parent;
+    SpanEvent ev;
+    ev.name = std::move(_name);
+    ev.id = _id;
+    ev.parent = _parent;
+    ev.tid = threadId();
+    ev.start_us = _start;
+    uint64_t end = nowUs();
+    ev.dur_us = end > _start ? end - _start : 0;
+    pushEvent(std::move(ev));
+}
+
+SpanParent::SpanParent(uint64_t parent_id)
+{
+    if (!enabled())
+        return;
+    _saved = t_current_span;
+    t_current_span = parent_id;
+    _armed = true;
+}
+
+SpanParent::~SpanParent()
+{
+    if (_armed)
+        t_current_span = _saved;
+}
+
+std::vector<SpanEvent>
+events()
+{
+    EventRing &r = ring();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<SpanEvent> out;
+    out.reserve(r.count);
+    size_t start = (r.head + r.capacity - r.count) % r.capacity;
+    for (size_t i = 0; i < r.count; ++i)
+        out.push_back(r.slots[(start + i) % r.capacity]);
+    return out;
+}
+
+uint64_t
+eventsDropped()
+{
+    EventRing &r = ring();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    return r.dropped;
+}
+
+void
+setEventCapacity(size_t capacity)
+{
+    EventRing &r = ring();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.capacity = capacity > 0 ? capacity : 1;
+    r.slots.clear();
+    r.head = 0;
+    r.count = 0;
+    r.dropped = 0;
+}
+
+void
+debugEmit(const SpanEvent &event)
+{
+    pushEvent(SpanEvent(event));
+}
+
+void
+writeNdjson(std::ostream &os)
+{
+    for (const auto &e : events()) {
+        os << "{\"type\":\"span\",\"name\":\"" << jsonEscape(e.name)
+           << "\",\"id\":" << e.id << ",\"parent\":" << e.parent
+           << ",\"tid\":" << e.tid << ",\"ts_us\":" << e.start_us
+           << ",\"dur_us\":" << e.dur_us << "}\n";
+    }
+    for (MetricKind kind :
+         {MetricKind::Deterministic, MetricKind::Unstable}) {
+        const char *det =
+            kind == MetricKind::Deterministic ? "true" : "false";
+        for (const auto &[name, value] : counterValues(kind)) {
+            if (value == 0)
+                continue;
+            os << "{\"type\":\"counter\",\"name\":\""
+               << jsonEscape(name) << "\",\"value\":" << value
+               << ",\"deterministic\":" << det << "}\n";
+        }
+        for (const auto &[name, value] : gaugeValues(kind)) {
+            if (value == 0)
+                continue;
+            os << "{\"type\":\"gauge\",\"name\":\"" << jsonEscape(name)
+               << "\",\"value\":" << value
+               << ",\"deterministic\":" << det << "}\n";
+        }
+    }
+    uint64_t dropped = eventsDropped();
+    if (dropped > 0) {
+        os << "{\"type\":\"meta\",\"events_dropped\":" << dropped
+           << "}\n";
+    }
+}
+
+void
+writePerfetto(std::ostream &os)
+{
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const auto &e : events()) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        os << "{\"name\":\"" << jsonEscape(e.name)
+           << "\",\"cat\":\"rtlrepair\",\"ph\":\"X\",\"ts\":"
+           << e.start_us << ",\"dur\":" << e.dur_us
+           << ",\"pid\":1,\"tid\":" << e.tid << ",\"args\":{\"id\":"
+           << e.id << ",\"parent\":" << e.parent << "}}";
+    }
+    os << (first ? "]}" : "\n]}") << "\n";
+}
+
+void
+writeMetricsJson(std::ostream &os)
+{
+    os << "{\n  \"schema\": \"rtlrepair-metrics-v1\"";
+    bool first_group = false;  // schema line came first
+    writeMetricGroup(os, "counters", MetricKind::Deterministic,
+                     first_group);
+    writeMetricGroup(os, "counters_unstable", MetricKind::Unstable,
+                     first_group);
+    auto agg = aggregateSpans(events());
+    os << ",\n  \"spans\": {";
+    bool first = true;
+    for (const auto &[name, a] : agg) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": {\"count\": " << a.count
+           << ", \"total_us\": " << a.total_us << "}";
+        first = false;
+    }
+    os << (first ? "}" : "\n  }");
+    os << ",\n  \"events_dropped\": " << eventsDropped() << "\n}\n";
+}
+
+std::string
+metricsSummary()
+{
+    std::string out;
+    auto emit = [&](const char *label,
+                    const std::vector<std::pair<std::string, uint64_t>>
+                        &values) {
+        bool any = false;
+        for (const auto &[name, value] : values) {
+            if (value == 0)
+                continue;
+            if (!any)
+                out += format("%s:\n", label);
+            any = true;
+            out += format("  %-32s %llu\n", name.c_str(),
+                          static_cast<unsigned long long>(value));
+        }
+    };
+    emit("counters", counterValues(MetricKind::Deterministic));
+    emit("counters (unstable)", counterValues(MetricKind::Unstable));
+    emit("gauges", gaugeValues(MetricKind::Deterministic));
+    emit("gauges (unstable)", gaugeValues(MetricKind::Unstable));
+    auto agg = aggregateSpans(events());
+    if (!agg.empty())
+        out += "spans:\n";
+    for (const auto &[name, a] : agg) {
+        out += format("  %-32s n=%llu total=%.3fs\n", name.c_str(),
+                      static_cast<unsigned long long>(a.count),
+                      static_cast<double>(a.total_us) * 1e-6);
+    }
+    return out;
+}
+
+} // namespace rtlrepair::telemetry

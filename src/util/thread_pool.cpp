@@ -1,6 +1,20 @@
 #include "util/thread_pool.hpp"
 
+#include "util/telemetry.hpp"
+
 namespace rtlrepair {
+
+namespace {
+
+// Scheduling-dependent: which thread ends up executing a job depends
+// on timing, so both land in the unstable group.  `jobs_help` is the
+// steal count — jobs a blocked waiter pulled off the queue itself.
+telemetry::Counter s_jobs_worker("pool.jobs_worker",
+                                 telemetry::MetricKind::Unstable);
+telemetry::Counter s_jobs_help("pool.jobs_help",
+                               telemetry::MetricKind::Unstable);
+
+} // namespace
 
 ThreadPool::ThreadPool(size_t workers)
 {
@@ -35,6 +49,7 @@ ThreadPool::help()
         job = std::move(_queue.front());
         _queue.pop_front();
     }
+    s_jobs_help.add(1);
     job();
     return true;
 }
@@ -53,6 +68,7 @@ ThreadPool::workerLoop()
             job = std::move(_queue.front());
             _queue.pop_front();
         }
+        s_jobs_worker.add(1);
         job();
     }
 }
