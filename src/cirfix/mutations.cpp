@@ -228,20 +228,46 @@ randomCompatibleOp(BinaryOp op, Rng &rng)
     }
 }
 
-} // namespace
-
-std::unique_ptr<Module>
-mutate(const Module &original, Rng &rng, std::string *description)
+std::vector<TernaryExpr *>
+collectTernaries(Module &mod)
 {
-    auto mod = original.clone();
-    std::string desc = "no-op";
+    std::vector<ExprPtr *> exprs;
+    collectExprSlots(mod, exprs);
+    std::vector<TernaryExpr *> terns;
+    for (ExprPtr *slot : exprs) {
+        rewriteExprTree(*slot, [&terns](ExprPtr &e) {
+            if (e->kind == Expr::Kind::Ternary)
+                terns.push_back(static_cast<TernaryExpr *>(e.get()));
+        });
+    }
+    return terns;
+}
 
-    // Try operators until one applies (bounded retries).
-    for (int attempt = 0; attempt < 12; ++attempt) {
-        switch (rng.below(8)) {
+std::vector<CaseStmt *>
+collectCases(Module &mod)
+{
+    std::vector<CaseStmt *> cases;
+    for (auto &item : mod.items) {
+        if (item->kind != Item::Kind::Always)
+            continue;
+        std::vector<StmtPtr *> stmts;
+        collectStmtSlots(static_cast<AlwaysBlock &>(*item).body, stmts);
+        for (StmtPtr *slot : stmts) {
+            if ((*slot)->kind == Stmt::Kind::Case)
+                cases.push_back(static_cast<CaseStmt *>(slot->get()));
+        }
+    }
+    return cases;
+}
+
+/** One operator pick; returns false when the pick was inapplicable. */
+bool
+tryMutateOnce(Module &mod, Rng &rng, std::string &desc)
+{
+    switch (rng.below(11)) {
           case 0: {  // invert a conditional
             std::vector<ExprPtr *> conds;
-            for (auto &item : mod->items) {
+            for (auto &item : mod.items) {
                 if (item->kind != Item::Kind::Always)
                     continue;
                 std::vector<StmtPtr *> stmts;
@@ -255,23 +281,23 @@ mutate(const Module &original, Rng &rng, std::string *description)
                 }
             }
             if (conds.empty())
-                continue;
+                return false;
             ExprPtr *slot = conds[rng.below(conds.size())];
             auto *inverted = new UnaryExpr(UnaryOp::LogicNot,
                                            std::move(*slot));
-            inverted->id = mod->newNodeId();
+            inverted->id = mod.newNodeId();
             slot->reset(inverted);
             desc = "invert conditional";
-            goto done;
+            return true;
           }
           case 1: {  // perturb a constant
             std::vector<ExprPtr *> exprs;
-            collectExprSlots(*mod, exprs);
+            collectExprSlots(mod, exprs);
             std::vector<LiteralExpr *> lits;
             for (ExprPtr *slot : exprs)
                 collectLiterals(*slot, lits);
             if (lits.empty())
-                continue;
+                return false;
             LiteralExpr *lit = lits[rng.below(lits.size())];
             Value v = lit->value;
             uint32_t w = v.width();
@@ -291,11 +317,11 @@ mutate(const Module &original, Rng &rng, std::string *description)
             }
             lit->value = v;
             desc = "perturb constant";
-            goto done;
+            return true;
           }
           case 2: {  // swap if branches
             std::vector<IfStmt *> ifs;
-            for (auto &item : mod->items) {
+            for (auto &item : mod.items) {
                 if (item->kind != Item::Kind::Always)
                     continue;
                 std::vector<StmtPtr *> stmts;
@@ -310,34 +336,34 @@ mutate(const Module &original, Rng &rng, std::string *description)
                 }
             }
             if (ifs.empty())
-                continue;
+                return false;
             IfStmt *target = ifs[rng.below(ifs.size())];
             std::swap(target->then_stmt, target->else_stmt);
             desc = "swap if branches";
-            goto done;
+            return true;
           }
           case 3: {  // flip assignment kind
-            auto assigns = collectAssigns(*mod);
+            auto assigns = collectAssigns(mod);
             if (assigns.empty())
-                continue;
+                return false;
             AssignStmt *a = assigns[rng.below(assigns.size())];
             a->blocking = !a->blocking;
             desc = "flip assignment kind";
-            goto done;
+            return true;
           }
           case 4: {  // sensitivity-list edit
             std::vector<AlwaysBlock *> blocks;
-            for (auto &item : mod->items) {
+            for (auto &item : mod.items) {
                 if (item->kind == Item::Kind::Always)
                     blocks.push_back(
                         static_cast<AlwaysBlock *>(item.get()));
             }
             if (blocks.empty())
-                continue;
+                return false;
             AlwaysBlock *blk =
                 blocks[rng.below(blocks.size())];
             if (blk->sensitivity.empty())
-                continue;
+                return false;
             SensItem &sens =
                 blk->sensitivity[rng.below(blk->sensitivity.size())];
             if (sens.edge == SensItem::Edge::Level &&
@@ -349,14 +375,14 @@ mutate(const Module &original, Rng &rng, std::string *description)
             } else if (sens.edge == SensItem::Edge::Negedge) {
                 sens.edge = SensItem::Edge::Posedge;
             } else {
-                continue;
+                return false;
             }
             desc = "edit sensitivity list";
-            goto done;
+            return true;
           }
           case 5: {  // replace a binary operator
             std::vector<ExprPtr *> exprs;
-            collectExprSlots(*mod, exprs);
+            collectExprSlots(mod, exprs);
             std::vector<BinaryExpr *> bins;
             for (ExprPtr *slot : exprs) {
                 rewriteExprTree(*slot, [&bins](ExprPtr &e) {
@@ -366,34 +392,34 @@ mutate(const Module &original, Rng &rng, std::string *description)
                 });
             }
             if (bins.empty())
-                continue;
+                return false;
             BinaryExpr *b = bins[rng.below(bins.size())];
             BinaryOp next = randomCompatibleOp(b->op, rng);
             if (next == b->op)
-                continue;
+                return false;
             b->op = next;
             desc = "replace operator";
-            goto done;
+            return true;
           }
           case 6: {  // replace an identifier use
             analysis::SymbolTable table;
             try {
-                table = analysis::SymbolTable::build(*mod);
+                table = analysis::SymbolTable::build(mod);
             } catch (const FatalError &) {
-                continue;
+                return false;
             }
             std::vector<ExprPtr *> exprs;
-            collectExprSlots(*mod, exprs);
+            collectExprSlots(mod, exprs);
             std::vector<ExprPtr *> idents;
             for (ExprPtr *slot : exprs)
                 collectIdentSlots(*slot, idents);
             if (idents.empty())
-                continue;
+                return false;
             ExprPtr *slot = idents[rng.below(idents.size())];
             const auto &old_name =
                 static_cast<IdentExpr &>(**slot).name;
             if (!table.isNet(old_name))
-                continue;
+                return false;
             uint32_t w = table.widthOf(old_name);
             std::vector<std::string> same_width;
             for (const auto &[name, range] : table.nets()) {
@@ -401,15 +427,15 @@ mutate(const Module &original, Rng &rng, std::string *description)
                     same_width.push_back(name);
             }
             if (same_width.empty())
-                continue;
+                return false;
             static_cast<IdentExpr &>(**slot).name =
                 same_width[rng.below(same_width.size())];
             desc = "replace identifier";
-            goto done;
+            return true;
           }
-          default: {  // delete or duplicate a statement
+          case 7: {  // delete or duplicate a statement
             std::vector<StmtPtr *> slots;
-            for (auto &item : mod->items) {
+            for (auto &item : mod.items) {
                 if (item->kind != Item::Kind::Always)
                     continue;
                 auto &blk = static_cast<AlwaysBlock &>(*item);
@@ -420,11 +446,11 @@ mutate(const Module &original, Rng &rng, std::string *description)
                     slots.push_back(&s);
             }
             if (slots.empty())
-                continue;
+                return false;
             StmtPtr *slot = slots[rng.below(slots.size())];
             if (rng.chance(0.5)) {
                 auto *empty = new EmptyStmt();
-                empty->id = mod->newNodeId();
+                empty->id = mod.newNodeId();
                 slot->reset(empty);
                 desc = "delete statement";
             } else {
@@ -433,18 +459,92 @@ mutate(const Module &original, Rng &rng, std::string *description)
                 two.push_back((*slot)->clone());
                 two.push_back(std::move(*slot));
                 auto *pair = new BlockStmt(std::move(two));
-                pair->id = mod->newNodeId();
+                pair->id = mod.newNodeId();
                 slot->reset(pair);
                 desc = "duplicate statement";
             }
-            goto done;
+            return true;
           }
-        }
+          case 8: {  // swap ternary arms
+            auto terns = collectTernaries(mod);
+            if (terns.empty())
+                return false;
+            TernaryExpr *t = terns[rng.below(terns.size())];
+            std::swap(t->then_expr, t->else_expr);
+            desc = "swap ternary arms";
+            return true;
+          }
+          case 9: {  // negate a ternary guard
+            auto terns = collectTernaries(mod);
+            if (terns.empty())
+                return false;
+            TernaryExpr *t = terns[rng.below(terns.size())];
+            auto *inverted =
+                new UnaryExpr(UnaryOp::LogicNot, std::move(t->cond));
+            inverted->id = mod.newNodeId();
+            t->cond.reset(inverted);
+            desc = "negate ternary guard";
+            return true;
+          }
+          default: {  // perturb a case-item label
+            auto cases = collectCases(mod);
+            std::vector<LiteralExpr *> labels;
+            for (CaseStmt *c : cases) {
+                for (auto &item : c->items) {
+                    for (auto &label : item.labels) {
+                        if (label->kind == Expr::Kind::Literal)
+                            labels.push_back(static_cast<LiteralExpr *>(
+                                label.get()));
+                    }
+                }
+            }
+            if (labels.empty())
+                return false;
+            LiteralExpr *lit = labels[rng.below(labels.size())];
+            Value v = lit->value;
+            uint32_t bit =
+                static_cast<uint32_t>(rng.below(v.width()));
+            int old = v.bit(bit);
+            v.setBit(bit, old == 1 ? 0 : 1);
+            lit->value = v;
+            desc = "perturb case label";
+            return true;
+          }
     }
-done:
+}
+
+} // namespace
+
+std::unique_ptr<Module>
+mutate(const Module &original, Rng &rng, std::string *description)
+{
+    auto mod = original.clone();
+    std::string desc = "no-op";
+
+    // Try operators until one applies (bounded retries).
+    for (int attempt = 0; attempt < 12; ++attempt) {
+        if (tryMutateOnce(*mod, rng, desc))
+            break;
+    }
     if (description)
         *description = desc;
     return mod;
+}
+
+MutationResult
+applyMutation(const Module &original, uint64_t subseed)
+{
+    MutationResult result;
+    result.mod = original.clone();
+    result.description = "no-op";
+    Rng rng(subseed);
+    for (int attempt = 0; attempt < 12; ++attempt) {
+        if (tryMutateOnce(*result.mod, rng, result.description)) {
+            result.applied = true;
+            break;
+        }
+    }
+    return result;
 }
 
 std::unique_ptr<Module>

@@ -27,6 +27,23 @@ std::unique_ptr<verilog::Module> mutate(const verilog::Module &mod,
                                         std::string *description);
 
 /**
+ * One seeded mutation, replayable: the result is a pure function of
+ * (@p mod, @p subseed).  The fuzz harness records the sub-seed list of
+ * every injected bug so a failing case can be re-derived exactly and
+ * minimized by dropping sub-seeds (see fuzz/fuzzer.hpp).
+ */
+struct MutationResult
+{
+    std::unique_ptr<verilog::Module> mod;
+    std::string description;
+    /** False when no operator applied; @c mod is an unchanged clone. */
+    bool applied = false;
+};
+
+MutationResult applyMutation(const verilog::Module &mod,
+                             uint64_t subseed);
+
+/**
  * Single-point crossover: child takes item-level bodies from @p a up
  * to a random cut and from @p b afterwards.  Parents must stem from
  * the same original design.

@@ -1,0 +1,129 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace rtlrepair::fuzz {
+
+std::string
+CorpusEntry::serialize() const
+{
+    std::ostringstream out;
+    out << "# rtlrepair fuzz reproducer (see src/fuzz/corpus.hpp)\n";
+    out << "design = " << design << "\n";
+    std::vector<std::string> subs;
+    for (uint64_t m : mutations)
+        subs.push_back(std::to_string(m));
+    out << "mutations = " << join(subs, ",") << "\n";
+    out << "trace_cycles = " << trace_cycles << "\n";
+    if (trace_extra > 0) {
+        out << "trace_extra = " << trace_extra << "\n";
+        out << "trace_seed = " << trace_seed << "\n";
+    }
+    out << "fresh_cycles = " << fresh_cycles << "\n";
+    out << "fresh_seed = " << fresh_seed << "\n";
+    out << "found = " << found << "\n";
+    out << "expect = " << expect << "\n";
+    if (!note.empty())
+        out << "note = " << note << "\n";
+    return out.str();
+}
+
+CorpusEntry
+CorpusEntry::parse(const std::string &text)
+{
+    CorpusEntry entry;
+    bool saw_design = false;
+    for (std::string_view line : split(text, '\n')) {
+        line = trim(line);
+        if (line.empty() || line[0] == '#')
+            continue;
+        size_t eq = line.find('=');
+        check(eq != std::string_view::npos,
+              "corpus entry: expected `key = value`, got: " +
+                  std::string(line));
+        std::string key(trim(line.substr(0, eq)));
+        std::string value(trim(line.substr(eq + 1)));
+        if (key == "design") {
+            entry.design = value;
+            saw_design = true;
+        } else if (key == "mutations") {
+            for (std::string_view part : split(value, ',')) {
+                part = trim(part);
+                if (part.empty())
+                    continue;
+                entry.mutations.push_back(
+                    std::stoull(std::string(part)));
+            }
+        } else if (key == "trace_cycles") {
+            entry.trace_cycles = std::stoull(value);
+        } else if (key == "trace_extra") {
+            entry.trace_extra = std::stoull(value);
+        } else if (key == "trace_seed") {
+            entry.trace_seed = std::stoull(value);
+        } else if (key == "fresh_cycles") {
+            entry.fresh_cycles = std::stoull(value);
+        } else if (key == "fresh_seed") {
+            entry.fresh_seed = std::stoull(value);
+        } else if (key == "found") {
+            entry.found = value;
+        } else if (key == "expect") {
+            entry.expect = value;
+        } else if (key == "note") {
+            entry.note = value;
+        } else {
+            fatal("corpus entry: unknown key: " + key);
+        }
+    }
+    check(saw_design, "corpus entry: missing `design`");
+    return entry;
+}
+
+CorpusEntry
+CorpusEntry::load(const std::string &path)
+{
+    std::ifstream in(path);
+    check(in.good(), "cannot open corpus entry: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+        return parse(buf.str());
+    } catch (const FatalError &e) {
+        fatal(path + ": " + e.what());
+    }
+}
+
+void
+CorpusEntry::store(const std::string &path) const
+{
+    std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+    }
+    std::ofstream out(path);
+    check(out.good(), "cannot write corpus entry: " + path);
+    out << serialize();
+}
+
+std::vector<std::string>
+listCorpus(const std::string &dir)
+{
+    std::vector<std::string> paths;
+    std::error_code ec;
+    for (const auto &de :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (de.path().extension() == ".fuzz")
+            paths.push_back(de.path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+} // namespace rtlrepair::fuzz

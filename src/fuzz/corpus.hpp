@@ -1,0 +1,61 @@
+/**
+ * @file
+ * On-disk corpus of minimized fuzz reproducers.
+ *
+ * Every failure the differential harness finds is reduced and written
+ * as one `*.fuzz` file of `key = value` lines; checked-in entries
+ * under tests/corpus/ are replayed by ctest so found bugs become
+ * permanent regressions.  A file is self-contained: the design is
+ * named (registry benchmark) or derived from a seed (`gen:<seed>`),
+ * and the injected bugs are recorded as replayable mutation
+ * sub-seeds.
+ *
+ * Format (v1):
+ *
+ *     # free-form comment lines
+ *     design = counter_k1        | gen:42
+ *     mutations = 7301,992       # applyMutation sub-seeds, in order
+ *     trace_cycles = 12          # driving-trace prefix (0 = full)
+ *     trace_extra = 0            # extra random driving rows appended
+ *     trace_seed = 0             # seed for the extra rows
+ *     fresh_cycles = 64          # co-simulation stimulus length
+ *     fresh_seed = 1
+ *     found = REPAIRED_OVERFIT   # classification when first found
+ *     expect = REPAIRED_OVERFIT  # classification the replay asserts
+ *     note = minimized from seed 17, run 140
+ */
+#ifndef RTLREPAIR_FUZZ_CORPUS_HPP
+#define RTLREPAIR_FUZZ_CORPUS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rtlrepair::fuzz {
+
+struct CorpusEntry
+{
+    std::string design;
+    std::vector<uint64_t> mutations;
+    size_t trace_cycles = 0;
+    size_t trace_extra = 0;
+    uint64_t trace_seed = 0;
+    size_t fresh_cycles = 64;
+    uint64_t fresh_seed = 1;
+    std::string found;
+    std::string expect;
+    std::string note;
+
+    std::string serialize() const;
+    /** Parse the key=value form; throws FatalError on bad input. */
+    static CorpusEntry parse(const std::string &text);
+    static CorpusEntry load(const std::string &path);
+    void store(const std::string &path) const;
+};
+
+/** Sorted paths of every `*.fuzz` file directly under @p dir. */
+std::vector<std::string> listCorpus(const std::string &dir);
+
+} // namespace rtlrepair::fuzz
+
+#endif // RTLREPAIR_FUZZ_CORPUS_HPP

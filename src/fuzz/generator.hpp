@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Seeded generator of small random synthesizable Verilog modules.
+ *
+ * The differential fuzzer needs designs nobody hand-picked: a
+ * generated module exercises the parser, elaborator, simulators, and
+ * repair templates on shapes outside the benchmark suite.  Every
+ * module is a pure function of the seed, so a failing case replays
+ * from its corpus entry alone.
+ *
+ * Generated designs are conservative by construction so that the
+ * *golden* module is always well-defined under all three execution
+ * engines: complete if/else chains (no accidental latches),
+ * synchronous reset of every register, continuous assigns that read
+ * only registers and inputs (no combinational cycles).
+ */
+#ifndef RTLREPAIR_FUZZ_GENERATOR_HPP
+#define RTLREPAIR_FUZZ_GENERATOR_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "trace/io_trace.hpp"
+#include "verilog/ast.hpp"
+
+namespace rtlrepair::fuzz {
+
+/** A generated design plus the port metadata the harness needs. */
+struct GeneratedDesign
+{
+    std::string source;        ///< Verilog text (parse to use)
+    std::string top;           ///< module name
+    std::string clock;         ///< always "clk"
+    std::vector<trace::Column> inputs;  ///< non-clock inputs
+};
+
+/**
+ * Generate a module from @p seed.  The result always parses and
+ * elaborates (the generator validates internally and derives a new
+ * layout from the seed until it does).
+ */
+GeneratedDesign generateDesign(uint64_t seed);
+
+/**
+ * A random driving stimulus for @p design: a reset pulse followed by
+ * fully-known random input rows (pure function of @p seed).
+ */
+trace::InputSequence generateStimulus(const GeneratedDesign &design,
+                                      size_t cycles, uint64_t seed);
+
+} // namespace rtlrepair::fuzz
+
+#endif // RTLREPAIR_FUZZ_GENERATOR_HPP

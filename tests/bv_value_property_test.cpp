@@ -1,0 +1,538 @@
+// Property tests for bv::Value against a naive reference model.
+//
+// The reference (RefBits) stores one int per bit (0, 1, -1 = X) and
+// implements Verilog 4-state semantics the slow, obvious way: bitwise
+// ops apply the dominance table per bit, arithmetic and relational
+// ops go through big-integer-style loops and return all-X whenever
+// any operand bit is unknown.  Value's word-parallel implementation
+// must agree bit-for-bit on random inputs across edge widths,
+// including the word boundaries at 63/64/65 and 127/128.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bv/value.hpp"
+#include "util/rng.hpp"
+
+using rtlrepair::Rng;
+using rtlrepair::bv::Value;
+
+namespace {
+
+/** One int per bit, LSB first: 0, 1, or -1 for X. */
+struct RefBits
+{
+    std::vector<int> bits;
+
+    explicit RefBits(uint32_t width, int fill = 0) : bits(width, fill) {}
+
+    static RefBits fromValue(const Value &v)
+    {
+        RefBits r(v.width());
+        for (uint32_t i = 0; i < v.width(); ++i)
+            r.bits[i] = v.bit(i);
+        return r;
+    }
+
+    uint32_t width() const { return static_cast<uint32_t>(bits.size()); }
+
+    bool hasX() const
+    {
+        return std::find(bits.begin(), bits.end(), -1) != bits.end();
+    }
+
+    Value toValue() const
+    {
+        Value v = Value::zeros(width());
+        for (uint32_t i = 0; i < width(); ++i)
+            v.setBit(i, bits[i]);
+        return v;
+    }
+};
+
+RefBits
+refAllX(uint32_t width)
+{
+    return RefBits(width, -1);
+}
+
+/** Verilog dominance tables, one bit at a time. */
+int
+refAndBit(int a, int b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    if (a == 1 && b == 1)
+        return 1;
+    return -1;
+}
+
+int
+refOrBit(int a, int b)
+{
+    if (a == 1 || b == 1)
+        return 1;
+    if (a == 0 && b == 0)
+        return 0;
+    return -1;
+}
+
+int
+refXorBit(int a, int b)
+{
+    if (a == -1 || b == -1)
+        return -1;
+    return a ^ b;
+}
+
+RefBits
+refNot(const RefBits &a)
+{
+    RefBits r(a.width());
+    for (uint32_t i = 0; i < a.width(); ++i)
+        r.bits[i] = a.bits[i] == -1 ? -1 : 1 - a.bits[i];
+    return r;
+}
+
+/** Schoolbook addition; all-X if any operand bit is unknown. */
+RefBits
+refAdd(const RefBits &a, const RefBits &b)
+{
+    if (a.hasX() || b.hasX())
+        return refAllX(a.width());
+    RefBits r(a.width());
+    int carry = 0;
+    for (uint32_t i = 0; i < a.width(); ++i) {
+        int sum = a.bits[i] + b.bits[i] + carry;
+        r.bits[i] = sum & 1;
+        carry = sum >> 1;
+    }
+    return r;
+}
+
+RefBits
+refNegate(const RefBits &a)
+{
+    if (a.hasX())
+        return refAllX(a.width());
+    RefBits one(a.width());
+    one.bits[0] = 1;
+    return refAdd(refNot(a), one);
+}
+
+RefBits
+refSub(const RefBits &a, const RefBits &b)
+{
+    if (a.hasX() || b.hasX())
+        return refAllX(a.width());
+    return refAdd(a, refNegate(b));
+}
+
+/** Shift-and-add multiplication modulo 2^width. */
+RefBits
+refMul(const RefBits &a, const RefBits &b)
+{
+    if (a.hasX() || b.hasX())
+        return refAllX(a.width());
+    RefBits acc(a.width());
+    RefBits shifted = a;
+    for (uint32_t i = 0; i < a.width(); ++i) {
+        if (b.bits[i] == 1)
+            acc = refAdd(acc, shifted);
+        // shift left by one
+        for (uint32_t j = a.width(); j-- > 1;)
+            shifted.bits[j] = shifted.bits[j - 1];
+        shifted.bits[0] = 0;
+    }
+    return acc;
+}
+
+/** Unsigned compare of known values: -1, 0, +1. */
+int
+refCompare(const RefBits &a, const RefBits &b)
+{
+    for (uint32_t i = a.width(); i-- > 0;) {
+        if (a.bits[i] != b.bits[i])
+            return a.bits[i] < b.bits[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+/** Restoring long division; X or division by zero gives all-X. */
+void
+refDivRem(const RefBits &a, const RefBits &b, RefBits &quot,
+          RefBits &rem)
+{
+    quot = refAllX(a.width());
+    rem = refAllX(a.width());
+    if (a.hasX() || b.hasX())
+        return;
+    bool zero = true;
+    for (int bit : b.bits)
+        zero = zero && bit == 0;
+    if (zero)
+        return;
+    quot = RefBits(a.width());
+    rem = RefBits(a.width());
+    for (uint32_t i = a.width(); i-- > 0;) {
+        // rem = (rem << 1) | a[i]
+        for (uint32_t j = a.width(); j-- > 1;)
+            rem.bits[j] = rem.bits[j - 1];
+        rem.bits[0] = a.bits[i];
+        if (refCompare(rem, b) >= 0) {
+            rem = refSub(rem, b);
+            quot.bits[i] = 1;
+        }
+    }
+}
+
+/** Shifts group with arithmetic in this codebase's X semantics: any
+ *  unknown bit in either operand folds the result to all-X (matching
+ *  the SMT encoding, which cannot track X bits through a shifter). */
+RefBits
+refShl(const RefBits &a, const RefBits &amount)
+{
+    if (a.hasX() || amount.hasX())
+        return refAllX(a.width());
+    uint64_t n = 0;
+    for (uint32_t i = 0; i < amount.width() && i < 32; ++i)
+        n |= static_cast<uint64_t>(amount.bits[i]) << i;
+    RefBits r(a.width());
+    for (uint32_t i = 0; i < a.width(); ++i)
+        r.bits[i] = i >= n ? a.bits[i - n] : 0;
+    return r;
+}
+
+RefBits
+refLshr(const RefBits &a, const RefBits &amount, bool arith)
+{
+    if (a.hasX() || amount.hasX())
+        return refAllX(a.width());
+    uint64_t n = 0;
+    for (uint32_t i = 0; i < amount.width() && i < 32; ++i)
+        n |= static_cast<uint64_t>(amount.bits[i]) << i;
+    int fill = arith ? a.bits[a.width() - 1] : 0;
+    RefBits r(a.width());
+    for (uint32_t i = 0; i < a.width(); ++i)
+        r.bits[i] = i + n < a.width() ? a.bits[i + n] : fill;
+    return r;
+}
+
+/** 1-bit relational result; X if any operand bit is unknown. */
+RefBits
+refBool(int bit)
+{
+    RefBits r(1);
+    r.bits[0] = bit;
+    return r;
+}
+
+RefBits
+refEq(const RefBits &a, const RefBits &b)
+{
+    if (a.hasX() || b.hasX())
+        return refBool(-1);
+    return refBool(refCompare(a, b) == 0 ? 1 : 0);
+}
+
+RefBits
+refUlt(const RefBits &a, const RefBits &b)
+{
+    if (a.hasX() || b.hasX())
+        return refBool(-1);
+    return refBool(refCompare(a, b) < 0 ? 1 : 0);
+}
+
+/** Signed compare: flip sign bits, then compare unsigned. */
+RefBits
+refSlt(const RefBits &a, const RefBits &b)
+{
+    if (a.hasX() || b.hasX())
+        return refBool(-1);
+    RefBits af = a, bf = b;
+    af.bits[a.width() - 1] ^= 1;
+    bf.bits[b.width() - 1] ^= 1;
+    return refBool(refCompare(af, bf) < 0 ? 1 : 0);
+}
+
+RefBits
+refCaseEq(const RefBits &a, const RefBits &b)
+{
+    return refBool(a.bits == b.bits ? 1 : 0);
+}
+
+/** A value whose bits are random and, with prob ~1/4, X. */
+Value
+randomWithX(uint32_t width, Rng &rng, bool allow_x)
+{
+    Value v = Value::random(width, rng);
+    if (allow_x && rng.chance(0.5)) {
+        uint32_t n = static_cast<uint32_t>(rng.below(width)) + 1;
+        for (uint32_t i = 0; i < n; ++i)
+            v.setBit(static_cast<uint32_t>(rng.below(width)), -1);
+    }
+    return v;
+}
+
+/** Edge widths around word boundaries, plus a random tail. */
+uint32_t
+pickWidth(Rng &rng)
+{
+    static const uint32_t edges[] = {1,  2,  7,  8,  31,  32,  33,
+                                     63, 64, 65, 127, 128};
+    if (rng.chance(0.75))
+        return edges[rng.below(std::size(edges))];
+    return static_cast<uint32_t>(rng.below(128)) + 1;
+}
+
+::testing::AssertionResult
+sameBits(const Value &got, const RefBits &want)
+{
+    if (got.width() != want.width())
+        return ::testing::AssertionFailure()
+               << "width " << got.width() << " != " << want.width();
+    if (got != want.toValue())
+        return ::testing::AssertionFailure()
+               << "got " << got.toBinaryString() << " want "
+               << want.toValue().toBinaryString();
+    return ::testing::AssertionSuccess();
+}
+
+constexpr int kIterations = 2000;
+
+} // namespace
+
+TEST(ValueProperty, BitwiseMatchesReference)
+{
+    Rng rng(0xb17'0001);
+    for (int it = 0; it < kIterations; ++it) {
+        uint32_t w = pickWidth(rng);
+        Value a = randomWithX(w, rng, true);
+        Value b = randomWithX(w, rng, true);
+        RefBits ra = RefBits::fromValue(a), rb = RefBits::fromValue(b);
+
+        RefBits want_and(w), want_or(w), want_xor(w);
+        for (uint32_t i = 0; i < w; ++i) {
+            want_and.bits[i] = refAndBit(ra.bits[i], rb.bits[i]);
+            want_or.bits[i] = refOrBit(ra.bits[i], rb.bits[i]);
+            want_xor.bits[i] = refXorBit(ra.bits[i], rb.bits[i]);
+        }
+        ASSERT_TRUE(sameBits(a & b, want_and)) << "w=" << w;
+        ASSERT_TRUE(sameBits(a | b, want_or)) << "w=" << w;
+        ASSERT_TRUE(sameBits(a ^ b, want_xor)) << "w=" << w;
+        ASSERT_TRUE(sameBits(~a, refNot(ra))) << "w=" << w;
+    }
+}
+
+TEST(ValueProperty, ArithmeticMatchesReference)
+{
+    Rng rng(0xa21'0002);
+    for (int it = 0; it < kIterations; ++it) {
+        uint32_t w = pickWidth(rng);
+        Value a = randomWithX(w, rng, true);
+        Value b = randomWithX(w, rng, true);
+        RefBits ra = RefBits::fromValue(a), rb = RefBits::fromValue(b);
+
+        ASSERT_TRUE(sameBits(a + b, refAdd(ra, rb))) << "w=" << w;
+        ASSERT_TRUE(sameBits(a - b, refSub(ra, rb))) << "w=" << w;
+        ASSERT_TRUE(sameBits(a.negate(), refNegate(ra))) << "w=" << w;
+        if (w <= 64) {  // keep the O(w^2) reference multiply cheap
+            ASSERT_TRUE(sameBits(a * b, refMul(ra, rb))) << "w=" << w;
+        }
+        RefBits quot(w), rem(w);
+        refDivRem(ra, rb, quot, rem);
+        ASSERT_TRUE(sameBits(a.udiv(b), quot)) << "w=" << w;
+        ASSERT_TRUE(sameBits(a.urem(b), rem)) << "w=" << w;
+    }
+}
+
+TEST(ValueProperty, DivisionByZeroIsAllX)
+{
+    Rng rng(0xd1f'0003);
+    for (int it = 0; it < 200; ++it) {
+        uint32_t w = pickWidth(rng);
+        Value a = Value::random(w, rng);
+        Value z = Value::zeros(w);
+        EXPECT_EQ(a.udiv(z), Value::allX(w));
+        EXPECT_EQ(a.urem(z), Value::allX(w));
+    }
+}
+
+TEST(ValueProperty, ShiftsMatchReference)
+{
+    Rng rng(0x5f1'0004);
+    for (int it = 0; it < kIterations; ++it) {
+        uint32_t w = pickWidth(rng);
+        Value a = randomWithX(w, rng, true);
+        // Amounts beyond the width must drain the value, so sample
+        // both in-range and oversized shift amounts.
+        uint32_t aw = static_cast<uint32_t>(rng.below(8)) + 1;
+        Value amt = randomWithX(aw, rng, rng.chance(0.25));
+        RefBits ra = RefBits::fromValue(a);
+        RefBits ramt = RefBits::fromValue(amt);
+
+        ASSERT_TRUE(sameBits(a.shl(amt), refShl(ra, ramt)))
+            << "w=" << w;
+        ASSERT_TRUE(sameBits(a.lshr(amt), refLshr(ra, ramt, false)))
+            << "w=" << w;
+        ASSERT_TRUE(sameBits(a.ashr(amt), refLshr(ra, ramt, true)))
+            << "w=" << w;
+    }
+}
+
+TEST(ValueProperty, RelationalMatchesReference)
+{
+    Rng rng(0x2e1'0005);
+    for (int it = 0; it < kIterations; ++it) {
+        uint32_t w = pickWidth(rng);
+        Value a = randomWithX(w, rng, true);
+        // Bias toward equal operands so eq/ne exercise both verdicts.
+        Value b = rng.chance(0.25) ? a : randomWithX(w, rng, true);
+        RefBits ra = RefBits::fromValue(a), rb = RefBits::fromValue(b);
+
+        ASSERT_TRUE(sameBits(a.eq(b), refEq(ra, rb))) << "w=" << w;
+        ASSERT_TRUE(sameBits(a.ne(b), refNot(refEq(ra, rb))))
+            << "w=" << w;
+        ASSERT_TRUE(sameBits(a.ult(b), refUlt(ra, rb))) << "w=" << w;
+        ASSERT_TRUE(
+            sameBits(a.ule(b), refNot(refUlt(rb, ra)))) << "w=" << w;
+        ASSERT_TRUE(sameBits(a.slt(b), refSlt(ra, rb))) << "w=" << w;
+        ASSERT_TRUE(
+            sameBits(a.sle(b), refNot(refSlt(rb, ra)))) << "w=" << w;
+        ASSERT_TRUE(sameBits(a.caseEq(b), refCaseEq(ra, rb)))
+            << "w=" << w;
+    }
+}
+
+TEST(ValueProperty, SliceConcatRoundTrip)
+{
+    Rng rng(0x51c'0006);
+    for (int it = 0; it < kIterations; ++it) {
+        uint32_t w = pickWidth(rng);
+        Value a = randomWithX(w, rng, true);
+        RefBits ra = RefBits::fromValue(a);
+
+        uint32_t lo = static_cast<uint32_t>(rng.below(w));
+        uint32_t hi =
+            lo + static_cast<uint32_t>(rng.below(w - lo));
+        Value s = a.slice(hi, lo);
+        RefBits want(hi - lo + 1);
+        for (uint32_t i = lo; i <= hi; ++i)
+            want.bits[i - lo] = ra.bits[i];
+        ASSERT_TRUE(sameBits(s, want)) << "w=" << w << " [" << hi
+                                       << ":" << lo << "]";
+
+        // Splitting at any point and re-concatenating is identity.
+        if (w > 1) {
+            uint32_t cut = static_cast<uint32_t>(rng.below(w - 1)) + 1;
+            Value high = a.slice(w - 1, cut);
+            Value low = a.slice(cut - 1, 0);
+            ASSERT_EQ(high.concat(low), a) << "w=" << w << " cut="
+                                           << cut;
+        }
+    }
+}
+
+TEST(ValueProperty, ExtensionMatchesReference)
+{
+    Rng rng(0xe27'0007);
+    for (int it = 0; it < kIterations; ++it) {
+        uint32_t w = pickWidth(rng);
+        Value a = randomWithX(w, rng, true);
+        RefBits ra = RefBits::fromValue(a);
+        uint32_t nw = w + static_cast<uint32_t>(rng.below(70));
+
+        RefBits zext(nw), sext(nw);
+        for (uint32_t i = 0; i < nw; ++i) {
+            zext.bits[i] = i < w ? ra.bits[i] : 0;
+            sext.bits[i] = i < w ? ra.bits[i] : ra.bits[w - 1];
+        }
+        ASSERT_TRUE(sameBits(a.zext(nw), zext)) << "w=" << w;
+        ASSERT_TRUE(sameBits(a.sext(nw), sext)) << "w=" << w;
+    }
+}
+
+TEST(ValueProperty, ReductionsMatchReference)
+{
+    Rng rng(0x4ed'0008);
+    for (int it = 0; it < kIterations; ++it) {
+        uint32_t w = pickWidth(rng);
+        Value a = randomWithX(w, rng, true);
+        RefBits ra = RefBits::fromValue(a);
+
+        int acc_and = 1, acc_or = 0, acc_xor = 0;
+        for (int bit : ra.bits) {
+            acc_and = refAndBit(acc_and, bit);
+            acc_or = refOrBit(acc_or, bit);
+            acc_xor = refXorBit(acc_xor, bit);
+        }
+        ASSERT_TRUE(sameBits(a.redAnd(), refBool(acc_and))) << "w=" << w;
+        ASSERT_TRUE(sameBits(a.redOr(), refBool(acc_or))) << "w=" << w;
+        ASSERT_TRUE(sameBits(a.redXor(), refBool(acc_xor))) << "w=" << w;
+    }
+}
+
+TEST(ValueProperty, IteMergesLikeVerilog)
+{
+    Rng rng(0x17e'0009);
+    for (int it = 0; it < kIterations; ++it) {
+        uint32_t w = pickWidth(rng);
+        Value t = randomWithX(w, rng, true);
+        Value e = randomWithX(w, rng, true);
+        RefBits rt = RefBits::fromValue(t), re = RefBits::fromValue(e);
+
+        ASSERT_EQ(Value::ite(Value::fromUint(1, 1), t, e), t);
+        ASSERT_EQ(Value::ite(Value::zeros(1), t, e), e);
+
+        // X condition: bits where both arms agree and are known
+        // survive, everything else becomes X.
+        RefBits merged(w);
+        for (uint32_t i = 0; i < w; ++i) {
+            bool agree = rt.bits[i] == re.bits[i] && rt.bits[i] != -1;
+            merged.bits[i] = agree ? rt.bits[i] : -1;
+        }
+        ASSERT_TRUE(sameBits(Value::ite(Value::allX(1), t, e), merged))
+            << "w=" << w;
+    }
+}
+
+TEST(ValueProperty, MatchesTreatsExpectedXAsDontCare)
+{
+    Rng rng(0x3a7'000a);
+    for (int it = 0; it < kIterations; ++it) {
+        uint32_t w = pickWidth(rng);
+        Value actual = randomWithX(w, rng, true);
+        Value expected = randomWithX(w, rng, true);
+        RefBits ra = RefBits::fromValue(actual);
+        RefBits re = RefBits::fromValue(expected);
+
+        bool want = true;
+        for (uint32_t i = 0; i < w; ++i) {
+            if (re.bits[i] == -1)
+                continue;  // don't-care
+            want = want && ra.bits[i] == re.bits[i];
+        }
+        ASSERT_EQ(actual.matches(expected), want) << "w=" << w;
+    }
+}
+
+TEST(ValueProperty, AlgebraicIdentities)
+{
+    Rng rng(0xa19'000b);
+    for (int it = 0; it < kIterations; ++it) {
+        uint32_t w = pickWidth(rng);
+        Value a = randomWithX(w, rng, true);
+        Value b = randomWithX(w, rng, true);
+
+        EXPECT_EQ(a + b, b + a);
+        EXPECT_EQ(a & b, b & a);
+        EXPECT_EQ(a | b, b | a);
+        EXPECT_EQ(a ^ b, b ^ a);
+        EXPECT_EQ(~~a, a);
+        if (!a.hasX() && !b.hasX()) {
+            EXPECT_EQ((a + b) - b, a);
+            EXPECT_EQ(a.negate().negate(), a);
+        }
+    }
+}

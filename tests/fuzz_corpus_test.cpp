@@ -1,0 +1,37 @@
+// Replays every checked-in fuzz reproducer under tests/corpus/ and
+// asserts its recorded `expect` classification.  This is the
+// corpus-as-regression half of the fuzzing harness: a bug the fuzzer
+// once found stays caught forever — including REPAIRED_OVERFIT
+// entries, where the regression being tested is that the oracle
+// still detects the unsound repair.
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzzer.hpp"
+#include "util/logging.hpp"
+
+using namespace rtlrepair;
+
+TEST(FuzzCorpus, EveryEntryReplaysToItsExpectedClass)
+{
+    setLogLevel(LogLevel::Warn);
+    std::vector<std::string> paths =
+        fuzz::listCorpus(RTLREPAIR_CORPUS_DIR);
+    ASSERT_FALSE(paths.empty())
+        << "no *.fuzz entries under " << RTLREPAIR_CORPUS_DIR;
+
+    fuzz::FuzzConfig config;
+    config.repair_timeout = 10.0;
+    config.jobs = 1;
+    for (const std::string &path : paths) {
+        SCOPED_TRACE(path);
+        fuzz::CorpusEntry entry = fuzz::CorpusEntry::load(path);
+        ASSERT_FALSE(entry.expect.empty())
+            << "checked-in entries must assert a class";
+        ASSERT_TRUE(fuzz::runClassFromString(entry.expect).has_value())
+            << "unknown expect class: " << entry.expect;
+        fuzz::CaseResult result =
+            fuzz::runCase(fuzz::FuzzCase::fromCorpus(entry), config);
+        EXPECT_EQ(fuzz::toString(result.cls), entry.expect)
+            << result.detail;
+    }
+}

@@ -1,0 +1,214 @@
+// Tests for the differential fuzzing harness itself: generator and
+// mutation determinism, corpus round-trips, classification, the
+// reducer, and the byte-identical-outcome guarantees the harness
+// asserts about the repair pipeline.
+#include <gtest/gtest.h>
+
+#include "benchmarks/registry.hpp"
+#include "cirfix/mutations.hpp"
+#include "fuzz/fuzzer.hpp"
+#include "fuzz/generator.hpp"
+#include "util/logging.hpp"
+#include "verilog/parser.hpp"
+#include "verilog/printer.hpp"
+
+using namespace rtlrepair;
+
+namespace {
+
+/** The fuzz tests drive the whole pipeline; keep it quiet. */
+class FuzzEnv : public ::testing::Environment
+{
+  public:
+    void SetUp() override { setLogLevel(LogLevel::Warn); }
+};
+const auto *const kEnv =
+    ::testing::AddGlobalTestEnvironment(new FuzzEnv);
+
+fuzz::FuzzConfig
+quickConfig()
+{
+    fuzz::FuzzConfig config;
+    config.repair_timeout = 10.0;
+    config.jobs = 1;
+    return config;
+}
+
+} // namespace
+
+TEST(Generator, DeterministicPerSeed)
+{
+    for (uint64_t seed : {1ull, 42ull, 9879ull}) {
+        fuzz::GeneratedDesign a = fuzz::generateDesign(seed);
+        fuzz::GeneratedDesign b = fuzz::generateDesign(seed);
+        EXPECT_EQ(a.source, b.source) << "seed " << seed;
+        EXPECT_EQ(a.top, b.top);
+        EXPECT_FALSE(a.inputs.empty());
+        // The generator promises synthesizable output.
+        EXPECT_NO_THROW(verilog::parse(a.source));
+    }
+}
+
+TEST(Generator, StimulusIsDeterministic)
+{
+    fuzz::GeneratedDesign gen = fuzz::generateDesign(7);
+    trace::InputSequence a = fuzz::generateStimulus(gen, 16, 7);
+    trace::InputSequence b = fuzz::generateStimulus(gen, 16, 7);
+    ASSERT_EQ(a.rows.size(), 16u);
+    ASSERT_EQ(a.rows.size(), b.rows.size());
+    for (size_t r = 0; r < a.rows.size(); ++r)
+        EXPECT_EQ(a.rows[r], b.rows[r]) << "row " << r;
+}
+
+TEST(Mutations, ApplyMutationIsPure)
+{
+    const benchmarks::LoadedBenchmark &lb = benchmarks::load("flop_w1");
+    for (uint64_t subseed : {14ull, 5ull, 99ull}) {
+        cirfix::MutationResult a =
+            cirfix::applyMutation(*lb.golden, subseed);
+        cirfix::MutationResult b =
+            cirfix::applyMutation(*lb.golden, subseed);
+        EXPECT_EQ(a.description, b.description);
+        EXPECT_EQ(verilog::print(*a.mod), verilog::print(*b.mod));
+    }
+}
+
+TEST(Corpus, SerializeParseRoundTrip)
+{
+    fuzz::CorpusEntry entry;
+    entry.design = "gen:9879";
+    entry.mutations = {10928998634108886214ull, 7ull};
+    entry.trace_cycles = 6;
+    entry.trace_extra = 48;
+    entry.trace_seed = 12345;
+    entry.fresh_cycles = 64;
+    entry.fresh_seed = 1487820051808273100ull;
+    entry.found = "REPAIRED_OVERFIT";
+    entry.expect = "REPAIRED_OVERFIT";
+    entry.note = "round trip";
+
+    fuzz::CorpusEntry back = fuzz::CorpusEntry::parse(entry.serialize());
+    EXPECT_EQ(back.design, entry.design);
+    EXPECT_EQ(back.mutations, entry.mutations);
+    EXPECT_EQ(back.trace_cycles, entry.trace_cycles);
+    EXPECT_EQ(back.trace_extra, entry.trace_extra);
+    EXPECT_EQ(back.trace_seed, entry.trace_seed);
+    EXPECT_EQ(back.fresh_cycles, entry.fresh_cycles);
+    EXPECT_EQ(back.fresh_seed, entry.fresh_seed);
+    EXPECT_EQ(back.found, entry.found);
+    EXPECT_EQ(back.expect, entry.expect);
+    EXPECT_EQ(back.note, entry.note);
+}
+
+TEST(Corpus, RunClassSpellingRoundTrip)
+{
+    using fuzz::RunClass;
+    for (RunClass cls :
+         {RunClass::RepairedVerified, RunClass::RepairedOverfit,
+          RunClass::NoRepair, RunClass::MutantBenign,
+          RunClass::MutantInvisible, RunClass::PipelineFault,
+          RunClass::OracleMismatch}) {
+        auto back = fuzz::runClassFromString(fuzz::toString(cls));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, cls);
+    }
+    EXPECT_FALSE(fuzz::runClassFromString("BOGUS").has_value());
+}
+
+TEST(Determinism, RepairOutcomeFingerprintIsStable)
+{
+    // A case known to reach a verified repair, so the fingerprint
+    // covers the full candidate/solver counter group.
+    fuzz::FuzzCase fcase;
+    fcase.design = "flop_w1";
+    fcase.mutations = {14};
+    fcase.fresh_cycles = 32;
+    fcase.fresh_seed = 9;
+
+    fuzz::FuzzConfig j1 = quickConfig();
+    fuzz::FuzzConfig j4 = quickConfig();
+    j4.jobs = 4;
+
+    fuzz::CaseResult first = fuzz::runCase(fcase, j1);
+    ASSERT_EQ(first.cls, fuzz::RunClass::RepairedVerified)
+        << first.detail;
+    ASSERT_FALSE(first.fingerprint.empty());
+
+    // Same seed, re-run: byte-identical.
+    fuzz::CaseResult again = fuzz::runCase(fcase, j1);
+    EXPECT_EQ(again.fingerprint, first.fingerprint);
+    // jobs=1 vs jobs=4: the parallel portfolio must not leak
+    // scheduling into the outcome.
+    fuzz::CaseResult wide = fuzz::runCase(fcase, j4);
+    EXPECT_EQ(wide.cls, first.cls);
+    EXPECT_EQ(wide.fingerprint, first.fingerprint);
+}
+
+TEST(Determinism, CheckDeterminismModeAcceptsCleanCase)
+{
+    fuzz::FuzzCase fcase;
+    fcase.design = "flop_w1";
+    fcase.mutations = {14};
+    fcase.fresh_cycles = 32;
+    fcase.fresh_seed = 9;
+    fuzz::FuzzConfig config = quickConfig();
+    config.check_determinism = true;
+    EXPECT_EQ(fuzz::runCase(fcase, config).cls,
+              fuzz::RunClass::RepairedVerified);
+}
+
+TEST(Determinism, FuzzSweepIsReproducible)
+{
+    fuzz::FuzzConfig config = quickConfig();
+    config.seed = 42;
+    config.runs = 6;
+    config.reduce = false;
+
+    fuzz::FuzzStats a = fuzz::fuzz(config);
+    fuzz::FuzzStats b = fuzz::fuzz(config);
+    EXPECT_EQ(a.counts, b.counts);
+    ASSERT_EQ(a.failures.size(), b.failures.size());
+    for (size_t i = 0; i < a.failures.size(); ++i) {
+        EXPECT_EQ(a.failures[i].first.toCorpus().serialize(),
+                  b.failures[i].first.toCorpus().serialize());
+        EXPECT_EQ(a.failures[i].second.cls, b.failures[i].second.cls);
+    }
+}
+
+TEST(Classification, SensitivityEditCanBeInvisible)
+{
+    // A pure sensitivity-list bug on the flop: breaks the event-sim
+    // oracle, invisible to the tool's synthesis semantics.
+    fuzz::FuzzCase fcase;
+    fcase.design = "flop_w1";
+    fcase.mutations = {17857863025673984868ull};
+    fcase.trace_cycles = 5;
+    fcase.fresh_cycles = 8;
+    fcase.fresh_seed = 1114598603971952783ull;
+    fuzz::CaseResult result = fuzz::runCase(fcase, quickConfig());
+    EXPECT_EQ(result.cls, fuzz::RunClass::MutantInvisible)
+        << result.detail;
+}
+
+TEST(Reduction, KeepsFailureClassAndNeverGrows)
+{
+    fuzz::FuzzCase fcase;
+    fcase.design = "decoder_w1";
+    // Known overfit plus a padding mutation the reducer can drop.
+    fcase.mutations = {5079386491947091361ull, 3ull};
+    fcase.trace_cycles = 14;
+    fcase.fresh_cycles = 8;
+    fcase.fresh_seed = 14415779770824314758ull;
+    fuzz::FuzzConfig config = quickConfig();
+
+    fuzz::CaseResult full = fuzz::runCase(fcase, config);
+    if (full.cls != fuzz::RunClass::RepairedOverfit)
+        GTEST_SKIP() << "padding mutation changed the class: "
+                     << full.detail;
+    fuzz::FuzzCase reduced = fuzz::reduceCase(
+        fcase, config, fuzz::RunClass::RepairedOverfit);
+    EXPECT_LE(reduced.mutations.size(), fcase.mutations.size());
+    EXPECT_LE(reduced.fresh_cycles, fcase.fresh_cycles);
+    EXPECT_EQ(fuzz::runCase(reduced, config).cls,
+              fuzz::RunClass::RepairedOverfit);
+}
