@@ -9,7 +9,10 @@
 // more than the allowed factor (default 1.25, i.e. +25%).  Wall-clock
 // noise on loaded CI runners is real, which is why the deterministic
 // SAT-conflict totals are gated too: an algorithmic regression moves
-// conflicts even when the runner happens to be fast.
+// conflicts even when the runner happens to be fast.  Baselines
+// written by newer builds also carry sat_solves (deterministic
+// solve()-call totals) and encode_seconds (window-encode wall time);
+// when present in the baseline those are gated the same way.
 //
 // Exit codes: 0 = within budget, 1 = regression, 2 = bad input/usage.
 #include <cctype>
@@ -247,6 +250,8 @@ struct BenchRow
     std::string status;
     double wall_seconds = 0.0;
     double sat_conflicts = 0.0;
+    double sat_solves = -1.0;       ///< -1: absent (older schema)
+    double encode_seconds = -1.0;   ///< -1: absent (older schema)
 };
 
 bool
@@ -292,6 +297,10 @@ loadBench(const char *path, std::map<std::string, BenchRow> &rows)
             row.wall_seconds = v->number;
         if (const Json *v = b.find("sat_conflicts"))
             row.sat_conflicts = v->number;
+        if (const Json *v = b.find("sat_solves"))
+            row.sat_solves = v->number;
+        if (const Json *v = b.find("encode_seconds"))
+            row.encode_seconds = v->number;
         rows[name->str] = row;
     }
     return true;
@@ -388,6 +397,19 @@ main(int argc, char **argv)
         ok &= gate(name, "sat_conflicts", base.sat_conflicts,
                    cur.sat_conflicts, max_regress,
                    kConflictNoiseFloor);
+        // Newer-schema metrics: gated only when the baseline has
+        // them, so an older baseline.json keeps working.
+        if (base.sat_solves >= 0 && cur.sat_solves >= 0) {
+            // Deterministic count; floor of 10 forgives one-off
+            // solver-call jitter on trivially small runs only.
+            ok &= gate(name, "sat_solves", base.sat_solves,
+                       cur.sat_solves, max_regress, 10.0);
+        }
+        if (base.encode_seconds >= 0 && cur.encode_seconds >= 0) {
+            ok &= gate(name, "encode_seconds", base.encode_seconds,
+                       cur.encode_seconds, max_regress,
+                       kWallNoiseFloorSeconds);
+        }
     }
     if (!ok) {
         std::printf("perf gate: FAILED (add the perf-waiver label if "

@@ -64,6 +64,8 @@ struct BenchRecord
     double wall_seconds = 0.0;
     uint64_t sat_conflicts = 0;
     size_t windows = 0;
+    uint64_t sat_solves = 0;
+    double encode_seconds = 0.0;
 };
 
 /** Sum of SAT conflicts over every candidate the run examined. */
@@ -73,6 +75,26 @@ totalConflicts(const repair::RepairOutcome &outcome)
     uint64_t total = 0;
     for (const auto &c : outcome.candidates)
         total += c.window.conflicts;
+    return total;
+}
+
+/** Sum of SAT solve() calls over every window of the run. */
+uint64_t
+totalSatSolves(const repair::RepairOutcome &outcome)
+{
+    uint64_t total = 0;
+    for (const auto &c : outcome.candidates)
+        total += c.window.sat_calls;
+    return total;
+}
+
+/** Sum of wall seconds spent encoding window deltas. */
+double
+totalEncodeSeconds(const repair::RepairOutcome &outcome)
+{
+    double total = 0.0;
+    for (const auto &c : outcome.candidates)
+        total += c.window.encode_seconds;
     return total;
 }
 
@@ -97,7 +119,10 @@ writeBenchMetrics(std::ostream &os,
            << r.status << "\", \"wall_seconds\": "
            << format("%.6f", r.wall_seconds)
            << ", \"sat_conflicts\": " << r.sat_conflicts
-           << ", \"windows\": " << r.windows << "}";
+           << ", \"windows\": " << r.windows
+           << ", \"sat_solves\": " << r.sat_solves
+           << ", \"encode_seconds\": "
+           << format("%.6f", r.encode_seconds) << "}";
     }
     os << "\n  ],\n  \"telemetry\": ";
     telemetry::writeMetricsJson(os);
@@ -178,7 +203,8 @@ main(int argc, char **argv)
         Cell full_cell = cellFor(full);
         records.push_back({def.name, statusGlyph(full.status),
                            full.seconds, totalConflicts(full),
-                           full.candidates.size()});
+                           full.candidates.size(), totalSatSolves(full),
+                           totalEncodeSeconds(full)});
 
         full_cfg.jobs = jobs;
         repair::RepairOutcome par = repair::repairDesign(

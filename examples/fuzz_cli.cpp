@@ -44,7 +44,8 @@ usage(const char *prog)
         "          [--designs a,b,c] [--max-mutations K]\n"
         "          [--fresh-cycles N] [--extra-trace N]\n"
         "          [--gen-prob P] [--fail-on CLASSES] [--no-reduce]\n"
-        "          [--corpus DIR] [--check-determinism] [--quiet]\n"
+        "          [--corpus DIR] [--check-determinism]\n"
+        "          [--no-incremental] [--quiet]\n"
         "       %s --replay entry.fuzz [entry2.fuzz ...]\n",
         prog, prog);
     return 4;
@@ -135,6 +136,8 @@ run(int argc, char **argv)
             config.reduce = false;
         } else if (std::strcmp(argv[i], "--corpus") == 0) {
             config.corpus_dir = value("--corpus");
+        } else if (std::strcmp(argv[i], "--no-incremental") == 0) {
+            config.incremental = false;
         } else if (std::strcmp(argv[i], "--check-determinism") == 0) {
             config.check_determinism = true;
         } else if (std::strcmp(argv[i], "--quiet") == 0) {

@@ -50,7 +50,8 @@ usage(const char *prog)
 {
     std::fprintf(stderr,
                  "usage: %s <buggy.v> <trace.csv> [--timeout S] "
-                 "[--zero-x] [--jobs N] [--out repaired.v] "
+                 "[--zero-x] [--jobs N] [--no-incremental] "
+                 "[--out repaired.v] "
                  "[--report] [--inject-fault STAGE:KIND:NTH] "
                  "[--trace-out t.ndjson] [--perfetto-out t.json] "
                  "[--metrics-out m.json]\n",
@@ -94,6 +95,9 @@ run(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--jobs") == 0 &&
                    i + 1 < argc) {
             config.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--no-incremental") == 0) {
+            // Escape hatch: fresh-per-window reference engine.
+            config.engine.incremental = false;
         } else if (std::strcmp(argv[i], "--out") == 0 &&
                    i + 1 < argc) {
             out_path = argv[++i];

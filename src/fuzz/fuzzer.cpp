@@ -255,7 +255,8 @@ FuzzCase::fromCorpus(const CorpusEntry &entry)
 }
 
 std::string
-outcomeFingerprint(const repair::RepairOutcome &outcome)
+outcomeFingerprint(const repair::RepairOutcome &outcome,
+                   bool include_solver_stats)
 {
     std::ostringstream out;
     out << "status=" << static_cast<int>(outcome.status)
@@ -272,11 +273,15 @@ outcomeFingerprint(const repair::RepairOutcome &outcome)
         const repair::WindowStat &w = cand.window;
         out << cand.template_name << " k=" << w.k_past << "/"
             << w.k_future << " " << w.status
-            << " changes=" << w.changes << " aig=" << w.aig_nodes
-            << " conflicts=" << w.conflicts
-            << " props=" << w.propagations
-            << " restarts=" << w.restarts
-            << " learnt=" << w.learnt_peak << "\n";
+            << " changes=" << w.changes;
+        if (include_solver_stats) {
+            out << " aig=" << w.aig_nodes
+                << " conflicts=" << w.conflicts
+                << " props=" << w.propagations
+                << " restarts=" << w.restarts
+                << " learnt=" << w.learnt_peak;
+        }
+        out << "\n";
     }
     if (outcome.repaired)
         out << verilog::print(*outcome.repaired);
@@ -362,6 +367,7 @@ runCase(const FuzzCase &fcase, const FuzzConfig &config)
         rc.x_policy = m.x_policy;
         rc.seed = fcase.fresh_seed;
         rc.jobs = config.jobs == 0 ? 1 : config.jobs;
+        rc.engine.incremental = config.incremental;
         repair::RepairOutcome outcome;
         try {
             outcome =

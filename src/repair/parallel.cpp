@@ -127,6 +127,9 @@ runEngineParallel(const ir::TransitionSystem &sys,
 
     check(config.adaptive,
           "runEngineParallel requires the adaptive engine");
+    check(!config.incremental,
+          "speculative window solves require fresh-per-window "
+          "queries; incremental mode runs the serial engine");
 
     // Local copy: the degradation ladder may halve the window growth
     // step after a faulted solve.
@@ -444,7 +447,13 @@ runTemplateTask(TemplateSlot &s, templates::RepairTemplate &tmpl,
     StageGuard guard("engine:" + s.name, s.stages,
                      StageGuard::Recording::OnFault);
     bool ran = guard.run([&] {
-        engine = engine_cfg.adaptive
+        // The incremental engine keeps one solver alive across the
+        // ladder, which is incompatible with speculative per-window
+        // pool solves; template-level parallelism (one slot per
+        // template, first-success cancellation) still applies, and
+        // the ladder state machine is shared, so jobs=1 ≡ jobs=N
+        // stays bit-exact in both modes.
+        engine = engine_cfg.adaptive && !engine_cfg.incremental
                      ? runEngineParallel(sys, inst.vars, resolved,
                                          init, engine_cfg, &s.deadline,
                                          pool)

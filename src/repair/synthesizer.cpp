@@ -55,6 +55,17 @@ synthesizeMinimalRepairs(RepairQuery &query,
         k = upper;
     }
 
+    // Canonicalize to the lex-smallest minimal model: the repair
+    // reported for a window then depends only on the window's
+    // semantic constraints, not on the CNF encoding — the persistent
+    // incremental query and the fresh-per-window reference agree
+    // bit-exactly.
+    if (!query.canonicalizeLast(k, deadline)) {
+        result.status = SynthesisResult::Status::Timeout;
+        return result;
+    }
+    minimal = *query.lastModel();
+
     result.status = SynthesisResult::Status::Found;
     result.changes = static_cast<int>(k);
     result.repairs.push_back(*minimal);
@@ -65,7 +76,9 @@ synthesizeMinimalRepairs(RepairQuery &query,
         auto next = query.solveWithBound(k, deadline);
         if (!next)
             break;  // exhausted or timeout; either way stop sampling
-        result.repairs.push_back(*next);
+        if (!query.canonicalizeLast(k, deadline))
+            break;  // timeout mid-sampling: keep what we have
+        result.repairs.push_back(*query.lastModel());
     }
     return result;
 }

@@ -12,6 +12,29 @@
  *  - next-state words feed the following cycle.
  * The window starts from a concrete state vector obtained by
  * simulating the unmodified circuit up to the window start.
+ *
+ * Two modes share this class:
+ *
+ *  - Fresh (the `--no-incremental` reference): one query per window,
+ *    the start state folded into the encoding as constants.
+ *  - Incremental: one query lives across the whole window ladder.
+ *    The entry state is a vector of free variables equated to the
+ *    concrete start state through an *anchor* activation literal that
+ *    is passed as an assumption; growing the window encodes only the
+ *    delta cycles, ties the new prefix to the old entry variables
+ *    with permanent seam equalities, retires the old anchor with a
+ *    unit clause and mints a new one.  Blocking clauses are gated
+ *    behind a per-window *session* literal so sampling exclusions do
+ *    not leak into later windows.  UNSAT cores over {anchor, session}
+ *    classify failures: a core that names the anchor blames the
+ *    concrete past state (growing the window can help), a core free
+ *    of both proves the window-independent constraints alone are
+ *    inconsistent — every larger window is UNSAT too.
+ *
+ * Both modes canonicalize reported models to the lexicographically
+ * smallest synthesis-variable assignment, making the chosen repairs
+ * independent of CNF-level encoding differences — this is what lets
+ * the incremental engine reproduce the fresh reference bit-exactly.
  */
 #ifndef RTLREPAIR_REPAIR_UNROLLER_HPP
 #define RTLREPAIR_REPAIR_UNROLLER_HPP
@@ -26,16 +49,22 @@
 
 namespace rtlrepair::repair {
 
-/** One incremental SMT instance for a fixed repair window. */
+/** One incremental SMT instance for a (growable) repair window. */
 class RepairQuery
 {
   public:
+    /** Tag selecting the persistent incremental mode. */
+    struct Incremental
+    {
+    };
+
     /**
-     * Encode the window.  @p start_state holds one fully-known value
-     * per system state.  The trace's input X bits must already be
-     * resolved (randomize/zero per §4.3).  A non-zero @p solver_seed
-     * scrambles the SAT phase heuristic — the degradation ladder's
-     * "retry with a reseeded solver" knob.
+     * Fresh mode: encode the window immediately.  @p start_state
+     * holds one fully-known value per system state.  The trace's
+     * input X bits must already be resolved (randomize/zero per
+     * §4.3).  A non-zero @p solver_seed scrambles the SAT phase
+     * heuristic — the degradation ladder's "retry with a reseeded
+     * solver" knob.
      */
     RepairQuery(const ir::TransitionSystem &sys,
                 const templates::SynthVarTable &vars,
@@ -43,6 +72,28 @@ class RepairQuery
                 const std::vector<bv::Value> &start_state,
                 const Deadline *deadline = nullptr,
                 uint64_t solver_seed = 0);
+
+    /**
+     * Incremental mode: nothing is encoded yet; call retarget() for
+     * each window the ladder visits.
+     */
+    RepairQuery(const ir::TransitionSystem &sys,
+                const templates::SynthVarTable &vars,
+                const trace::IoTrace &io, Incremental,
+                const Deadline *deadline = nullptr,
+                uint64_t solver_seed = 0);
+
+    /**
+     * Incremental mode: point the query at window
+     * [first, first + count).  The window may only grow — the
+     * adaptive ladder's starts are monotonically nonincreasing and
+     * ends nondecreasing, so already-encoded cycles are always inside
+     * the new window.  Encodes only the delta cycles, resets the
+     * per-window statistics epoch.
+     */
+    void retarget(size_t first, size_t count,
+                  const std::vector<bv::Value> &start_state,
+                  const Deadline *deadline);
 
     /**
      * True if encoding was aborted (deadline expired or the unrolled
@@ -75,47 +126,119 @@ class RepairQuery
     std::optional<templates::SynthAssignment>
     solveWithBound(size_t max_changes, const Deadline *deadline);
 
+    /**
+     * Rewrite lastModel() into the lexicographically smallest
+     * synthesis assignment satisfying the query under Σφ ≤
+     * @p max_changes (variables in system order, bits LSB-first).
+     * The lex minimum is unique per *semantic* constraint set, so
+     * canonical models agree across encodings — the incremental query
+     * and the fresh reference pick identical repairs.  Returns false
+     * on timeout.
+     */
+    bool canonicalizeLast(size_t max_changes,
+                          const Deadline *deadline);
+
     /** Exclude @p assignment (and its α values at active sites). */
     void blockAssignment(const templates::SynthAssignment &assignment);
 
     smt::Result lastResult() const { return _last; }
 
-    /** Statistics: number of AIG nodes in the encoded window. */
+    /**
+     * Incremental mode: a solve came back UNSAT with a core naming
+     * neither the anchor nor the block session — the inconsistency
+     * lives entirely in window-independent constraints, so every
+     * larger window is UNSAT too and the ladder can fast-forward.
+     */
+    bool windowIndependentUnsat() const { return _window_free_unsat; }
+
+    /** @name Per-window statistics (deltas since the last retarget /
+     *  construction; a persistent solver's cumulative totals would
+     *  misattribute earlier windows' work) @{ */
+    /** AIG nodes in the encoded window (total graph size). */
     size_t aigNodes() const { return _solver_aig_nodes; }
-
-    /** Statistics: SAT conflicts accumulated by this query so far. */
-    uint64_t conflicts() const { return _solver.satSolver().conflicts; }
-
-    /** Statistics: SAT propagations accumulated by this query. */
+    /** Nodes that already existed when this window's encode began. */
+    size_t reusedAigNodes() const { return _reused_aig_nodes; }
+    /** Wall seconds spent encoding this window's delta. */
+    double encodeSeconds() const { return _encode_seconds; }
+    uint64_t
+    conflicts() const
+    {
+        return _solver.satSolver().conflicts - _base_conflicts;
+    }
     uint64_t
     propagations() const
     {
-        return _solver.satSolver().propagations;
+        return _solver.satSolver().propagations - _base_propagations;
     }
-
-    /** Statistics: SAT restarts accumulated by this query. */
-    uint64_t restarts() const { return _solver.satSolver().restarts; }
-
-    /** Statistics: learnt-clause database high-water mark. */
+    uint64_t
+    restarts() const
+    {
+        return _solver.satSolver().restarts - _base_restarts;
+    }
+    /** SAT solve() calls issued for this window. */
+    uint64_t
+    satCalls() const
+    {
+        return _solver.satSolver().solve_calls - _base_solve_calls;
+    }
+    /** Learnt-clause database high-water mark (absolute). */
     uint64_t
     learntPeak() const
     {
         return _solver.satSolver().learnt_peak;
     }
+    /** @} */
 
   private:
     templates::SynthAssignment extractModel();
+    void allocateSynthWords();
+    void buildColumnMaps();
+    void beginEpoch();
+    /** Assumptions active in the current window (anchor, session). */
+    std::vector<sat::Lit> baseAssumptions() const;
+    /** Encode cycles [from, to) starting from @p states; returns the
+     *  next-state words at @p to.  Sets _aborted on cap/deadline. */
+    std::vector<smt::Word> encodeRange(size_t from, size_t to,
+                                       std::vector<smt::Word> states,
+                                       const Deadline *deadline);
+    /** Classify an UNSAT core; @p bound is the Σφ assumption of a
+     *  bounded solve (kUndefLit for feasibility checks). */
+    void noteUnsatCore(sat::Lit bound, size_t max_changes);
 
     const ir::TransitionSystem &_sys;
     const templates::SynthVarTable &_vars;
+    const trace::IoTrace &_io;
     smt::BvSolver _solver;
     std::optional<smt::Totalizer> _card;
     std::vector<smt::Word> _synth_words;  ///< indexed like sys.synth_vars
     std::vector<smt::AigLit> _phi_lits;
+    std::vector<int> _input_of_column;
+    std::vector<int> _output_of_column;
     smt::Result _last = smt::Result::Unsat;
     std::optional<templates::SynthAssignment> _last_model;
     size_t _solver_aig_nodes = 0;
     bool _aborted = false;
+
+    // Incremental-mode state.
+    bool _incremental = false;
+    size_t _lo = 0;  ///< encoded cycle range [_lo, _hi)
+    size_t _hi = 0;
+    bool _encoded = false;           ///< any cycles encoded yet?
+    std::vector<smt::Word> _entry_words;  ///< symbolic state at _lo
+    std::vector<smt::Word> _frontier;     ///< next-state words at _hi
+    sat::Lit _anchor = sat::kUndefLit;    ///< current window anchor
+    sat::Lit _session = sat::kUndefLit;   ///< current block session
+    /** Σφ bounds proven UNSAT from window-independent constraints. */
+    long _dead_bound = -1;
+    bool _window_free_unsat = false;
+
+    // Per-window statistics epoch.
+    uint64_t _base_conflicts = 0;
+    uint64_t _base_propagations = 0;
+    uint64_t _base_restarts = 0;
+    uint64_t _base_solve_calls = 0;
+    size_t _reused_aig_nodes = 0;
+    double _encode_seconds = 0.0;
 };
 
 } // namespace rtlrepair::repair

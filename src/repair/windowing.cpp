@@ -25,13 +25,21 @@ telemetry::Counter s_conflicts("sat.conflicts");
 telemetry::Counter s_propagations("sat.propagations");
 telemetry::Counter s_restarts("sat.restarts");
 telemetry::Counter s_aig_nodes("window.aig_nodes");
+telemetry::Counter s_reused_nodes("window.reused_aig_nodes");
+telemetry::Counter s_sat_calls("window.sat_calls");
 telemetry::Gauge s_learnt_peak("sat.learnt_db_peak",
                                MetricKind::Deterministic);
 // Wall-clock totals of the consumed solves.
 telemetry::Counter s_solve_us("window.solve_us",
                               MetricKind::Unstable);
+telemetry::Counter s_encode_us("window.encode_us",
+                               MetricKind::Unstable);
 telemetry::Counter s_slack_us("window.deadline_slack_us",
                               MetricKind::Unstable);
+// Windows the incremental engine resolved from an UNSAT core alone
+// (no solve, no encode): a core free of the window anchor proves
+// every larger window UNSAT.
+telemetry::Counter s_fastforward("window.core_fastforward");
 
 } // namespace
 
@@ -40,6 +48,9 @@ captureQueryStats(WindowStat &stat, const RepairQuery &query,
                   const Deadline *deadline)
 {
     stat.aig_nodes = query.aigNodes();
+    stat.reused_aig_nodes = query.reusedAigNodes();
+    stat.encode_seconds = query.encodeSeconds();
+    stat.sat_calls = query.satCalls();
     stat.conflicts = query.conflicts();
     stat.propagations = query.propagations();
     stat.restarts = query.restarts();
@@ -64,9 +75,15 @@ recordWindowStat(const WindowStat &stat)
     s_propagations.add(stat.propagations);
     s_restarts.add(stat.restarts);
     s_aig_nodes.add(stat.aig_nodes);
+    s_reused_nodes.add(stat.reused_aig_nodes);
+    s_sat_calls.add(stat.sat_calls);
     s_learnt_peak.record(stat.learnt_peak);
+    if (stat.sat_calls == 0 && stat.aig_nodes == 0)
+        s_fastforward.add(1);
     s_solve_us.add(
         static_cast<uint64_t>(stat.solve_seconds * 1e6));
+    s_encode_us.add(
+        static_cast<uint64_t>(stat.encode_seconds * 1e6));
     if (stat.deadline_slack >= 0.0) {
         s_slack_us.add(
             static_cast<uint64_t>(stat.deadline_slack * 1e6));
@@ -319,6 +336,11 @@ runEngine(const ir::TransitionSystem &sys,
     int retries_used = 0;
     uint64_t solver_seed = 0;
 
+    // Incremental mode: one persistent query lives across the whole
+    // ladder; each window retargets it in place.  Reset (and rebuilt
+    // with the retry seed) when a window solve faults.
+    std::optional<RepairQuery> inc_query;
+
     WindowLadder ladder;
     ladder.failure = f;
     ladder.trace_len = resolved.length();
@@ -344,21 +366,72 @@ runEngine(const ir::TransitionSystem &sys,
                           static_cast<ssize_t>(w.start + w.count) - 1,
                           f));
 
-        std::vector<Value> start_state = runner.statesAt(w.start);
-
         Stopwatch watch;
         SynthesisResult synth;
         WindowStat stat;
         StageGuard guard(solve_stage, result.stages);
         guard.setRetries(retries_used);
+
+        // UNSAT-core fast-forward: a previous window's core proved
+        // the window-independent constraints inconsistent, so this
+        // window (and every larger one) is UNSAT without a solve.
+        // The stage guard still runs (empty) so the fault-site and
+        // stage-report sequences match the fresh reference.
+        if (cfg.incremental && inc_query &&
+            inc_query->windowIndependentUnsat()) {
+            bool ok = guard.run([] {});
+            if (ok) {
+                stat.k_past = static_cast<int>(ladder.k_past);
+                stat.k_future = static_cast<int>(ladder.k_future);
+                stat.status = "unsat";
+                result.windows.push_back(stat);
+                ladder.growPast(cfg);
+                continue;
+            }
+            inc_query.reset();
+            if (guard.report().status == StageStatus::TimedOut) {
+                result.status = EngineResult::Status::Timeout;
+                return result;
+            }
+            if (retries_used < cfg.solve_retries) {
+                ++retries_used;
+                solver_seed = retrySolverSeed(retries_used);
+                cfg.past_step = cfg.past_step > 1 ? cfg.past_step / 2
+                                                  : cfg.past_step;
+                continue;
+            }
+            result.status = EngineResult::Status::Failed;
+            result.error = guard.report().diagnostic;
+            return result;
+        }
+
+        std::vector<Value> start_state = runner.statesAt(w.start);
+
         bool solved = guard.run([&] {
-            RepairQuery query(sys, vars, resolved, w.start, w.count,
-                              start_state, deadline, solver_seed);
-            synth = synthesizeMinimalRepairs(
-                query, vars, cfg.max_candidates, deadline);
-            captureQueryStats(stat, query, deadline);
+            if (cfg.incremental) {
+                if (!inc_query) {
+                    inc_query.emplace(sys, vars, resolved,
+                                      RepairQuery::Incremental{},
+                                      deadline, solver_seed);
+                }
+                inc_query->retarget(w.start, w.count, start_state,
+                                    deadline);
+                synth = synthesizeMinimalRepairs(
+                    *inc_query, vars, cfg.max_candidates, deadline);
+                captureQueryStats(stat, *inc_query, deadline);
+            } else {
+                RepairQuery query(sys, vars, resolved, w.start,
+                                  w.count, start_state, deadline,
+                                  solver_seed);
+                synth = synthesizeMinimalRepairs(
+                    query, vars, cfg.max_candidates, deadline);
+                captureQueryStats(stat, query, deadline);
+            }
         });
         if (!solved) {
+            // A faulted solve may have left the persistent query in
+            // an inconsistent state; rebuild it on the next attempt.
+            inc_query.reset();
             // A stage-budget overrun is a timeout, not a fault to
             // retry (retrying would double the budget); the caller
             // decides whether the global run is out of time.

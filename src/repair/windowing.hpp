@@ -31,6 +31,11 @@ namespace rtlrepair::repair {
 struct EngineConfig
 {
     bool adaptive = true;       ///< false = basic full unrolling
+    /** Persistent cross-window solver: one RepairQuery lives across
+     *  the whole ladder, window growth encodes only the delta and
+     *  UNSAT cores steer (fast-forward) the ladder.  false =
+     *  fresh-per-window reference (`--no-incremental`). */
+    bool incremental = true;
     size_t max_window = 32;     ///< paper: give up beyond 32 cycles
     size_t past_step = 2;       ///< paper: k_past increments of two
     size_t max_candidates = 4;  ///< paper: next window after 4 failures
@@ -57,6 +62,13 @@ struct WindowStat
     int changes = -1;         ///< Σφ when status == "sat"
     double solve_seconds = 0.0;
     size_t aig_nodes = 0;
+    /** AIG nodes already present when the window's encode began
+     *  (incremental reuse; 0 for a fresh query). */
+    size_t reused_aig_nodes = 0;
+    /** Wall seconds spent encoding this window's delta. */
+    double encode_seconds = 0.0;
+    /** SAT solve() calls issued for this window. */
+    uint64_t sat_calls = 0;
     uint64_t conflicts = 0;
     uint64_t propagations = 0;
     uint64_t restarts = 0;

@@ -294,6 +294,38 @@ Solver::litRedundant(Lit l, uint32_t abstract_levels)
 }
 
 void
+Solver::analyzeFinal(Lit failing)
+{
+    // Final-conflict analysis: @p failing is an assumption literal
+    // found False during assumption enqueueing.  Walk the implication
+    // graph from ~failing back to the decisions that caused it; every
+    // decision above level 0 is an earlier assumption, so the
+    // collected set is an UNSAT core of the assumptions.
+    _conflict.clear();
+    _conflict.push_back(failing);
+    if (_trail_lim.empty())
+        return;  // implied at level 0: {failing} alone is a core
+    _seen[var(failing)] = true;
+    for (size_t i = _trail.size();
+         i-- > static_cast<size_t>(_trail_lim[0]);) {
+        Var v = var(_trail[i]);
+        if (!_seen[v])
+            continue;
+        if (_reason[v] == kNoReason) {
+            _conflict.push_back(_trail[i]);
+        } else {
+            const Clause &c = _clauses[_reason[v]];
+            for (Lit q : c.lits) {
+                if (var(q) != v && _level[var(q)] > 0)
+                    _seen[var(q)] = true;
+            }
+        }
+        _seen[v] = false;
+    }
+    _seen[var(failing)] = false;
+}
+
+void
 Solver::cancelUntil(int level)
 {
     if (static_cast<int>(_trail_lim.size()) <= level)
@@ -452,9 +484,31 @@ Solver::reduceDB()
             c.removed = true;
         }
     }
+
+    // Physically compact the clause arena: long-lived incremental
+    // sessions would otherwise accumulate ghost clauses that every
+    // rebuildWatches() and activity rescale still iterates.  Reason
+    // clauses are never marked removed (see above), so remapping the
+    // surviving references keeps the trail's implication graph valid.
+    std::vector<ClauseRef> remap(_clauses.size(), kNoReason);
+    size_t out = 0;
+    for (size_t i = 0; i < _clauses.size(); ++i) {
+        if (_clauses[i].removed)
+            continue;
+        remap[i] = static_cast<ClauseRef>(out);
+        if (out != i)
+            _clauses[out] = std::move(_clauses[i]);
+        ++out;
+    }
+    _clauses.resize(out);
+    for (auto &r : _reason) {
+        if (r != kNoReason)
+            r = remap[r];
+    }
+
     _num_learnt = 0;
     for (const auto &c : _clauses) {
-        if (c.learnt && !c.removed)
+        if (c.learnt)
             ++_num_learnt;
     }
     rebuildWatches();
@@ -492,8 +546,10 @@ Solver::solve(const std::vector<Lit> &assumptions,
               const Deadline *deadline)
 {
     telemetry::Span span("sat.solve");
+    ++solve_calls;
+    _conflict.clear();
     if (!_ok)
-        return LBool::False;
+        return LBool::False;  // empty core: UNSAT without assumptions
     check(_trail_lim.empty(), "solve() while not at level 0");
 
     int restart_count = 0;
@@ -571,7 +627,9 @@ Solver::solve(const std::vector<Lit> &assumptions,
                 // Already satisfied; open an empty decision level.
                 _trail_lim.push_back(static_cast<int>(_trail.size()));
             } else if (value(a) == LBool::False) {
-                // Conflicting assumptions: UNSAT under assumptions.
+                // UNSAT under assumptions: extract the failed
+                // assumption core before unwinding the trail.
+                analyzeFinal(a);
                 cancelUntil(0);
                 return LBool::False;
             } else {

@@ -89,10 +89,23 @@ class Solver
     /**
      * Solve under @p assumptions.  Returns Undef if @p deadline
      * expires first.  After True, the model is available via
-     * modelValue().
+     * modelValue(); after False, conflictCore() holds an UNSAT core
+     * of the assumptions.
      */
     LBool solve(const std::vector<Lit> &assumptions = {},
                 const Deadline *deadline = nullptr);
+
+    /**
+     * After solve() returns False: a subset of the assumption
+     * literals whose conjunction is inconsistent with the clause
+     * database (final-conflict analysis a la MiniSat analyzeFinal).
+     * Empty when the formula is unsatisfiable on its own — any
+     * assumption set fails.  The incremental repair engine reads this
+     * to decide whether an UNSAT window can ever be rescued by
+     * growing the window (the anchor assumption is in the core) or is
+     * dead for good (it is not).
+     */
+    const std::vector<Lit> &conflictCore() const { return _conflict; }
 
     /** Value of @p v in the last model. */
     bool modelValue(Var v) const;
@@ -107,6 +120,8 @@ class Solver
     uint64_t restarts = 0;
     /** High-water mark of the learnt-clause database. */
     uint64_t learnt_peak = 0;
+    /** Number of solve() invocations. */
+    uint64_t solve_calls = 0;
     /** @} */
 
     /** Live learnt clauses currently in the database. */
@@ -131,6 +146,8 @@ class Solver
 
     LBool value(Lit l) const;
     LBool value(Var v) const { return _assigns[v]; }
+
+    void analyzeFinal(Lit failing);
 
     void attachClause(ClauseRef cref);
     void uncheckedEnqueue(Lit l, ClauseRef reason);
@@ -175,6 +192,7 @@ class Solver
     std::vector<Lit> _analyze_toclear;
 
     std::vector<bool> _model;
+    std::vector<Lit> _conflict;  ///< assumption core after UNSAT
 
     uint64_t _phase_seed = 0;  ///< xorshift state; 0 = default phases
     size_t _num_learnt = 0;

@@ -1,5 +1,6 @@
 #include "smt/bv_solver.hpp"
 
+#include <algorithm>
 #include <map>
 
 #include "util/logging.hpp"
@@ -28,9 +29,11 @@ BvSolver::varOfNode(uint32_t node)
             continue;
         }
         if (cur == 0) {
-            // The constant node: a variable forced true.
+            // Node 0 is the constant FALSE (kAigFalse is the plain
+            // literal, kAigTrue its complement); force its SAT var
+            // accordingly so satLitOf() maps constants faithfully.
             Var v = _sat.newVar();
-            _sat.addClause(mkLit(v));
+            _sat.addClause(mkLit(v, true));
             _node_var[cur] = v;
             stack.pop_back();
             continue;
@@ -70,7 +73,9 @@ BvSolver::varOfNode(uint32_t node)
 Lit
 BvSolver::satLitOf(AigLit lit)
 {
-    // Special-case the constant: node 0's SAT var is forced true.
+    // Constants work too: node 0's SAT var is forced false, so the
+    // plain literal (kAigFalse) maps to False and the complemented
+    // one (kAigTrue) to True.
     Var v = varOfNode(aigNode(lit));
     return mkLit(v, aigCompl(lit) != 0);
 }
@@ -105,6 +110,56 @@ BvSolver::assertWordEquals(const Word &word, const bv::Value &value)
             continue; // unknown bits are not constrained
         AigLit lit = i < word.size() ? word[i] : kAigFalse;
         assertLit(bit == 1 ? lit : aigNot(lit));
+    }
+}
+
+sat::Lit
+BvSolver::newActivationLit()
+{
+    return mkLit(_sat.newVar());
+}
+
+void
+BvSolver::assertLitIf(Lit act, AigLit lit)
+{
+    if (lit == kAigTrue)
+        return;
+    if (lit == kAigFalse) {
+        _sat.addClause(~act);
+        return;
+    }
+    _sat.addClause(~act, satLitOf(lit));
+}
+
+void
+BvSolver::assertWordEqualsIf(Lit act, const Word &word,
+                             const bv::Value &value)
+{
+    bv::Value expected = value;
+    if (expected.width() < word.size())
+        expected = expected.zext(static_cast<uint32_t>(word.size()));
+    for (uint32_t i = 0; i < expected.width(); ++i) {
+        int bit = expected.bit(i);
+        if (bit < 0)
+            continue; // unknown bits are not constrained
+        AigLit lit = i < word.size() ? word[i] : kAigFalse;
+        assertLitIf(act, bit == 1 ? lit : aigNot(lit));
+    }
+}
+
+void
+BvSolver::assertWordsEqual(const Word &a, const Word &b)
+{
+    size_t width = std::max(a.size(), b.size());
+    for (size_t i = 0; i < width; ++i) {
+        AigLit la = i < a.size() ? a[i] : kAigFalse;
+        AigLit lb = i < b.size() ? b[i] : kAigFalse;
+        if (la == lb)
+            continue;
+        Lit sa = satLitOf(la);
+        Lit sb = satLitOf(lb);
+        _sat.addClause(~sa, sb);
+        _sat.addClause(sa, ~sb);
     }
 }
 
@@ -236,6 +291,28 @@ Totalizer::Totalizer(BvSolver &solver,
         layer = std::move(next);
     }
     _outputs = layer[0];
+}
+
+void
+Totalizer::extend(const std::vector<AigLit> &more_inputs)
+{
+    if (more_inputs.empty())
+        return;
+    std::vector<std::vector<Lit>> layer;
+    for (AigLit in : more_inputs)
+        layer.push_back({_solver->satLitOf(in)});
+    while (layer.size() > 1) {
+        std::vector<std::vector<Lit>> next;
+        for (size_t i = 0; i + 1 < layer.size(); i += 2)
+            next.push_back(merge(layer[i], layer[i + 1]));
+        if (layer.size() % 2 == 1)
+            next.push_back(layer.back());
+        layer = std::move(next);
+    }
+    if (_outputs.empty())
+        _outputs = layer[0];
+    else
+        _outputs = merge(_outputs, layer[0]);
 }
 
 std::vector<Lit>

@@ -37,6 +37,26 @@ class BvSolver
     /** Assert a word equals a constant (unknown bits skipped). */
     void assertWordEquals(const Word &word, const bv::Value &value);
 
+    /**
+     * Fresh SAT literal with no constraints, for gating assertions:
+     * the incremental repair query guards its per-window trace anchor
+     * and blocking clauses behind such literals so that moving the
+     * window is an assumption change (or a single retiring unit
+     * clause), not a solver rebuild.
+     */
+    sat::Lit newActivationLit();
+
+    /** Assert @p act implies @p lit (clause ¬act ∨ lit). */
+    void assertLitIf(sat::Lit act, AigLit lit);
+
+    /** assertWordEquals gated behind @p act. */
+    void assertWordEqualsIf(sat::Lit act, const Word &word,
+                            const bv::Value &value);
+
+    /** Permanently assert two words are bitwise equal (the shorter
+     *  word is zero-extended). */
+    void assertWordsEqual(const Word &a, const Word &b);
+
     /** Solve under AIG-literal assumptions. */
     Result solve(const std::vector<AigLit> &assumptions = {},
                  const Deadline *deadline = nullptr);
@@ -72,6 +92,15 @@ class Totalizer
   public:
     /** Build over @p inputs inside @p solver (encodes immediately). */
     Totalizer(BvSolver &solver, const std::vector<AigLit> &inputs);
+
+    /**
+     * Extend the encoder with additional inputs: a fresh merge tree
+     * over @p more_inputs is merged into the existing outputs.  Sound
+     * for the one-sided encoding — old outputs keep meaning "sum ≥ k"
+     * over the enlarged input set because the merge only adds
+     * implications from the old outputs into the new ones.
+     */
+    void extend(const std::vector<AigLit> &more_inputs);
 
     size_t size() const { return _outputs.size(); }
 
