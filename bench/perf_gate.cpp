@@ -252,6 +252,8 @@ struct BenchRow
     double sat_conflicts = 0.0;
     double sat_solves = -1.0;       ///< -1: absent (older schema)
     double encode_seconds = -1.0;   ///< -1: absent (older schema)
+    double svc_cold_seconds = -1.0; ///< -1: absent (older schema)
+    double svc_warm_seconds = -1.0; ///< -1: absent (older schema)
 };
 
 bool
@@ -301,6 +303,10 @@ loadBench(const char *path, std::map<std::string, BenchRow> &rows)
             row.sat_solves = v->number;
         if (const Json *v = b.find("encode_seconds"))
             row.encode_seconds = v->number;
+        if (const Json *v = b.find("svc_cold_seconds"))
+            row.svc_cold_seconds = v->number;
+        if (const Json *v = b.find("svc_warm_seconds"))
+            row.svc_warm_seconds = v->number;
         rows[name->str] = row;
     }
     return true;
@@ -409,6 +415,24 @@ main(int argc, char **argv)
             ok &= gate(name, "encode_seconds", base.encode_seconds,
                        cur.encode_seconds, max_regress,
                        kWallNoiseFloorSeconds);
+        }
+        // Service warm-cache column: gate the warm/cold ratio rather
+        // than the raw warm time.  Dividing out the cold run cancels
+        // runner speed, so a regression here means the cross-job
+        // elaboration cache itself got less effective (e.g. the warm
+        // resubmission stopped hitting), not that the machine was
+        // slow.  Cold runs below the wall noise floor are skipped:
+        // their ratios are all jitter.
+        if (base.svc_cold_seconds >= kWallNoiseFloorSeconds &&
+            base.svc_warm_seconds >= 0 &&
+            cur.svc_cold_seconds >= kWallNoiseFloorSeconds &&
+            cur.svc_warm_seconds >= 0) {
+            double base_ratio =
+                base.svc_warm_seconds / base.svc_cold_seconds;
+            double cur_ratio =
+                cur.svc_warm_seconds / cur.svc_cold_seconds;
+            ok &= gate(name, "svc_warm_ratio", base_ratio, cur_ratio,
+                       max_regress, 0.0);
         }
     }
     if (!ok) {

@@ -6,6 +6,16 @@
 //              [--inject-fault STAGE:KIND:NTH]
 //              [--trace-out t.ndjson] [--perfetto-out t.json]
 //              [--metrics-out m.json]
+//              [--connect ADDR [--id ID] [--tenant T]
+//               [--priority N] [--retries N]]
+//
+// With --connect the repair runs on a repaird daemon (ADDR is a Unix
+// socket path or host:port) instead of in-process: the design and
+// trace are submitted over the NDJSON protocol, stage reports stream
+// back live, and the exit code mapping below still holds.  The
+// connection retries with exponential backoff + jitter, survives a
+// daemon restart mid-job (idempotent job ids re-query the result),
+// and reports a job the daemon lost to a crash as interrupted.
 //
 // Any of the three telemetry outputs (or --report) enables the
 // telemetry subsystem for the run; with none of them, every
@@ -18,18 +28,27 @@
 // Exit codes are stable for scripting:
 //   0  repaired (including repaired-by-preprocessing / none needed)
 //   2  no repair found (also: degraded runs that found no repair)
-//   3  global timeout
+//   3  global timeout; also cancellation (Ctrl-C, daemon shutdown)
+//      and jobs a crashed daemon lost ("interrupted")
 //   4  bad input (unparsable design/trace, unsynthesizable design,
 //      unreadable files, usage errors)
 //   5  internal error (panic / unexpected exception)
+//   6  admission rejected by the daemon (overloaded / tenant-busy /
+//      duplicate / shutting-down) — retry later, nothing ran
+//
+// SIGINT/SIGTERM cancel cooperatively in both modes: the token is
+// polled at the SAT conflict loop, partial results flush, and the
+// run exits 3 with "status: cancelled".  A second signal kills.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "repair/driver.hpp"
+#include "service/client.hpp"
 #include "util/fault.hpp"
 #include "util/logging.hpp"
+#include "util/signals.hpp"
 #include "util/telemetry.hpp"
 #include "verilog/ast_util.hpp"
 #include "verilog/parser.hpp"
@@ -54,9 +73,76 @@ usage(const char *prog)
                  "[--out repaired.v] "
                  "[--report] [--inject-fault STAGE:KIND:NTH] "
                  "[--trace-out t.ndjson] [--perfetto-out t.json] "
-                 "[--metrics-out m.json]\n",
+                 "[--metrics-out m.json] "
+                 "[--connect ADDR [--id ID] [--tenant T] "
+                 "[--priority N] [--retries N]]\n",
                  prog);
     return kExitBadInput;
+}
+
+/** Slurp a file or return false (used for the --connect payload). */
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+}
+
+/**
+ * Remote mode: submit to a repaird daemon and map the streamed
+ * result back to the local exit codes.
+ */
+int
+runRemote(const std::string &address, const std::string &verilog_path,
+          const std::string &trace_path, service::JobRequest req,
+          int retries, const std::string &out_path,
+          CancelToken &cancel)
+{
+    if (!readFile(verilog_path, req.design)) {
+        std::fprintf(stderr, "error: cannot read %s\n",
+                     verilog_path.c_str());
+        return kExitBadInput;
+    }
+    if (!readFile(trace_path, req.trace)) {
+        std::fprintf(stderr, "error: cannot read %s\n",
+                     trace_path.c_str());
+        return kExitBadInput;
+    }
+
+    service::ClientConfig client_config;
+    client_config.address = address;
+    if (retries > 0)
+        client_config.max_attempts = retries;
+    service::Client client(client_config);
+    std::string error;
+    if (!client.connect(error, &cancel)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return kExitInternal;
+    }
+
+    service::JobResult result;
+    int code = client.runJob(req, result, &cancel);
+    if (result.status == "repaired") {
+        std::printf("status: repaired (remote, cache %s)\n",
+                    result.cache.c_str());
+        if (!out_path.empty() && !result.repaired.empty()) {
+            std::ofstream out(out_path);
+            out << result.repaired;
+            std::printf("wrote %s\n", out_path.c_str());
+        } else if (!result.repaired.empty()) {
+            std::printf("%s", result.repaired.c_str());
+        }
+    } else {
+        std::printf("status: %s%s%s\n", result.status.c_str(),
+                    result.detail.empty() ? "" : " — ",
+                    result.detail.c_str());
+    }
+    return code;
 }
 
 /** Write one telemetry export; failures are warnings, not errors. */
@@ -86,6 +172,8 @@ run(int argc, char **argv)
     repair::RepairConfig config;
     std::string out_path;
     std::string trace_out, perfetto_out, metrics_out;
+    std::string connect_addr, job_id, tenant;
+    int priority = 0, retries = 0;
     bool report = false;
     for (int i = 3; i < argc; ++i) {
         if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
@@ -117,6 +205,20 @@ run(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--metrics-out") == 0 &&
                    i + 1 < argc) {
             metrics_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--connect") == 0 &&
+                   i + 1 < argc) {
+            connect_addr = argv[++i];
+        } else if (std::strcmp(argv[i], "--id") == 0 && i + 1 < argc) {
+            job_id = argv[++i];
+        } else if (std::strcmp(argv[i], "--tenant") == 0 &&
+                   i + 1 < argc) {
+            tenant = argv[++i];
+        } else if (std::strcmp(argv[i], "--priority") == 0 &&
+                   i + 1 < argc) {
+            priority = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--retries") == 0 &&
+                   i + 1 < argc) {
+            retries = std::atoi(argv[++i]);
         } else {
             std::fprintf(stderr, "unknown option: %s\n", argv[i]);
             return usage(argv[0]);
@@ -125,6 +227,25 @@ run(int argc, char **argv)
     if (report || !trace_out.empty() || !perfetto_out.empty() ||
         !metrics_out.empty()) {
         telemetry::setEnabled(true);
+    }
+
+    // Ctrl-C / SIGTERM cancel cooperatively (second signal kills).
+    static CancelToken signal_cancel;
+    installSignalCancel(signal_cancel);
+    config.cancel = &signal_cancel;
+
+    if (!connect_addr.empty()) {
+        service::JobRequest req;
+        req.id = job_id;
+        req.tenant = tenant;
+        req.priority = priority;
+        req.timeout_seconds = config.timeout_seconds;
+        req.jobs = config.jobs;
+        req.zero_x = config.x_policy == sim::XPolicy::Zero;
+        req.incremental = config.engine.incremental;
+        req.want_stages = report;
+        return runRemote(connect_addr, verilog_path, trace_path, req,
+                         retries, out_path, signal_cancel);
     }
 
     // Parsing the design and the trace are guarded stages too: an
@@ -193,6 +314,13 @@ run(int argc, char **argv)
     });
 
     using Status = repair::RepairOutcome::Status;
+    if (outcome.cancelled) {
+        // Partial results (stage reports, telemetry) were already
+        // flushed above; the status line is honest about why.
+        std::printf("status: cancelled after %.2fs (signal %d)\n",
+                    outcome.seconds, cancelSignal());
+        return kExitTimeout;
+    }
     switch (outcome.status) {
       case Status::Repaired:
         std::printf("status: repaired (%d changes, %.2fs, %s)\n",

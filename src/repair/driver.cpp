@@ -52,12 +52,16 @@ repairDesign(const verilog::Module &buggy,
              const trace::IoTrace &io, const RepairConfig &config)
 {
     Stopwatch watch;
-    Deadline deadline(config.timeout_seconds);
+    // The root deadline chains the caller's CancelToken (Ctrl-C,
+    // client disconnect, daemon shutdown): every conflict-loop poll
+    // below observes it through the ordinary Deadline plumbing.
+    Deadline deadline(nullptr, config.cancel, config.timeout_seconds);
     RepairOutcome outcome;
     telemetry::Span repair_span("repair");
 
     auto finish = [&](RepairOutcome::Status status) {
         outcome.status = status;
+        outcome.cancelled = deadline.cancelled();
         outcome.seconds = watch.seconds();
         // Telemetry folds happen over the *final* outcome, not at
         // consume time inside the engines: a template the portfolio
@@ -70,19 +74,86 @@ repairDesign(const verilog::Module &buggy,
         return std::move(outcome);
     };
 
-    // 1. Static-analysis preprocessing (paper §4.1).  A fault here is
-    // survivable: the cascade simply runs on the original design.
+    // 1+2. Preprocess + base elaboration, the design-dependent
+    // pipeline prefix.  When the caller supplies an elaboration cache
+    // (the service layer does, keyed by design digest), a warm entry
+    // replaces both stages; the templates downstream re-elaborate
+    // their instrumented variants regardless.
     templates::PreprocessResult pre;
-    {
-        StageGuard guard("preprocess", outcome.stages);
-        if (!guard.run([&] { pre = templates::preprocess(buggy); })) {
-            outcome.degraded = true;
-            pre = templates::PreprocessResult{};
-            pre.module = buggy.clone();
-            outcome.detail += format(
-                "preprocessing dropped (%s); continuing with the "
-                "original design\n",
-                guard.report().diagnostic.c_str());
+    ir::TransitionSystem base_sys;
+    bool prefix_cached = false;
+    if (config.elab_cache && config.cache_key != 0) {
+        StageGuard guard("elab-cache", outcome.stages);
+        ElaborationCache::Entry entry;
+        bool hit = false;
+        if (guard.run([&] {
+                hit = config.elab_cache->lookup(config.cache_key,
+                                                entry);
+            }) &&
+            hit) {
+            pre.module = std::move(entry.module);
+            pre.changes = entry.preprocess_changes;
+            pre.notes = entry.preprocess_notes;
+            base_sys = std::move(entry.sys);
+            prefix_cached = true;
+            outcome.elab_cache_hit = true;
+        }
+    }
+    if (!prefix_cached) {
+        // Static-analysis preprocessing (paper §4.1).  A fault here
+        // is survivable: the cascade simply runs on the original
+        // design.
+        bool prefix_ok = true;
+        {
+            StageGuard guard("preprocess", outcome.stages);
+            if (!guard.run(
+                    [&] { pre = templates::preprocess(buggy); })) {
+                outcome.degraded = true;
+                prefix_ok = false;
+                pre = templates::PreprocessResult{};
+                pre.module = buggy.clone();
+                outcome.detail += format(
+                    "preprocessing dropped (%s); continuing with the "
+                    "original design\n",
+                    guard.report().diagnostic.c_str());
+            }
+        }
+
+        // Elaborate the preprocessed design.  Without an IR nothing
+        // downstream can run: a FatalError means the user's design is
+        // not synthesizable, anything else degrades the run as a
+        // whole.
+        elaborate::ElaborateOptions elab_opts;
+        elab_opts.library = library;
+        {
+            StageGuard guard("elaborate", outcome.stages);
+            if (!guard.run([&] {
+                    base_sys =
+                        elaborate::elaborate(*pre.module, elab_opts);
+                })) {
+                const StageReport &r = guard.report();
+                if (r.user_error) {
+                    outcome.detail += format("not synthesizable: %s\n",
+                                             r.diagnostic.c_str());
+                    return finish(
+                        RepairOutcome::Status::CannotSynthesize);
+                }
+                outcome.degraded = true;
+                outcome.detail += format("elaboration dropped (%s)\n",
+                                         r.diagnostic.c_str());
+                return finish(RepairOutcome::Status::Degraded);
+            }
+        }
+        // Only a cleanly produced prefix is worth remembering; a
+        // degraded one would replay its degradation into every warm
+        // sibling.
+        if (prefix_ok && config.elab_cache && config.cache_key != 0) {
+            ElaborationCache::Entry entry;
+            entry.module = pre.module->clone();
+            entry.preprocess_changes = pre.changes;
+            entry.preprocess_notes = pre.notes;
+            entry.sys = base_sys;
+            config.elab_cache->store(config.cache_key, entry);
         }
     }
     outcome.preprocess_changes = pre.changes;
@@ -92,30 +163,6 @@ repairDesign(const verilog::Module &buggy,
     }
     for (const auto &note : pre.notes)
         outcome.detail += note + "\n";
-
-    // 2. Elaborate the preprocessed design.  Without an IR nothing
-    // downstream can run: a FatalError means the user's design is not
-    // synthesizable, anything else degrades the run as a whole.
-    elaborate::ElaborateOptions elab_opts;
-    elab_opts.library = library;
-    ir::TransitionSystem base_sys;
-    {
-        StageGuard guard("elaborate", outcome.stages);
-        if (!guard.run([&] {
-                base_sys = elaborate::elaborate(*pre.module, elab_opts);
-            })) {
-            const StageReport &r = guard.report();
-            if (r.user_error) {
-                outcome.detail += format("not synthesizable: %s\n",
-                                         r.diagnostic.c_str());
-                return finish(RepairOutcome::Status::CannotSynthesize);
-            }
-            outcome.degraded = true;
-            outcome.detail += format("elaboration dropped (%s)\n",
-                                     r.diagnostic.c_str());
-            return finish(RepairOutcome::Status::Degraded);
-        }
-    }
 
     // 3. Resolve unknowns once, shared by every query and replay.
     trace::IoTrace resolved =

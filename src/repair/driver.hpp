@@ -14,9 +14,41 @@
 #include "repair/guarded.hpp"
 #include "repair/windowing.hpp"
 #include "templates/preprocess.hpp"
+#include "util/stopwatch.hpp"
 #include "verilog/ast.hpp"
 
 namespace rtlrepair::repair {
+
+/**
+ * Cross-run cache of the design-dependent pipeline prefix
+ * (preprocess + base elaboration), keyed by a content digest of the
+ * design + library sources.  The repair driver consults it when
+ * RepairConfig::elab_cache/cache_key are set; the service layer
+ * provides the bounded LRU implementation (service::ElabCache) so a
+ * fleet of near-identical submissions hits warm state.
+ */
+class ElaborationCache
+{
+  public:
+    struct Entry
+    {
+        /** Preprocessed (lint-fixed) design; cloned on every hit so
+         *  cached state is never aliased into a running job. */
+        std::unique_ptr<verilog::Module> module;
+        int preprocess_changes = 0;
+        std::vector<std::string> preprocess_notes;
+        /** Base (uninstrumented) elaboration of the module. */
+        ir::TransitionSystem sys;
+    };
+
+    virtual ~ElaborationCache() = default;
+
+    /** Copy the entry for @p key into @p out; false on miss. */
+    virtual bool lookup(uint64_t key, Entry &out) = 0;
+
+    /** Store a copy of @p entry under @p key. */
+    virtual void store(uint64_t key, const Entry &entry) = 0;
+};
 
 /** Tool configuration. */
 struct RepairConfig
@@ -45,6 +77,19 @@ struct RepairConfig
     /** Fault-containment policy: stage time slices, the peak-memory
      *  watermark, and the solve retry budget. */
     GuardConfig guard;
+    /**
+     * External cancellation (Ctrl-C, client disconnect, server
+     * shutdown).  Chained into the run's root Deadline, so every
+     * solver conflict-loop poll observes it; the run then unwinds
+     * cooperatively and reports RepairOutcome::cancelled.  Must
+     * outlive the repairDesign() call.  Optional.
+     */
+    const CancelToken *cancel = nullptr;
+    /** Cross-run preprocess+elaboration cache (see ElaborationCache);
+     *  consulted/filled only when cache_key is nonzero.  Optional. */
+    ElaborationCache *elab_cache = nullptr;
+    /** Content digest of design+library sources keying elab_cache. */
+    uint64_t cache_key = 0;
 };
 
 /** Per-candidate solve statistics (one row per template × window). */
@@ -89,6 +134,13 @@ struct RepairOutcome
     /** True when the containment layer dropped a stage or template;
      *  set for Degraded and for degraded-but-Repaired runs alike. */
     bool degraded = false;
+    /** The run was stopped by RepairConfig::cancel (reported as
+     *  Timeout status, but distinguishable for signal/disconnect
+     *  handling). */
+    bool cancelled = false;
+    /** The preprocess+elaborate prefix came from the elaboration
+     *  cache (warm start). */
+    bool elab_cache_hit = false;
 };
 
 /**

@@ -23,8 +23,10 @@ formatStageReports(const std::vector<StageReport> &reports)
                       stageStatusName(r.status), r.seconds);
         if (r.retries > 0)
             out += format("  retries=%d", r.retries);
-        if (r.peak_rss_kb > 0)
+        if (r.rss_known)
             out += format("  rss=%zuMB", r.peak_rss_kb / 1024);
+        else
+            out += "  rss=?";
         if (!r.diagnostic.empty())
             out += format("  (%s)", r.diagnostic.c_str());
         out += "\n";
@@ -69,7 +71,17 @@ memoryWatermarkExceeded(const GuardConfig &config)
 {
     if (config.max_rss_mb == 0)
         return false;
-    return peakRssKb() > config.max_rss_mb * 1024;
+    std::optional<size_t> rss = peakRssKb();
+    if (!rss) {
+        // Unknown RSS is not evidence of being under budget, but a
+        // watermark can only compare against a measurement: record
+        // the blind spot instead of silently passing as 0.
+        telemetry::counter("guard.rss_unknown",
+                           telemetry::MetricKind::Unstable)
+            .add(1);
+        return false;
+    }
+    return *rss > config.max_rss_mb * 1024;
 }
 
 } // namespace rtlrepair::repair

@@ -49,6 +49,10 @@ struct StageReport
     int retries = 0;            ///< recoveries attempted inside the stage
     std::string diagnostic;     ///< exception text when not Ok
     size_t peak_rss_kb = 0;     ///< process peak RSS after the stage
+    /** False when the peak RSS could not be determined (no
+     *  /proc/self/status, failing getrusage): peak_rss_kb is then 0
+     *  and means "unknown", not "under budget". */
+    bool rss_known = false;
     /** The contained fault was a FatalError: the stage choked on the
      *  user's input, not on a tool bug or resource exhaustion. */
     bool user_error = false;
@@ -174,7 +178,7 @@ class StageGuard
     {
         _report.status = StageStatus::Skipped;
         _report.diagnostic = why;
-        _report.peak_rss_kb = peakRssKb();
+        recordRss();
         _sink->push_back(_report);
     }
 
@@ -183,13 +187,21 @@ class StageGuard
 
   private:
     void
+    recordRss()
+    {
+        std::optional<size_t> rss = peakRssKb();
+        _report.rss_known = rss.has_value();
+        _report.peak_rss_kb = rss.value_or(0);
+    }
+
+    void
     finish(const Stopwatch &watch, StageStatus status,
            const std::string &diagnostic)
     {
         _report.status = status;
         _report.seconds = watch.seconds();
         _report.diagnostic = diagnostic;
-        _report.peak_rss_kb = peakRssKb();
+        recordRss();
         if (_recording == Recording::Always ||
             status != StageStatus::Ok) {
             _sink->push_back(_report);

@@ -234,10 +234,12 @@ runEngineParallel(const ir::TransitionSystem &sys,
             result.status = EngineResult::Status::NoRepair;
             return result;
         }
-        if (cfg.max_rss_kb > 0 && peakRssKb() > cfg.max_rss_kb) {
+        if (cfg.max_rss_kb > 0 &&
+            peakRssKb().value_or(0) > cfg.max_rss_kb) {
             result.status = EngineResult::Status::Failed;
             result.error = format(
-                "peak-RSS watermark exceeded (%zu KiB)", peakRssKb());
+                "peak-RSS watermark exceeded (%zu KiB)",
+                peakRssKb().value_or(0));
             return result;
         }
 
@@ -626,7 +628,9 @@ runPortfolio(const verilog::Module &preprocessed,
             report.stage = "task:" + slot->name;
             report.status = StageStatus::Failed;
             report.diagnostic = what;
-            report.peak_rss_kb = peakRssKb();
+            std::optional<size_t> rss = peakRssKb();
+            report.rss_known = rss.has_value();
+            report.peak_rss_kb = rss.value_or(0);
             slot->stages.push_back(report);
             slot->outcome = TemplateSlot::Outcome::Failed;
             slot->note = format("template %s: task faulted (%s)\n",

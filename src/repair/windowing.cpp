@@ -353,10 +353,12 @@ runEngine(const ir::TransitionSystem &sys,
             result.status = EngineResult::Status::NoRepair;
             return result;
         }
-        if (cfg.max_rss_kb > 0 && peakRssKb() > cfg.max_rss_kb) {
+        if (cfg.max_rss_kb > 0 &&
+            peakRssKb().value_or(0) > cfg.max_rss_kb) {
             result.status = EngineResult::Status::Failed;
             result.error = format(
-                "peak-RSS watermark exceeded (%zu KiB)", peakRssKb());
+                "peak-RSS watermark exceeded (%zu KiB)",
+                peakRssKb().value_or(0));
             return result;
         }
         WindowLadder::Window w = ladder.window();

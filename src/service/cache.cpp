@@ -1,0 +1,136 @@
+#include "service/cache.hpp"
+
+#include "util/digest.hpp"
+#include "util/telemetry.hpp"
+#include "verilog/printer.hpp"
+
+namespace rtlrepair::service {
+
+namespace {
+
+telemetry::Counter &
+cacheCounter(const char *what)
+{
+    return telemetry::counter(std::string("service.cache.") + what,
+                              telemetry::MetricKind::Unstable);
+}
+
+} // namespace
+
+size_t
+ElabCache::estimateBytes(const Entry &entry)
+{
+    // An estimate is enough to bound memory: AST cost is proxied by
+    // the printed source, IR cost by its arrays.  Both undercount
+    // allocator overhead, so budgets should be set with headroom.
+    size_t bytes = sizeof(Slot);
+    if (entry.module)
+        bytes += verilog::print(*entry.module).size() * 2;
+    const ir::TransitionSystem &sys = entry.sys;
+    bytes += sys.nodes.size() * sizeof(ir::Node);
+    bytes += sys.consts.size() * 32;
+    bytes += (sys.states.size() + sys.inputs.size() +
+              sys.synth_vars.size() + sys.outputs.size()) *
+             96;
+    for (const auto &[name, ref] : sys.signals)
+        bytes += name.size() + 16 + sizeof(ref);
+    for (const auto &note : entry.preprocess_notes)
+        bytes += note.size() + 32;
+    return bytes;
+}
+
+repair::ElaborationCache::Entry
+ElabCache::copyEntry(const Entry &entry)
+{
+    Entry copy;
+    copy.module = entry.module ? entry.module->clone() : nullptr;
+    copy.preprocess_changes = entry.preprocess_changes;
+    copy.preprocess_notes = entry.preprocess_notes;
+    copy.sys = entry.sys;
+    return copy;
+}
+
+bool
+ElabCache::lookup(uint64_t key, Entry &out)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _index.find(key);
+    if (it == _index.end()) {
+        ++_stats.misses;
+        cacheCounter("miss").add(1);
+        return false;
+    }
+    // Refresh recency, then hand the caller its own copy.
+    _lru.splice(_lru.begin(), _lru, it->second);
+    out = copyEntry(it->second->entry);
+    ++_stats.hits;
+    cacheCounter("hit").add(1);
+    return true;
+}
+
+void
+ElabCache::store(uint64_t key, const Entry &entry)
+{
+    if (_max_bytes == 0)
+        return;
+    Entry copy = copyEntry(entry);
+    size_t bytes = estimateBytes(copy);
+    if (bytes > _max_bytes)
+        return;  // a single over-budget design would evict everything
+
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _index.find(key);
+    if (it != _index.end()) {
+        // Concurrent cold submissions of the same design race to
+        // store; first wins, the rest just refresh recency.
+        _lru.splice(_lru.begin(), _lru, it->second);
+        return;
+    }
+    while (_bytes + bytes > _max_bytes && !_lru.empty()) {
+        const Slot &victim = _lru.back();
+        _bytes -= victim.bytes;
+        _index.erase(victim.key);
+        _lru.pop_back();
+        ++_stats.evictions;
+        cacheCounter("evict").add(1);
+    }
+    _lru.push_front(Slot{key, std::move(copy), bytes});
+    _index[key] = _lru.begin();
+    _bytes += bytes;
+    ++_stats.stores;
+    cacheCounter("store").add(1);
+}
+
+ElabCache::Stats
+ElabCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Stats s = _stats;
+    s.entries = _lru.size();
+    s.bytes = _bytes;
+    return s;
+}
+
+uint64_t
+designDigest(const std::string &design_source,
+             const std::vector<std::string> &library_sources)
+{
+    uint64_t h = fnv1a64(design_source);
+    for (const auto &lib : library_sources) {
+        h = fnv1a64("\x1f", h);  // separator: concat must not collide
+        h = fnv1a64(lib, h);
+    }
+    return h;
+}
+
+uint64_t
+jobDigest(const std::string &design_source,
+          const std::string &trace_csv)
+{
+    uint64_t h = fnv1a64(design_source);
+    h = fnv1a64("\x1f", h);
+    h = fnv1a64(trace_csv, h);
+    return h;
+}
+
+} // namespace rtlrepair::service

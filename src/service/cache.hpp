@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Cross-job elaboration cache: the service-side implementation of
+ * repair::ElaborationCache.
+ *
+ * Keyed by the FNV-1a 64 digest of the submitted design + library
+ * sources (the same hash family golden_trace_test pins its oracle
+ * with), each entry holds the preprocessed module and its base
+ * elaboration — the design-dependent pipeline prefix that a fleet of
+ * users resubmitting near-identical designs would otherwise recompute
+ * per job.  Lookups clone; cached state is never aliased into a
+ * running job, so a poisoned job cannot corrupt warm state for its
+ * siblings.
+ *
+ * Memory is bounded: entries carry an estimated byte cost and the
+ * cache evicts least-recently-used entries past the budget.  Hits,
+ * misses, stores and evictions are telemetry counters
+ * (service.cache.*, Unstable: concurrent submissions race for the
+ * first miss).
+ */
+#ifndef RTLREPAIR_SERVICE_CACHE_HPP
+#define RTLREPAIR_SERVICE_CACHE_HPP
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "repair/driver.hpp"
+
+namespace rtlrepair::service {
+
+class ElabCache : public repair::ElaborationCache
+{
+  public:
+    /** @p max_bytes caps the summed entry estimates (0 = disabled:
+     *  every lookup misses, stores are dropped). */
+    explicit ElabCache(size_t max_bytes) : _max_bytes(max_bytes) {}
+
+    bool lookup(uint64_t key, Entry &out) override;
+    void store(uint64_t key, const Entry &entry) override;
+
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t stores = 0;
+        uint64_t evictions = 0;
+        size_t entries = 0;
+        size_t bytes = 0;
+    };
+    Stats stats() const;
+
+  private:
+    struct Slot
+    {
+        uint64_t key = 0;
+        Entry entry;
+        size_t bytes = 0;
+    };
+
+    static size_t estimateBytes(const Entry &entry);
+    static Entry copyEntry(const Entry &entry);
+
+    mutable std::mutex _mutex;
+    size_t _max_bytes;
+    size_t _bytes = 0;
+    /** MRU front, LRU back. */
+    std::list<Slot> _lru;
+    std::unordered_map<uint64_t, std::list<Slot>::iterator> _index;
+    Stats _stats;
+};
+
+/** Digest of a design + library source set, the elab-cache key (and
+ *  the default idempotent job id on the client). */
+uint64_t designDigest(const std::string &design_source,
+                      const std::vector<std::string> &library_sources =
+                          {});
+
+/** Digest of a full submission (design + trace): the default
+ *  content-addressed job id, identical on client and server. */
+uint64_t jobDigest(const std::string &design_source,
+                   const std::string &trace_csv);
+
+} // namespace rtlrepair::service
+
+#endif // RTLREPAIR_SERVICE_CACHE_HPP

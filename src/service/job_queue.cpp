@@ -1,0 +1,18 @@
+#include "service/job_queue.hpp"
+
+namespace rtlrepair::service {
+
+const char *
+admissionReason(Admission verdict)
+{
+    switch (verdict) {
+      case Admission::Admitted: return "admitted";
+      case Admission::Overloaded: return "overloaded";
+      case Admission::TenantBusy: return "tenant-busy";
+      case Admission::Duplicate: return "duplicate";
+      case Admission::ShuttingDown: return "shutting-down";
+    }
+    return "?";
+}
+
+} // namespace rtlrepair::service

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Bounded priority job queue with explicit admission control — the
+ * backpressure layer between the daemon's accept path and its
+ * repair workers.
+ *
+ * Admission is decided synchronously at submit time so the client
+ * always gets an explicit verdict (accepted / rejected+reason)
+ * instead of an unbounded queue quietly converting overload into
+ * memory exhaustion:
+ *   - Overloaded: queued jobs at capacity -> "overloaded".
+ *   - Per-tenant cap: a tenant may only have so many jobs admitted
+ *     (queued + running) at once -> "tenant-busy"; one noisy tenant
+ *     cannot occupy the whole queue.
+ *   - Duplicate id: job ids are idempotent handles; an id that is
+ *     already queued or running is rejected ("duplicate") rather
+ *     than run twice.
+ *   - Shutdown: a draining queue admits nothing ("shutting-down").
+ *
+ * Dequeue order: highest priority first, FIFO within a priority
+ * level (stable: ties never reorder).
+ */
+#ifndef RTLREPAIR_SERVICE_JOB_QUEUE_HPP
+#define RTLREPAIR_SERVICE_JOB_QUEUE_HPP
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace rtlrepair::service {
+
+/** Why admission failed (Admitted = it did not fail). */
+enum class Admission {
+    Admitted,
+    Overloaded,
+    TenantBusy,
+    Duplicate,
+    ShuttingDown,
+};
+
+/** Wire string for a rejection ("overloaded", ...). */
+const char *admissionReason(Admission verdict);
+
+/**
+ * The queue holds opaque shared_ptr<T> handles; the server
+ * instantiates it with its Job record.  Bookkeeping (ids, tenants)
+ * lives here so admission stays a single synchronized decision.
+ */
+template <typename T>
+class JobQueue
+{
+  public:
+    JobQueue(size_t capacity, size_t tenant_cap)
+        : _capacity(capacity), _tenant_cap(tenant_cap)
+    {
+    }
+
+    /**
+     * Try to admit @p job.  On Admitted the job is queued and
+     * release() must eventually be called with the same id/tenant
+     * once the job has fully finished running.
+     */
+    Admission
+    submit(const std::string &id, const std::string &tenant,
+           int priority, std::shared_ptr<T> job)
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_shutdown)
+            return Admission::ShuttingDown;
+        if (_admitted.count(id))
+            return Admission::Duplicate;
+        if (_queued >= _capacity)
+            return Admission::Overloaded;
+        if (_tenant_cap > 0 && _tenant_load[tenant] >= _tenant_cap)
+            return Admission::TenantBusy;
+        _admitted.insert({id, tenant});
+        ++_tenant_load[tenant];
+        ++_queued;
+        _levels[priority].push_back(std::move(job));
+        _cv.notify_one();
+        return Admission::Admitted;
+    }
+
+    /**
+     * Pop the next job (highest priority, FIFO within it); blocks up
+     * to @p timeout_ms.  Returns nullptr on timeout or shutdown —
+     * callers poll their stop token between calls.
+     */
+    std::shared_ptr<T>
+    pop(int timeout_ms)
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                     [&] { return _queued > 0 || _shutdown; });
+        if (_queued == 0)
+            return nullptr;
+        auto level = _levels.rbegin();  // highest priority first
+        std::shared_ptr<T> job = std::move(level->second.front());
+        level->second.pop_front();
+        if (level->second.empty())
+            _levels.erase(std::next(level).base());
+        --_queued;
+        return job;
+    }
+
+    /** A finished (or abandoned) job frees its id and tenant slot. */
+    void
+    release(const std::string &id, const std::string &tenant)
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_admitted.erase(id) == 0)
+            return;
+        auto it = _tenant_load.find(tenant);
+        if (it != _tenant_load.end() && --it->second == 0)
+            _tenant_load.erase(it);
+    }
+
+    /** Stop admitting; wake all poppers. */
+    void
+    shutdown()
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _shutdown = true;
+        _cv.notify_all();
+    }
+
+    size_t
+    queued() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _queued;
+    }
+
+    /** Admitted = queued + running (ids holding a slot). */
+    size_t
+    admitted() const
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        return _admitted.size();
+    }
+
+  private:
+    mutable std::mutex _mutex;
+    std::condition_variable _cv;
+    size_t _capacity;
+    size_t _tenant_cap;
+    size_t _queued = 0;
+    bool _shutdown = false;
+    /** priority -> FIFO of jobs at that priority. */
+    std::map<int, std::deque<std::shared_ptr<T>>> _levels;
+    /** id -> tenant for everything admitted and not yet released. */
+    std::map<std::string, std::string> _admitted;
+    std::map<std::string, size_t> _tenant_load;
+};
+
+} // namespace rtlrepair::service
+
+#endif // RTLREPAIR_SERVICE_JOB_QUEUE_HPP

@@ -1,0 +1,119 @@
+#include "service/journal.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "service/json.hpp"
+#include "util/strings.hpp"
+
+namespace rtlrepair::service {
+
+bool
+Journal::open(const std::string &path, std::string &error)
+{
+    if (path.empty())
+        return true;  // journaling disabled
+
+    // Replay first: the interrupted set is computed from the log as
+    // the previous process left it, before this process appends.
+    {
+        std::ifstream in(path);
+        std::map<std::string, InterruptedJob> open_jobs;
+        std::string line;
+        while (in && std::getline(in, line)) {
+            if (line.empty())
+                continue;
+            Json rec;
+            // A torn final line (the crash happened mid-append) is
+            // expected; skip anything unparsable.
+            if (!Json::parse(line, rec, nullptr) || !rec.isObject())
+                continue;
+            std::string event = rec.str("event");
+            std::string id = rec.str("job");
+            if (id.empty())
+                continue;
+            if (event == "start")
+                open_jobs[id] = {id, rec.str("tenant")};
+            else if (event == "done")
+                open_jobs.erase(id);
+        }
+        _interrupted.clear();
+        for (auto &[id, job] : open_jobs)
+            _interrupted.push_back(std::move(job));
+    }
+
+    _fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (_fd < 0) {
+        error = format("cannot open journal %s: %s", path.c_str(),
+                       std::strerror(errno));
+        return false;
+    }
+    return true;
+}
+
+Journal::~Journal()
+{
+    if (_fd >= 0)
+        ::close(_fd);
+}
+
+void
+Journal::clearInterrupted(const std::string &id)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _interrupted.erase(
+        std::remove_if(_interrupted.begin(), _interrupted.end(),
+                       [&](const InterruptedJob &j) {
+                           return j.id == id;
+                       }),
+        _interrupted.end());
+}
+
+void
+Journal::append(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_fd < 0)
+        return;
+    size_t off = 0;
+    while (off < line.size()) {
+        ssize_t n =
+            ::write(_fd, line.data() + off, line.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return;  // a failing journal must not take jobs down
+        }
+        off += static_cast<size_t>(n);
+    }
+    ::fsync(_fd);
+}
+
+void
+Journal::logStart(const std::string &id, const std::string &tenant)
+{
+    Json rec = Json::object();
+    rec.set("event", Json::string("start"));
+    rec.set("job", Json::string(id));
+    if (!tenant.empty())
+        rec.set("tenant", Json::string(tenant));
+    append(rec.dump() + "\n");
+}
+
+void
+Journal::logDone(const std::string &id, const std::string &status)
+{
+    Json rec = Json::object();
+    rec.set("event", Json::string("done"));
+    rec.set("job", Json::string(id));
+    rec.set("status", Json::string(status));
+    append(rec.dump() + "\n");
+}
+
+} // namespace rtlrepair::service

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Crash-recovery journal for the repaird daemon: an append-only
+ * NDJSON log of job starts and completions.
+ *
+ * Every admitted job writes a `start` record before it runs and a
+ * `done` record when its result has been produced (whatever the
+ * outcome — success, failure, cancellation).  On startup the daemon
+ * replays the log: a `start` without a matching `done` is a job the
+ * previous process lost mid-flight (SIGKILL, OOM-kill, power), and is
+ * reported to clients as "interrupted" instead of vanishing silently.
+ *
+ * Job ids are idempotent: re-submitting an interrupted id clears it
+ * from the interrupted set (a fresh `start` supersedes the orphan).
+ * Records are flushed and fsynced per append — the journal is worth
+ * a syscall per job; it is the only thing that survives SIGKILL.
+ */
+#ifndef RTLREPAIR_SERVICE_JOURNAL_HPP
+#define RTLREPAIR_SERVICE_JOURNAL_HPP
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rtlrepair::service {
+
+/** One job the previous daemon instance lost mid-flight. */
+struct InterruptedJob
+{
+    std::string id;
+    std::string tenant;
+};
+
+class Journal
+{
+  public:
+    Journal() = default;
+
+    /**
+     * Open (creating if absent) the journal at @p path and replay it;
+     * interrupted jobs are available via interrupted() afterwards.
+     * Returns false + @p error when the file cannot be opened or
+     * created.  An empty path disables journaling (all appends become
+     * no-ops) and always succeeds.
+     */
+    bool open(const std::string &path, std::string &error);
+
+    bool enabled() const { return _fd >= 0; }
+
+    /** Jobs found started-but-unfinished at open() time. */
+    const std::vector<InterruptedJob> &interrupted() const
+    {
+        return _interrupted;
+    }
+
+    /** Remove @p id from the interrupted set (resubmitted). */
+    void clearInterrupted(const std::string &id);
+
+    /** Append a start record for @p id / @p tenant. */
+    void logStart(const std::string &id, const std::string &tenant);
+
+    /** Append a done record (@p status is the wire status name). */
+    void logDone(const std::string &id, const std::string &status);
+
+    ~Journal();
+
+  private:
+    void append(const std::string &line);
+
+    std::mutex _mutex;
+    int _fd = -1;
+    std::vector<InterruptedJob> _interrupted;
+};
+
+} // namespace rtlrepair::service
+
+#endif // RTLREPAIR_SERVICE_JOURNAL_HPP

@@ -1,0 +1,477 @@
+#include "service/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "util/strings.hpp"
+
+namespace rtlrepair::service {
+
+Json
+Json::boolean(bool b)
+{
+    Json j;
+    j._kind = Kind::Bool;
+    j._bool = b;
+    return j;
+}
+
+Json
+Json::number(double n)
+{
+    Json j;
+    j._kind = Kind::Number;
+    j._num = n;
+    return j;
+}
+
+Json
+Json::number(uint64_t n)
+{
+    return number(static_cast<double>(n));
+}
+
+Json
+Json::string(std::string s)
+{
+    Json j;
+    j._kind = Kind::String;
+    j._str = std::move(s);
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j._kind = Kind::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j._kind = Kind::Object;
+    return j;
+}
+
+bool
+Json::asBool(bool dflt) const
+{
+    return _kind == Kind::Bool ? _bool : dflt;
+}
+
+double
+Json::asNumber(double dflt) const
+{
+    return _kind == Kind::Number ? _num : dflt;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (_kind != Kind::Object)
+        return nullptr;
+    auto it = _object.find(key);
+    return it == _object.end() ? nullptr : &it->second;
+}
+
+std::string
+Json::str(const std::string &key, const std::string &dflt) const
+{
+    const Json *v = find(key);
+    return v && v->_kind == Kind::String ? v->_str : dflt;
+}
+
+double
+Json::num(const std::string &key, double dflt) const
+{
+    const Json *v = find(key);
+    return v && v->_kind == Kind::Number ? v->_num : dflt;
+}
+
+bool
+Json::flag(const std::string &key, bool dflt) const
+{
+    const Json *v = find(key);
+    return v && v->_kind == Kind::Bool ? v->_bool : dflt;
+}
+
+Json &
+Json::set(const std::string &key, Json value)
+{
+    if (_kind == Kind::Object)
+        _object[key] = std::move(value);
+    return *this;
+}
+
+Json &
+Json::push(Json value)
+{
+    if (_kind == Kind::Array)
+        _array.push_back(std::move(value));
+    return *this;
+}
+
+std::string
+jsonQuote(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    out += '"';
+    for (char raw : text) {
+        unsigned char c = static_cast<unsigned char>(raw);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += raw;  // UTF-8 bytes pass through untouched
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+Json::dump() const
+{
+    switch (_kind) {
+      case Kind::Null:
+        return "null";
+      case Kind::Bool:
+        return _bool ? "true" : "false";
+      case Kind::Number: {
+        // Integers (the common case: counts, exit codes) print
+        // without a fraction so they re-parse identically.
+        if (std::floor(_num) == _num && std::fabs(_num) < 1e15)
+            return format("%lld", static_cast<long long>(_num));
+        return format("%.17g", _num);
+      }
+      case Kind::String:
+        return jsonQuote(_str);
+      case Kind::Array: {
+        std::string out = "[";
+        for (size_t i = 0; i < _array.size(); ++i) {
+            if (i)
+                out += ',';
+            out += _array[i].dump();
+        }
+        return out + "]";
+      }
+      case Kind::Object: {
+        std::string out = "{";
+        bool first = true;
+        for (const auto &[key, value] : _object) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += jsonQuote(key);
+            out += ':';
+            out += value.dump();
+        }
+        return out + "}";
+      }
+    }
+    return "null";
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : _s(text), _error(error)
+    {
+    }
+
+    bool
+    parse(Json &out)
+    {
+        skipWs();
+        if (!value(out))
+            return false;
+        skipWs();
+        if (_pos != _s.size())
+            return fail("trailing characters after value");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char *msg)
+    {
+        if (_error && _error->empty())
+            *_error = format("%s at offset %zu", msg, _pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (_pos < _s.size() &&
+               (_s[_pos] == ' ' || _s[_pos] == '\t' ||
+                _s[_pos] == '\n' || _s[_pos] == '\r')) {
+            ++_pos;
+        }
+    }
+
+    bool
+    literal(const char *word, Json &out, Json value)
+    {
+        size_t n = std::strlen(word);
+        if (_s.compare(_pos, n, word) != 0)
+            return fail("bad literal");
+        _pos += n;
+        out = std::move(value);
+        return true;
+    }
+
+    bool
+    value(Json &out)
+    {
+        skipWs();
+        if (_pos >= _s.size())
+            return fail("unexpected end of input");
+        switch (_s[_pos]) {
+          case '{': return object(out);
+          case '[': return array(out);
+          case '"': {
+            std::string s;
+            if (!string(s))
+                return false;
+            out = Json::string(std::move(s));
+            return true;
+          }
+          case 't': return literal("true", out, Json::boolean(true));
+          case 'f': return literal("false", out, Json::boolean(false));
+          case 'n': return literal("null", out, Json::null());
+          default: return number(out);
+        }
+    }
+
+    bool
+    hex4(uint32_t &cp)
+    {
+        if (_pos + 4 > _s.size())
+            return fail("truncated \\u escape");
+        cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = _s[_pos++];
+            cp <<= 4;
+            if (c >= '0' && c <= '9')
+                cp |= static_cast<uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                cp |= static_cast<uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                cp |= static_cast<uint32_t>(c - 'A' + 10);
+            else
+                return fail("bad \\u escape");
+        }
+        return true;
+    }
+
+    void
+    appendUtf8(std::string &out, uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    bool
+    string(std::string &out)
+    {
+        ++_pos;  // opening quote
+        out.clear();
+        while (true) {
+            if (_pos >= _s.size())
+                return fail("unterminated string");
+            char c = _s[_pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (_pos >= _s.size())
+                return fail("unterminated escape");
+            char esc = _s[_pos++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                uint32_t cp = 0;
+                if (!hex4(cp))
+                    return false;
+                // Surrogate pairs: protocol strings are byte-oriented
+                // so unpaired surrogates become U+FFFD.
+                if (cp >= 0xd800 && cp <= 0xdbff &&
+                    _s.compare(_pos, 2, "\\u") == 0) {
+                    _pos += 2;
+                    uint32_t lo = 0;
+                    if (!hex4(lo))
+                        return false;
+                    if (lo >= 0xdc00 && lo <= 0xdfff) {
+                        uint32_t full = 0x10000 +
+                                        ((cp - 0xd800) << 10) +
+                                        (lo - 0xdc00);
+                        out += static_cast<char>(0xf0 | (full >> 18));
+                        out += static_cast<char>(
+                            0x80 | ((full >> 12) & 0x3f));
+                        out += static_cast<char>(
+                            0x80 | ((full >> 6) & 0x3f));
+                        out += static_cast<char>(0x80 | (full & 0x3f));
+                        break;
+                    }
+                    cp = 0xfffd;
+                }
+                appendUtf8(out, cp >= 0xd800 && cp <= 0xdfff ? 0xfffd
+                                                             : cp);
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+    }
+
+    bool
+    number(Json &out)
+    {
+        size_t start = _pos;
+        if (_pos < _s.size() && (_s[_pos] == '-' || _s[_pos] == '+'))
+            ++_pos;
+        // RFC 8259: no leading zeros ("01" is two tokens, an error).
+        if (_pos + 1 < _s.size() && _s[_pos] == '0' &&
+            std::isdigit(static_cast<unsigned char>(_s[_pos + 1])))
+            return fail("leading zero in number");
+        bool digits = false;
+        while (_pos < _s.size() &&
+               (std::isdigit(static_cast<unsigned char>(_s[_pos])) ||
+                _s[_pos] == '.' || _s[_pos] == 'e' || _s[_pos] == 'E' ||
+                _s[_pos] == '-' || _s[_pos] == '+')) {
+            digits = digits ||
+                     std::isdigit(static_cast<unsigned char>(_s[_pos]));
+            ++_pos;
+        }
+        if (!digits)
+            return fail("bad number");
+        out = Json::number(
+            std::atof(_s.substr(start, _pos - start).c_str()));
+        return true;
+    }
+
+    bool
+    array(Json &out)
+    {
+        out = Json::array();
+        ++_pos;  // '['
+        skipWs();
+        if (_pos < _s.size() && _s[_pos] == ']') {
+            ++_pos;
+            return true;
+        }
+        while (true) {
+            Json elem;
+            if (!value(elem))
+                return false;
+            out.push(std::move(elem));
+            skipWs();
+            if (_pos >= _s.size())
+                return fail("unterminated array");
+            if (_s[_pos] == ',') {
+                ++_pos;
+                continue;
+            }
+            if (_s[_pos] == ']') {
+                ++_pos;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    object(Json &out)
+    {
+        out = Json::object();
+        ++_pos;  // '{'
+        skipWs();
+        if (_pos < _s.size() && _s[_pos] == '}') {
+            ++_pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (_pos >= _s.size() || _s[_pos] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!string(key))
+                return false;
+            skipWs();
+            if (_pos >= _s.size() || _s[_pos] != ':')
+                return fail("expected ':'");
+            ++_pos;
+            Json val;
+            if (!value(val))
+                return false;
+            out.set(key, std::move(val));
+            skipWs();
+            if (_pos >= _s.size())
+                return fail("unterminated object");
+            if (_s[_pos] == ',') {
+                ++_pos;
+                continue;
+            }
+            if (_s[_pos] == '}') {
+                ++_pos;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string &_s;
+    std::string *_error;
+    size_t _pos = 0;
+};
+
+} // namespace
+
+bool
+Json::parse(const std::string &text, Json &out, std::string *error)
+{
+    if (error)
+        error->clear();
+    return Parser(text, error).parse(out);
+}
+
+} // namespace rtlrepair::service

@@ -1,0 +1,247 @@
+#include "service/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/strings.hpp"
+
+namespace rtlrepair::service {
+
+void
+Fd::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+}
+
+bool
+isUnixAddress(const std::string &address)
+{
+    return address.find('/') != std::string::npos;
+}
+
+namespace {
+
+bool
+fillUnixAddr(const std::string &path, sockaddr_un &addr,
+             std::string &error)
+{
+    if (path.size() >= sizeof(addr.sun_path)) {
+        error = format("unix socket path too long (%zu bytes)",
+                       path.size());
+        return false;
+    }
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+bool
+splitHostPort(const std::string &address, std::string &host,
+              std::string &port, std::string &error)
+{
+    size_t colon = address.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= address.size()) {
+        error = "TCP address must be host:port";
+        return false;
+    }
+    host = address.substr(0, colon);
+    port = address.substr(colon + 1);
+    if (host.empty())
+        host = "127.0.0.1";
+    return true;
+}
+
+} // namespace
+
+Fd
+listenOn(const std::string &address, std::string &error)
+{
+    if (isUnixAddress(address)) {
+        sockaddr_un addr;
+        if (!fillUnixAddr(address, addr, error))
+            return Fd();
+        Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+        if (!fd.valid()) {
+            error = format("socket: %s", std::strerror(errno));
+            return Fd();
+        }
+        // A daemon that was SIGKILLed leaves its socket file behind;
+        // binding over it is the restart path, so unlink first.
+        ::unlink(address.c_str());
+        if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                   sizeof addr) != 0) {
+            error = format("bind %s: %s", address.c_str(),
+                           std::strerror(errno));
+            return Fd();
+        }
+        if (::listen(fd.get(), 64) != 0) {
+            error = format("listen: %s", std::strerror(errno));
+            return Fd();
+        }
+        return fd;
+    }
+
+    std::string host, port;
+    if (!splitHostPort(address, host, port, error))
+        return Fd();
+    addrinfo hints = {};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    addrinfo *res = nullptr;
+    int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+    if (rc != 0) {
+        error = format("resolve %s: %s", address.c_str(),
+                       gai_strerror(rc));
+        return Fd();
+    }
+    Fd fd;
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        Fd candidate(::socket(ai->ai_family, ai->ai_socktype,
+                              ai->ai_protocol));
+        if (!candidate.valid())
+            continue;
+        int one = 1;
+        ::setsockopt(candidate.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof one);
+        if (::bind(candidate.get(), ai->ai_addr, ai->ai_addrlen) == 0 &&
+            ::listen(candidate.get(), 64) == 0) {
+            fd = std::move(candidate);
+            break;
+        }
+    }
+    ::freeaddrinfo(res);
+    if (!fd.valid())
+        error = format("cannot listen on %s: %s", address.c_str(),
+                       std::strerror(errno));
+    return fd;
+}
+
+Fd
+acceptOn(const Fd &listener, int timeout_ms)
+{
+    pollfd pfd = {listener.get(), POLLIN, 0};
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc <= 0)
+        return Fd();  // timeout or EINTR: caller re-checks its token
+    int fd = ::accept(listener.get(), nullptr, nullptr);
+    return Fd(fd);
+}
+
+Fd
+connectTo(const std::string &address, std::string &error)
+{
+    if (isUnixAddress(address)) {
+        sockaddr_un addr;
+        if (!fillUnixAddr(address, addr, error))
+            return Fd();
+        Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+        if (!fd.valid()) {
+            error = format("socket: %s", std::strerror(errno));
+            return Fd();
+        }
+        if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                      sizeof addr) != 0) {
+            error = format("connect %s: %s", address.c_str(),
+                           std::strerror(errno));
+            return Fd();
+        }
+        return fd;
+    }
+
+    std::string host, port;
+    if (!splitHostPort(address, host, port, error))
+        return Fd();
+    addrinfo hints = {};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+    if (rc != 0) {
+        error = format("resolve %s: %s", address.c_str(),
+                       gai_strerror(rc));
+        return Fd();
+    }
+    Fd fd;
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        Fd candidate(::socket(ai->ai_family, ai->ai_socktype,
+                              ai->ai_protocol));
+        if (!candidate.valid())
+            continue;
+        if (::connect(candidate.get(), ai->ai_addr, ai->ai_addrlen) ==
+            0) {
+            int one = 1;
+            ::setsockopt(candidate.get(), IPPROTO_TCP, TCP_NODELAY,
+                         &one, sizeof one);
+            fd = std::move(candidate);
+            break;
+        }
+    }
+    ::freeaddrinfo(res);
+    if (!fd.valid())
+        error = format("cannot connect to %s: %s", address.c_str(),
+                       std::strerror(errno));
+    return fd;
+}
+
+bool
+writeAll(const Fd &fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        // MSG_NOSIGNAL: a peer that vanished mid-write must surface
+        // as EPIPE here, not as a process-killing SIGPIPE.
+        ssize_t n = ::send(fd.get(), data.data() + off,
+                           data.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+LineReader::Io
+LineReader::readLine(std::string &line, int timeout_ms)
+{
+    while (true) {
+        size_t nl = _buf.find('\n');
+        if (nl != std::string::npos) {
+            line = _buf.substr(0, nl);
+            _buf.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            return Io::Line;
+        }
+        pollfd pfd = {_fd, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc == 0)
+            return Io::Again;
+        if (rc < 0)
+            return errno == EINTR ? Io::Again : Io::Error;
+        char chunk[4096];
+        ssize_t n = ::recv(_fd, chunk, sizeof chunk, 0);
+        if (n == 0)
+            return Io::Eof;
+        if (n < 0)
+            return errno == EINTR ? Io::Again : Io::Error;
+        _buf.append(chunk, static_cast<size_t>(n));
+    }
+}
+
+} // namespace rtlrepair::service

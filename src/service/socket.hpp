@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Thin POSIX socket layer for the repaird daemon and its clients:
+ * RAII fds, Unix-domain and TCP listeners/connectors behind one
+ * address spec, and a line-buffered reader for NDJSON framing.
+ *
+ * Address specs: anything containing a '/' is a Unix-domain socket
+ * path ("/tmp/repaird.sock", "./daemon.sock"); otherwise "host:port"
+ * ("127.0.0.1:7411").  Unix sockets are the default deployment —
+ * filesystem permissions are the authentication story.
+ *
+ * All reads poll with a timeout so callers can interleave a
+ * CancelToken check; a cancelled loop sees Io::Again rather than
+ * blocking forever in recv().
+ */
+#ifndef RTLREPAIR_SERVICE_SOCKET_HPP
+#define RTLREPAIR_SERVICE_SOCKET_HPP
+
+#include <string>
+
+namespace rtlrepair::service {
+
+/** Owned file descriptor (closes on destruction, move-only). */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : _fd(fd) {}
+    ~Fd() { close(); }
+
+    Fd(Fd &&other) noexcept : _fd(other._fd) { other._fd = -1; }
+    Fd &
+    operator=(Fd &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            _fd = other._fd;
+            other._fd = -1;
+        }
+        return *this;
+    }
+
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+
+    int get() const { return _fd; }
+    bool valid() const { return _fd >= 0; }
+    void close();
+
+  private:
+    int _fd = -1;
+};
+
+/** True when @p address names a Unix-domain socket path. */
+bool isUnixAddress(const std::string &address);
+
+/**
+ * Bind + listen on @p address.  Replaces a stale Unix socket file
+ * (daemon restart after SIGKILL).  Returns an invalid Fd and fills
+ * @p error on failure.
+ */
+Fd listenOn(const std::string &address, std::string &error);
+
+/** Accept one connection; invalid Fd on timeout/EINTR (poll again)
+ *  and on a closed listener. */
+Fd acceptOn(const Fd &listener, int timeout_ms);
+
+/** Connect to @p address; invalid Fd + @p error on failure. */
+Fd connectTo(const std::string &address, std::string &error);
+
+/** Write all of @p data; false on a broken connection. */
+bool writeAll(const Fd &fd, const std::string &data);
+
+/**
+ * Buffered newline-framed reader.  readLine() polls in @p timeout_ms
+ * slices so callers can check cancellation between slices.
+ */
+class LineReader
+{
+  public:
+    enum class Io { Line, Again, Eof, Error };
+
+    explicit LineReader(int fd) : _fd(fd) {}
+
+    /** Next complete line (without the '\n') into @p line. */
+    Io readLine(std::string &line, int timeout_ms);
+
+  private:
+    int _fd;
+    std::string _buf;
+};
+
+} // namespace rtlrepair::service
+
+#endif // RTLREPAIR_SERVICE_SOCKET_HPP

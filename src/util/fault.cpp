@@ -1,7 +1,9 @@
 #include "util/fault.hpp"
 
 #include <cstdlib>
+#include <fstream>
 #include <new>
+#include <sstream>
 
 #include <sys/resource.h>
 
@@ -142,13 +144,49 @@ FaultInjector::hit(const std::string &stage)
     }
 }
 
-size_t
+std::optional<size_t>
+parseVmHwmKb(const std::string &text)
+{
+    size_t pos = text.find("VmHWM:");
+    if (pos == std::string::npos)
+        return std::nullopt;
+    pos += 6;
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t'))
+        ++pos;
+    if (pos >= text.size() || text[pos] < '0' || text[pos] > '9')
+        return std::nullopt;
+    size_t kb = 0;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+        kb = kb * 10 + static_cast<size_t>(text[pos] - '0');
+        ++pos;
+    }
+    // The kernel always reports VmHWM in kB; anything else is a
+    // format we do not understand and must not misread.
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t'))
+        ++pos;
+    if (text.compare(pos, 2, "kB") != 0)
+        return std::nullopt;
+    return kb;
+}
+
+std::optional<size_t>
 peakRssKb()
 {
+    // Primary source: /proc/self/status VmHWM (present on Linux,
+    // absent in minimal sandboxes and on other kernels).
+    std::ifstream status("/proc/self/status");
+    if (status) {
+        std::ostringstream buf;
+        buf << status.rdbuf();
+        if (auto kb = parseVmHwmKb(buf.str()))
+            return kb;
+    }
+    // Fallback: getrusage, which Linux reports in KiB.  A zero
+    // ru_maxrss means the kernel did not account it — unknown, not
+    // "zero bytes resident".
     struct rusage ru;
-    if (getrusage(RUSAGE_SELF, &ru) != 0)
-        return 0;
-    // Linux reports ru_maxrss in KiB.
+    if (getrusage(RUSAGE_SELF, &ru) != 0 || ru.ru_maxrss <= 0)
+        return std::nullopt;
     return static_cast<size_t>(ru.ru_maxrss);
 }
 

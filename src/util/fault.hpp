@@ -22,6 +22,7 @@
 #include <atomic>
 #include <cstddef>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -110,8 +111,29 @@ faultPoint(const std::string &stage)
         inj.hit(stage);
 }
 
-/** Peak resident set size of this process in KiB (0 if unknown). */
-size_t peakRssKb();
+/**
+ * Peak resident set size of this process in KiB, or std::nullopt
+ * when it cannot be determined (no /proc/self/status, unparsable
+ * contents, and a failing getrusage fallback).  Callers must treat
+ * "unknown" as unknown: a budget check that reads a missing RSS as 0
+ * silently reports every run as under budget.
+ */
+std::optional<size_t> peakRssKb();
+
+/**
+ * Parse the VmHWM line out of /proc/self/status-shaped @p text.
+ * Exposed for tests; returns std::nullopt when the field is missing
+ * or malformed.
+ */
+std::optional<size_t> parseVmHwmKb(const std::string &text);
+
+/** Peak RSS as a number for contexts that must print something:
+ *  the value, or 0 when unknown.  Pair with peakRssKnown(). */
+inline size_t
+peakRssKbOrZero()
+{
+    return peakRssKb().value_or(0);
+}
 
 } // namespace rtlrepair
 

@@ -1,0 +1,61 @@
+#include "util/signals.hpp"
+
+#include <atomic>
+#include <csignal>
+
+namespace rtlrepair {
+
+namespace {
+
+std::atomic<CancelToken *> g_token{nullptr};
+std::atomic<int> g_signal{0};
+
+extern "C" void
+cancelHandler(int sig)
+{
+    g_signal.store(sig, std::memory_order_relaxed);
+    if (CancelToken *token = g_token.load(std::memory_order_relaxed))
+        token->cancel();
+    // A second signal means the cooperative path is stuck (or the
+    // user is impatient): fall back to the default disposition so the
+    // next delivery terminates the process.
+    struct sigaction dfl = {};
+    dfl.sa_handler = SIG_DFL;
+    sigaction(sig, &dfl, nullptr);
+}
+
+} // namespace
+
+void
+installSignalCancel(CancelToken &token)
+{
+    g_token.store(&token, std::memory_order_relaxed);
+    g_signal.store(0, std::memory_order_relaxed);
+    struct sigaction sa = {};
+    sa.sa_handler = cancelHandler;
+    sigemptyset(&sa.sa_mask);
+    // No SA_RESTART: blocking accept()/read() calls in the daemon
+    // must return with EINTR so their loops observe the token.
+    sa.sa_flags = 0;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+int
+cancelSignal()
+{
+    return g_signal.load(std::memory_order_relaxed);
+}
+
+void
+resetSignalCancel()
+{
+    struct sigaction dfl = {};
+    dfl.sa_handler = SIG_DFL;
+    sigaction(SIGINT, &dfl, nullptr);
+    sigaction(SIGTERM, &dfl, nullptr);
+    g_token.store(nullptr, std::memory_order_relaxed);
+    g_signal.store(0, std::memory_order_relaxed);
+}
+
+} // namespace rtlrepair

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Signal-chained cancellation: route SIGINT/SIGTERM into a
+ * CancelToken instead of letting the default disposition kill the
+ * process mid-solve.
+ *
+ * The token is the same object the repair pipeline already polls at
+ * the SAT conflict-loop boundary (via Deadline), so an interrupted
+ * run unwinds cooperatively: in-flight solves observe the cancelled
+ * deadline, partial results flush, and the process exits through the
+ * normal status/exit-code mapping rather than through abort() or an
+ * escaping exception.
+ *
+ * CancelToken::cancel() is a relaxed store on a lock-free
+ * std::atomic<bool>, which is async-signal-safe; the handler does
+ * nothing else beyond recording which signal fired.
+ */
+#ifndef RTLREPAIR_UTIL_SIGNALS_HPP
+#define RTLREPAIR_UTIL_SIGNALS_HPP
+
+#include "util/stopwatch.hpp"
+
+namespace rtlrepair {
+
+/**
+ * Install SIGINT and SIGTERM handlers that cancel @p token.  The
+ * token must outlive the handlers (in practice: main()-scope).  A
+ * second signal while cancellation is already pending restores the
+ * default disposition, so a hung run can still be killed by a second
+ * Ctrl-C.
+ */
+void installSignalCancel(CancelToken &token);
+
+/** Last cancellation signal received (0 = none yet). */
+int cancelSignal();
+
+/** Uninstall the handlers and forget the token (tests). */
+void resetSignalCancel();
+
+} // namespace rtlrepair
+
+#endif // RTLREPAIR_UTIL_SIGNALS_HPP

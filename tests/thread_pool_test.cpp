@@ -6,8 +6,11 @@
 #include <atomic>
 #include <thread>
 
+#include <csignal>
+
 #include "sat/solver.hpp"
 #include "util/stopwatch.hpp"
+#include "util/signals.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace rtlrepair;
@@ -220,4 +223,127 @@ TEST(Cancellation, PoolShutdownUnderMidSolveCancellation)
     for (auto &f : futs)
         EXPECT_EQ(f.get(), sat::LBool::Undef);
     EXPECT_LT(watch.seconds(), 10.0);
+}
+
+TEST(Cancellation, ConcurrentCancelVersusCompleteNeverWedges)
+{
+    // Race a cancel against natural completion many times: whichever
+    // side wins, the future becomes ready and the verdict is one of
+    // the two legal outcomes (solved, or stopped as Undef).  A lost
+    // wakeup or a sticky flag would hang or misreport here.
+    for (int round = 0; round < 50; ++round) {
+        CancelToken token;
+        Deadline deadline(nullptr, &token);
+        ThreadPool pool(1);
+        auto fut = pool.submit([&deadline] {
+            sat::Solver solver;
+            encodePigeonhole(solver, 5);  // small: often finishes
+            return solver.solve({}, &deadline);
+        });
+        if (round % 2 == 0)
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(50 * (round % 7)));
+        token.cancel();
+        sat::LBool verdict = pool.waitCollect(fut);
+        EXPECT_TRUE(verdict == sat::LBool::Undef ||
+                    verdict == sat::LBool::False)
+            << "round " << round;
+        // Idempotence under the race: cancelling again (including
+        // after completion) is a no-op, never an error.
+        token.cancel();
+        EXPECT_TRUE(token.cancelled());
+        EXPECT_TRUE(deadline.cancelled());
+    }
+}
+
+TEST(Cancellation, CancelDuringPoolHandoffCancelsQueuedWork)
+{
+    // Cancel while tasks are still queued (not yet handed to a
+    // worker): the task observes the tripped deadline on its very
+    // first poll and returns immediately.
+    CancelToken token;
+    Deadline root(nullptr, &token);
+    std::atomic<int> started{0};
+    ThreadPool pool(1);
+
+    // One slow occupant pins the single worker so the rest sit in
+    // the queue during the cancel.
+    std::atomic<bool> release{false};
+    auto occupant = pool.submit([&release] {
+        while (!release.load())
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        return sat::LBool::True;
+    });
+    std::vector<std::future<sat::LBool>> queued;
+    for (int i = 0; i < 8; ++i) {
+        queued.push_back(pool.submit([&root, &started] {
+            started.fetch_add(1);
+            sat::Solver solver;
+            encodePigeonhole(solver, 12);  // hard if actually run
+            Deadline local(&root, nullptr);
+            return solver.solve({}, &local);
+        }));
+    }
+    token.cancel();        // lands during the queue -> worker handoff
+    release.store(true);
+    EXPECT_EQ(pool.waitCollect(occupant), sat::LBool::True);
+    Stopwatch watch;
+    for (auto &f : queued)
+        EXPECT_EQ(pool.waitCollect(f), sat::LBool::Undef);
+    // Every queued task ran (the pool does not drop work on cancel)
+    // but none burned real solve time.
+    EXPECT_EQ(started.load(), 8);
+    EXPECT_LT(watch.seconds(), 5.0);
+}
+
+TEST(Cancellation, DoubleCancelAndChainedTokensAreIdempotent)
+{
+    CancelToken parent_token, child_token;
+    Deadline parent(nullptr, &parent_token);
+    Deadline child(&parent, &child_token);
+
+    EXPECT_FALSE(child.expired());
+    EXPECT_FALSE(child.cancelled());
+
+    // Double-cancel of the same token: second is a no-op.
+    child_token.cancel();
+    child_token.cancel();
+    EXPECT_TRUE(child.cancelled());
+    EXPECT_FALSE(parent.cancelled());  // never propagates upward
+
+    // Cancelling the parent after the child changes nothing for the
+    // child and trips the parent exactly once.
+    parent_token.cancel();
+    parent_token.cancel();
+    EXPECT_TRUE(parent.cancelled());
+    EXPECT_TRUE(child.cancelled());
+
+    // Concurrent double-cancel from many threads: still just "true".
+    CancelToken shared;
+    Deadline watched(nullptr, &shared);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 8; ++i)
+        threads.emplace_back([&shared] {
+            for (int k = 0; k < 1000; ++k)
+                shared.cancel();
+        });
+    for (auto &t : threads)
+        t.join();
+    EXPECT_TRUE(watched.cancelled());
+}
+
+TEST(Cancellation, SignalChainedTokenCancelsAndRecordsSignal)
+{
+    // SIGINT routed through installSignalCancel must trip the token
+    // (and via it any derived Deadline) without killing the process;
+    // the disposition resets to default only for a *second* signal.
+    CancelToken token;
+    Deadline deadline(nullptr, &token);
+    installSignalCancel(token);
+    EXPECT_EQ(cancelSignal(), 0);
+    ASSERT_EQ(std::raise(SIGINT), 0);
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_TRUE(deadline.cancelled());
+    EXPECT_EQ(cancelSignal(), SIGINT);
+    resetSignalCancel();
 }
