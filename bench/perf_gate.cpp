@@ -12,7 +12,10 @@
 // conflicts even when the runner happens to be fast.  Baselines
 // written by newer builds also carry sat_solves (deterministic
 // solve()-call totals) and encode_seconds (window-encode wall time);
-// when present in the baseline those are gated the same way.
+// when present in the baseline those are gated the same way.  The
+// top-level sim_throughput block (event vs vectorized simulation,
+// stimuli/sec) is gated against a hard 8x floor whenever the current
+// run reports it, and against the baseline's speedup when both do.
 //
 // Exit codes: 0 = within budget, 1 = regression, 2 = bad input/usage.
 #include <cctype>
@@ -256,9 +259,20 @@ struct BenchRow
     double svc_warm_seconds = -1.0; ///< -1: absent (older schema)
 };
 
-bool
-loadBench(const char *path, std::map<std::string, BenchRow> &rows)
+/** One parsed metrics file: the per-benchmark rows plus the
+ *  top-level sim-throughput summary (absent in older schemas). */
+struct MetricsFile
 {
+    std::map<std::string, BenchRow> rows;
+    double sim_event_sps = -1.0; ///< -1: absent (older schema)
+    double sim_vec_sps = -1.0;
+    double sim_speedup = -1.0;
+};
+
+bool
+loadBench(const char *path, MetricsFile &out)
+{
+    std::map<std::string, BenchRow> &rows = out.rows;
     std::ifstream in(path);
     if (!in) {
         std::fprintf(stderr, "perf_gate: cannot read %s\n", path);
@@ -281,6 +295,14 @@ loadBench(const char *path, std::map<std::string, BenchRow> &rows)
                      "rtlrepair-bench-v1\n",
                      path);
         return false;
+    }
+    if (const Json *sim = root.find("sim_throughput")) {
+        if (const Json *v = sim->find("event_sps"))
+            out.sim_event_sps = v->number;
+        if (const Json *v = sim->find("vec_sps"))
+            out.sim_vec_sps = v->number;
+        if (const Json *v = sim->find("speedup"))
+            out.sim_speedup = v->number;
     }
     const Json *benches = root.find("benchmarks");
     if (!benches || benches->kind != Json::Kind::Array) {
@@ -364,9 +386,15 @@ main(int argc, char **argv)
         return 2;
     }
 
-    std::map<std::string, BenchRow> baseline, current;
-    if (!loadBench(argv[1], baseline) || !loadBench(argv[2], current))
+    MetricsFile baseline_file, current_file;
+    if (!loadBench(argv[1], baseline_file) ||
+        !loadBench(argv[2], current_file)) {
         return 2;
+    }
+    const std::map<std::string, BenchRow> &baseline =
+        baseline_file.rows;
+    const std::map<std::string, BenchRow> &current =
+        current_file.rows;
     if (baseline.empty()) {
         std::fprintf(stderr, "perf_gate: baseline has no benchmarks\n");
         return 2;
@@ -434,6 +462,36 @@ main(int argc, char **argv)
             ok &= gate(name, "svc_warm_ratio", base_ratio, cur_ratio,
                        max_regress, 0.0);
         }
+    }
+    // Vectorized-simulation throughput.  Two checks, both optional so
+    // an older baseline.json keeps working:
+    //   floor — a current run reporting sim_throughput must hold the
+    //     vectorized backend's advertised advantage (>= 8x stimuli/s
+    //     over the event backend on the fuzz batch workload);
+    //   ratio — when the baseline also has the key, the speedup must
+    //     not shrink by more than the regression factor.  Both sides
+    //     are event-vs-vec ratios on the same machine and workload,
+    //     so runner speed cancels out.
+    constexpr double kMinVecSpeedup = 8.0;
+    if (current_file.sim_speedup >= 0) {
+        bool floor_ok = current_file.sim_speedup >= kMinVecSpeedup;
+        std::printf("  %-12s %-14s %10.3f    (floor %.1fx)  %s\n",
+                    "sim", "vec_speedup", current_file.sim_speedup,
+                    kMinVecSpeedup,
+                    floor_ok ? "ok" : "REGRESSION");
+        ok &= floor_ok;
+        if (baseline_file.sim_speedup >= 0) {
+            // gate() checks growth; the speedup regresses by
+            // shrinking, so compare the inverted ratio.
+            ok &= gate("sim", "vec_slowdown",
+                       1.0 / baseline_file.sim_speedup,
+                       1.0 / current_file.sim_speedup, max_regress,
+                       0.0);
+        }
+    } else if (baseline_file.sim_speedup >= 0) {
+        std::printf("  %-12s %-14s MISSING from current run\n", "sim",
+                    "vec_speedup");
+        ok = false;
     }
     if (!ok) {
         std::printf("perf gate: FAILED (add the perf-waiver label if "

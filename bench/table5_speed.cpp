@@ -9,10 +9,14 @@
 
 #include <fstream>
 
+#include "fuzz/generator.hpp"
 #include "repair/parallel.hpp"
 #include "service/cache.hpp"
+#include "sim/vec_sim.hpp"
+#include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 #include "util/telemetry.hpp"
+#include "verilog/parser.hpp"
 
 using rtlrepair::format;
 
@@ -103,6 +107,78 @@ totalEncodeSeconds(const repair::RepairOutcome &outcome)
     return total;
 }
 
+/** Stimuli-per-second of the event vs vectorized backend. */
+struct SimThroughput
+{
+    double event_sps = 0.0;
+    double vec_sps = 0.0;
+    double speedup = 0.0;
+    size_t stimuli = 0;
+    size_t cycles = 0;
+};
+
+/**
+ * The fuzz batch workload: 64 independent traces replayed against one
+ * generated design — the exact shape the fuzzer's batched fresh
+ * co-sim check and the repair engine's candidate validation push
+ * through replayTraceBatch.  The golden traces are recorded once
+ * outside the timed region; each backend is then re-run until it
+ * accumulates enough wall time to dominate timer noise.  The reported
+ * figure is stimuli (traces) replayed per second.
+ */
+SimThroughput
+measureSimThroughput()
+{
+    constexpr size_t kStimuli = 64;
+    constexpr size_t kCycles = 256;
+    constexpr double kMinSeconds = 0.5;
+    fuzz::GeneratedDesign gen = fuzz::generateDesign(42);
+    verilog::SourceFile file = verilog::parse(gen.source);
+    const verilog::Module &mod = file.top();
+    std::vector<const verilog::Module *> lib;
+    std::vector<trace::InputSequence> stims;
+    stims.reserve(kStimuli);
+    for (size_t l = 0; l < kStimuli; ++l)
+        stims.push_back(fuzz::generateStimulus(gen, kCycles, 1000 + l));
+    std::vector<const trace::InputSequence *> sptr;
+    for (const auto &s : stims)
+        sptr.push_back(&s);
+    std::vector<trace::IoTrace> traces =
+        sim::vecEventRecordBatch(mod, lib, gen.clock, sptr);
+    std::vector<const trace::IoTrace *> tptr;
+    for (const auto &t : traces)
+        tptr.push_back(&t);
+
+    // Warm both paths once so allocator and symbol-table setup costs
+    // do not land inside the timed region of whichever runs first.
+    (void)sim::eventReplay(mod, lib, gen.clock, traces[0]);
+    (void)sim::vecEventReplayBatch(mod, lib, gen.clock, tptr);
+
+    SimThroughput t;
+    t.stimuli = kStimuli;
+    t.cycles = kCycles;
+
+    size_t reps = 0;
+    Stopwatch ev;
+    do {
+        for (const auto &tr : traces)
+            (void)sim::eventReplay(mod, lib, gen.clock, tr);
+        ++reps;
+    } while (ev.seconds() < kMinSeconds);
+    t.event_sps = double(reps * kStimuli) / ev.seconds();
+
+    reps = 0;
+    Stopwatch vw;
+    do {
+        (void)sim::vecEventReplayBatch(mod, lib, gen.clock, tptr);
+        ++reps;
+    } while (vw.seconds() < kMinSeconds);
+    t.vec_sps = double(reps * kStimuli) / vw.seconds();
+
+    t.speedup = t.event_sps > 0 ? t.vec_sps / t.event_sps : 0.0;
+    return t;
+}
+
 /**
  * `rtlrepair-bench-v1`: per-benchmark status / wall-clock /
  * deterministic SAT-conflict totals of the serial full-tool run, plus
@@ -112,10 +188,16 @@ totalEncodeSeconds(const repair::RepairOutcome &outcome)
 void
 writeBenchMetrics(std::ostream &os,
                   const std::vector<BenchRecord> &records,
-                  unsigned jobs)
+                  unsigned jobs, const SimThroughput &sim)
 {
     os << "{\n  \"schema\": \"rtlrepair-bench-v1\",\n";
     os << "  \"jobs\": " << jobs << ",\n";
+    os << "  \"sim_throughput\": {\"event_sps\": "
+       << format("%.1f", sim.event_sps)
+       << ", \"vec_sps\": " << format("%.1f", sim.vec_sps)
+       << ", \"speedup\": " << format("%.3f", sim.speedup)
+       << ", \"stimuli\": " << sim.stimuli
+       << ", \"cycles\": " << sim.cycles << "},\n";
     os << "  \"benchmarks\": [";
     for (size_t i = 0; i < records.size(); ++i) {
         const BenchRecord &r = records[i];
@@ -263,6 +345,13 @@ main(int argc, char **argv)
         std::printf("%-12s |   %s\n", "",
                     stageSummary(full.stages).c_str());
     }
+    SimThroughput sim = measureSimThroughput();
+    std::printf("\nsim throughput (fuzz batch workload, %zu stimuli x "
+                "%zu cycles):\n"
+                "  event %.0f stimuli/s | vec %.0f stimuli/s | "
+                "speedup %.1fx\n",
+                sim.stimuli, sim.cycles, sim.event_sps, sim.vec_sps,
+                sim.speedup);
     if (!args.metrics_out.empty()) {
         std::ofstream out(args.metrics_out);
         if (!out) {
@@ -270,7 +359,7 @@ main(int argc, char **argv)
                          args.metrics_out.c_str());
             return 1;
         }
-        writeBenchMetrics(out, records, jobs);
+        writeBenchMetrics(out, records, jobs, sim);
         std::fprintf(stderr, "[bench] wrote %s\n",
                      args.metrics_out.c_str());
     }

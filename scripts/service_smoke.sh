@@ -28,27 +28,45 @@ BUILD_DIR="${1:?usage: service_smoke.sh <build-dir> [out-dir]}"
 OUT="${2:-service-smoke-out}"
 REPAIRD="$BUILD_DIR/examples/repaird"
 CLI="$BUILD_DIR/examples/repair_cli"
-WORK="$(mktemp -d)"
-SOCK="$WORK/repaird.sock"
-JOURNAL="$WORK/repaird.journal"
 DAEMON_PID=""
 
-mkdir -p "$OUT"
+mkdir -p "$OUT" || {
+    echo "service_smoke: FAIL: cannot create artifact dir $OUT" >&2
+    exit 1
+}
 
 fail() {
     echo "service_smoke: FAIL: $*" >&2
+    printf 'FAIL: %s\n' "$*" > "$OUT/FAILED" 2>/dev/null
     [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null
     exit 1
 }
+
+# Preflight failures (nothing to test: binary missing, no writable
+# socket dir) must not look like a quiet green run OR like a bare
+# shell error with an empty artifact.  Leave a SKIPPED marker in the
+# uploaded artifact dir and exit non-zero so CI surfaces the reason.
+skip() {
+    echo "service_smoke: SKIP (treated as failure): $*" >&2
+    printf 'SKIPPED: %s\n' "$*" > "$OUT/SKIPPED" 2>/dev/null
+    exit 1
+}
+
+[ -x "$REPAIRD" ] || skip "daemon binary not built: $REPAIRD"
+[ -x "$CLI" ] || skip "client binary not built: $CLI"
+
+WORK="$(mktemp -d)" \
+    || skip "mktemp -d failed: no writable temp dir for the socket"
+[ -d "$WORK" ] && [ -w "$WORK" ] \
+    || skip "socket dir $WORK is not writable"
+SOCK="$WORK/repaird.sock"
+JOURNAL="$WORK/repaird.journal"
 
 cleanup() {
     [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null
     rm -rf "$WORK"
 }
 trap cleanup EXIT
-
-[ -x "$REPAIRD" ] || fail "$REPAIRD not built"
-[ -x "$CLI" ] || fail "$CLI not built"
 
 # ----------------------------------------------------------------
 # Fixtures: a repairable counter (wrong reset constant), its trace,

@@ -1,0 +1,655 @@
+#include "bv/packed_value.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace rtlrepair::bv {
+
+PackedValue::PackedValue(uint32_t width)
+    : _width(width), _val(width, 0), _unk(width, 0)
+{
+    check(width > 0, "zero-width PackedValue");
+    if (width > (1u << 22))
+        fatal("bit-vector width too large");
+}
+
+void
+PackedValue::normalize()
+{
+    for (uint32_t p = 0; p < _width; ++p)
+        _val[p] &= ~_unk[p];
+}
+
+PackedValue
+PackedValue::zeros(uint32_t width)
+{
+    return PackedValue(width);
+}
+
+PackedValue
+PackedValue::allX(uint32_t width)
+{
+    PackedValue r(width);
+    for (auto &w : r._unk)
+        w = ~0ull;
+    return r;
+}
+
+PackedValue
+PackedValue::broadcast(const Value &v)
+{
+    PackedValue r(v.width());
+    for (uint32_t p = 0; p < r._width; ++p) {
+        uint64_t wd = v.bitsWord(p >> 6), xm = v.xmaskWord(p >> 6);
+        uint64_t m = 1ull << (p & 63u);
+        if (xm & m)
+            r._unk[p] = ~0ull;
+        else if (wd & m)
+            r._val[p] = ~0ull;
+    }
+    return r;
+}
+
+PackedValue
+PackedValue::pack(const std::vector<Value> &vals, uint32_t width)
+{
+    std::vector<const Value *> ptrs(vals.size());
+    for (size_t l = 0; l < vals.size(); ++l)
+        ptrs[l] = &vals[l];
+    return pack(ptrs.data(), ptrs.size(), width);
+}
+
+PackedValue
+PackedValue::pack(const Value *const *vals, size_t n, uint32_t width)
+{
+    check(n <= kLanes, "pack: too many lanes");
+    PackedValue r = allX(width);
+    for (size_t l = 0; l < n; ++l) {
+        if (!vals[l])
+            continue;
+        const Value &v = *vals[l];
+        uint64_t m = 1ull << l;
+        // Reading the source planes in place implements the zext /
+        // truncate adjustment without materializing a copy: bits
+        // past the source width are known zero.  The inner loop is
+        // register-only — one plane-word load per 64 source bits.
+        uint32_t low = std::min(v.width(), width);
+        for (uint32_t p = 0; p < low;) {
+            uint64_t bits = v.bitsWord(p >> 6);
+            uint64_t xm = v.xmaskWord(p >> 6);
+            uint32_t hi = std::min(low, (p & ~63u) + 64u);
+            for (; p < hi; ++p) {
+                uint64_t pm = 1ull << (p & 63u);
+                r._val[p] = (bits & pm) ? (r._val[p] | m)
+                                        : (r._val[p] & ~m);
+                r._unk[p] = (xm & pm) ? (r._unk[p] | m)
+                                      : (r._unk[p] & ~m);
+            }
+        }
+        for (uint32_t p = low; p < width; ++p) {
+            r._val[p] &= ~m;
+            r._unk[p] &= ~m;
+        }
+    }
+    return r;
+}
+
+Value
+PackedValue::lane(uint32_t l) const
+{
+    check(l < kLanes, "lane index out of range");
+    std::vector<uint64_t> bits((_width + 63u) / 64u, 0);
+    std::vector<uint64_t> xmask(bits.size(), 0);
+    for (uint32_t p = 0; p < _width; ++p) {
+        uint64_t pm = 1ull << (p & 63u);
+        if ((_unk[p] >> l) & 1)
+            xmask[p >> 6] |= pm;
+        else if ((_val[p] >> l) & 1)
+            bits[p >> 6] |= pm;
+    }
+    return Value::fromPlanes(_width, std::move(bits),
+                             std::move(xmask));
+}
+
+void
+PackedValue::setLane(uint32_t l, const Value &v)
+{
+    check(l < kLanes, "lane index out of range");
+    check(v.width() == _width, "setLane: width mismatch");
+    uint64_t m = 1ull << l;
+    for (uint32_t p = 0; p < _width; ++p) {
+        int b = v.bit(p);
+        _val[p] = (b == 1) ? (_val[p] | m) : (_val[p] & ~m);
+        _unk[p] = (b < 0) ? (_unk[p] | m) : (_unk[p] & ~m);
+    }
+}
+
+void
+PackedValue::setBitLanes(uint32_t pos, uint64_t val, uint64_t unk,
+                         uint64_t mask)
+{
+    check(pos < _width, "setBitLanes: position out of range");
+    _val[pos] = (_val[pos] & ~mask) | (val & mask);
+    _unk[pos] = (_unk[pos] & ~mask) | (unk & mask);
+    _val[pos] &= ~_unk[pos];
+}
+
+uint64_t
+PackedValue::anyX() const
+{
+    uint64_t m = 0;
+    for (uint32_t p = 0; p < _width; ++p)
+        m |= _unk[p];
+    return m;
+}
+
+uint64_t
+PackedValue::anyOne() const
+{
+    uint64_t m = 0;
+    for (uint32_t p = 0; p < _width; ++p)
+        m |= _val[p];
+    return m;
+}
+
+uint64_t
+PackedValue::laneEq(const PackedValue &rhs) const
+{
+    if (_width != rhs._width)
+        return 0;
+    uint64_t diff = 0;
+    for (uint32_t p = 0; p < _width; ++p)
+        diff |= (_val[p] ^ rhs._val[p]) | (_unk[p] ^ rhs._unk[p]);
+    return ~diff;
+}
+
+uint64_t
+PackedValue::laneMatches(const PackedValue &expected) const
+{
+    if (_width != expected._width) {
+        uint32_t w = std::max(_width, expected._width);
+        return zext(w).laneMatches(expected.zext(w));
+    }
+    uint64_t bad = 0;
+    for (uint32_t p = 0; p < _width; ++p) {
+        uint64_t care = ~expected._unk[p];
+        bad |= care & (_unk[p] | (_val[p] ^ expected._val[p]));
+    }
+    return ~bad;
+}
+
+uint64_t
+PackedValue::laneEqUint(uint64_t target) const
+{
+    uint32_t n = std::min<uint32_t>(_width, 64);
+    if (n < 64 && (target >> n) != 0)
+        return 0;
+    uint64_t m = ~anyX();
+    for (uint32_t p = 0; p < n; ++p)
+        m &= ((target >> p) & 1) ? _val[p] : ~_val[p];
+    return m;
+}
+
+PackedValue
+PackedValue::blend(const PackedValue &a, const PackedValue &b,
+                   uint64_t mask)
+{
+    check(a._width == b._width, "blend: width mismatch");
+    PackedValue r(a._width);
+    for (uint32_t p = 0; p < r._width; ++p) {
+        r._val[p] = (a._val[p] & mask) | (b._val[p] & ~mask);
+        r._unk[p] = (a._unk[p] & mask) | (b._unk[p] & ~mask);
+    }
+    return r;
+}
+
+PackedValue
+PackedValue::zext(uint32_t new_width) const
+{
+    check(new_width >= _width, "zext must not shrink");
+    PackedValue r(new_width);
+    std::copy(_val.begin(), _val.end(), r._val.begin());
+    std::copy(_unk.begin(), _unk.end(), r._unk.begin());
+    return r;
+}
+
+PackedValue
+PackedValue::sext(uint32_t new_width) const
+{
+    check(new_width >= _width, "sext must not shrink");
+    PackedValue r = zext(new_width);
+    for (uint32_t p = _width; p < new_width; ++p) {
+        r._val[p] = _val[_width - 1];
+        r._unk[p] = _unk[_width - 1];
+    }
+    return r;
+}
+
+PackedValue
+PackedValue::slice(uint32_t hi, uint32_t lo) const
+{
+    check(hi < _width && lo <= hi, "slice out of range");
+    PackedValue r(hi - lo + 1);
+    for (uint32_t p = 0; p < r._width; ++p) {
+        r._val[p] = _val[lo + p];
+        r._unk[p] = _unk[lo + p];
+    }
+    return r;
+}
+
+PackedValue
+PackedValue::concat(const PackedValue &low) const
+{
+    PackedValue r(_width + low._width);
+    std::copy(low._val.begin(), low._val.end(), r._val.begin());
+    std::copy(low._unk.begin(), low._unk.end(), r._unk.begin());
+    std::copy(_val.begin(), _val.end(), r._val.begin() + low._width);
+    std::copy(_unk.begin(), _unk.end(), r._unk.begin() + low._width);
+    return r;
+}
+
+PackedValue
+PackedValue::replicate(uint32_t n) const
+{
+    check(n > 0, "replicate zero times");
+    PackedValue r(_width * n);
+    for (uint32_t i = 0; i < n; ++i) {
+        std::copy(_val.begin(), _val.end(),
+                  r._val.begin() + size_t(i) * _width);
+        std::copy(_unk.begin(), _unk.end(),
+                  r._unk.begin() + size_t(i) * _width);
+    }
+    return r;
+}
+
+PackedValue
+PackedValue::operator~() const
+{
+    PackedValue r(_width);
+    for (uint32_t p = 0; p < _width; ++p) {
+        r._val[p] = ~_val[p] & ~_unk[p];
+        r._unk[p] = _unk[p];
+    }
+    return r;
+}
+
+PackedValue
+PackedValue::operator&(const PackedValue &rhs) const
+{
+    check(_width == rhs._width, "and: width mismatch");
+    PackedValue r(_width);
+    for (uint32_t p = 0; p < _width; ++p) {
+        // Known zero on either side dominates any X on the other.
+        uint64_t one = _val[p] & rhs._val[p];
+        uint64_t zero = (~_val[p] & ~_unk[p]) | (~rhs._val[p] & ~rhs._unk[p]);
+        r._val[p] = one;
+        r._unk[p] = ~(one | zero);
+    }
+    return r;
+}
+
+PackedValue
+PackedValue::operator|(const PackedValue &rhs) const
+{
+    check(_width == rhs._width, "or: width mismatch");
+    PackedValue r(_width);
+    for (uint32_t p = 0; p < _width; ++p) {
+        uint64_t one = _val[p] | rhs._val[p];
+        uint64_t zero = (~_val[p] & ~_unk[p]) & (~rhs._val[p] & ~rhs._unk[p]);
+        r._val[p] = one;
+        r._unk[p] = ~(one | zero);
+    }
+    return r;
+}
+
+PackedValue
+PackedValue::operator^(const PackedValue &rhs) const
+{
+    check(_width == rhs._width, "xor: width mismatch");
+    PackedValue r(_width);
+    for (uint32_t p = 0; p < _width; ++p) {
+        r._unk[p] = _unk[p] | rhs._unk[p];
+        r._val[p] = (_val[p] ^ rhs._val[p]) & ~r._unk[p];
+    }
+    return r;
+}
+
+PackedValue
+PackedValue::operator+(const PackedValue &rhs) const
+{
+    check(_width == rhs._width, "add: width mismatch");
+    PackedValue r(_width);
+    uint64_t xl = anyX() | rhs.anyX();
+    uint64_t carry = 0;
+    for (uint32_t p = 0; p < _width; ++p) {
+        uint64_t a = _val[p], b = rhs._val[p];
+        r._val[p] = (a ^ b ^ carry) & ~xl;
+        r._unk[p] = xl;
+        carry = (a & b) | (carry & (a ^ b));
+    }
+    return r;
+}
+
+PackedValue
+PackedValue::operator-(const PackedValue &rhs) const
+{
+    check(_width == rhs._width, "sub: width mismatch");
+    PackedValue r(_width);
+    uint64_t xl = anyX() | rhs.anyX();
+    uint64_t carry = ~0ull;  // a + ~b + 1
+    for (uint32_t p = 0; p < _width; ++p) {
+        uint64_t a = _val[p], b = ~rhs._val[p];
+        r._val[p] = (a ^ b ^ carry) & ~xl;
+        r._unk[p] = xl;
+        carry = (a & b) | (carry & (a ^ b));
+    }
+    return r;
+}
+
+PackedValue
+PackedValue::negate() const
+{
+    PackedValue r(_width);
+    uint64_t xl = anyX();
+    uint64_t carry = ~0ull;  // ~a + 1
+    for (uint32_t p = 0; p < _width; ++p) {
+        uint64_t a = ~_val[p];
+        r._val[p] = (a ^ carry) & ~xl;
+        r._unk[p] = xl;
+        carry = a & carry;
+    }
+    return r;
+}
+
+PackedValue
+PackedValue::scalarFallback(const PackedValue &rhs, uint64_t ok_lanes,
+                            Value (Value::*op)(const Value &) const) const
+{
+    PackedValue r = allX(_width);
+    for (uint32_t l = 0; l < kLanes; ++l) {
+        if (!((ok_lanes >> l) & 1))
+            continue;
+        r.setLane(l, (lane(l).*op)(rhs.lane(l)));
+    }
+    return r;
+}
+
+PackedValue
+PackedValue::operator*(const PackedValue &rhs) const
+{
+    check(_width == rhs._width, "mul: width mismatch");
+    return scalarFallback(rhs, ~(anyX() | rhs.anyX()),
+                          &Value::operator*);
+}
+
+PackedValue
+PackedValue::udiv(const PackedValue &rhs) const
+{
+    check(_width == rhs._width, "udiv: width mismatch");
+    return scalarFallback(
+        rhs, ~(anyX() | rhs.anyX()) & ~rhs.laneZero(), &Value::udiv);
+}
+
+PackedValue
+PackedValue::urem(const PackedValue &rhs) const
+{
+    check(_width == rhs._width, "urem: width mismatch");
+    return scalarFallback(
+        rhs, ~(anyX() | rhs.anyX()) & ~rhs.laneZero(), &Value::urem);
+}
+
+namespace {
+
+/**
+ * Per-lane saturation mask for a shift: lanes whose known amount bits
+ * select a shift >= width.  Bit positions >= 64 of the amount are
+ * ignored, exactly like the scalar path that reads _bits[0]; the
+ * scalar path instead saturates when any upper *word* is non-zero,
+ * which for amount widths > 64 we mirror below.
+ */
+uint64_t
+shiftSaturation(const PackedValue &amount, uint32_t width)
+{
+    uint64_t sat = 0;
+    for (uint32_t p = 0; p < amount.width(); ++p) {
+        bool overflows = p >= 64 || (1ull << std::min<uint32_t>(p, 63)) >=
+                                        static_cast<uint64_t>(width);
+        if (overflows)
+            sat |= amount.valAt(p);
+    }
+    return sat;
+}
+
+} // namespace
+
+PackedValue
+PackedValue::shl(const PackedValue &amount) const
+{
+    PackedValue r(_width);
+    uint64_t xl = anyX() | amount.anyX();
+    uint64_t sat = shiftSaturation(amount, _width);
+    std::vector<uint64_t> cur(_val);
+    for (uint32_t p = 0; p < amount._width && p < 64; ++p) {
+        uint64_t s = 1ull << p;
+        if (s >= _width)
+            break;
+        uint64_t m = amount._val[p];
+        if (!m)
+            continue;
+        for (uint32_t pos = _width; pos-- > 0;) {
+            uint64_t in = pos >= s ? cur[pos - s] : 0;
+            cur[pos] = (cur[pos] & ~m) | (in & m);
+        }
+    }
+    uint64_t keep = ~xl & ~sat;
+    for (uint32_t p = 0; p < _width; ++p) {
+        r._val[p] = cur[p] & keep;
+        r._unk[p] = xl;
+    }
+    return r;
+}
+
+PackedValue
+PackedValue::lshr(const PackedValue &amount) const
+{
+    PackedValue r(_width);
+    uint64_t xl = anyX() | amount.anyX();
+    uint64_t sat = shiftSaturation(amount, _width);
+    std::vector<uint64_t> cur(_val);
+    for (uint32_t p = 0; p < amount._width && p < 64; ++p) {
+        uint64_t s = 1ull << p;
+        if (s >= _width)
+            break;
+        uint64_t m = amount._val[p];
+        if (!m)
+            continue;
+        for (uint32_t pos = 0; pos < _width; ++pos) {
+            uint64_t in = pos + s < _width ? cur[pos + s] : 0;
+            cur[pos] = (cur[pos] & ~m) | (in & m);
+        }
+    }
+    uint64_t keep = ~xl & ~sat;
+    for (uint32_t p = 0; p < _width; ++p) {
+        r._val[p] = cur[p] & keep;
+        r._unk[p] = xl;
+    }
+    return r;
+}
+
+PackedValue
+PackedValue::ashr(const PackedValue &amount) const
+{
+    PackedValue r(_width);
+    uint64_t xl = anyX() | amount.anyX();
+    uint64_t sat = shiftSaturation(amount, _width);
+    uint64_t sign = _val[_width - 1];
+    std::vector<uint64_t> cur(_val);
+    for (uint32_t p = 0; p < amount._width && p < 64; ++p) {
+        uint64_t s = 1ull << p;
+        if (s >= _width)
+            break;
+        uint64_t m = amount._val[p];
+        if (!m)
+            continue;
+        for (uint32_t pos = 0; pos < _width; ++pos) {
+            uint64_t in = pos + s < _width ? cur[pos + s] : sign;
+            cur[pos] = (cur[pos] & ~m) | (in & m);
+        }
+    }
+    for (uint32_t p = 0; p < _width; ++p) {
+        r._val[p] = ((cur[p] & ~sat) | (sign & sat)) & ~xl;
+        r._unk[p] = xl;
+    }
+    return r;
+}
+
+PackedValue
+PackedValue::eq(const PackedValue &rhs) const
+{
+    check(_width == rhs._width, "eq: width mismatch");
+    PackedValue r(1);
+    uint64_t xl = anyX() | rhs.anyX();
+    uint64_t ne_mask = 0;
+    for (uint32_t p = 0; p < _width; ++p)
+        ne_mask |= _val[p] ^ rhs._val[p];
+    r._val[0] = ~ne_mask & ~xl;
+    r._unk[0] = xl;
+    return r;
+}
+
+PackedValue
+PackedValue::ne(const PackedValue &rhs) const
+{
+    return ~eq(rhs);
+}
+
+PackedValue
+PackedValue::ult(const PackedValue &rhs) const
+{
+    check(_width == rhs._width, "ult: width mismatch");
+    PackedValue r(1);
+    uint64_t xl = anyX() | rhs.anyX();
+    uint64_t lt = 0;
+    for (uint32_t p = 0; p < _width; ++p) {
+        uint64_t a = _val[p], b = rhs._val[p];
+        lt = (~a & b) | (~(a ^ b) & lt);
+    }
+    r._val[0] = lt & ~xl;
+    r._unk[0] = xl;
+    return r;
+}
+
+PackedValue
+PackedValue::ule(const PackedValue &rhs) const
+{
+    check(_width == rhs._width, "ule: width mismatch");
+    PackedValue lt = ult(rhs);
+    PackedValue e = eq(rhs);
+    PackedValue r(1);
+    uint64_t xl = lt._unk[0];
+    r._val[0] = (lt._val[0] | e._val[0]) & ~xl;
+    r._unk[0] = xl;
+    return r;
+}
+
+PackedValue
+PackedValue::slt(const PackedValue &rhs) const
+{
+    check(_width == rhs._width, "slt: width mismatch");
+    PackedValue r(1);
+    uint64_t xl = anyX() | rhs.anyX();
+    uint64_t sa = _val[_width - 1], sb = rhs._val[_width - 1];
+    uint64_t lt = 0;
+    for (uint32_t p = 0; p < _width; ++p) {
+        uint64_t a = _val[p], b = rhs._val[p];
+        lt = (~a & b) | (~(a ^ b) & lt);
+    }
+    // Different signs: the negative side (sign bit set) is smaller.
+    r._val[0] = ((sa & ~sb) | (~(sa ^ sb) & lt)) & ~xl;
+    r._unk[0] = xl;
+    return r;
+}
+
+PackedValue
+PackedValue::sle(const PackedValue &rhs) const
+{
+    PackedValue lt = slt(rhs);
+    PackedValue e = eq(rhs);
+    PackedValue r(1);
+    uint64_t xl = lt._unk[0];
+    r._val[0] = (lt._val[0] | e._val[0]) & ~xl;
+    r._unk[0] = xl;
+    return r;
+}
+
+PackedValue
+PackedValue::caseEq(const PackedValue &rhs) const
+{
+    check(_width == rhs._width, "caseEq: width mismatch");
+    PackedValue r(1);
+    uint64_t diff = 0;
+    for (uint32_t p = 0; p < _width; ++p)
+        diff |= (_val[p] ^ rhs._val[p]) | (_unk[p] ^ rhs._unk[p]);
+    r._val[0] = ~diff;
+    return r;
+}
+
+PackedValue
+PackedValue::redAnd() const
+{
+    PackedValue r(1);
+    uint64_t known0 = 0;
+    for (uint32_t p = 0; p < _width; ++p)
+        known0 |= ~_val[p] & ~_unk[p];
+    uint64_t xl = anyX();
+    r._val[0] = ~known0 & ~xl;
+    r._unk[0] = xl & ~known0;
+    return r;
+}
+
+PackedValue
+PackedValue::redOr() const
+{
+    PackedValue r(1);
+    uint64_t one = anyOne();
+    r._val[0] = one;
+    r._unk[0] = anyX() & ~one;
+    return r;
+}
+
+PackedValue
+PackedValue::redXor() const
+{
+    PackedValue r(1);
+    uint64_t xl = anyX();
+    uint64_t parity = 0;
+    for (uint32_t p = 0; p < _width; ++p)
+        parity ^= _val[p];
+    r._val[0] = parity & ~xl;
+    r._unk[0] = xl;
+    return r;
+}
+
+PackedValue
+PackedValue::ite(const PackedValue &cond, const PackedValue &then_v,
+                 const PackedValue &else_v)
+{
+    check(cond._width == 1, "ite: condition must be 1 bit");
+    check(then_v._width == else_v._width, "ite: arm width mismatch");
+    uint64_t c1 = cond._val[0];
+    uint64_t cx = cond._unk[0];
+    uint64_t c0 = ~c1 & ~cx;
+    PackedValue r(then_v._width);
+    for (uint32_t p = 0; p < r._width; ++p) {
+        uint64_t agree = ~then_v._unk[p] & ~else_v._unk[p] &
+                         ~(then_v._val[p] ^ else_v._val[p]);
+        r._val[p] = (c1 & then_v._val[p]) | (c0 & else_v._val[p]) |
+                    (cx & then_v._val[p] & agree);
+        r._unk[p] = (c1 & then_v._unk[p]) | (c0 & else_v._unk[p]) |
+                    (cx & ~agree);
+    }
+    return r;
+}
+
+} // namespace rtlrepair::bv

@@ -246,30 +246,18 @@ Value::toUint64() const
     return _bits[0];
 }
 
-int
-Value::bit(uint32_t i) const
+Value
+Value::fromPlanes(uint32_t width, std::vector<uint64_t> bits,
+                  std::vector<uint64_t> xmask)
 {
-    check(i < _width, "bit index out of range");
-    size_t word = i / 64u;
-    uint64_t mask = 1ull << (i % 64u);
-    if (_xmask[word] & mask)
-        return -1;
-    return (_bits[word] & mask) ? 1 : 0;
-}
-
-void
-Value::setBit(uint32_t i, int v)
-{
-    check(i < _width, "bit index out of range");
-    size_t word = i / 64u;
-    uint64_t mask = 1ull << (i % 64u);
-    _bits[word] &= ~mask;
-    _xmask[word] &= ~mask;
-    if (v < 0) {
-        _xmask[word] |= mask;
-    } else if (v == 1) {
-        _bits[word] |= mask;
-    }
+    size_t n = nwords(width);
+    bits.resize(n, 0);
+    xmask.resize(n, 0);
+    Value v(width, n);
+    v._bits = std::move(bits);
+    v._xmask = std::move(xmask);
+    v.normalize();
+    return v;
 }
 
 std::string

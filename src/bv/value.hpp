@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 
 namespace rtlrepair::bv {
@@ -67,9 +68,44 @@ class Value
     uint64_t toUint64() const;
 
     /** Bit @p i as 0, 1, or -1 for X. */
-    int bit(uint32_t i) const;
+    int
+    bit(uint32_t i) const
+    {
+        check(i < _width, "bit index out of range");
+        size_t word = i / 64u;
+        uint64_t mask = 1ull << (i % 64u);
+        if (_xmask[word] & mask)
+            return -1;
+        return (_bits[word] & mask) ? 1 : 0;
+    }
+
     /** Set bit @p i to 0, 1, or -1 (X). */
-    void setBit(uint32_t i, int v);
+    void
+    setBit(uint32_t i, int v)
+    {
+        check(i < _width, "bit index out of range");
+        size_t word = i / 64u;
+        uint64_t mask = 1ull << (i % 64u);
+        _bits[word] &= ~mask;
+        _xmask[word] &= ~mask;
+        if (v < 0)
+            _xmask[word] |= mask;
+        else if (v == 1)
+            _bits[word] |= mask;
+    }
+
+    /** @name Raw plane access (for bit-parallel transposes) @{ */
+    /** Word @p i of the data plane (little-endian 64-bit words). */
+    uint64_t bitsWord(size_t i) const { return _bits[i]; }
+    /** Word @p i of the X plane; set bits are unknown. */
+    uint64_t xmaskWord(size_t i) const { return _xmask[i]; }
+    /**
+     * Build from raw planes: @p bits / @p xmask are little-endian
+     * words, excess bits are masked and data bits under X cleared.
+     */
+    static Value fromPlanes(uint32_t width, std::vector<uint64_t> bits,
+                            std::vector<uint64_t> xmask);
+    /** @} */
 
     /** Binary digits, MSB first, with @c x for unknown bits. */
     std::string toBinaryString() const;

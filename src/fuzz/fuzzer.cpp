@@ -9,6 +9,7 @@
 #include "fuzz/generator.hpp"
 #include "sim/event_sim.hpp"
 #include "sim/interpreter.hpp"
+#include "sim/vec_sim.hpp"
 #include "trace/stimulus.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
@@ -301,11 +302,12 @@ runCase(const FuzzCase &fcase, const FuzzConfig &config)
         //    unmutated design must reproduce its own recording.
         trace::IoTrace tb;
         try {
-            tb = sim::eventRecord(*m.golden, m.library, m.clock,
-                                  m.stim);
+            tb = sim::recordTrace(config.sim_backend, *m.golden,
+                                  m.library, m.clock, m.stim);
             maskHiddenOutputs(tb, m.hidden_outputs);
-            sim::ReplayResult self = sim::eventReplay(
-                *m.golden, m.library, m.clock, tb);
+            sim::ReplayResult self = sim::replayTrace(
+                config.sim_backend, *m.golden, m.library, m.clock,
+                tb);
             if (!self.passed) {
                 result.cls = RunClass::OracleMismatch;
                 result.detail =
@@ -336,7 +338,8 @@ runCase(const FuzzCase &fcase, const FuzzConfig &config)
         //    observable bug to repair.
         bool broke;
         try {
-            broke = !sim::eventReplay(*mutant, m.library, m.clock, tb)
+            broke = !sim::replayTrace(config.sim_backend, *mutant,
+                                      m.library, m.clock, tb)
                          .passed;
         } catch (const std::exception &) {
             broke = true;  // unsimulatable counts as broken
@@ -368,6 +371,7 @@ runCase(const FuzzCase &fcase, const FuzzConfig &config)
         rc.seed = fcase.fresh_seed;
         rc.jobs = config.jobs == 0 ? 1 : config.jobs;
         rc.engine.incremental = config.incremental;
+        rc.engine.sim_backend = config.sim_backend;
         repair::RepairOutcome outcome;
         try {
             outcome =
@@ -422,8 +426,8 @@ runCase(const FuzzCase &fcase, const FuzzConfig &config)
         //    co-simulation on fresh random stimulus.
         const Module &rep = *outcome.repaired;
         try {
-            sim::ReplayResult drive =
-                sim::eventReplay(rep, m.library, m.clock, tb);
+            sim::ReplayResult drive = sim::replayTrace(
+                config.sim_backend, rep, m.library, m.clock, tb);
             if (!drive.passed) {
                 result.cls = RunClass::RepairedOverfit;
                 detail << "; repair fails driving trace under the "
@@ -433,19 +437,41 @@ runCase(const FuzzCase &fcase, const FuzzConfig &config)
                 result.seconds = watch.seconds();
                 return result;
             }
-            trace::InputSequence fresh = freshStimulus(
-                m, fcase.fresh_cycles, fcase.fresh_seed);
-            trace::IoTrace fresh_tb = sim::eventRecord(
-                *m.golden, m.library, m.clock, fresh);
-            maskHiddenOutputs(fresh_tb, m.hidden_outputs);
-            sim::ReplayResult co =
-                sim::eventReplay(rep, m.library, m.clock, fresh_tb);
-            if (co.passed) {
-                result.cls = RunClass::RepairedVerified;
-            } else {
+            // One fresh stimulus per batch slot; slot 0 reproduces
+            // the classic single-stimulus check exactly.
+            size_t batch = config.fresh_batch < 1
+                               ? 1
+                               : static_cast<size_t>(
+                                     config.fresh_batch);
+            std::vector<trace::InputSequence> fresh;
+            fresh.reserve(batch);
+            for (size_t i = 0; i < batch; ++i) {
+                fresh.push_back(freshStimulus(m, fcase.fresh_cycles,
+                                              fcase.fresh_seed + i));
+            }
+            std::vector<const trace::InputSequence *> fresh_ptrs;
+            for (const auto &f : fresh)
+                fresh_ptrs.push_back(&f);
+            std::vector<trace::IoTrace> fresh_tbs =
+                sim::recordTraceBatch(config.sim_backend, *m.golden,
+                                      m.library, m.clock, fresh_ptrs);
+            for (auto &fresh_tb : fresh_tbs)
+                maskHiddenOutputs(fresh_tb, m.hidden_outputs);
+            std::vector<const trace::IoTrace *> tb_ptrs;
+            for (const auto &fresh_tb : fresh_tbs)
+                tb_ptrs.push_back(&fresh_tb);
+            std::vector<sim::ReplayResult> cos = sim::replayTraceBatch(
+                config.sim_backend, rep, m.library, m.clock, tb_ptrs);
+            result.cls = RunClass::RepairedVerified;
+            for (size_t i = 0; i < cos.size(); ++i) {
+                if (cos[i].passed)
+                    continue;
                 result.cls = RunClass::RepairedOverfit;
-                detail << "; diverges from golden on fresh stimulus: "
-                       << describeReplay(co);
+                detail << "; diverges from golden on fresh stimulus";
+                if (batch > 1)
+                    detail << " (seed " << fcase.fresh_seed + i << ")";
+                detail << ": " << describeReplay(cos[i]);
+                break;
             }
         } catch (const std::exception &e) {
             result.cls = RunClass::RepairedOverfit;

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "sim/vec_sim.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 #include "util/telemetry.hpp"
@@ -117,8 +118,10 @@ WindowLadder::predictedNext(const EngineConfig &config) const
 
 ConcreteRunner::ConcreteRunner(const ir::TransitionSystem &sys,
                                const trace::IoTrace &resolved,
-                               std::vector<Value> init)
+                               std::vector<Value> init,
+                               sim::SimBackend backend)
     : _sys(sys), _io(resolved), _init(std::move(init)),
+      _backend(backend),
       _interp(sys, sim::SimOptions{sim::XPolicy::Keep,
                                    sim::XPolicy::Keep, 1})
 {
@@ -192,6 +195,83 @@ ConcreteRunner::run(const SynthAssignment &assignment)
     }
     result.first_failure = _io.length();
     return result;
+}
+
+std::vector<sim::ReplayResult>
+ConcreteRunner::runBatch(const std::vector<SynthAssignment> &assignments)
+{
+    std::vector<sim::ReplayResult> out(assignments.size());
+    sim::SimBackend resolved = sim::resolveSimBackend(_backend);
+    bool scalar =
+        resolved == sim::SimBackend::Event || assignments.size() <= 1;
+    if (resolved == sim::SimBackend::Auto && !scalar) {
+        // The packed representation stores one word per bit position,
+        // so a transposed op costs ~width words where the scalar
+        // interpreter pays one.  Wide datapaths (sha3-class, >64-bit
+        // nets) erase the 64-lane sharing win; let Auto keep those on
+        // the scalar path and reserve the packed interpreter for the
+        // narrow control-logic designs it accelerates.
+        uint32_t maxw = 0;
+        for (const auto &node : _sys.nodes)
+            maxw = std::max(maxw, node.width);
+        scalar = maxw > 64;
+    }
+    if (scalar) {
+        for (size_t i = 0; i < assignments.size(); ++i)
+            out[i] = run(assignments[i]);
+        return out;
+    }
+    using bv::PackedValue;
+    for (size_t base = 0; base < assignments.size();
+         base += PackedValue::kLanes) {
+        uint32_t n = static_cast<uint32_t>(std::min<size_t>(
+            PackedValue::kLanes, assignments.size() - base));
+        sim::VecInterpreter vi(_sys, n);
+        for (uint32_t l = 0; l < n; ++l) {
+            const SynthAssignment &a = assignments[base + l];
+            for (size_t i = 0; i < _sys.synth_vars.size(); ++i) {
+                auto it = a.values.find(_sys.synth_vars[i].name);
+                Value v = it != a.values.end()
+                              ? it->second
+                              : Value::zeros(_sys.synth_vars[i].width);
+                vi.setSynthVar(i, l, v);
+            }
+        }
+        for (size_t i = 0; i < _init.size(); ++i)
+            vi.setStateAll(i, _init[i]);
+        uint64_t still = vi.allLanes();
+        for (size_t cycle = 0; cycle < _io.length() && still;
+             ++cycle) {
+            for (size_t i = 0; i < _input_map.size(); ++i) {
+                vi.setInputAll(static_cast<size_t>(_input_map[i]),
+                               _io.input_rows[cycle][i]);
+            }
+            vi.evalCycle();
+            for (size_t i = 0; i < _output_map.size() && still; ++i) {
+                const PackedValue &got = vi.output(
+                    static_cast<size_t>(_output_map[i]));
+                uint64_t mismatch =
+                    still & ~got.laneMatches(PackedValue::broadcast(
+                                _io.output_rows[cycle][i]));
+                if (!mismatch)
+                    continue;
+                for (uint32_t l = 0; l < n; ++l) {
+                    if (!((mismatch >> l) & 1))
+                        continue;
+                    out[base + l].passed = false;
+                    out[base + l].first_failure = cycle;
+                    out[base + l].failed_output = _io.outputs[i].name;
+                }
+                still &= ~mismatch;
+            }
+            vi.step();
+        }
+        for (uint32_t l = 0; l < n; ++l) {
+            if ((still >> l) & 1)
+                out[base + l].first_failure = _io.length();
+        }
+    }
+    return out;
 }
 
 std::vector<Value>
@@ -285,11 +365,12 @@ runBasic(const ir::TransitionSystem &sys,
         result.windows.push_back(stat);
         break;
     }
-    for (const auto &candidate : synth.repairs) {
-        sim::ReplayResult r = runner.run(candidate);
-        if (r.passed) {
+    std::vector<sim::ReplayResult> replays =
+        runner.runBatch(synth.repairs);
+    for (size_t i = 0; i < synth.repairs.size(); ++i) {
+        if (replays[i].passed) {
             result.status = EngineResult::Status::Repaired;
-            result.assignment = candidate;
+            result.assignment = synth.repairs[i];
             result.changes = synth.changes;
             return result;
         }
@@ -310,7 +391,7 @@ runEngine(const ir::TransitionSystem &sys,
           const Deadline *deadline)
 {
     EngineResult result;
-    ConcreteRunner runner(sys, resolved, init);
+    ConcreteRunner runner(sys, resolved, init, config.sim_backend);
 
     // Baseline run: the unmodified circuit (all φ off).
     sim::ReplayResult base = runner.run(SynthAssignment{});
@@ -478,17 +559,22 @@ runEngine(const ir::TransitionSystem &sys,
 
         bool any_later = false;
         size_t latest_failure = f;
-        for (const auto &candidate : synth.repairs) {
-            sim::ReplayResult r = runner.run(candidate);
+        std::vector<sim::ReplayResult> replays =
+            runner.runBatch(synth.repairs);
+        for (size_t i = 0; i < synth.repairs.size(); ++i) {
+            const sim::ReplayResult &r = replays[i];
             if (r.passed) {
                 result.status = EngineResult::Status::Repaired;
-                result.assignment = candidate;
+                result.assignment = synth.repairs[i];
                 result.changes = synth.changes;
                 result.window_past = static_cast<int>(ladder.k_past);
                 result.window_future =
                     static_cast<int>(ladder.k_future);
                 return result;
             }
+            // Candidates past the first passing one never ran in the
+            // serial loop; the in-order early return above keeps the
+            // window-growth feedback identical.
             if (r.first_failure > f) {
                 any_later = true;
                 latest_failure =

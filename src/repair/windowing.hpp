@@ -24,6 +24,7 @@
 #include "repair/guarded.hpp"
 #include "repair/synthesizer.hpp"
 #include "sim/interpreter.hpp"
+#include "sim/sim_backend.hpp"
 
 namespace rtlrepair::repair {
 
@@ -51,6 +52,11 @@ struct EngineConfig
     /** Peak-RSS watermark in KiB; when the process peak crosses it,
      *  no further window solves are launched (0 = disabled). */
     size_t max_rss_kb = 0;
+    /** Candidate-validation simulator: Auto/Vec validate multi-
+     *  candidate batches on the 64-lane packed interpreter, Event on
+     *  the scalar one.  Identical results either way; Vec is faster
+     *  when a window yields several candidates. */
+    sim::SimBackend sim_backend = sim::SimBackend::Auto;
 };
 
 /** Per-window-candidate solve statistics (Table 5 / portfolio). */
@@ -178,10 +184,20 @@ class ConcreteRunner
     /** @p init one fully-known value per state. */
     ConcreteRunner(const ir::TransitionSystem &sys,
                    const trace::IoTrace &resolved,
-                   std::vector<bv::Value> init);
+                   std::vector<bv::Value> init,
+                   sim::SimBackend backend = sim::SimBackend::Auto);
 
     /** Replay with @p assignment; stops at the first mismatch. */
     sim::ReplayResult run(const templates::SynthAssignment &assignment);
+
+    /**
+     * Replay every assignment, stopping each at its first mismatch.
+     * Result i corresponds to assignment i and is identical to
+     * run(assignments[i]); the vectorized backend packs up to 64
+     * candidates per pass.
+     */
+    std::vector<sim::ReplayResult>
+    runBatch(const std::vector<templates::SynthAssignment> &assignments);
 
     /**
      * State vector at entry of @p cycle under the all-off circuit.
@@ -207,6 +223,7 @@ class ConcreteRunner
     const ir::TransitionSystem &_sys;
     const trace::IoTrace &_io;
     std::vector<bv::Value> _init;
+    sim::SimBackend _backend;
     sim::Interpreter _interp;
     std::vector<int> _input_map;   ///< trace col -> input index
     std::vector<int> _output_map;  ///< trace col -> output index

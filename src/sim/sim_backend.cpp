@@ -1,0 +1,44 @@
+#include "sim/sim_backend.hpp"
+
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+namespace rtlrepair::sim {
+
+SimBackend
+parseSimBackend(const std::string &name)
+{
+    if (name == "auto")
+        return SimBackend::Auto;
+    if (name == "event")
+        return SimBackend::Event;
+    if (name == "vec")
+        return SimBackend::Vec;
+    fatal("unknown simulation backend: " + name +
+          " (expected auto, event, or vec)");
+}
+
+const char *
+simBackendName(SimBackend backend)
+{
+    switch (backend) {
+      case SimBackend::Auto: return "auto";
+      case SimBackend::Event: return "event";
+      case SimBackend::Vec: return "vec";
+    }
+    return "auto";
+}
+
+SimBackend
+resolveSimBackend(SimBackend requested)
+{
+    if (requested != SimBackend::Auto)
+        return requested;
+    const char *env = std::getenv("RTLREPAIR_SIM");
+    if (env != nullptr && *env != '\0')
+        return parseSimBackend(env);
+    return SimBackend::Auto;
+}
+
+} // namespace rtlrepair::sim

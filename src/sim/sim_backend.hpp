@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Simulation backend selection.
+ *
+ * Two simulator backends implement identical event-driven semantics:
+ * the scalar EventSimulator (sim/event_sim.*) and the bit-parallel
+ * 64-lane vectorized simulator (sim/vec_sim.*).  Callers pick one via
+ * config (`--sim=vec|event|auto`); `auto` lets the dispatcher choose
+ * (vectorized for multi-stimulus batches, scalar for single runs) and
+ * honours the RTLREPAIR_SIM environment variable, which is how the CI
+ * matrix forces the whole suite onto one backend.
+ */
+#ifndef RTLREPAIR_SIM_SIM_BACKEND_HPP
+#define RTLREPAIR_SIM_SIM_BACKEND_HPP
+
+#include <string>
+
+namespace rtlrepair::sim {
+
+enum class SimBackend
+{
+    Auto,   ///< vec for batches, event for single runs; env override
+    Event,  ///< scalar event-driven simulator
+    Vec,    ///< 64-lane bit-parallel simulator
+};
+
+/** Parse "auto" / "event" / "vec"; fatal on anything else. */
+SimBackend parseSimBackend(const std::string &name);
+
+/** Display name, the inverse of parseSimBackend. */
+const char *simBackendName(SimBackend backend);
+
+/**
+ * Resolve an Auto request against the RTLREPAIR_SIM environment
+ * variable.  Explicit requests pass through unchanged; Auto stays
+ * Auto when the variable is unset or itself "auto".
+ */
+SimBackend resolveSimBackend(SimBackend requested);
+
+} // namespace rtlrepair::sim
+
+#endif // RTLREPAIR_SIM_SIM_BACKEND_HPP

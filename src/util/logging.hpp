@@ -55,6 +55,15 @@ check(bool cond, const std::string &msg)
         panic(msg);
 }
 
+/** Literal-message overload: the std::string is only materialized on
+ *  the failure path, so hot loops can assert without allocating. */
+inline void
+check(bool cond, const char *msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
 } // namespace rtlrepair
 
 #endif // RTLREPAIR_UTIL_LOGGING_HPP
