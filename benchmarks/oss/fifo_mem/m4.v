@@ -1,0 +1,58 @@
+// M4: off-by-one full threshold — the push qualifier treats an
+// occupancy of three as full, so the last word of the FIFO is never
+// used.
+module fifo_mem (
+    input  wire       clk,
+    input  wire       rst,
+    input  wire       push,
+    input  wire       pop,
+    input  wire [7:0] din,
+    output wire [7:0] dout,
+    output reg  [2:0] count
+);
+
+    reg [7:0] mem [0:3];
+    reg [1:0] wptr;
+    reg [1:0] rptr;
+    reg [7:0] head;
+
+    function [1:0] nxt;
+        input [1:0] p;
+        begin
+            nxt = p + 2'd1;
+        end
+    endfunction
+
+    wire do_push;
+    wire do_pop;
+    assign do_push = push & (count != 3'd3);
+    assign do_pop = pop & (count != 3'd0);
+
+    always @(posedge clk) begin
+        if (rst) begin
+            mem[0] <= 8'd0;
+            mem[1] <= 8'd0;
+            mem[2] <= 8'd0;
+            mem[3] <= 8'd0;
+            wptr <= 2'd0;
+            rptr <= 2'd0;
+            count <= 3'd0;
+            head <= 8'd0;
+        end else begin
+            if (do_push) begin
+                mem[wptr] <= din;
+                wptr <= nxt(wptr);
+            end
+            if (do_pop)
+                rptr <= nxt(rptr);
+            if (do_push & ~do_pop)
+                count <= count + 3'd1;
+            else if (do_pop & ~do_push)
+                count <= count - 3'd1;
+            head <= mem[rptr];
+        end
+    end
+
+    assign dout = head;
+
+endmodule

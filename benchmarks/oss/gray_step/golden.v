@@ -1,0 +1,29 @@
+// Enabled counter with a Gray-code view selected by an if-generate
+// on a parameter: the elaborator keeps exactly one branch and
+// constant-folds the other away.
+module gray_step #(
+    parameter INVERT = 0
+) (
+    input  wire       clk,
+    input  wire       rst,
+    input  wire       en,
+    output reg  [3:0] cnt,
+    output wire [3:0] gray
+);
+
+    generate
+        if (INVERT) begin : inv
+            assign gray = ~(cnt ^ {1'b0, cnt[3:1]});
+        end else begin : fwd
+            assign gray = cnt ^ {1'b0, cnt[3:1]};
+        end
+    endgenerate
+
+    always @(posedge clk) begin
+        if (rst)
+            cnt <= 4'd0;
+        else if (en)
+            cnt <= cnt + 4'd1;
+    end
+
+endmodule

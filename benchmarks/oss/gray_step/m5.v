@@ -1,0 +1,28 @@
+// M5: wrong stride — the counter advances by two, so half the Gray
+// codes are skipped and the view is no longer single-bit-safe.
+module gray_step #(
+    parameter INVERT = 0
+) (
+    input  wire       clk,
+    input  wire       rst,
+    input  wire       en,
+    output reg  [3:0] cnt,
+    output wire [3:0] gray
+);
+
+    generate
+        if (INVERT) begin : inv
+            assign gray = ~(cnt ^ {1'b0, cnt[3:1]});
+        end else begin : fwd
+            assign gray = cnt ^ {1'b0, cnt[3:1]};
+        end
+    endgenerate
+
+    always @(posedge clk) begin
+        if (rst)
+            cnt <= 4'd0;
+        else if (en)
+            cnt <= cnt + 4'd2;
+    end
+
+endmodule

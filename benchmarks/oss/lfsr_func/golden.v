@@ -1,0 +1,29 @@
+// Loadable 4-bit Fibonacci LFSR with the feedback tap network in a
+// side-effect-free function — inlined at elaboration, so every
+// backend sees plain combinational logic.
+module lfsr_func (
+    input  wire       clk,
+    input  wire       rst,
+    input  wire       en,
+    input  wire       load,
+    input  wire [3:0] seed,
+    output reg  [3:0] state
+);
+
+    function fb;
+        input [3:0] s;
+        begin
+            fb = s[3] ^ s[2];
+        end
+    endfunction
+
+    always @(posedge clk) begin
+        if (rst)
+            state <= 4'd1;
+        else if (load)
+            state <= seed;
+        else if (en)
+            state <= {state[2:0], fb(state)};
+    end
+
+endmodule

@@ -1,0 +1,28 @@
+// M3: the reset seeds the all-zero lockup state — a Fibonacci LFSR
+// that resets to zero never leaves it until an explicit load.
+module lfsr_func (
+    input  wire       clk,
+    input  wire       rst,
+    input  wire       en,
+    input  wire       load,
+    input  wire [3:0] seed,
+    output reg  [3:0] state
+);
+
+    function fb;
+        input [3:0] s;
+        begin
+            fb = s[3] ^ s[2];
+        end
+    endfunction
+
+    always @(posedge clk) begin
+        if (rst)
+            state <= 4'd0;
+        else if (load)
+            state <= seed;
+        else if (en)
+            state <= {state[2:0], fb(state)};
+    end
+
+endmodule

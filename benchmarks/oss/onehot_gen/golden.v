@@ -1,0 +1,28 @@
+// Registered one-hot decoder built from a generate-for block: one
+// continuous assign per decoded bit, merged into a single driver by
+// the elaborator's partial-assign lowering.
+module onehot_gen (
+    input  wire       clk,
+    input  wire       rst,
+    input  wire       en,
+    input  wire [1:0] sel,
+    output reg  [3:0] onehot
+);
+
+    wire [3:0] hit;
+
+    genvar gi;
+    generate
+        for (gi = 0; gi < 4; gi = gi + 1) begin : dec
+            assign hit[gi] = en & (sel == gi);
+        end
+    endgenerate
+
+    always @(posedge clk) begin
+        if (rst)
+            onehot <= 4'd0;
+        else
+            onehot <= hit;
+    end
+
+endmodule

@@ -1,0 +1,27 @@
+// M2: numeric error — the reset loads a stray one-hot pattern
+// instead of clearing the register.
+module onehot_gen (
+    input  wire       clk,
+    input  wire       rst,
+    input  wire       en,
+    input  wire [1:0] sel,
+    output reg  [3:0] onehot
+);
+
+    wire [3:0] hit;
+
+    genvar gi;
+    generate
+        for (gi = 0; gi < 4; gi = gi + 1) begin : dec
+            assign hit[gi] = en & (sel == gi);
+        end
+    endgenerate
+
+    always @(posedge clk) begin
+        if (rst)
+            onehot <= 4'd8;
+        else
+            onehot <= hit;
+    end
+
+endmodule

@@ -1,0 +1,29 @@
+// M1: inverted write enable — writes land on every cycle the port is
+// idle and are dropped exactly when requested.
+module regfile (
+    input  wire       clk,
+    input  wire       rst,
+    input  wire       we,
+    input  wire [1:0] waddr,
+    input  wire [7:0] wdata,
+    input  wire [1:0] raddr,
+    output reg  [7:0] rdata
+);
+
+    reg [7:0] rf [0:3];
+
+    always @(posedge clk) begin
+        if (rst) begin
+            rf[0] <= 8'd0;
+            rf[1] <= 8'd0;
+            rf[2] <= 8'd0;
+            rf[3] <= 8'd0;
+            rdata <= 8'd0;
+        end else begin
+            if (!we)
+                rf[waddr] <= wdata;
+            rdata <= rf[raddr];
+        end
+    end
+
+endmodule

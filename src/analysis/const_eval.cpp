@@ -165,6 +165,10 @@ tryConstEval(const Expr &expr, const ConstEnv &env)
         return base->slice(static_cast<uint32_t>(hi),
                            static_cast<uint32_t>(lo));
       }
+      case Expr::Kind::Call:
+        // Function calls are inlined during lowering; before that
+        // they are never compile-time constants.
+        return std::nullopt;
     }
     return std::nullopt;
 }

@@ -134,6 +134,9 @@ exprWidth(const Expr &expr, const SymbolTable &table)
         int64_t lsb = constEvalInt(*r.lsb, table.params());
         return static_cast<uint32_t>(std::llabs(msb - lsb)) + 1u;
       }
+      case Expr::Kind::Call:
+        fatal("function call reached width analysis: calls must be "
+              "inlined by the lowering pass first");
     }
     panic("unknown expression kind in exprWidth");
 }

@@ -257,6 +257,34 @@ all()
              .dir = "oss/checksum", .buggy_file = "s3.v",
              .top = "checksum", .clock = "clk", .oss_id = "S3",
              .stimulus_id = "checksum"});
+
+        // ---- Subset-expansion set: memories, generate blocks, and
+        // ---- functions, with bugs injected in the Table 6 style ---
+        oss({.name = "oss_m1", .project = "regfile",
+             .defect = "Inverted write enable",
+             .dir = "oss/regfile", .buggy_file = "m1.v",
+             .top = "regfile", .clock = "clk", .oss_id = "M1",
+             .stimulus_id = "regfile"});
+        oss({.name = "oss_m2", .project = "onehot_gen",
+             .defect = "Numeric error in reset",
+             .dir = "oss/onehot_gen", .buggy_file = "m2.v",
+             .top = "onehot_gen", .clock = "clk", .oss_id = "M2",
+             .stimulus_id = "onehot"});
+        oss({.name = "oss_m3", .project = "lfsr_func",
+             .defect = "Reset to the LFSR lockup state",
+             .dir = "oss/lfsr_func", .buggy_file = "m3.v",
+             .top = "lfsr_func", .clock = "clk", .oss_id = "M3",
+             .stimulus_id = "lfsr"});
+        oss({.name = "oss_m4", .project = "fifo_mem",
+             .defect = "Off-by-one full threshold",
+             .dir = "oss/fifo_mem", .buggy_file = "m4.v",
+             .top = "fifo_mem", .clock = "clk", .oss_id = "M4",
+             .stimulus_id = "fifo_mem"});
+        oss({.name = "oss_m5", .project = "gray_step",
+             .defect = "Wrong counter stride",
+             .dir = "oss/gray_step", .buggy_file = "m5.v",
+             .top = "gray_step", .clock = "clk", .oss_id = "M5",
+             .stimulus_id = "gray"});
         return v;
     }();
     return defs;

@@ -456,6 +456,92 @@ checksumStim()
     return sb.finish();  // 13 cycles
 }
 
+InputSequence
+regfileStim()
+{
+    Rng rng(0x4f11e);
+    StimulusBuilder sb({{"rst", 1},
+                        {"we", 1},
+                        {"waddr", 2},
+                        {"wdata", 8},
+                        {"raddr", 2}});
+    sb.set("rst", 1).set("we", 0).set("waddr", 0).set("wdata", 0)
+        .set("raddr", 0).step(2);
+    sb.set("rst", 0);
+    for (int i = 0; i < 28; ++i) {
+        sb.set("we", rng.next() & 1)
+            .set("waddr", rng.next() & 3)
+            .set("wdata", rng.next() & 0xff)
+            .set("raddr", rng.next() & 3)
+            .step();
+    }
+    return sb.finish();  // 30 cycles
+}
+
+InputSequence
+onehotStim()
+{
+    StimulusBuilder sb({{"rst", 1}, {"en", 1}, {"sel", 2}});
+    sb.set("rst", 1).set("en", 0).set("sel", 0).step(2);
+    sb.set("rst", 0);
+    for (uint64_t s = 0; s < 4; ++s) {
+        sb.set("en", 1).set("sel", s).step();
+        sb.set("en", 0).step();
+    }
+    sb.set("en", 1).set("sel", 2).step(2);
+    return sb.finish();  // 12 cycles
+}
+
+InputSequence
+lfsrStim()
+{
+    StimulusBuilder sb(
+        {{"rst", 1}, {"en", 1}, {"load", 1}, {"seed", 4}});
+    sb.set("rst", 1).set("en", 0).set("load", 0).set("seed", 0)
+        .step(2);
+    // Load a seed, run a full period, pause, reseed, run again.
+    sb.set("rst", 0).set("load", 1).set("seed", 9).step();
+    sb.set("load", 0).set("en", 1).step(16);
+    sb.set("en", 0).step();
+    sb.set("load", 1).set("seed", 5).step();
+    sb.set("load", 0).set("en", 1).step(8);
+    return sb.finish();  // 29 cycles
+}
+
+InputSequence
+fifoMemStim()
+{
+    Rng rng(0xf1f0);
+    StimulusBuilder sb(
+        {{"rst", 1}, {"push", 1}, {"pop", 1}, {"din", 8}});
+    sb.set("rst", 1).set("push", 0).set("pop", 0).set("din", 0)
+        .step(2);
+    sb.set("rst", 0);
+    // Fill to the brim, drain to empty, then mixed traffic.
+    for (uint64_t i = 0; i < 4; ++i)
+        sb.set("push", 1).set("pop", 0).set("din", 0x10 + i).step();
+    for (int i = 0; i < 4; ++i)
+        sb.set("push", 0).set("pop", 1).step();
+    for (int i = 0; i < 16; ++i) {
+        sb.set("push", rng.next() & 1)
+            .set("pop", rng.next() & 1)
+            .set("din", rng.next() & 0xff)
+            .step();
+    }
+    return sb.finish();  // 26 cycles
+}
+
+InputSequence
+grayStim()
+{
+    StimulusBuilder sb({{"rst", 1}, {"en", 1}});
+    sb.set("rst", 1).set("en", 0).step(2);
+    sb.set("rst", 0).set("en", 1).step(17);  // wraps the counter
+    sb.set("en", 0).step(2);
+    sb.set("en", 1).step(4);
+    return sb.finish();  // 25 cycles
+}
+
 } // namespace
 
 InputSequence
@@ -511,6 +597,16 @@ makeStimulus(const std::string &id)
         return ptpStim(45);
     if (id == "checksum")
         return checksumStim();
+    if (id == "regfile")
+        return regfileStim();
+    if (id == "onehot")
+        return onehotStim();
+    if (id == "lfsr")
+        return lfsrStim();
+    if (id == "fifo_mem")
+        return fifoMemStim();
+    if (id == "gray")
+        return grayStim();
     fatal("unknown stimulus id: " + id);
 }
 

@@ -120,6 +120,10 @@ collectLiterals(ExprPtr &expr, std::vector<LiteralExpr *> &out)
         collectLiterals(static_cast<RangeSelectExpr &>(*expr).base,
                         out);
         return;
+      case Expr::Kind::Call:
+        for (auto &arg : static_cast<CallExpr &>(*expr).args)
+            collectLiterals(arg, out);
+        return;
     }
 }
 
@@ -162,6 +166,10 @@ collectIdentSlots(ExprPtr &expr, std::vector<ExprPtr *> &out)
       case Expr::Kind::RangeSelect:
         collectIdentSlots(static_cast<RangeSelectExpr &>(*expr).base,
                           out);
+        return;
+      case Expr::Kind::Call:
+        for (auto &arg : static_cast<CallExpr &>(*expr).args)
+            collectIdentSlots(arg, out);
         return;
     }
 }
@@ -260,11 +268,118 @@ collectCases(Module &mod)
     return cases;
 }
 
+/** Names of declared memories (2-D regs) in @p mod. */
+std::vector<std::string>
+memoryNames(const Module &mod)
+{
+    std::vector<std::string> names;
+    for (const auto &item : mod.items) {
+        if (item->kind != Item::Kind::Net)
+            continue;
+        const auto &net = static_cast<const NetDecl &>(*item);
+        if (net.isMemory())
+            names.push_back(net.name);
+    }
+    return names;
+}
+
+/** True when @p e is a word access of one of @p mems: `mem[addr]`. */
+bool
+isMemoryIndex(const Expr &e, const std::vector<std::string> &mems)
+{
+    if (e.kind != Expr::Kind::Index)
+        return false;
+    const auto &idx = static_cast<const IndexExpr &>(e);
+    if (idx.base->kind != Expr::Kind::Ident)
+        return false;
+    const std::string &name =
+        static_cast<const IdentExpr &>(*idx.base).name;
+    for (const std::string &m : mems) {
+        if (m == name)
+            return true;
+    }
+    return false;
+}
+
+/** Address-expression slots of memory word accesses under @p expr. */
+void
+collectMemoryIndexSlots(ExprPtr &expr,
+                        const std::vector<std::string> &mems,
+                        std::vector<ExprPtr *> &out)
+{
+    if (isMemoryIndex(*expr, mems))
+        out.push_back(&static_cast<IndexExpr &>(*expr).index);
+    switch (expr->kind) {
+      case Expr::Kind::Unary:
+        collectMemoryIndexSlots(static_cast<UnaryExpr &>(*expr).operand,
+                                mems, out);
+        return;
+      case Expr::Kind::Binary: {
+        auto &b = static_cast<BinaryExpr &>(*expr);
+        collectMemoryIndexSlots(b.lhs, mems, out);
+        collectMemoryIndexSlots(b.rhs, mems, out);
+        return;
+      }
+      case Expr::Kind::Ternary: {
+        auto &t = static_cast<TernaryExpr &>(*expr);
+        collectMemoryIndexSlots(t.cond, mems, out);
+        collectMemoryIndexSlots(t.then_expr, mems, out);
+        collectMemoryIndexSlots(t.else_expr, mems, out);
+        return;
+      }
+      case Expr::Kind::Concat:
+        for (auto &p : static_cast<ConcatExpr &>(*expr).parts)
+            collectMemoryIndexSlots(p, mems, out);
+        return;
+      case Expr::Kind::Repl:
+        collectMemoryIndexSlots(static_cast<ReplExpr &>(*expr).inner,
+                                mems, out);
+        return;
+      case Expr::Kind::Call:
+        for (auto &arg : static_cast<CallExpr &>(*expr).args)
+            collectMemoryIndexSlots(arg, mems, out);
+        return;
+      default:
+        return;
+    }
+}
+
+/** Does @p stmt (or anything under it) write a word of @p mems? */
+bool
+stmtWritesMemory(const StmtPtr &stmt,
+                 const std::vector<std::string> &mems)
+{
+    if (!stmt)
+        return false;
+    switch (stmt->kind) {
+      case Stmt::Kind::Assign:
+        return isMemoryIndex(
+            *static_cast<const AssignStmt &>(*stmt).lhs, mems);
+      case Stmt::Kind::Block:
+        for (const auto &s :
+             static_cast<const BlockStmt &>(*stmt).stmts) {
+            if (stmtWritesMemory(s, mems))
+                return true;
+        }
+        return false;
+      case Stmt::Kind::If: {
+        const auto &i = static_cast<const IfStmt &>(*stmt);
+        return stmtWritesMemory(i.then_stmt, mems) ||
+               stmtWritesMemory(i.else_stmt, mems);
+      }
+      default:
+        return false;
+    }
+}
+
 /** One operator pick; returns false when the pick was inapplicable. */
 bool
-tryMutateOnce(Module &mod, Rng &rng, std::string &desc)
+tryMutateOnce(Module &mod, Rng &rng, std::string &desc, int version)
 {
-    switch (rng.below(11)) {
+    // The dispatch modulus is part of the replay contract: version-1
+    // sub-seeds were recorded under an 11-way pick, so growing the
+    // operator set bumps kMutatorVersion instead of remapping them.
+    switch (rng.below(version >= 2 ? 13 : 11)) {
           case 0: {  // invert a conditional
             std::vector<ExprPtr *> conds;
             for (auto &item : mod.items) {
@@ -486,6 +601,71 @@ tryMutateOnce(Module &mod, Rng &rng, std::string &desc)
             desc = "negate ternary guard";
             return true;
           }
+          case 11: {  // perturb a memory array index
+            std::vector<std::string> mems = memoryNames(mod);
+            if (mems.empty())
+                return false;
+            std::vector<ExprPtr *> roots;
+            collectExprSlots(mod, roots);
+            for (AssignStmt *a : collectAssigns(mod))
+                roots.push_back(&a->lhs);
+            std::vector<ExprPtr *> idxs;
+            for (ExprPtr *slot : roots)
+                collectMemoryIndexSlots(*slot, mems, idxs);
+            if (idxs.empty())
+                return false;
+            // XOR the address with 1: always in range for a
+            // power-of-two depth, and the off-by-one aliasing is the
+            // classic wrong-word bug the repair templates target.
+            ExprPtr *slot = idxs[rng.below(idxs.size())];
+            auto *one = new LiteralExpr(Value::fromUint(1, 1), true);
+            one->id = mod.newNodeId();
+            auto *flipped = new BinaryExpr(
+                BinaryOp::BitXor, std::move(*slot), ExprPtr(one));
+            flipped->id = mod.newNodeId();
+            slot->reset(flipped);
+            desc = "perturb array index";
+            return true;
+          }
+          case 12: {  // perturb a write enable
+            std::vector<std::string> mems = memoryNames(mod);
+            if (mems.empty())
+                return false;
+            // If-statements guarding a memory word write: the
+            // write-enable idiom.
+            std::vector<StmtPtr *> guards;
+            for (auto &item : mod.items) {
+                if (item->kind != Item::Kind::Always)
+                    continue;
+                std::vector<StmtPtr *> stmts;
+                collectStmtSlots(
+                    static_cast<AlwaysBlock &>(*item).body, stmts);
+                for (StmtPtr *slot : stmts) {
+                    if ((*slot)->kind != Stmt::Kind::If)
+                        continue;
+                    auto &ifs = static_cast<IfStmt &>(**slot);
+                    if (stmtWritesMemory(ifs.then_stmt, mems))
+                        guards.push_back(slot);
+                }
+            }
+            if (guards.empty())
+                return false;
+            StmtPtr *slot = guards[rng.below(guards.size())];
+            auto &ifs = static_cast<IfStmt &>(**slot);
+            if (!ifs.else_stmt && rng.chance(0.5)) {
+                // Drop the guard: the write fires every cycle.
+                StmtPtr body = std::move(ifs.then_stmt);
+                *slot = std::move(body);
+                desc = "drop write enable";
+            } else {
+                auto *inverted = new UnaryExpr(UnaryOp::LogicNot,
+                                               std::move(ifs.cond));
+                inverted->id = mod.newNodeId();
+                ifs.cond.reset(inverted);
+                desc = "invert write enable";
+            }
+            return true;
+          }
           default: {  // perturb a case-item label
             auto cases = collectCases(mod);
             std::vector<LiteralExpr *> labels;
@@ -523,7 +703,7 @@ mutate(const Module &original, Rng &rng, std::string *description)
 
     // Try operators until one applies (bounded retries).
     for (int attempt = 0; attempt < 12; ++attempt) {
-        if (tryMutateOnce(*mod, rng, desc))
+        if (tryMutateOnce(*mod, rng, desc, kMutatorVersion))
             break;
     }
     if (description)
@@ -532,14 +712,15 @@ mutate(const Module &original, Rng &rng, std::string *description)
 }
 
 MutationResult
-applyMutation(const Module &original, uint64_t subseed)
+applyMutation(const Module &original, uint64_t subseed, int version)
 {
     MutationResult result;
     result.mod = original.clone();
     result.description = "no-op";
     Rng rng(subseed);
     for (int attempt = 0; attempt < 12; ++attempt) {
-        if (tryMutateOnce(*result.mod, rng, result.description)) {
+        if (tryMutateOnce(*result.mod, rng, result.description,
+                          version)) {
             result.applied = true;
             break;
         }

@@ -21,6 +21,18 @@
 
 namespace rtlrepair::cirfix {
 
+/**
+ * Mutation operator-set versions.  Corpus entries pin the version
+ * their sub-seeds were drawn under (`mutator = N`, absent = 1) so a
+ * recorded bug replays exactly forever: adding an operator changes
+ * the dispatch modulus and would otherwise remap every sub-seed.
+ *
+ *  - 1: the original 11-operator CirFix set.
+ *  - 2: adds "perturb array index" and "perturb write enable" for
+ *       designs with memories.
+ */
+constexpr int kMutatorVersion = 2;
+
 /** Apply one random mutation to a clone of @p mod. */
 std::unique_ptr<verilog::Module> mutate(const verilog::Module &mod,
                                         Rng &rng,
@@ -41,7 +53,7 @@ struct MutationResult
 };
 
 MutationResult applyMutation(const verilog::Module &mod,
-                             uint64_t subseed);
+                             uint64_t subseed, int version = 1);
 
 /**
  * Single-point crossover: child takes item-level bodies from @p a up

@@ -1,5 +1,7 @@
 #include "elaborate/elaborate.hpp"
 
+#include "elaborate/lower.hpp"
+
 #include <algorithm>
 #include <map>
 #include <set>
@@ -53,10 +55,14 @@ class Flattener
     run(const Module &top)
     {
         _dest = top.clone();
+        // Compile generate blocks, function calls, and memories away
+        // before flattening so instance bodies only contain the core
+        // subset.
+        lowerModule(*_dest, _opts.param_overrides);
+        SymbolTable top_table =
+            SymbolTable::build(*_dest, _opts.param_overrides);
         std::vector<ItemPtr> original = std::move(_dest->items);
         _dest->items.clear();
-        SymbolTable top_table =
-            SymbolTable::build(top, _opts.param_overrides);
         for (auto &item : original) {
             if (item->kind != Item::Kind::Instance) {
                 _dest->items.push_back(std::move(item));
@@ -75,9 +81,9 @@ class Flattener
     {
         if (depth > kMaxInstanceDepth)
             fatal("instance hierarchy too deep (recursive modules?)");
-        const Module *child =
+        const Module *child_src =
             findLibraryModule(_opts.library, inst.module_name);
-        if (!child)
+        if (!child_src)
             fatal("unknown module in instantiation: " + inst.module_name);
         std::string prefix = parent_prefix + inst.instance_name + "__";
 
@@ -85,7 +91,7 @@ class Flattener
         ConstEnv overrides;
         if (!inst.params.empty()) {
             std::vector<std::string> param_names;
-            for (const auto &item : child->items) {
+            for (const auto &item : child_src->items) {
                 if (item->kind == Item::Kind::Param) {
                     const auto &p = static_cast<const ParamDecl &>(*item);
                     if (!p.is_local)
@@ -108,6 +114,11 @@ class Flattener
                 }
             }
         }
+        // Lower the child under its per-instance parameter bindings:
+        // generates may unroll differently for every instantiation.
+        std::unique_ptr<Module> lowered = child_src->clone();
+        lowerModule(*lowered, overrides);
+        const Module *child = lowered.get();
         SymbolTable child_table = SymbolTable::build(*child, overrides);
         const ConstEnv &child_env = child_table.params();
 
@@ -148,6 +159,11 @@ class Flattener
                 flattenInstance(static_cast<const Instance &>(*item),
                                 child_env, prefix, depth + 1);
                 break;
+              case Item::Kind::Function:
+              case Item::Kind::Genvar:
+              case Item::Kind::GenFor:
+              case Item::Kind::GenIf:
+                panic("generate/function item survived lowering");
             }
         }
 
@@ -1125,6 +1141,8 @@ class Elaborator
           case Expr::Kind::Literal:
             return _builder.constant(
                 static_cast<const LiteralExpr &>(expr).value);
+          case Expr::Kind::Call:
+            panic("function call survived lowering");
           case Expr::Kind::Unary: {
             const auto &u = static_cast<const UnaryExpr &>(expr);
             switch (u.op) {

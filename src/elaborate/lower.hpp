@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Lowering of the extended synthesizable subset onto the core subset.
+ *
+ * Three source-level features are compiled away before flattening and
+ * elaboration ever see them, so every backend (elaborator, event
+ * simulator, vectorized simulator, SMT/gate encodings) agrees on their
+ * semantics by construction:
+ *
+ *  - `generate`/`genvar` for-blocks and if-generates are unrolled:
+ *    each iteration's items are cloned with the genvar replaced by a
+ *    literal and body-local names uniquified as `<label>__<i>__<name>`.
+ *  - `function` calls are inlined into pure expressions.  The body is
+ *    evaluated symbolically (blocking assignments, if/case, constant
+ *    for-loops); the result is width-adjusted to the declared return
+ *    range.
+ *  - memories (`reg [7:0] mem [0:15]`) are bit-blasted into one
+ *    register per word (`mem__w<addr>`).  Constant-index accesses
+ *    resolve to the word directly; dynamic reads become a select
+ *    chain ending in X, dynamic writes an if-chain so an X or
+ *    out-of-range address drops the write — matching event-driven
+ *    Verilog simulation.
+ */
+#ifndef RTLREPAIR_ELABORATE_LOWER_HPP
+#define RTLREPAIR_ELABORATE_LOWER_HPP
+
+#include "analysis/const_eval.hpp"
+#include "verilog/ast.hpp"
+
+namespace rtlrepair::elaborate {
+
+/**
+ * Lower @p module in place.  @p overrides are top-level parameter
+ * overrides (generate bounds and memory depths see them).
+ * @throws FatalError on constructs outside the subset (recursive
+ *         functions, non-constant generate bounds, bare memory
+ *         references, ...).
+ */
+void lowerModule(verilog::Module &module,
+                 const analysis::ConstEnv &overrides = {});
+
+/** Name of the lowered register holding @p mem word @p addr. */
+std::string memoryWordName(const std::string &mem, int64_t addr);
+
+/** Maximum addressable words per memory accepted by the lowering. */
+constexpr int64_t kMaxMemoryWords = 4096;
+
+/** Maximum generate-for iterations before we assume divergence. */
+constexpr int64_t kMaxGenerateIterations = 4096;
+
+} // namespace rtlrepair::elaborate
+
+#endif // RTLREPAIR_ELABORATE_LOWER_HPP

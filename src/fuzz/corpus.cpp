@@ -20,6 +20,8 @@ CorpusEntry::serialize() const
     for (uint64_t m : mutations)
         subs.push_back(std::to_string(m));
     out << "mutations = " << join(subs, ",") << "\n";
+    if (mutator != 1)
+        out << "mutator = " << mutator << "\n";
     out << "trace_cycles = " << trace_cycles << "\n";
     if (trace_extra > 0) {
         out << "trace_extra = " << trace_extra << "\n";
@@ -60,6 +62,8 @@ CorpusEntry::parse(const std::string &text)
                 entry.mutations.push_back(
                     std::stoull(std::string(part)));
             }
+        } else if (key == "mutator") {
+            entry.mutator = std::stoi(value);
         } else if (key == "trace_cycles") {
             entry.trace_cycles = std::stoull(value);
         } else if (key == "trace_extra") {

@@ -15,6 +15,7 @@
  *     # free-form comment lines
  *     design = counter_k1        | gen:42
  *     mutations = 7301,992       # applyMutation sub-seeds, in order
+ *     mutator = 2                # operator-set version (absent = 1)
  *     trace_cycles = 12          # driving-trace prefix (0 = full)
  *     trace_extra = 0            # extra random driving rows appended
  *     trace_seed = 0             # seed for the extra rows
@@ -37,6 +38,9 @@ struct CorpusEntry
 {
     std::string design;
     std::vector<uint64_t> mutations;
+    /** cirfix mutation operator-set version the sub-seeds replay
+     *  under (see cirfix::kMutatorVersion); absent in v1 files. */
+    int mutator = 1;
     size_t trace_cycles = 0;
     size_t trace_extra = 0;
     uint64_t trace_seed = 0;

@@ -30,9 +30,13 @@ namespace {
 const std::vector<std::string> &
 defaultPool()
 {
+    // Fast registry subset; the oss_m* designs keep the expanded
+    // subset (memories, generate blocks, functions) in every sweep.
     static const std::vector<std::string> pool = {
         "decoder_w1", "counter_k1", "flop_w1",
         "fsm_w1",     "shift_w1",   "mux_k1",
+        "oss_m1",     "oss_m2",     "oss_m3",
+        "oss_m4",     "oss_m5",
     };
     return pool;
 }
@@ -82,9 +86,14 @@ Materialized
 materialize(const FuzzCase &fcase, const FuzzConfig &config)
 {
     Materialized m;
-    if (startsWith(fcase.design, "gen:")) {
-        uint64_t gen_seed = std::stoull(fcase.design.substr(4));
-        GeneratedDesign gen = generateDesign(gen_seed);
+    // `gen:<seed>` pins generator version 1, `gen2:<seed>` version 2;
+    // a corpus entry must replay the exact design it was found on.
+    if (startsWith(fcase.design, "gen:") ||
+        startsWith(fcase.design, "gen2:")) {
+        bool v2 = startsWith(fcase.design, "gen2:");
+        uint64_t gen_seed =
+            std::stoull(fcase.design.substr(v2 ? 5 : 4));
+        GeneratedDesign gen = generateDesign(gen_seed, v2 ? 2 : 1);
         m.owned = verilog::parse(gen.source);
         m.golden = &m.owned.top();
         m.clock = gen.clock;
@@ -233,6 +242,7 @@ FuzzCase::toCorpus() const
     CorpusEntry entry;
     entry.design = design;
     entry.mutations = mutations;
+    entry.mutator = mutator;
     entry.trace_cycles = trace_cycles;
     entry.trace_extra = trace_extra;
     entry.trace_seed = trace_seed;
@@ -247,6 +257,7 @@ FuzzCase::fromCorpus(const CorpusEntry &entry)
     FuzzCase fcase;
     fcase.design = entry.design;
     fcase.mutations = entry.mutations;
+    fcase.mutator = entry.mutator;
     fcase.trace_cycles = entry.trace_cycles;
     fcase.trace_extra = entry.trace_extra;
     fcase.trace_seed = entry.trace_seed;
@@ -328,7 +339,7 @@ runCase(const FuzzCase &fcase, const FuzzConfig &config)
         std::vector<std::string> descs;
         for (uint64_t subseed : fcase.mutations) {
             cirfix::MutationResult mr =
-                cirfix::applyMutation(*mutant, subseed);
+                cirfix::applyMutation(*mutant, subseed, fcase.mutator);
             mutant = std::move(mr.mod);
             descs.push_back(mr.description);
         }
@@ -597,10 +608,11 @@ fuzz(const FuzzConfig &config, std::ostream *log)
         FuzzCase fcase;
         if (rng.chance(config.gen_probability)) {
             fcase.design =
-                "gen:" + std::to_string(rng.next() & 0xffff);
+                "gen2:" + std::to_string(rng.next() & 0xffff);
         } else {
             fcase.design = pool[rng.below(pool.size())];
         }
+        fcase.mutator = cirfix::kMutatorVersion;
         size_t n_mut = 1 + rng.below(static_cast<uint64_t>(
                                std::max(1, config.max_mutations)));
         for (size_t i = 0; i < n_mut; ++i)
@@ -645,7 +657,8 @@ fuzz(const FuzzConfig &config, std::ostream *log)
                                 run);
             std::string name = format(
                 "%s_%s_s%llu_r%zu.fuzz",
-                startsWith(reduced.design, "gen:")
+                startsWith(reduced.design, "gen:") ||
+                        startsWith(reduced.design, "gen2:")
                     ? "gen"
                     : reduced.design.c_str(),
                 toString(rr.cls),

@@ -73,6 +73,8 @@ struct FuzzCase
     std::string design;
     /** Mutation sub-seeds, applied in order (cirfix::applyMutation). */
     std::vector<uint64_t> mutations;
+    /** Mutation operator-set version the sub-seeds were drawn under. */
+    int mutator = 1;
     /** Driving-trace prefix in cycles; 0 = the full trace. */
     size_t trace_cycles = 0;
     /** Extra random rows appended to the driving trace — a richer

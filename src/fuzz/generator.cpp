@@ -65,7 +65,7 @@ randomExpr(Rng &rng, const std::vector<std::string> &regs,
 }
 
 GeneratedDesign
-tryGenerate(uint64_t seed)
+tryGenerate(uint64_t seed, int version)
 {
     Rng rng(seed);
     GeneratedDesign design;
@@ -75,6 +75,13 @@ tryGenerate(uint64_t seed)
 
     size_t n_in = 2 + rng.below(2);    // 2-3 data inputs
     size_t n_reg = 1 + rng.below(2);   // 1-2 registers
+    // Extended-subset features (version >= 2), each independently
+    // present so the fuzzer also covers their interactions.  The
+    // version-1 path must not consume rng draws for them: old corpus
+    // entries replay the exact byte stream they were recorded under.
+    bool with_mem = version >= 2 && rng.chance(0.35);
+    bool with_gen = version >= 2 && rng.chance(0.35);
+    bool with_func = version >= 2 && rng.chance(0.35);
     std::vector<std::string> ins, regs;
     std::vector<uint32_t> in_w, reg_w;
     static const uint32_t widths[] = {1, 2, 4, 8};
@@ -86,6 +93,8 @@ tryGenerate(uint64_t seed)
         regs.push_back(format("r%zu", i));
         reg_w.push_back(widths[1 + rng.below(3)]);  // >= 2 bits
     }
+    uint32_t mem_w = with_mem ? widths[1 + rng.below(3)] : 4;
+    uint32_t gen_w = 4;
 
     std::ostringstream src;
     src << "module " << design.top << " (\n";
@@ -96,18 +105,90 @@ tryGenerate(uint64_t seed)
             src << "[" << in_w[i] - 1 << ":0] ";
         src << ins[i];
     }
+    if (with_mem) {
+        src << ",\n    input wire mwe";
+        src << ",\n    input wire [1:0] mwaddr";
+        src << ",\n    input wire [1:0] mraddr";
+    }
     for (size_t i = 0; i < n_reg; ++i) {
         src << ",\n    output wire ";
         if (reg_w[i] > 1)
             src << "[" << reg_w[i] - 1 << ":0] ";
         src << "out" << i;
     }
+    if (with_mem) {
+        src << ",\n    output wire ";
+        if (mem_w > 1)
+            src << "[" << mem_w - 1 << ":0] ";
+        src << "outm";
+    }
+    if (with_gen)
+        src << ",\n    output wire [" << gen_w - 1 << ":0] outg";
     src << "\n);\n\n";
     for (size_t i = 0; i < n_reg; ++i) {
         src << "    reg ";
         if (reg_w[i] > 1)
             src << "[" << reg_w[i] - 1 << ":0] ";
         src << regs[i] << ";\n";
+    }
+
+    if (with_func) {
+        // A side-effect-free helper the sequential core calls; the
+        // lowering inlines it before any backend runs.
+        src << "\n    function [" << reg_w[0] - 1 << ":0] fmix;\n";
+        src << "        input [" << reg_w[0] - 1 << ":0] x;\n";
+        src << "        input [" << reg_w[0] - 1 << ":0] y;\n";
+        src << "        begin\n";
+        src << "            if (x > y)\n";
+        src << "                fmix = x - y;\n";
+        src << "            else\n";
+        src << "                fmix = x ^ y;\n";
+        src << "        end\n";
+        src << "    endfunction\n";
+    }
+
+    if (with_mem) {
+        // Write-enable memory: every word reset to a known value so
+        // the golden design never exposes an uninitialized read.
+        src << "\n    reg ";
+        if (mem_w > 1)
+            src << "[" << mem_w - 1 << ":0] ";
+        src << "mem [0:3];\n";
+        src << "    reg ";
+        if (mem_w > 1)
+            src << "[" << mem_w - 1 << ":0] ";
+        src << "mq;\n";
+        src << "    always @(posedge clk) begin\n";
+        src << "        if (rst) begin\n";
+        for (int w = 0; w < 4; ++w)
+            src << "            mem[" << w << "] <= " << mem_w
+                << "'d" << rng.below(1ull << (mem_w < 8 ? mem_w : 8))
+                << ";\n";
+        src << "            mq <= " << mem_w << "'d0;\n";
+        src << "        end else begin\n";
+        src << "            if (mwe)\n";
+        src << "                mem[mwaddr] <= "
+            << randomExpr(rng, regs, ins, mem_w) << ";\n";
+        src << "            mq <= mem[mraddr];\n";
+        src << "        end\n    end\n";
+        src << "    assign outm = mq;\n";
+    }
+
+    if (with_gen) {
+        // Per-bit generate block driving slices of one output; the
+        // lowering merges the unrolled assigns into a single driver.
+        const std::string sel = ins[rng.below(n_in)];
+        const std::string bit = regs[rng.below(n_reg)];
+        src << "\n    genvar gi;\n";
+        src << "    generate\n";
+        src << "        for (gi = 0; gi < " << gen_w
+            << "; gi = gi + 1) begin : gb\n";
+        src << "            wire hit;\n";
+        src << "            assign hit = (" << sel << " == gi);\n";
+        src << "            assign outg[gi] = hit ^ " << bit
+            << "[0];\n";
+        src << "        end\n";
+        src << "    endgenerate\n";
     }
 
     // The sequential core: synchronous reset, then either a plain
@@ -128,6 +209,10 @@ tryGenerate(uint64_t seed)
             src << "            else\n";
             src << "                " << regs[i] << " <= "
                 << randomExpr(rng, regs, ins, reg_w[i]) << ";\n";
+        } else if (with_func && i == 0) {
+            src << "            " << regs[i] << " <= fmix("
+                << randomOperand(rng, regs, ins, reg_w[i]) << ", "
+                << randomOperand(rng, regs, ins, reg_w[i]) << ");\n";
         } else {
             src << "            " << regs[i] << " <= "
                 << randomExpr(rng, regs, ins, reg_w[i]) << ";\n";
@@ -151,19 +236,24 @@ tryGenerate(uint64_t seed)
     design.inputs.push_back({"rst", 1});
     for (size_t i = 0; i < n_in; ++i)
         design.inputs.push_back({ins[i], in_w[i]});
+    if (with_mem) {
+        design.inputs.push_back({"mwe", 1});
+        design.inputs.push_back({"mwaddr", 2});
+        design.inputs.push_back({"mraddr", 2});
+    }
     return design;
 }
 
 } // namespace
 
 GeneratedDesign
-generateDesign(uint64_t seed)
+generateDesign(uint64_t seed, int version)
 {
     // Validate parse + elaborate; derive a fresh layout on failure so
     // the function stays total and deterministic.
     for (int attempt = 0; attempt < 8; ++attempt) {
-        GeneratedDesign design =
-            tryGenerate(seed + 0x9e3779b97f4a7c15ull * attempt);
+        GeneratedDesign design = tryGenerate(
+            seed + 0x9e3779b97f4a7c15ull * attempt, version);
         try {
             verilog::SourceFile file = verilog::parse(design.source);
             elaborate::elaborate(file.top(), {});

@@ -35,11 +35,24 @@ struct GeneratedDesign
 };
 
 /**
+ * Generator emission versions.  Corpus entries pin the version their
+ * design was produced under (`gen:<seed>` = 1, `gen2:<seed>` = 2) so
+ * a recorded bug replays byte-identically forever even as the
+ * generator grows:
+ *
+ *  - 1: the core subset (always blocks, continuous assigns).
+ *  - 2: adds write-enable memories, generate-for blocks, and
+ *       function calls, each present with independent probability.
+ */
+constexpr int kGeneratorVersion = 2;
+
+/**
  * Generate a module from @p seed.  The result always parses and
  * elaborates (the generator validates internally and derives a new
  * layout from the seed until it does).
  */
-GeneratedDesign generateDesign(uint64_t seed);
+GeneratedDesign generateDesign(uint64_t seed,
+                               int version = kGeneratorVersion);
 
 /**
  * A random driving stimulus for @p design: a reset pulse followed by

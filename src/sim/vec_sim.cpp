@@ -662,6 +662,8 @@ VecEventSimulator::evalExpr(const Expr &expr, uint32_t ctx) const
       case Expr::Kind::Literal:
         return PackedValue::broadcast(
             static_cast<const LiteralExpr &>(expr).value);
+      case Expr::Kind::Call:
+        panic("function call survived lowering");
       case Expr::Kind::Unary: {
         const auto &u = static_cast<const UnaryExpr &>(expr);
         switch (u.op) {

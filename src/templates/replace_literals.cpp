@@ -132,6 +132,10 @@ class Instrumenter
             instrumentExpr(
                 static_cast<RangeSelectExpr &>(*expr).base);
             return;
+          case Expr::Kind::Call:
+            for (auto &arg : static_cast<CallExpr &>(*expr).args)
+                instrumentExpr(arg);
+            return;
         }
     }
 

@@ -114,6 +114,16 @@ RangeSelectExpr::clone() const
         *this));
 }
 
+ExprPtr
+CallExpr::clone() const
+{
+    std::vector<ExprPtr> copy;
+    copy.reserve(args.size());
+    for (const auto &a : args)
+        copy.push_back(a->clone());
+    return ExprPtr(withMeta(new CallExpr(callee, std::move(copy)), *this));
+}
+
 StmtPtr
 BlockStmt::clone() const
 {
@@ -188,6 +198,8 @@ NetDecl::clone() const
     node->dir = dir;
     node->msb = cloneOrNull(msb);
     node->lsb = cloneOrNull(lsb);
+    node->arr_msb = cloneOrNull(arr_msb);
+    node->arr_lsb = cloneOrNull(arr_lsb);
     return ItemPtr(node);
 }
 
@@ -224,6 +236,79 @@ InitialBlock::clone() const
 {
     auto *node = withMeta(new InitialBlock(), *this);
     node->body = body->clone();
+    return ItemPtr(node);
+}
+
+namespace {
+
+FunctionVar
+cloneVar(const FunctionVar &v)
+{
+    FunctionVar copy;
+    copy.name = v.name;
+    copy.msb = cloneOrNull(v.msb);
+    copy.lsb = cloneOrNull(v.lsb);
+    copy.is_integer = v.is_integer;
+    return copy;
+}
+
+std::vector<ItemPtr>
+cloneItems(const std::vector<ItemPtr> &items)
+{
+    std::vector<ItemPtr> copy;
+    copy.reserve(items.size());
+    for (const auto &item : items)
+        copy.push_back(item->clone());
+    return copy;
+}
+
+} // namespace
+
+ItemPtr
+FunctionDecl::clone() const
+{
+    auto *node = withMeta(new FunctionDecl(), *this);
+    node->name = name;
+    node->ret_msb = cloneOrNull(ret_msb);
+    node->ret_lsb = cloneOrNull(ret_lsb);
+    for (const auto &v : inputs)
+        node->inputs.push_back(cloneVar(v));
+    for (const auto &v : locals)
+        node->locals.push_back(cloneVar(v));
+    node->body = body->clone();
+    return ItemPtr(node);
+}
+
+ItemPtr
+GenvarDecl::clone() const
+{
+    auto *node = withMeta(new GenvarDecl(), *this);
+    node->name = name;
+    return ItemPtr(node);
+}
+
+ItemPtr
+GenFor::clone() const
+{
+    auto *node = withMeta(new GenFor(), *this);
+    node->genvar = genvar;
+    node->init = init->clone();
+    node->cond = cond->clone();
+    node->step = step->clone();
+    node->label = label;
+    node->body = cloneItems(body);
+    return ItemPtr(node);
+}
+
+ItemPtr
+GenIf::clone() const
+{
+    auto *node = withMeta(new GenIf(), *this);
+    node->cond = cond->clone();
+    node->then_label = then_label;
+    node->else_label = else_label;
+    node->then_items = cloneItems(then_items);
+    node->else_items = cloneItems(else_items);
     return ItemPtr(node);
 }
 

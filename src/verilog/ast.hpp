@@ -62,7 +62,7 @@ class Expr
     enum class Kind
     {
         Ident, Literal, Unary, Binary, Ternary,
-        Concat, Repl, Index, RangeSelect,
+        Concat, Repl, Index, RangeSelect, Call,
     };
 
     virtual ~Expr() = default;
@@ -182,6 +182,18 @@ class RangeSelectExpr : public Expr
     ExprPtr base;
     ExprPtr msb;
     ExprPtr lsb;
+};
+
+/** f(a, b) — call of a user-defined function (inlined at elaboration). */
+class CallExpr : public Expr
+{
+  public:
+    CallExpr(std::string c, std::vector<ExprPtr> a)
+        : Expr(Kind::Call), callee(std::move(c)), args(std::move(a)) {}
+    ExprPtr clone() const override;
+
+    std::string callee;
+    std::vector<ExprPtr> args;
 };
 
 // ---------------------------------------------------------------------
@@ -310,7 +322,11 @@ using ItemPtr = std::unique_ptr<Item>;
 class Item
 {
   public:
-    enum class Kind { Net, Param, ContAssign, Always, Initial, Instance };
+    enum class Kind
+    {
+        Net, Param, ContAssign, Always, Initial, Instance,
+        Function, Genvar, GenFor, GenIf,
+    };
 
     virtual ~Item() = default;
     virtual ItemPtr clone() const = 0;
@@ -338,6 +354,16 @@ class NetDecl : public Item
     PortDir dir = PortDir::Unknown;  ///< set for port declarations
     ExprPtr msb;  ///< null for scalar
     ExprPtr lsb;  ///< null for scalar
+    /**
+     * Memory (2-D reg) address range: `reg [7:0] mem [0:15];` stores
+     * the `[0:15]` here.  Null for plain nets.  Elaboration lowers
+     * memories into one register per word, so only the frontend and
+     * the lowering pass ever see these set.
+     */
+    ExprPtr arr_msb;
+    ExprPtr arr_lsb;
+
+    bool isMemory() const { return arr_msb != nullptr; }
 };
 
 /** parameter / localparam. */
@@ -408,6 +434,77 @@ class Instance : public Item
     std::string instance_name;
     std::vector<Connection> params;
     std::vector<Connection> ports;
+};
+
+/** One formal input or local variable of a function. */
+struct FunctionVar
+{
+    std::string name;
+    ExprPtr msb;  ///< null for scalar
+    ExprPtr lsb;
+    bool is_integer = false;
+};
+
+/**
+ * Side-effect-free `function` definition.  Calls are inlined into a
+ * pure expression during lowering; the body may only contain blocking
+ * assignments to locals/the return value, if/case, and for-loops.
+ */
+class FunctionDecl : public Item
+{
+  public:
+    FunctionDecl() : Item(Kind::Function) {}
+    ItemPtr clone() const override;
+
+    std::string name;
+    ExprPtr ret_msb;  ///< null for a 1-bit return value
+    ExprPtr ret_lsb;
+    std::vector<FunctionVar> inputs;  ///< formals, in call order
+    std::vector<FunctionVar> locals;
+    StmtPtr body;
+};
+
+/** `genvar i;` — loop variable for generate-for blocks. */
+class GenvarDecl : public Item
+{
+  public:
+    GenvarDecl() : Item(Kind::Genvar) {}
+    ItemPtr clone() const override;
+
+    std::string name;
+};
+
+/**
+ * `for (i = 0; i < N; i = i + 1) begin : label ... end` inside a
+ * generate region.  Unrolled by the lowering pass; names declared in
+ * the body are uniquified as `<label>__<i>__<name>`.
+ */
+class GenFor : public Item
+{
+  public:
+    GenFor() : Item(Kind::GenFor) {}
+    ItemPtr clone() const override;
+
+    std::string genvar;
+    ExprPtr init;
+    ExprPtr cond;
+    ExprPtr step;   ///< next value of the genvar
+    std::string label;
+    std::vector<ItemPtr> body;
+};
+
+/** `if (COND) begin : a ... end else begin : b ... end` generate. */
+class GenIf : public Item
+{
+  public:
+    GenIf() : Item(Kind::GenIf) {}
+    ItemPtr clone() const override;
+
+    ExprPtr cond;
+    std::string then_label;
+    std::string else_label;
+    std::vector<ItemPtr> then_items;
+    std::vector<ItemPtr> else_items;
 };
 
 // ---------------------------------------------------------------------

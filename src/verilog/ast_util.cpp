@@ -71,6 +71,17 @@ equal(const Expr &a, const Expr &b)
         return equal(*ra.base, *rb.base) && equal(*ra.msb, *rb.msb) &&
                equal(*ra.lsb, *rb.lsb);
       }
+      case Expr::Kind::Call: {
+        const auto &ca = static_cast<const CallExpr &>(a);
+        const auto &cb = static_cast<const CallExpr &>(b);
+        if (ca.callee != cb.callee || ca.args.size() != cb.args.size())
+            return false;
+        for (size_t i = 0; i < ca.args.size(); ++i) {
+            if (!equal(*ca.args[i], *cb.args[i]))
+                return false;
+        }
+        return true;
+      }
     }
     return false;
 }
@@ -79,6 +90,14 @@ namespace {
 
 bool
 equalOrBothNull(const StmtPtr &a, const StmtPtr &b)
+{
+    if (!a || !b)
+        return !a && !b;
+    return equal(*a, *b);
+}
+
+bool
+equalOrBothNull(const ExprPtr &a, const ExprPtr &b)
 {
     if (!a || !b)
         return !a && !b;
@@ -169,7 +188,8 @@ equalItem(const Item &a, const Item &b)
                        !equal(*na.lsb, *nb.lsb))) {
             return false;
         }
-        return true;
+        return equalOrBothNull(na.arr_msb, nb.arr_msb) &&
+               equalOrBothNull(na.arr_lsb, nb.arr_lsb);
       }
       case Item::Kind::Param: {
         const auto &pa = static_cast<const ParamDecl &>(a);
@@ -220,6 +240,73 @@ equalItem(const Item &a, const Item &b)
         }
         for (size_t i = 0; i < xa.params.size(); ++i) {
             if (!conn_equal(xa.params[i], xb.params[i]))
+                return false;
+        }
+        return true;
+      }
+      case Item::Kind::Function: {
+        const auto &fa = static_cast<const FunctionDecl &>(a);
+        const auto &fb = static_cast<const FunctionDecl &>(b);
+        auto var_equal = [](const FunctionVar &va,
+                            const FunctionVar &vb) {
+            if (va.name != vb.name || va.is_integer != vb.is_integer)
+                return false;
+            if (!!va.msb != !!vb.msb)
+                return false;
+            return !va.msb ||
+                   (equal(*va.msb, *vb.msb) && equal(*va.lsb, *vb.lsb));
+        };
+        if (fa.name != fb.name ||
+            fa.inputs.size() != fb.inputs.size() ||
+            fa.locals.size() != fb.locals.size() ||
+            !equalOrBothNull(fa.ret_msb, fb.ret_msb) ||
+            !equalOrBothNull(fa.ret_lsb, fb.ret_lsb)) {
+            return false;
+        }
+        for (size_t i = 0; i < fa.inputs.size(); ++i) {
+            if (!var_equal(fa.inputs[i], fb.inputs[i]))
+                return false;
+        }
+        for (size_t i = 0; i < fa.locals.size(); ++i) {
+            if (!var_equal(fa.locals[i], fb.locals[i]))
+                return false;
+        }
+        return equal(*fa.body, *fb.body);
+      }
+      case Item::Kind::Genvar:
+        return static_cast<const GenvarDecl &>(a).name ==
+               static_cast<const GenvarDecl &>(b).name;
+      case Item::Kind::GenFor: {
+        const auto &ga = static_cast<const GenFor &>(a);
+        const auto &gb = static_cast<const GenFor &>(b);
+        if (ga.genvar != gb.genvar || ga.label != gb.label ||
+            ga.body.size() != gb.body.size() ||
+            !equal(*ga.init, *gb.init) || !equal(*ga.cond, *gb.cond) ||
+            !equal(*ga.step, *gb.step)) {
+            return false;
+        }
+        for (size_t i = 0; i < ga.body.size(); ++i) {
+            if (!equalItem(*ga.body[i], *gb.body[i]))
+                return false;
+        }
+        return true;
+      }
+      case Item::Kind::GenIf: {
+        const auto &ga = static_cast<const GenIf &>(a);
+        const auto &gb = static_cast<const GenIf &>(b);
+        if (ga.then_label != gb.then_label ||
+            ga.else_label != gb.else_label ||
+            ga.then_items.size() != gb.then_items.size() ||
+            ga.else_items.size() != gb.else_items.size() ||
+            !equal(*ga.cond, *gb.cond)) {
+            return false;
+        }
+        for (size_t i = 0; i < ga.then_items.size(); ++i) {
+            if (!equalItem(*ga.then_items[i], *gb.then_items[i]))
+                return false;
+        }
+        for (size_t i = 0; i < ga.else_items.size(); ++i) {
+            if (!equalItem(*ga.else_items[i], *gb.else_items[i]))
                 return false;
         }
         return true;
@@ -301,6 +388,12 @@ rewriteExprTree(ExprPtr &expr, const std::function<void(ExprPtr &)> &fn)
         rewriteExprTree(r.lsb, fn);
         break;
       }
+      case Expr::Kind::Call: {
+        auto &c = static_cast<CallExpr &>(*expr);
+        for (auto &arg : c.args)
+            rewriteExprTree(arg, fn);
+        break;
+      }
     }
     fn(expr);
 }
@@ -356,16 +449,23 @@ rewriteStmtExprs(StmtPtr &stmt, const std::function<void(ExprPtr &)> &fn)
 }
 
 void
-rewriteModuleExprs(Module &module,
-                   const std::function<void(ExprPtr &)> &fn)
+rewriteItemsExprs(std::vector<ItemPtr> &items,
+                  const std::function<void(ExprPtr &)> &fn)
 {
-    for (auto &item : module.items) {
+    auto walk = [&fn](std::vector<ItemPtr> &sub) {
+        rewriteItemsExprs(sub, fn);
+    };
+    for (auto &item : items) {
         switch (item->kind) {
           case Item::Kind::Net: {
             auto &n = static_cast<NetDecl &>(*item);
             if (n.msb) {
                 rewriteExprTree(n.msb, fn);
                 rewriteExprTree(n.lsb, fn);
+            }
+            if (n.arr_msb) {
+                rewriteExprTree(n.arr_msb, fn);
+                rewriteExprTree(n.arr_lsb, fn);
             }
             break;
           }
@@ -396,8 +496,51 @@ rewriteModuleExprs(Module &module,
             }
             break;
           }
+          case Item::Kind::Function: {
+            auto &f = static_cast<FunctionDecl &>(*item);
+            if (f.ret_msb) {
+                rewriteExprTree(f.ret_msb, fn);
+                rewriteExprTree(f.ret_lsb, fn);
+            }
+            auto rewrite_var = [&fn](FunctionVar &v) {
+                if (v.msb) {
+                    rewriteExprTree(v.msb, fn);
+                    rewriteExprTree(v.lsb, fn);
+                }
+            };
+            for (auto &v : f.inputs)
+                rewrite_var(v);
+            for (auto &v : f.locals)
+                rewrite_var(v);
+            rewriteStmtExprs(f.body, fn);
+            break;
+          }
+          case Item::Kind::Genvar:
+            break;
+          case Item::Kind::GenFor: {
+            auto &g = static_cast<GenFor &>(*item);
+            rewriteExprTree(g.init, fn);
+            rewriteExprTree(g.cond, fn);
+            rewriteExprTree(g.step, fn);
+            walk(g.body);
+            break;
+          }
+          case Item::Kind::GenIf: {
+            auto &g = static_cast<GenIf &>(*item);
+            rewriteExprTree(g.cond, fn);
+            walk(g.then_items);
+            walk(g.else_items);
+            break;
+          }
         }
     }
+}
+
+void
+rewriteModuleExprs(Module &module,
+                   const std::function<void(ExprPtr &)> &fn)
+{
+    rewriteItemsExprs(module.items, fn);
 }
 
 void
@@ -486,6 +629,13 @@ collectIdents(const Expr &expr, std::set<std::string> &out)
         collectIdents(*r.lsb, out);
         return;
       }
+      case Expr::Kind::Call:
+        // The callee is a function name, not a signal.
+        for (const auto &arg :
+             static_cast<const CallExpr &>(expr).args) {
+            collectIdents(*arg, out);
+        }
+        return;
     }
 }
 

@@ -41,6 +41,15 @@ void rewriteStmtExprs(StmtPtr &stmt,
 void rewriteModuleExprs(Module &module,
                         const std::function<void(ExprPtr &)> &fn);
 
+/**
+ * Rewrite every expression inside an item list, recursing into
+ * generate-block bodies and function declarations.  Used by the
+ * lowering pass, which works on item lists before they are spliced
+ * into a flat module.
+ */
+void rewriteItemsExprs(std::vector<ItemPtr> &items,
+                       const std::function<void(ExprPtr &)> &fn);
+
 /** Visit every statement in a tree (pre-order), with replacement. */
 void rewriteStmtTree(StmtPtr &stmt,
                      const std::function<void(StmtPtr &)> &fn);

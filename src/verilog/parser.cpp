@@ -1,6 +1,7 @@
 #include "verilog/parser.hpp"
 
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "util/logging.hpp"
@@ -78,8 +79,36 @@ class Parser
     [[noreturn]] void
     fail(const std::string &msg) const
     {
-        fatal(format("line %u:%u: %s", peek().loc.line, peek().loc.col,
-                     msg.c_str()));
+        failAt(peek().loc, msg);
+    }
+
+    [[noreturn]] static void
+    failAt(SourceLoc loc, const std::string &msg)
+    {
+        fatal(format("line %u:%u: %s", loc.line, loc.col, msg.c_str()));
+    }
+
+    /**
+     * Verilog reserved words our lexer does not tokenize (they lex as
+     * plain identifiers).  Flagged eagerly wherever a statement or
+     * item may start so the diagnostic lands on the keyword itself
+     * instead of on whatever token the misparse trips over later.
+     */
+    static bool
+    isUnsupportedKeyword(const std::string &text)
+    {
+        static const std::set<std::string> kUnsupported = {
+            "task",      "endtask",   "while",    "repeat",
+            "forever",   "wait",      "disable",  "fork",
+            "join",      "force",     "release",  "deassign",
+            "defparam",  "specify",   "endspecify", "primitive",
+            "endprimitive", "table",  "endtable", "real",
+            "time",      "event",     "realtime", "specparam",
+            "tri",       "tri0",      "tri1",     "trireg",
+            "wand",      "wor",       "supply0",  "supply1",
+            "automatic", "pullup",    "pulldown",
+        };
+        return kUnsupported.count(text) > 0;
     }
 
     // -- node helpers -------------------------------------------------
@@ -105,6 +134,7 @@ class Parser
     parseModule()
     {
         _module = std::make_unique<Module>();
+        _items = &_module->items;
         expect(TokenKind::KwModule);
         _module->name = expect(TokenKind::Identifier).text;
 
@@ -183,7 +213,7 @@ class Parser
                 decl->dir = dir;
                 decl->msb = msb ? msb->clone() : nullptr;
                 decl->lsb = lsb ? lsb->clone() : nullptr;
-                _module->items.emplace_back(decl);
+                _items->emplace_back(decl);
             }
         } while (accept(TokenKind::Comma));
     }
@@ -236,19 +266,237 @@ class Parser
             advance();
             auto *item = tag(new InitialBlock(), loc);
             item->body = parseStmt();
-            _module->items.emplace_back(item);
+            _items->emplace_back(item);
             return;
           }
           case TokenKind::Identifier:
+            if (isUnsupportedKeyword(peek().text)) {
+                fail(format("unsupported keyword '%s' at module level: "
+                            "outside the synthesizable subset",
+                            peek().text.c_str()));
+            }
             parseInstance();
             return;
           case TokenKind::KwFunction:
+            parseFunction();
+            return;
           case TokenKind::KwGenerate:
+            parseGenerateRegion();
+            return;
           case TokenKind::KwGenvar:
-            fail("construct outside the supported synthesizable subset");
+            parseGenvarDecl();
+            return;
+          case TokenKind::KwFor:
+            parseGenFor();
+            return;
+          case TokenKind::KwIf:
+            parseGenIf();
+            return;
           default:
             fail("unexpected token at module level");
         }
+    }
+
+    // -- generate constructs ------------------------------------------
+
+    void
+    parseGenvarDecl()
+    {
+        expect(TokenKind::KwGenvar);
+        do {
+            const Token &name_tok = expect(TokenKind::Identifier);
+            auto *decl = tag(new GenvarDecl(), name_tok.loc);
+            decl->name = name_tok.text;
+            _items->emplace_back(decl);
+        } while (accept(TokenKind::Comma));
+        expect(TokenKind::Semicolon);
+    }
+
+    /** `generate ... endgenerate` is a transparent wrapper. */
+    void
+    parseGenerateRegion()
+    {
+        expect(TokenKind::KwGenerate);
+        while (!at(TokenKind::KwEndgenerate)) {
+            if (at(TokenKind::Eof))
+                fail("unterminated generate region");
+            parseItem();
+        }
+        expect(TokenKind::KwEndgenerate);
+    }
+
+    /**
+     * `begin [: label] items end`, or a single unlabeled item, parsed
+     * into @p into.  Returns the label (empty when absent).
+     */
+    std::string
+    parseGenBlock(std::vector<ItemPtr> &into)
+    {
+        std::string label;
+        std::vector<ItemPtr> *saved = _items;
+        _items = &into;
+        if (accept(TokenKind::KwBegin)) {
+            if (accept(TokenKind::Colon))
+                label = expect(TokenKind::Identifier).text;
+            while (!at(TokenKind::KwEnd)) {
+                if (at(TokenKind::Eof))
+                    fail("unterminated generate block");
+                parseItem();
+            }
+            expect(TokenKind::KwEnd);
+        } else {
+            parseItem();
+        }
+        _items = saved;
+        return label;
+    }
+
+    void
+    parseGenFor()
+    {
+        SourceLoc loc = peek().loc;
+        expect(TokenKind::KwFor);
+        auto *item = tag(new GenFor(), loc);
+        expect(TokenKind::LParen);
+        item->genvar = expect(TokenKind::Identifier).text;
+        expect(TokenKind::Equals);
+        item->init = parseExpr();
+        expect(TokenKind::Semicolon);
+        item->cond = parseExpr();
+        expect(TokenKind::Semicolon);
+        const Token &step_var = expect(TokenKind::Identifier);
+        if (step_var.text != item->genvar) {
+            failAt(step_var.loc,
+                   "generate-for step must update the loop genvar");
+        }
+        expect(TokenKind::Equals);
+        item->step = parseExpr();
+        expect(TokenKind::RParen);
+        item->label = parseGenBlock(item->body);
+        _items->emplace_back(item);
+    }
+
+    void
+    parseGenIf()
+    {
+        SourceLoc loc = peek().loc;
+        expect(TokenKind::KwIf);
+        auto *item = tag(new GenIf(), loc);
+        expect(TokenKind::LParen);
+        item->cond = parseExpr();
+        expect(TokenKind::RParen);
+        item->then_label = parseGenBlock(item->then_items);
+        if (accept(TokenKind::KwElse)) {
+            if (at(TokenKind::KwIf)) {
+                // else-if chains nest as a one-item else block.
+                std::vector<ItemPtr> *saved = _items;
+                _items = &item->else_items;
+                parseGenIf();
+                _items = saved;
+            } else {
+                item->else_label = parseGenBlock(item->else_items);
+            }
+        }
+        _items->emplace_back(item);
+    }
+
+    // -- functions ----------------------------------------------------
+
+    /** Range or `integer` marker of a function input/local/return. */
+    void
+    parseFunctionVarType(ExprPtr &msb, ExprPtr &lsb, bool &is_integer)
+    {
+        msb.reset();
+        lsb.reset();
+        is_integer = false;
+        if (accept(TokenKind::KwInteger)) {
+            is_integer = true;
+            return;
+        }
+        accept(TokenKind::KwSigned);  // accepted, treated as unsigned
+        if (at(TokenKind::LBracket))
+            parseRange(msb, lsb);
+    }
+
+    void
+    parseFunction()
+    {
+        SourceLoc loc = peek().loc;
+        expect(TokenKind::KwFunction);
+        auto *item = tag(new FunctionDecl(), loc);
+        bool ret_integer = false;
+        parseFunctionVarType(item->ret_msb, item->ret_lsb, ret_integer);
+        if (ret_integer) {
+            item->ret_msb = makeInt(31, loc);
+            item->ret_lsb = makeInt(0, loc);
+        }
+        item->name = expect(TokenKind::Identifier).text;
+
+        if (accept(TokenKind::LParen)) {
+            // ANSI header: (input [r] a, input b, ...)
+            do {
+                expect(TokenKind::KwInput);
+                FunctionVar var;
+                parseFunctionVarType(var.msb, var.lsb, var.is_integer);
+                var.name = expect(TokenKind::Identifier).text;
+                item->inputs.push_back(std::move(var));
+            } while (accept(TokenKind::Comma));
+            expect(TokenKind::RParen);
+        }
+        expect(TokenKind::Semicolon);
+
+        // Classic declarations before the body statement.
+        while (true) {
+            if (accept(TokenKind::KwInput)) {
+                FunctionVar var;
+                parseFunctionVarType(var.msb, var.lsb, var.is_integer);
+                var.name = expect(TokenKind::Identifier).text;
+                item->inputs.push_back(std::move(var));
+                while (accept(TokenKind::Comma)) {
+                    FunctionVar more;
+                    more.msb = var.msb ? var.msb->clone() : nullptr;
+                    more.lsb = var.lsb ? var.lsb->clone() : nullptr;
+                    more.is_integer = var.is_integer;
+                    more.name = expect(TokenKind::Identifier).text;
+                    item->inputs.push_back(std::move(more));
+                }
+                expect(TokenKind::Semicolon);
+            } else if (at(TokenKind::KwReg) || at(TokenKind::KwInteger)) {
+                bool is_integer = at(TokenKind::KwInteger);
+                advance();
+                FunctionVar var;
+                var.is_integer = is_integer;
+                if (!is_integer) {
+                    accept(TokenKind::KwSigned);
+                    if (at(TokenKind::LBracket))
+                        parseRange(var.msb, var.lsb);
+                }
+                var.name = expect(TokenKind::Identifier).text;
+                item->locals.push_back(std::move(var));
+                while (accept(TokenKind::Comma)) {
+                    FunctionVar more;
+                    more.msb = var.msb ? var.msb->clone() : nullptr;
+                    more.lsb = var.lsb ? var.lsb->clone() : nullptr;
+                    more.is_integer = var.is_integer;
+                    more.name = expect(TokenKind::Identifier).text;
+                    item->locals.push_back(std::move(more));
+                }
+                expect(TokenKind::Semicolon);
+            } else {
+                break;
+            }
+        }
+
+        item->body = parseStmt();
+        expect(TokenKind::KwEndfunction);
+        _items->emplace_back(item);
+    }
+
+    ExprPtr
+    makeInt(uint64_t v, SourceLoc loc)
+    {
+        return ExprPtr(tag(
+            new LiteralExpr(bv::Value::fromUint(32, v), false), loc));
     }
 
     void
@@ -288,7 +536,7 @@ class Parser
                 decl->dir = dir;
                 decl->msb = msb ? msb->clone() : nullptr;
                 decl->lsb = lsb ? lsb->clone() : nullptr;
-                _module->items.emplace_back(decl);
+                _items->emplace_back(decl);
             }
             // Record direction on the port list for non-ANSI headers.
             for (auto &port : _module->ports) {
@@ -312,8 +560,24 @@ class Parser
             parseRange(msb, lsb);
         do {
             const Token &name_tok = expect(TokenKind::Identifier);
-            NetDecl *existing = _module->findNet(name_tok.text);
-            if (existing) {
+            // Memory (2-D reg) dimension after the name.
+            ExprPtr arr_msb, arr_lsb;
+            if (at(TokenKind::LBracket)) {
+                if (net != NetKind::Reg) {
+                    fail("wire arrays are outside the synthesizable "
+                         "subset (only reg memories)");
+                }
+                parseRange(arr_msb, arr_lsb);
+                if (at(TokenKind::LBracket))
+                    fail("memories with more than one address "
+                         "dimension are outside the subset");
+            }
+            // Merge only with module-scope decls; names declared in a
+            // generate body are a fresh scope.
+            NetDecl *existing = _items == &_module->items
+                                    ? _module->findNet(name_tok.text)
+                                    : nullptr;
+            if (existing && !arr_msb && !existing->isMemory()) {
                 // `reg q;` after `output q;`
                 existing->net = net;
                 existing->is_signed = existing->is_signed || is_signed;
@@ -328,16 +592,16 @@ class Parser
                 decl->is_signed = is_signed;
                 decl->msb = msb ? msb->clone() : nullptr;
                 decl->lsb = lsb ? lsb->clone() : nullptr;
-                _module->items.emplace_back(decl);
+                decl->arr_msb = std::move(arr_msb);
+                decl->arr_lsb = std::move(arr_lsb);
+                _items->emplace_back(decl);
             }
-            if (at(TokenKind::LBracket))
-                fail("memories (2-D regs) are outside the subset");
             if (accept(TokenKind::Equals)) {
                 // Wire initializer is sugar for a continuous assign.
                 auto *assign = tag(new ContAssign(), name_tok.loc);
                 assign->lhs = makeIdent(name_tok.text, name_tok.loc);
                 assign->rhs = parseExpr();
-                _module->items.emplace_back(assign);
+                _items->emplace_back(assign);
             }
         } while (accept(TokenKind::Comma));
         expect(TokenKind::Semicolon);
@@ -353,7 +617,7 @@ class Parser
             auto *decl = tag(new NetDecl(), loc);
             decl->name = name_tok.text;
             decl->net = NetKind::Integer;
-            _module->items.emplace_back(decl);
+            _items->emplace_back(decl);
         } while (accept(TokenKind::Comma));
         expect(TokenKind::Semicolon);
     }
@@ -373,7 +637,7 @@ class Parser
             decl->name = name_tok.text;
             decl->is_local = is_local;
             decl->value = parseExpr();
-            _module->items.emplace_back(decl);
+            _items->emplace_back(decl);
             if (stop_at_paren)
                 return; // caller handles the comma between `parameter`s
             if (!accept(TokenKind::Comma))
@@ -394,7 +658,7 @@ class Parser
             auto *item = tag(new ContAssign(), loc);
             item->lhs = std::move(lhs);
             item->rhs = parseExpr();
-            _module->items.emplace_back(item);
+            _items->emplace_back(item);
         } while (accept(TokenKind::Comma));
         expect(TokenKind::Semicolon);
     }
@@ -431,7 +695,7 @@ class Parser
             expect(TokenKind::RParen);
         }
         item->body = parseStmt();
-        _module->items.emplace_back(item);
+        _items->emplace_back(item);
     }
 
     void
@@ -451,7 +715,7 @@ class Parser
             item->ports = parseConnections();
         expect(TokenKind::RParen);
         expect(TokenKind::Semicolon);
-        _module->items.emplace_back(item);
+        _items->emplace_back(item);
     }
 
     std::vector<Connection>
@@ -537,6 +801,24 @@ class Parser
             expect(TokenKind::Number);
             return parseStmt();
           }
+          case TokenKind::KwFunction:
+          case TokenKind::KwGenerate:
+          case TokenKind::KwGenvar:
+          case TokenKind::KwInitial:
+          case TokenKind::KwAlways:
+          case TokenKind::KwAssign:
+            // Report the offending keyword's own position; without
+            // this the misparse surfaces at a later token.
+            fail(format("unsupported construct %s inside a procedural "
+                        "block: outside the synthesizable subset",
+                        tokenKindName(peek().kind)));
+          case TokenKind::Identifier:
+            if (isUnsupportedKeyword(peek().text)) {
+                fail(format("unsupported keyword '%s' in statement: "
+                            "outside the synthesizable subset",
+                            peek().text.c_str()));
+            }
+            return parseAssignStmt();
           default:
             return parseAssignStmt();
         }
@@ -801,6 +1083,19 @@ class Parser
           }
           case TokenKind::Identifier: {
             const Token &tok = advance();
+            if (at(TokenKind::LParen)) {
+                // User-defined function call: f(a, b).
+                advance();
+                std::vector<ExprPtr> args;
+                if (!at(TokenKind::RParen)) {
+                    do {
+                        args.push_back(parseExpr());
+                    } while (accept(TokenKind::Comma));
+                }
+                expect(TokenKind::RParen);
+                return ExprPtr(tag(
+                    new CallExpr(tok.text, std::move(args)), loc));
+            }
             ExprPtr base = makeIdent(tok.text, loc);
             return parsePostfixSelect(std::move(base));
           }
@@ -868,12 +1163,18 @@ class Parser
                     loc));
             }
         }
+        if (at(TokenKind::Dot)) {
+            fail("hierarchical names are outside the synthesizable "
+                 "subset");
+        }
         return base;
     }
 
     std::vector<Token> _tokens;
     size_t _pos = 0;
     std::unique_ptr<Module> _module;
+    /** Target list for parsed items (a generate body, or the module). */
+    std::vector<ItemPtr> *_items = nullptr;
 };
 
 } // namespace

@@ -153,6 +153,17 @@ class PrintVisitor
             out << "]";
             return;
           }
+          case Expr::Kind::Call: {
+            const auto &c = static_cast<const CallExpr &>(e);
+            out << c.callee << "(";
+            for (size_t i = 0; i < c.args.size(); ++i) {
+                if (i > 0)
+                    out << ", ";
+                printExpr(*c.args[i]);
+            }
+            out << ")";
+            return;
+          }
         }
         panic("unknown expression kind");
     }
@@ -286,7 +297,15 @@ class PrintVisitor
             if (decl.is_signed)
                 out << "signed ";
             printRange(decl);
-            out << decl.name << ";\n";
+            out << decl.name;
+            if (decl.isMemory()) {
+                out << " [";
+                printExpr(*decl.arr_msb);
+                out << ":";
+                printExpr(*decl.arr_lsb);
+                out << "]";
+            }
+            out << ";\n";
             return;
           }
           case Item::Kind::Param: {
@@ -351,8 +370,86 @@ class PrintVisitor
             out << ");\n";
             return;
           }
+          case Item::Kind::Function: {
+            const auto &f = static_cast<const FunctionDecl &>(item);
+            out << "    function ";
+            if (f.ret_msb) {
+                out << "[";
+                printExpr(*f.ret_msb);
+                out << ":";
+                printExpr(*f.ret_lsb);
+                out << "] ";
+            }
+            out << f.name << ";\n";
+            for (const auto &in : f.inputs)
+                printFunctionVar("input", in);
+            for (const auto &local : f.locals)
+                printFunctionVar(local.is_integer ? "integer" : "reg",
+                                 local);
+            printStmt(*f.body, 1);
+            out << "    endfunction\n";
+            return;
+          }
+          case Item::Kind::Genvar: {
+            const auto &g = static_cast<const GenvarDecl &>(item);
+            out << "    genvar " << g.name << ";\n";
+            return;
+          }
+          case Item::Kind::GenFor: {
+            const auto &g = static_cast<const GenFor &>(item);
+            out << "    for (" << g.genvar << " = ";
+            printExpr(*g.init);
+            out << "; ";
+            printExpr(*g.cond);
+            out << "; " << g.genvar << " = ";
+            printExpr(*g.step);
+            out << ") begin";
+            if (!g.label.empty())
+                out << " : " << g.label;
+            out << "\n";
+            for (const auto &sub : g.body)
+                printItem(*sub);
+            out << "    end\n";
+            return;
+          }
+          case Item::Kind::GenIf: {
+            const auto &g = static_cast<const GenIf &>(item);
+            out << "    if (";
+            printExpr(*g.cond);
+            out << ") begin";
+            if (!g.then_label.empty())
+                out << " : " << g.then_label;
+            out << "\n";
+            for (const auto &sub : g.then_items)
+                printItem(*sub);
+            out << "    end\n";
+            if (!g.else_items.empty() || !g.else_label.empty()) {
+                out << "    else begin";
+                if (!g.else_label.empty())
+                    out << " : " << g.else_label;
+                out << "\n";
+                for (const auto &sub : g.else_items)
+                    printItem(*sub);
+                out << "    end\n";
+            }
+            return;
+          }
         }
         panic("unknown item kind");
+    }
+
+    void
+    printFunctionVar(const char *keyword, const FunctionVar &var)
+    {
+        out << "        " << keyword << " ";
+        if (var.msb && !var.is_integer) {
+            out << "[";
+            printExpr(*var.msb);
+            out << ":";
+            printExpr(*var.lsb);
+            out << "] ";
+        }
+        out << var.name << ";\n";
     }
 
     void

@@ -27,7 +27,8 @@ TEST(Registry, HasTheFullSuite)
             ++cirfix_count;
     }
     EXPECT_EQ(cirfix_count, 32u);
-    EXPECT_EQ(oss_count, 13u);
+    EXPECT_EQ(oss_count, 18u);
+    EXPECT_NE(find("oss_m1"), nullptr);
     EXPECT_NE(find("counter_k1"), nullptr);
     EXPECT_EQ(find("nope"), nullptr);
 }

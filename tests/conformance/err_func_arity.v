@@ -1,0 +1,8 @@
+// ERROR: line 7:16: function 'add1' takes 1 argument(s), got 2
+module err_func_arity (input [7:0] a, output [7:0] y);
+    function [7:0] add1;
+        input [7:0] x;
+        add1 = x + 8'd1;
+    endfunction
+    assign y = add1(a, a);
+endmodule

@@ -1,0 +1,8 @@
+// ERROR: line 5:9: non-blocking assignment inside function 'bad'
+module err_func_nba (input [7:0] a, output [7:0] y);
+    function [7:0] bad;
+        input [7:0] x;
+        bad <= x;
+    endfunction
+    assign y = bad(a);
+endmodule

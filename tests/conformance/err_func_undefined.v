@@ -1,0 +1,4 @@
+// ERROR: line 3:16: call of undefined function 'nosuch'
+module err_func_undefined (input [7:0] a, output [7:0] y);
+    assign y = nosuch(a);
+endmodule

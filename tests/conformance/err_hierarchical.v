@@ -1,0 +1,4 @@
+// ERROR: line 3:19: hierarchical names are outside the synthesizable subset
+module err_hierarchical (input a, output y);
+    assign y = sub.q;
+endmodule

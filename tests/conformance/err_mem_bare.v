@@ -1,0 +1,5 @@
+// ERROR: line 4:16: memory 'mem' used without an index
+module err_mem_bare (input clk, output [7:0] y);
+    reg [7:0] mem [0:3];
+    assign y = mem;
+endmodule

@@ -1,0 +1,7 @@
+// ERROR: line 5:12: address 9 is outside memory 'mem' range [0:3]
+module err_mem_oob_write (input clk, input [7:0] d, output [7:0] y);
+    reg [7:0] mem [0:3];
+    always @(posedge clk)
+        mem[9][3:0] <= d[3:0];
+    assign y = mem[0];
+endmodule

@@ -1,0 +1,6 @@
+// ERROR: line 4:9: unsupported keyword 'task' in statement: outside the synthesizable subset
+module err_task_in_always (input clk, output reg y);
+    always @(posedge clk) begin
+        task t;
+    end
+endmodule

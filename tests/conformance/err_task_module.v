@@ -1,0 +1,6 @@
+// ERROR: line 3:5: unsupported keyword 'task' at module level: outside the synthesizable subset
+module err_task_module (input clk, output y);
+    task t;
+    endtask
+    assign y = 1'b0;
+endmodule

@@ -1,0 +1,14 @@
+// A function calling another function: the inner call inlines
+// recursively inside the outer body.
+module func_nested_call (input [7:0] a, input [7:0] b,
+                         output [7:0] y);
+    function [7:0] inc;
+        input [7:0] x;
+        inc = x + 8'd1;
+    endfunction
+    function [7:0] inc2;
+        input [7:0] x;
+        inc2 = inc(inc(x));
+    endfunction
+    assign y = inc2(a) + inc(b);
+endmodule

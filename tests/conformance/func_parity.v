@@ -1,0 +1,13 @@
+// Function with a constant-bound for loop, inlined at lowering.
+module func_parity (input [7:0] d, output p);
+    function parity;
+        input [7:0] x;
+        integer i;
+        begin
+            parity = 1'b0;
+            for (i = 0; i < 8; i = i + 1)
+                parity = parity ^ x[i];
+        end
+    endfunction
+    assign p = parity(d);
+endmodule

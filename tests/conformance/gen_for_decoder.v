@@ -1,0 +1,16 @@
+// Generate-for driving single bits of a shared output vector: the
+// lowering merges the per-bit continuous assigns into one full-width
+// assignment so the elaborator sees a single driver.
+// NET: g__0__hit
+// NET: g__3__hit
+// NO-NET: hit
+module gen_for_decoder (input [1:0] sel, input en, output [3:0] y);
+    genvar i;
+    generate
+        for (i = 0; i < 4; i = i + 1) begin : g
+            wire hit;
+            assign hit = (sel == i);
+            assign y[i] = en & hit;
+        end
+    endgenerate
+endmodule

@@ -1,0 +1,19 @@
+// If-generate driven by a parameter override: only the taken branch
+// survives elaboration.  With INVERT=1 the 'flip' branch is kept.
+// PARAM: INVERT=1
+// NET: flip__t
+// NO-NET: keep__t
+module gen_if_param (input [7:0] a, output [7:0] y);
+    parameter INVERT = 0;
+    generate
+        if (INVERT != 0) begin : flip
+            wire [7:0] t;
+            assign t = ~a;
+            assign y = t;
+        end else begin : keep
+            wire [7:0] t;
+            assign t = a;
+            assign y = t;
+        end
+    endgenerate
+endmodule

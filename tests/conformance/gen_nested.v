@@ -1,0 +1,22 @@
+// Nested generate: an if-generate inside a for-generate.  Inner
+// names get both prefixes applied outer-first.
+// NET: row__0__even__t
+// NET: row__2__even__t
+// NET: row__1__odd__t
+// NET: row__3__odd__t
+module gen_nested (input [3:0] a, output [3:0] y);
+    genvar i;
+    generate
+        for (i = 0; i < 4; i = i + 1) begin : row
+            if (i % 2 == 0) begin : even
+                wire t;
+                assign t = a[i];
+                assign y[i] = t;
+            end else begin : odd
+                wire t;
+                assign t = ~a[i];
+                assign y[i] = t;
+            end
+        end
+    endgenerate
+endmodule

@@ -1,0 +1,16 @@
+// Constant-index accesses resolve directly to the word register; no
+// select chain is emitted and nonzero address ranges are honored.
+// NET: sbuf__w2
+// NET: sbuf__w5
+// NO-NET: sbuf
+// NO-NET: sbuf__w0
+module mem_const_index (input clk, input [7:0] d, output [7:0] q);
+    reg [7:0] sbuf [2:5];
+    always @(posedge clk) begin
+        sbuf[2] <= d;
+        sbuf[3] <= sbuf[2];
+        sbuf[4] <= sbuf[3];
+        sbuf[5] <= sbuf[4];
+    end
+    assign q = sbuf[5];
+endmodule

@@ -1,0 +1,13 @@
+// Synchronous memory: the array is bit-blasted into one register
+// per word and the original array name disappears.
+// NET: mem__w0
+// NET: mem__w3
+// NO-NET: mem
+module mem_sync_rw (input clk, input [1:0] addr, input [7:0] d,
+                    output reg [7:0] q);
+    reg [7:0] mem [0:3];
+    always @(posedge clk) begin
+        mem[addr] <= d;
+        q <= mem[addr];
+    end
+endmodule

@@ -1,0 +1,15 @@
+// Write-enable idiom: the guarded dynamic write lowers to an
+// if-chain over the word bank; reads are a select chain ending in X.
+// NET: mem__w0
+// NET: mem__w7
+// NO-NET: mem
+module mem_write_enable (input clk, input we, input [2:0] waddr,
+                         input [2:0] raddr, input [15:0] wdata,
+                         output reg [15:0] rdata);
+    reg [15:0] mem [0:7];
+    always @(posedge clk) begin
+        if (we)
+            mem[waddr] <= wdata;
+        rdata <= mem[raddr];
+    end
+endmodule

@@ -1,0 +1,164 @@
+// Directory-driven frontend conformance suite.  Every *.v file under
+// tests/conformance/ is one case; expectations live in leading
+// comment directives inside the file itself, so adding coverage never
+// requires touching this harness:
+//
+//   // ERROR: <exact message>   case must fail (parse or lowering)
+//                               with exactly this FatalError text —
+//                               pins both the diagnostic wording and
+//                               the reported source location.
+//   // NET: <name>              flattened module must declare <name>
+//   // NO-NET: <name>           flattened module must NOT declare it
+//   // PARAM: <name>=<value>    top-level parameter override
+//
+// A case without an ERROR directive must parse, lower (generates
+// unrolled, functions inlined, memories bit-blasted), flatten, and
+// elaborate to a transition system without diagnostics.  Positive
+// cases are additionally run through the printer round-trip: the
+// pre-lowering AST must survive print -> parse -> print unchanged.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bv/value.hpp"
+#include "elaborate/elaborate.hpp"
+#include "util/logging.hpp"
+#include "verilog/parser.hpp"
+#include "verilog/printer.hpp"
+
+using namespace rtlrepair;
+
+namespace {
+
+struct Directives {
+    std::string error; // empty: positive case
+    std::vector<std::string> nets;
+    std::vector<std::string> no_nets;
+    analysis::ConstEnv overrides;
+};
+
+void
+parseDirectives(const std::string &src, Directives &d)
+{
+    std::istringstream in(src);
+    std::string line;
+    while (std::getline(in, line)) {
+        auto grab = [&line](const char *tag) -> std::string {
+            size_t at = line.find(tag);
+            if (at == std::string::npos)
+                return {};
+            std::string rest = line.substr(at + strlen(tag));
+            while (!rest.empty() && rest.back() == '\r')
+                rest.pop_back();
+            return rest;
+        };
+        if (std::string v = grab("// ERROR: "); !v.empty())
+            d.error = v;
+        else if (std::string v = grab("// NET: "); !v.empty())
+            d.nets.push_back(v);
+        else if (std::string v = grab("// NO-NET: "); !v.empty())
+            d.no_nets.push_back(v);
+        else if (std::string v = grab("// PARAM: "); !v.empty()) {
+            size_t eq = v.find('=');
+            ASSERT_NE(eq, std::string::npos) << "bad PARAM: " << v;
+            d.overrides[v.substr(0, eq)] = bv::Value::fromUint(
+                32, std::stoull(v.substr(eq + 1)));
+        }
+    }
+}
+
+std::vector<std::string>
+corpusFiles()
+{
+    std::vector<std::string> out;
+    for (const auto &entry : std::filesystem::directory_iterator(
+             RTLREPAIR_CONFORMANCE_DIR)) {
+        if (entry.path().extension() == ".v")
+            out.push_back(entry.path().string());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+class Conformance : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(Conformance, MatchesDirectives)
+{
+    setLogLevel(LogLevel::Error);
+    std::string src = slurp(GetParam());
+    ASSERT_FALSE(src.empty()) << "unreadable case " << GetParam();
+    Directives d;
+    {
+        SCOPED_TRACE(GetParam());
+        parseDirectives(src, d);
+    }
+
+    elaborate::ElaborateOptions opts;
+    opts.param_overrides = d.overrides;
+
+    if (!d.error.empty()) {
+        try {
+            auto file = verilog::parse(src);
+            elaborate::flattenHierarchy(file.top(), opts);
+            FAIL() << GetParam() << ": expected FatalError \""
+                   << d.error << "\", but the case was accepted";
+        } catch (const FatalError &e) {
+            EXPECT_EQ(std::string(e.what()), d.error) << GetParam();
+        }
+        return;
+    }
+
+    auto file = verilog::parse(src);
+
+    // Pre-lowering AST must round-trip through the printer.
+    std::string printed = verilog::print(file.top());
+    auto reparsed = verilog::parse(printed);
+    EXPECT_EQ(verilog::print(reparsed.top()), printed) << GetParam();
+
+    std::unique_ptr<verilog::Module> flat =
+        elaborate::flattenHierarchy(file.top(), opts);
+    for (const std::string &net : d.nets) {
+        EXPECT_NE(flat->findNet(net), nullptr)
+            << GetParam() << ": lowered module lacks net " << net;
+    }
+    for (const std::string &net : d.no_nets) {
+        EXPECT_EQ(flat->findNet(net), nullptr)
+            << GetParam() << ": net " << net
+            << " should have been lowered away";
+    }
+
+    // The lowered design must elaborate cleanly end to end.
+    ir::TransitionSystem sys = elaborate::elaborate(file.top(), opts);
+    EXPECT_FALSE(sys.name.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, Conformance, ::testing::ValuesIn(corpusFiles()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string stem =
+            std::filesystem::path(info.param).stem().string();
+        for (char &c : stem) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return stem;
+    });

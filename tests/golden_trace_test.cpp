@@ -107,6 +107,11 @@ expectedDigests()
         {"oss_s1b", 0x52436da6130d5ffaull},
         {"oss_s2", 0xd959542e9e286d4dull},
         {"oss_s3", 0xa0433363ee0ffa6bull},
+        {"oss_m1", 0x8ed166da8b63ee61ull},
+        {"oss_m2", 0xa222fdbf72c12896ull},
+        {"oss_m3", 0x6d356afc46582f1cull},
+        {"oss_m4", 0x37b6ab38c33c85a2ull},
+        {"oss_m5", 0x91d47168f1c74679ull},
     };
     return kExpected;
 }

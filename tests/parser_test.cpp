@@ -238,13 +238,133 @@ TEST(Parser, NodeIdsAreUniqueAndPreservedByClone)
 
 TEST(Parser, RejectsUnsupportedConstructs)
 {
-    EXPECT_THROW(parse("module m; function f; endfunction endmodule"),
-                 rtlrepair::FatalError);
-    EXPECT_THROW(parse("module m; reg [7:0] mem [0:3]; endmodule"),
+    EXPECT_THROW(parse("module m; task t; endtask endmodule"),
                  rtlrepair::FatalError);
     EXPECT_THROW(parse("module m (input a, output y); assign y = ; "
                        "endmodule"),
                  rtlrepair::FatalError);
+    // Hierarchical names stay outside the subset.
+    EXPECT_THROW(parse("module m (input a, output y); "
+                       "assign y = sub.q; endmodule"),
+                 rtlrepair::FatalError);
+}
+
+TEST(Parser, MemoryDeclaration)
+{
+    auto file = parse(R"(
+        module m (input clk, input [1:0] addr, input [7:0] d,
+                  output reg [7:0] q);
+            reg [7:0] mem [0:3];
+            always @(posedge clk) begin
+                mem[addr] <= d;
+                q <= mem[addr];
+            end
+        endmodule
+    )");
+    const NetDecl *mem = file.top().findNet("mem");
+    ASSERT_NE(mem, nullptr);
+    EXPECT_TRUE(mem->isMemory());
+    ASSERT_NE(mem->arr_msb, nullptr);
+    ASSERT_NE(mem->arr_lsb, nullptr);
+    // Scalar regs in the same module must not inherit the array dims.
+    const NetDecl *q = file.top().findNet("q");
+    ASSERT_NE(q, nullptr);
+    EXPECT_FALSE(q->isMemory());
+}
+
+TEST(Parser, GenerateForAndIf)
+{
+    auto file = parse(R"(
+        module m (input [3:0] a, output [3:0] y);
+            genvar i;
+            generate
+                for (i = 0; i < 4; i = i + 1) begin : g
+                    if (i < 2) begin : lo
+                        assign y[i] = a[i];
+                    end else begin : hi
+                        assign y[i] = ~a[i];
+                    end
+                end
+            endgenerate
+        endmodule
+    )");
+    int genvars = 0, genfors = 0;
+    for (const auto &item : file.top().items) {
+        if (item->kind == Item::Kind::Genvar)
+            ++genvars;
+        else if (item->kind == Item::Kind::GenFor)
+            ++genfors;
+    }
+    EXPECT_EQ(genvars, 1);
+    ASSERT_EQ(genfors, 1);
+    for (const auto &item : file.top().items) {
+        if (item->kind != Item::Kind::GenFor)
+            continue;
+        const auto &gf = static_cast<const GenFor &>(*item);
+        EXPECT_EQ(gf.genvar, "i");
+        EXPECT_EQ(gf.label, "g");
+        ASSERT_EQ(gf.body.size(), 1u);
+        EXPECT_EQ(gf.body[0]->kind, Item::Kind::GenIf);
+    }
+}
+
+TEST(Parser, FunctionDeclarationAndCall)
+{
+    auto file = parse(R"(
+        module m (input [7:0] a, input [7:0] b, output [7:0] y);
+            function [7:0] maxv;
+                input [7:0] x;
+                input [7:0] z;
+                begin
+                    if (x > z)
+                        maxv = x;
+                    else
+                        maxv = z;
+                end
+            endfunction
+            assign y = maxv(a, b);
+        endmodule
+    )");
+    const FunctionDecl *fn = nullptr;
+    for (const auto &item : file.top().items) {
+        if (item->kind == Item::Kind::Function)
+            fn = static_cast<const FunctionDecl *>(item.get());
+    }
+    ASSERT_NE(fn, nullptr);
+    EXPECT_EQ(fn->name, "maxv");
+    ASSERT_EQ(fn->inputs.size(), 2u);
+    EXPECT_EQ(fn->inputs[0].name, "x");
+    // The continuous assignment's rhs must be a call expression.
+    const ContAssign *ca = nullptr;
+    for (const auto &item : file.top().items) {
+        if (item->kind == Item::Kind::ContAssign)
+            ca = static_cast<const ContAssign *>(item.get());
+    }
+    ASSERT_NE(ca, nullptr);
+    ASSERT_EQ(ca->rhs->kind, Expr::Kind::Call);
+    const auto &call = static_cast<const CallExpr &>(*ca->rhs);
+    EXPECT_EQ(call.callee, "maxv");
+    EXPECT_EQ(call.args.size(), 2u);
+}
+
+TEST(Parser, UnsupportedKeywordInAlwaysReportsItsOwnLocation)
+{
+    // Regression: the diagnostic for a reserved word we do not
+    // tokenize must point at the keyword token itself, not at
+    // whatever token the misparse would otherwise trip over later.
+    const char *src = "module m (input clk);\n"
+                      "always @(posedge clk) begin\n"
+                      "    task t;\n"
+                      "end\n"
+                      "endmodule\n";
+    try {
+        parse(src);
+        FAIL() << "expected FatalError";
+    } catch (const rtlrepair::FatalError &e) {
+        EXPECT_STREQ(e.what(),
+                     "line 3:5: unsupported keyword 'task' in statement: "
+                     "outside the synthesizable subset");
+    }
 }
 
 TEST(Parser, RoundTripThroughPrinter)
